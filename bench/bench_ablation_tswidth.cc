@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation (paper section 3.3): time-stamp width vs synchronization
+ * cost. The privatization algorithm stores iteration numbers in
+ * MaxR1st / MinW; "if the loop has so many iterations that the time
+ * stamps would overflow, we synchronize all processors periodically
+ * after a fixed number of iterations". Narrower time stamps save
+ * directory SRAM but buy barriers: every 2^bits iterations, all
+ * processors rendezvous.
+ *
+ * We run P3m (privatization, 4000 iterations, 16 processors) with
+ * time stamps from 4 to 12 bits and unbounded, and report total time
+ * and the Sync share.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace specrt;
+using namespace specrt::bench;
+
+int
+main()
+{
+    printHeader("Ablation: privatization time-stamp width "
+                "(P3m, 16 procs, 4000 iterations)");
+
+    MachineConfig cfg;
+    cfg.numProcs = 16;
+
+    std::vector<int> w = {14, 12, 12, 10, 12};
+    printRow({"ts width", "sync every", "HW ticks", "sync%",
+              "vs unbounded"},
+             w);
+
+    double unbounded = 0;
+    // Unbounded first (reference).
+    for (int bits : {0, 12, 10, 8, 6, 4}) {
+        P3mLoop loop;
+        ExecConfig xc;
+        xc.mode = ExecMode::HW;
+        xc.sched = SchedPolicy::Dynamic;
+        xc.blockIters = 4;
+        xc.maxIters = 4000;
+        xc.tsBits = bits;
+        LoopExecutor exec(cfg, loop, xc);
+        RunResult r = exec.run();
+        if (!r.passed)
+            std::printf("  !! unexpected failure at %d bits\n", bits);
+        double tot = r.agg.busy + r.agg.sync + r.agg.mem;
+        if (bits == 0)
+            unbounded = static_cast<double>(r.totalTicks);
+        std::string every =
+            bits == 0 ? "never"
+                      : std::to_string(IterNum(1) << bits) + " iters";
+        printRow({bits == 0 ? "unbounded" : std::to_string(bits) + " bits",
+                  every, fmtTicks(r.totalTicks),
+                  fmt(100 * r.agg.sync / tot, 1),
+                  fmt(static_cast<double>(r.totalTicks) / unbounded,
+                      3)},
+                 w);
+    }
+
+    std::printf("\nShape: wide-enough time stamps cost nothing; "
+                "below ~8 bits the periodic barriers start to show "
+                "in Sync time. The paper's 16-bit stamps never "
+                "synchronize for these trip counts.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Figure 11: speedups of the Ideal, SW (LRPD), and HW
+ * (speculative coherence extensions) parallel executions of the four
+ * loops, relative to Serial (uniprocessor, all data local).
+ *
+ * Ocean runs with 8 processors; the other loops with 16, as in the
+ * paper. Absolute speedups depend on the synthetic substrates; the
+ * shape to check is: Ideal > HW > SW for every loop, HW roughly
+ * half-way between SW and Ideal, and an HW/SW ratio around the
+ * paper's "50% faster / twice the speedup".
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace specrt;
+using namespace specrt::bench;
+
+int
+main()
+{
+    printHeader("Figure 11: speedups of the parallel executions "
+                "(vs. Serial)");
+    std::vector<int> w = {8, 6, 9, 9, 9, 9, 11, 24};
+    printRow({"loop", "procs", "Ideal", "SW", "HW", "HW/SW",
+              "paper(I/S/H)", "note"},
+             w);
+
+    double sw_sum = 0, hw_sum = 0, ideal_sum = 0;
+    int n16 = 0;
+    for (const PaperLoop &loop : paperLoops()) {
+        ScenarioComparison c = runAll(loop);
+        double si = c.idealSpeedup();
+        double ss = c.swSpeedup();
+        double sh = c.hwSpeedup();
+        if (loop.procs == 16) {
+            sw_sum += ss;
+            hw_sum += sh;
+            ideal_sum += si;
+            ++n16;
+        }
+        std::string paper = fmt(loop.paperIdeal, 0) + "/" +
+                            fmt(loop.paperSw, 0) + "/" +
+                            fmt(loop.paperHw, 0);
+        std::string note;
+        if (!c.sw.passed || !c.hw.passed)
+            note = "TEST FAILED";
+        printRow({loop.name, std::to_string(loop.procs), fmt(si),
+                  fmt(ss), fmt(sh), fmt(sh / ss), paper, note},
+                 w);
+    }
+
+    std::printf("\n16-processor averages: Ideal %.2f, SW %.2f, HW "
+                "%.2f (paper: HW ~6.7, SW ~2.9)\n",
+                ideal_sum / n16, sw_sum / n16, hw_sum / n16);
+    std::printf("Shape checks: HW between SW and Ideal on every "
+                "loop; HW/SW ratio ~1.5-2.5x.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 12: execution time of the loops broken down into
+ * Busy (executing instructions), Sync (locks/barriers/scheduling),
+ * and Mem (waiting on the memory system), for Serial / Ideal / SW /
+ * HW, normalized to Serial = 100.
+ *
+ * The paper's observations to verify: the HW scheme has lower Busy
+ * and Mem than the SW scheme (fewer extra instructions and fewer
+ * induced misses); SW's extra marking/merging/analysis instructions
+ * show up as both Busy and Mem; Sync is a minor component except
+ * where static scheduling causes imbalance.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace specrt;
+using namespace specrt::bench;
+
+namespace
+{
+
+/** Per-scenario normalized stacked bar. */
+void
+row(const std::string &label, const RunResult &r, double serial_total,
+    int procs)
+{
+    // Aggregate processor cycles scaled to wall-clock fractions:
+    // each category's share of the run's processor-time, applied to
+    // the run's wall-clock, normalized to Serial's wall-clock = 100.
+    double total = r.agg.busy + r.agg.sync + r.agg.mem;
+    if (total <= 0)
+        total = 1;
+    double wall = static_cast<double>(r.totalTicks) / serial_total * 100;
+    double busy = wall * r.agg.busy / total;
+    double sync = wall * r.agg.sync / total;
+    double mem = wall * r.agg.mem / total;
+    std::printf("  %-10s |%7.1f = busy %6.1f + sync %6.1f + mem %6.1f"
+                "  %s\n",
+                (label + std::to_string(procs)).c_str(), wall, busy,
+                sync, mem, r.passed ? "" : "[failed]");
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 12: normalized execution time breakdown "
+                "(Serial = 100)");
+    for (const PaperLoop &loop : paperLoops()) {
+        ScenarioComparison c = runAll(loop);
+        double st = static_cast<double>(c.serial.totalTicks);
+        std::printf("\n%s:\n", loop.name.c_str());
+        row("Serial", c.serial, st, 1);
+        row("Ideal", c.ideal, st, loop.procs);
+        row("SW", c.sw, st, loop.procs);
+        row("HW", c.hw, st, loop.procs);
+
+        double hw_vs_sw = static_cast<double>(c.sw.totalTicks) /
+                          static_cast<double>(c.hw.totalTicks);
+        std::printf("  HW is %.0f%% faster than SW "
+                    "(paper: ~50%% on average)\n",
+                    (hw_vs_sw - 1.0) * 100);
+    }
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reproduces Figure 14: scalability of the software and hardware
+ * schemes -- speedup of Ideal / SW / HW on 4, 8, and 16 processors
+ * for P3m, Adm, and Track (Ocean is too small to run on 16, as in
+ * the paper).
+ *
+ * Shape to verify: the SW curves lie below the HW curves and
+ * saturate earlier (the merge/analysis work per processor stays
+ * constant as processors are added); the HW curves keep rising.
+ * In the paper P3m's SW speedup is lower at 16 than at 8.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace specrt;
+using namespace specrt::bench;
+
+namespace
+{
+
+RunResult
+runWith(const PaperLoop &loop, ExecMode mode, int procs)
+{
+    MachineConfig cfg;
+    cfg.numProcs = procs;
+    auto w = loop.make();
+    ExecConfig xc = loop.xc;
+    xc.mode = mode;
+    LoopExecutor exec(cfg, *w, xc);
+    return exec.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 14: scalability (speedup vs. processors)");
+    const int counts[] = {4, 8, 16};
+
+    for (const PaperLoop &loop : paperLoops()) {
+        if (loop.name == "Ocean")
+            continue; // too small for 16 processors, as in the paper
+
+        RunResult serial = runWith(loop, ExecMode::Serial, 16);
+        double st = static_cast<double>(serial.totalTicks);
+
+        std::printf("\n%s:\n", loop.name.c_str());
+        std::printf("  %-7s %8s %8s %8s\n", "procs", "Ideal", "SW",
+                    "HW");
+        double prev_sw = 0;
+        bool sw_saturating = false;
+        for (int procs : counts) {
+            RunResult ideal = runWith(loop, ExecMode::Ideal, procs);
+            RunResult sw = runWith(loop, ExecMode::SW, procs);
+            RunResult hw = runWith(loop, ExecMode::HW, procs);
+            double si = st / static_cast<double>(ideal.totalTicks);
+            double ss = st / static_cast<double>(sw.totalTicks);
+            double sh = st / static_cast<double>(hw.totalTicks);
+            std::printf("  %-7d %8.2f %8.2f %8.2f%s\n", procs, si, ss,
+                        sh,
+                        (!ideal.passed || !sw.passed || !hw.passed)
+                            ? "  [failed]"
+                            : "");
+            if (procs > 4 && ss < prev_sw * 1.15)
+                sw_saturating = true;
+            prev_sw = ss;
+        }
+        std::printf("  SW curve %s (paper: SW saturates earlier than "
+                    "HW)\n",
+                    sw_saturating ? "saturates" : "still climbing");
+    }
+
+    // P3m with its workspaces at full application size: the shadow
+    // working set and the all-to-all merge collapse the software
+    // scheme as processors are added -- the paper's P3m curve, where
+    // SW speedup is LOWER at 16 processors than at 8.
+    {
+        std::printf("\nP3m (large workspaces, the paper's SW decline "
+                    "at 16 procs):\n");
+        std::printf("  %-7s %8s %8s %8s\n", "procs", "Ideal", "SW",
+                    "HW");
+        P3mParams pp;
+        pp.wsElems = 8192;
+        RunResult serial;
+        {
+            MachineConfig cfg;
+            cfg.numProcs = 16;
+            P3mLoop wl(pp);
+            ExecConfig xc;
+            xc.mode = ExecMode::Serial;
+            xc.maxIters = 15000;
+            LoopExecutor exec(cfg, wl, xc);
+            serial = exec.run();
+        }
+        double st = static_cast<double>(serial.totalTicks);
+        double sw8 = 0, sw16 = 0;
+        for (int procs : counts) {
+            double spd[3];
+            ExecMode modes[3] = {ExecMode::Ideal, ExecMode::SW,
+                                 ExecMode::HW};
+            for (int m = 0; m < 3; ++m) {
+                MachineConfig cfg;
+                cfg.numProcs = procs;
+                P3mLoop wl(pp);
+                ExecConfig xc;
+                xc.mode = modes[m];
+                xc.sched = SchedPolicy::Dynamic;
+                xc.blockIters = 4;
+                xc.maxIters = 15000;
+                LoopExecutor exec(cfg, wl, xc);
+                spd[m] = st / static_cast<double>(exec.run().totalTicks);
+            }
+            std::printf("  %-7d %8.2f %8.2f %8.2f\n", procs, spd[0],
+                        spd[1], spd[2]);
+            if (procs == 8)
+                sw8 = spd[1];
+            if (procs == 16)
+                sw16 = spd[1];
+        }
+        std::printf("  SW at 16 procs %s SW at 8 procs (paper: "
+                    "lower)\n",
+                    sw16 < sw8 ? "is LOWER than" : "exceeds");
+    }
+    return 0;
+}

@@ -1,0 +1,148 @@
+#include "harness.hh"
+
+#include <cstdio>
+
+namespace specrt::bench
+{
+
+std::vector<PaperLoop> paperLoops()
+{
+    std::vector<PaperLoop> loops;
+
+    {
+        // Ocean ftrvmt.do109: 8 processors, non-privatization test,
+        // small working set, strided access; the software scheme
+        // uses the processor-wise test (good load balance).
+        PaperLoop l;
+        l.name = "Ocean";
+        l.procs = 8;
+        l.make = []() {
+            OceanParams p;
+            p.stride = 1; // per-iteration columns are contiguous
+            return std::make_unique<OceanLoop>(p);
+        };
+        // Static scheduling: 32 well-balanced iterations on 8
+        // processors; contiguous chunks avoid splitting cache lines
+        // shared by neighbouring iterations.
+        l.xc.sched = SchedPolicy::StaticChunk;
+        l.xc.swProcWise = true;
+        l.paperIdeal = 5.0;
+        l.paperSw = 1.8;
+        l.paperHw = 3.5;
+        loops.push_back(l);
+    }
+    {
+        // P3m pp.do100: 16 processors, privatization test, large
+        // working set, heavy load imbalance -> dynamic scheduling;
+        // 15,000 of 97,336 iterations simulated.
+        PaperLoop l;
+        l.name = "P3m";
+        l.procs = 16;
+        l.make = []() { return std::make_unique<P3mLoop>(); };
+        l.xc.sched = SchedPolicy::Dynamic;
+        l.xc.blockIters = 4;
+        l.xc.maxIters = 15000;
+        l.paperIdeal = 12.0;
+        l.paperSw = 4.0;
+        l.paperHw = 8.0;
+        loops.push_back(l);
+    }
+    {
+        // Adm run.do20: 16 processors, mixed non-priv + priv arrays,
+        // small working set, good load balance (proc-wise SW test).
+        PaperLoop l;
+        l.name = "Adm";
+        l.procs = 16;
+        l.make = []() { return std::make_unique<AdmLoop>(); };
+        l.xc.sched = SchedPolicy::Dynamic;
+        l.xc.blockIters = 2;
+        l.xc.swProcWise = true;
+        l.paperIdeal = 10.0;
+        l.paperSw = 3.0;
+        l.paperHw = 7.0;
+        loops.push_back(l);
+    }
+    {
+        // Track nlfilt.do300: 16 processors, four non-priv arrays;
+        // the SW test must be processor-wise (static scheduling,
+        // hence load imbalance); HW schedules small dynamic blocks.
+        PaperLoop l;
+        l.name = "Track";
+        l.procs = 16;
+        l.make = []() {
+            TrackParams p;
+            p.instance = 7; // representative parallel instance
+            return std::make_unique<TrackLoop>(p);
+        };
+        // Blocks of 16 iterations: "small blocks of a few
+        // iterations" that keep each line's slots on one processor
+        // while dynamic scheduling rides out the imbalance.
+        l.xc.sched = SchedPolicy::Dynamic;
+        l.xc.blockIters = 16;
+        l.xc.swProcWise = true;
+        l.paperIdeal = 6.0;
+        l.paperSw = 2.0;
+        l.paperHw = 4.0;
+        loops.push_back(l);
+    }
+    return loops;
+}
+
+RunResult
+runScenario(const PaperLoop &loop, ExecMode mode)
+{
+    MachineConfig cfg;
+    cfg.numProcs = loop.procs;
+    auto w = loop.make();
+    ExecConfig xc = loop.xc;
+    xc.mode = mode;
+    LoopExecutor exec(cfg, *w, xc);
+    return exec.run();
+}
+
+ScenarioComparison
+runAll(const PaperLoop &loop)
+{
+    ScenarioComparison c;
+    c.serial = runScenario(loop, ExecMode::Serial);
+    c.ideal = runScenario(loop, ExecMode::Ideal);
+    c.sw = runScenario(loop, ExecMode::SW);
+    c.hw = runScenario(loop, ExecMode::HW);
+    return c;
+}
+
+void
+printHeader(const std::string &title)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%s\n", std::string(title.size(), '-').c_str());
+}
+
+void
+printRow(const std::vector<std::string> &cells,
+         const std::vector<int> &widths)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        int w = i < widths.size() ? widths[i] : 10;
+        std::printf("%-*s", w, cells[i].c_str());
+    }
+    std::printf("\n");
+}
+
+std::string
+fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmtTicks(Tick t)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)t);
+    return buf;
+}
+
+} // namespace specrt::bench

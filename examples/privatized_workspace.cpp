@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Privatization with read-in and copy-out (paper sections 2.2.3 and
+ * 3.3): a molecular-dynamics-flavored loop accumulates into a
+ * workspace array that carries a live-out result.
+ *
+ * Each iteration writes scratch slots before reading them
+ * (privatizable), but the last slot ("best energy so far") is read
+ * on entry in early iterations (needs read-in) and its final value
+ * is needed after the loop (needs copy-out). The basic software
+ * privatization test rejects the read-before-write pattern; the
+ * paper's hardware privatization algorithm with read-in/copy-out
+ * accepts it.
+ */
+
+#include <cstdio>
+
+#include "core/parallelizer.hh"
+#include "runtime/workload.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+class EnergyLoop : public Workload
+{
+  public:
+    explicit EnergyLoop(IterNum iters) : n(iters) {}
+
+    std::string name() const override { return "energy"; }
+
+    std::vector<ArrayDecl>
+    arrays() const override
+    {
+        return {
+            // Workspace: slot 0 is the live-out "best energy".
+            {"ws", 64, 8, TestType::Priv, true, /*liveOut=*/true},
+            {"energies", static_cast<uint64_t>(n) + 1, 8,
+             TestType::None, false, false},
+        };
+    }
+
+    IterNum numIters() const override { return n; }
+
+    void
+    initData(AddrMap &mem,
+             const std::vector<const Region *> &r) override
+    {
+        mem.write(r[0]->elemAddr(0), 8, 500); // initial best energy
+        for (IterNum i = 1; i <= n; ++i)
+            mem.write(r[1]->elemAddr(i), 8, (i * 37) % 1000);
+    }
+
+    void
+    genIteration(IterNum i, IterProgram &out) override
+    {
+        // Scratch: write-before-read accumulation.
+        out.push_back(opLoad(1, 1, i));       // candidate energy
+        out.push_back(opStore(0, 1, 1));      // ws(1) = e
+        out.push_back(opBusy(20));            // force evaluation
+        out.push_back(opLoad(2, 0, 1));
+        // Best-so-far: the first half only READS the initial best
+        // (read-in needed); later iterations improve it in a
+        // write-before-read way.
+        if (i <= n / 2) {
+            out.push_back(opLoad(3, 0, 0));   // read initial best
+            out.push_back(opAlu(4, AluOp::Min, 3, 2));
+            out.push_back(opBusy(4));
+        } else {
+            out.push_back(opAlu(4, AluOp::Min, 2, 2));
+            out.push_back(opStore(0, 0, 4));  // write best
+            out.push_back(opLoad(5, 0, 0));
+        }
+    }
+
+  private:
+    IterNum n;
+};
+
+} // namespace
+
+int
+main()
+{
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+    SpeculativeParallelizer spec(cfg);
+    std::printf("machine: %s\n", cfg.summary().c_str());
+
+    EnergyLoop loop(64);
+
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    RunResult hw = spec.run(loop, xc);
+
+    std::printf("\nhardware privatization (read-in/copy-out): %s\n",
+                hw.passed ? "PASSED" : "failed");
+    std::printf("  loop %llu cycles, copy-out %llu cycles\n",
+                (unsigned long long)hw.phases.loop,
+                (unsigned long long)hw.phases.copyOut);
+
+    xc.mode = ExecMode::SW;
+    RunResult sw = spec.run(loop, xc);
+    std::printf("software LRPD (no read-in support): %s",
+                sw.passed ? "passed\n" : "FAILED");
+    if (!sw.passed) {
+        const LrpdAnalysis &a = sw.swAnalyses.at(0);
+        std::printf(" -- Aw&Ar=%d Aw&Anp=%d Atw=%llu Atm=%llu -> %s\n",
+                    a.awAndAr, a.awAndAnp,
+                    (unsigned long long)a.atw,
+                    (unsigned long long)a.atm,
+                    lrpdVerdictName(a.verdict));
+        std::printf("  (the read-before-write prefix is exactly what "
+                    "the paper's extended algorithm handles)\n");
+    }
+
+    std::printf("\nThe hardware test parallelizes a loop the basic "
+                "software test must re-run serially.\n");
+    return 0;
+}

@@ -1,0 +1,912 @@
+#include "core/loop_exec.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+namespace
+{
+
+/** Hands each processor exactly one pseudo-iteration [p+1, p+2). */
+class OneShotSource : public WorkSource
+{
+  public:
+    explicit OneShotSource(int num_procs) : given(num_procs, false) {}
+
+    Grant
+    next(NodeId p, Tick) override
+    {
+        if (given.at(p))
+            return {true, 0, 0, 0};
+        given[p] = true;
+        return {false, p + 1, p + 2, 0};
+    }
+
+  private:
+    std::vector<bool> given;
+};
+
+/**
+ * Shift another source's grants by a fixed iteration offset (used
+ * to run one time-stamp epoch [offset+1, offset+count]).
+ */
+class ShiftedSource : public WorkSource
+{
+  public:
+    ShiftedSource(WorkSource &inner, IterNum offset)
+        : inner(inner), offset(offset)
+    {}
+
+    Grant
+    next(NodeId p, Tick now) override
+    {
+        Grant g = inner.next(p, now);
+        if (!g.done) {
+            g.lo += offset;
+            g.hi += offset;
+        }
+        return g;
+    }
+
+  private:
+    WorkSource &inner;
+    IterNum offset;
+};
+
+/** Split [0, n) into proc-many contiguous slices. */
+std::pair<uint64_t, uint64_t>
+sliceOf(uint64_t n, int procs, int p)
+{
+    uint64_t per = n / procs;
+    uint64_t extra = n % procs;
+    uint64_t lo = p * per + std::min<uint64_t>(p, extra);
+    uint64_t size = per + (static_cast<uint64_t>(p) < extra ? 1 : 0);
+    return {lo, lo + size};
+}
+
+} // namespace
+
+const char *
+execModeName(ExecMode m)
+{
+    switch (m) {
+      case ExecMode::Serial: return "Serial";
+      case ExecMode::Ideal:  return "Ideal";
+      case ExecMode::SW:     return "SW";
+      case ExecMode::HW:     return "HW";
+    }
+    return "Unknown";
+}
+
+LoopExecutor::LoopExecutor(const MachineConfig &config,
+                           Workload &workload,
+                           const ExecConfig &exec_config)
+    : cfg(config), w(workload), xc(exec_config)
+{
+}
+
+LoopExecutor::~LoopExecutor() = default;
+
+IterNum
+LoopExecutor::numIters() const
+{
+    IterNum n = w.numIters();
+    if (xc.maxIters > 0 && xc.maxIters < n)
+        n = xc.maxIters;
+    return n;
+}
+
+int
+LoopExecutor::activeProcs() const
+{
+    return xc.mode == ExecMode::Serial ? 1 : cfg.numProcs;
+}
+
+const Region *
+LoopExecutor::sharedRegion(int decl_idx) const
+{
+    return setups.at(decl_idx).shared;
+}
+
+void
+LoopExecutor::record(NodeId proc, IterNum iter, int array_id,
+                     uint64_t elem, bool is_write, bool is_reduction)
+{
+    if (traceEnabled)
+        trace.push_back(
+            {proc, iter, elem, is_write, array_id, is_reduction});
+}
+
+void
+LoopExecutor::allocateArrays()
+{
+    AddrMap &mem = dsm->memory();
+    Placement pl = xc.mode == ExecMode::Serial ? Placement::Fixed
+                                               : Placement::RoundRobin;
+    bool parallel_tested =
+        xc.mode == ExecMode::SW || xc.mode == ExecMode::HW;
+
+    std::vector<ArrayDecl> decls = w.arrays();
+    setups.clear();
+    setups.reserve(decls.size());
+
+    for (size_t i = 0; i < decls.size(); ++i) {
+        const ArrayDecl &d = decls[i];
+        ArraySetup s;
+        s.decl = d;
+        s.declIdx = static_cast<int>(i);
+        s.effTest = d.test;
+        if (xc.downgradePrivToNonPriv && d.test == TestType::Priv)
+            s.effTest = TestType::NonPriv;
+        s.privatized = (s.effTest == TestType::Priv ||
+                        s.effTest == TestType::Reduction) &&
+                       xc.mode != ExecMode::Serial;
+        // Reduction arrays' shared copies stay untouched until the
+        // final merge, so they never need a backup either.
+        s.needsBackup = parallel_tested && d.modified && !s.privatized;
+
+        uint64_t bytes = d.elems * d.elemBytes;
+        int id = mem.alloc(d.name, bytes, d.elemBytes, pl, 0);
+        s.shared = &mem.region(id);
+
+        if (s.privatized) {
+            for (int p = 0; p < activeProcs(); ++p) {
+                int pid = mem.alloc(d.name + "_priv" + std::to_string(p),
+                                    bytes, d.elemBytes, Placement::Fixed,
+                                    p);
+                s.privCopies.push_back(&mem.region(pid));
+            }
+        }
+        if (s.needsBackup) {
+            int bid = mem.alloc(d.name + "_bak", bytes, d.elemBytes, pl,
+                                0);
+            s.backup = &mem.region(bid);
+        }
+
+        if (xc.mode == ExecMode::SW &&
+            (s.effTest == TestType::NonPriv ||
+             s.effTest == TestType::Priv)) {
+            bool pw = xc.swProcWise;
+            // Iteration-wise shadows hold iteration numbers (2
+            // bytes supports 2^16 iterations, as in the paper);
+            // processor-wise shadows are bit-packed.
+            uint64_t sh_elems = pw ? (d.elems + 7) / 8 : d.elems;
+            uint32_t sh_eb = pw ? 1 : 2;
+            uint64_t sh_bytes = sh_elems * sh_eb;
+            auto sh_alloc = [&](const std::string &suffix, Placement spl,
+                                NodeId node) {
+                int sid = mem.alloc(d.name + suffix, sh_bytes, sh_eb,
+                                    spl, node);
+                return &mem.region(sid);
+            };
+            bool read_in = xc.swReadIn && !pw && s.privatized;
+            for (int p = 0; p < activeProcs(); ++p) {
+                std::string ps = std::to_string(p);
+                s.shAw.push_back(
+                    sh_alloc("_shw" + ps, Placement::Fixed, p));
+                s.shAr.push_back(
+                    sh_alloc("_shr" + ps, Placement::Fixed, p));
+                if (s.privatized)
+                    s.shAnp.push_back(
+                        sh_alloc("_shnp" + ps, Placement::Fixed, p));
+                if (read_in)
+                    s.shAwmin.push_back(
+                        sh_alloc("_shwm" + ps, Placement::Fixed, p));
+            }
+            s.glAw = sh_alloc("_glw", Placement::RoundRobin, 0);
+            s.glAr = sh_alloc("_glr", Placement::RoundRobin, 0);
+            if (s.privatized)
+                s.glAnp = sh_alloc("_glnp", Placement::RoundRobin, 0);
+            if (read_in)
+                s.glAwmin =
+                    sh_alloc("_glwm", Placement::RoundRobin, 0);
+        }
+
+        setups.push_back(std::move(s));
+    }
+}
+
+void
+LoopExecutor::buildLoopBindings()
+{
+    loopBindings.assign(cfg.numProcs, {});
+    instrMap.clear();
+
+    for (int p = 0; p < cfg.numProcs; ++p) {
+        std::vector<ArrayBinding> &table = loopBindings[p];
+        for (const ArraySetup &s : setups) {
+            ArrayBinding b;
+            b.region = s.privatized && p < static_cast<int>(
+                                               s.privCopies.size())
+                           ? s.privCopies[p]
+                           : s.shared;
+            b.traced = (s.effTest != TestType::None ||
+                        xc.traceAllArrays) &&
+                       xc.mode != ExecMode::Serial;
+            b.traceArrayId = s.declIdx;
+            b.reductionOnly = s.effTest == TestType::Reduction &&
+                              s.privatized;
+            table.push_back(b);
+        }
+    }
+
+    if (xc.mode != ExecMode::SW)
+        return;
+
+    // Append per-processor shadow bindings and record the
+    // instrumentation layout (identical across processors).
+    // Reduction arrays have no shadows: the compiler knows which
+    // accesses sit inside the reduction statement.
+    for (const ArraySetup &s : setups) {
+        if (s.effTest != TestType::NonPriv &&
+            s.effTest != TestType::Priv)
+            continue;
+        InstrumentInfo info;
+        info.procWise = xc.swProcWise;
+        info.privatized = s.privatized;
+        bool read_in = !s.shAwmin.empty();
+        int base = static_cast<int>(loopBindings[0].size());
+        info.shadows.aw = base;
+        info.shadows.ar = base + 1;
+        int next = base + 2;
+        if (s.privatized)
+            info.shadows.anp = next++;
+        if (read_in)
+            info.shadows.awmin = next++;
+        instrMap[s.declIdx] = info;
+
+        for (int p = 0; p < cfg.numProcs; ++p) {
+            int q = std::min(p, activeProcs() - 1);
+            loopBindings[p].push_back({s.shAw[q], false, -1});
+            loopBindings[p].push_back({s.shAr[q], false, -1});
+            if (s.privatized)
+                loopBindings[p].push_back({s.shAnp[q], false, -1});
+            if (read_in)
+                loopBindings[p].push_back({s.shAwmin[q], false, -1});
+        }
+    }
+}
+
+void
+LoopExecutor::loadTranslationTable()
+{
+    if (!spec)
+        return;
+    TranslationTable &table = spec->table();
+    table.clear();
+    for (const ArraySetup &s : setups) {
+        if (s.effTest == TestType::NonPriv) {
+            table.addNonPriv(*s.shared);
+        } else if (s.effTest == TestType::Priv && s.privatized) {
+            table.addPriv(*s.shared, s.privCopies);
+        }
+        // Reduction arrays need no coherence extension: the
+        // tagged-access check guards them at the processors.
+    }
+}
+
+void
+LoopExecutor::setup()
+{
+    cfg.validate();
+    dsm = std::make_unique<DsmSystem>(cfg);
+    if (xc.mode == ExecMode::HW)
+        spec = std::make_unique<SpecSystem>(*dsm);
+
+    procs.clear();
+    for (NodeId n = 0; n < cfg.numProcs; ++n) {
+        procs.push_back(std::make_unique<Processor>(
+            n, dsm->eventQueue(), dsm->cacheCtrl(n), cfg));
+        procs.back()->setTraceSink(this);
+    }
+
+    allocateArrays();
+
+    std::vector<const Region *> shared;
+    for (const ArraySetup &s : setups)
+        shared.push_back(s.shared);
+    w.initData(dsm->memory(), shared);
+
+    // Initialize private copies from the shared contents (models
+    // copy-in; the hardware scheme's read-in cost is charged by the
+    // protocol itself, see DESIGN.md). Reduction accumulators stay
+    // at the identity (zero).
+    for (const ArraySetup &s : setups) {
+        if (s.effTest == TestType::Reduction)
+            continue;
+        for (const Region *c : s.privCopies)
+            dsm->memory().copyBytes(s.shared->base, c->base,
+                                    s.decl.elems * s.decl.elemBytes);
+    }
+
+    buildLoopBindings();
+    loadTranslationTable();
+
+    specAborted = false;
+    if (spec) {
+        spec->setAbortHook([this]() {
+            specAborted = true;
+            dsm->eventQueue().stop();
+        });
+        // The tagged-access check for reduction arrays fails the
+        // speculation like any coherence-detected dependence.
+        for (auto &p : procs) {
+            p->setViolationHook([this](NodeId n, Addr a) {
+                spec->fail(n, a,
+                           "non-reduction access to an array under "
+                           "the reduction test");
+            });
+        }
+    }
+}
+
+void
+LoopExecutor::resetProcStats()
+{
+    for (auto &p : procs)
+        p->resetPhaseStats();
+}
+
+void
+LoopExecutor::accumulate(BreakdownAgg &agg)
+{
+    for (auto &p : procs) {
+        agg.busy += p->busyCycles();
+        agg.sync += p->syncCycles();
+        agg.mem += p->memCycles();
+    }
+}
+
+std::pair<Tick, bool>
+LoopExecutor::runLoopPhase()
+{
+    EventQueue &eq = dsm->eventQueue();
+    Tick phase_start = eq.curTick();
+    int n_procs = activeProcs();
+    resetProcStats();
+
+    SchedPolicy pol = xc.sched;
+    if (xc.mode == ExecMode::Serial)
+        pol = SchedPolicy::StaticChunk;
+    if (xc.mode == ExecMode::SW && xc.swProcWise)
+        pol = SchedPolicy::StaticChunk; // the proc-wise constraint
+
+    bool any_priv = false;
+    for (const ArraySetup &s : setups)
+        any_priv |= s.privatized;
+    bool drain = xc.mode == ExecMode::HW && any_priv;
+
+    Processor::IterGen gen;
+    if (xc.mode == ExecMode::SW) {
+        gen = [this](IterNum i, IterProgram &out) {
+            IterProgram body;
+            w.genIteration(i, body);
+            lrpdInstrument(body, out, i, instrMap);
+        };
+    } else {
+        gen = [this](IterNum i, IterProgram &out) {
+            w.genIteration(i, out);
+        };
+    }
+
+    traceEnabled = xc.mode == ExecMode::SW || xc.mode == ExecMode::HW ||
+                   xc.keepTrace;
+
+    // Time-stamp epochs: with tsBits set, a global barrier separates
+    // every 2^tsBits iterations (section 3.3's periodic
+    // synchronization for time-stamp overflow).
+    IterNum total = numIters();
+    IterNum epoch_len = total;
+    if (xc.tsBits > 0 && xc.tsBits < 62)
+        epoch_len = std::min<IterNum>(total, IterNum(1) << xc.tsBits);
+
+    for (IterNum offset = 0; offset < total; offset += epoch_len) {
+        IterNum count = std::min<IterNum>(epoch_len, total - offset);
+        auto source = makeSource(pol, count, n_procs, xc.blockIters,
+                                 cfg.schedLockCycles);
+        ShiftedSource shifted(*source, offset);
+
+        Tick epoch_start = eq.curTick();
+        int done = 0;
+        std::vector<Tick> done_tick(n_procs, epoch_start);
+        for (int p = 0; p < n_procs; ++p) {
+            procs[p]->setBindings(&loopBindings[p]);
+            procs[p]->startPhase(&shifted, gen, drain,
+                                 [&, p](NodeId) {
+                                     done_tick[p] = eq.curTick();
+                                     ++done;
+                                 });
+        }
+        eq.run();
+
+        if (specAborted) {
+            traceEnabled = false;
+            for (auto &p : procs)
+                p->hardStop();
+            Tick fail_tick = spec->failure().tick;
+            accumulate(aggScratch);
+            return {fail_tick - phase_start, false};
+        }
+
+        SPECRT_ASSERT(done == n_procs,
+                      "loop phase wedged: %d of %d processors done",
+                      done, n_procs);
+
+        if (n_procs > 1) {
+            Tick end =
+                *std::max_element(done_tick.begin(), done_tick.end());
+            for (int p = 0; p < n_procs; ++p)
+                procs[p]->addSyncCycles(
+                    static_cast<double>(end - done_tick[p]) +
+                    static_cast<double>(cfg.barrierCycles));
+            // Advance the time base past the barrier episode (the
+            // queue may already have drained trailing acks beyond
+            // it).
+            eq.schedule(std::max(eq.curTick(),
+                                 end + cfg.barrierCycles),
+                        []() {});
+            eq.run();
+        }
+    }
+    traceEnabled = false;
+    accumulate(aggScratch);
+    return {eq.curTick() - phase_start, true};
+}
+
+Tick
+LoopExecutor::runProgramPhase(
+    const ProgramSet &programs,
+    const std::vector<std::vector<ArrayBinding>> &bindings)
+{
+    EventQueue &eq = dsm->eventQueue();
+    Tick start = eq.curTick();
+    int n_procs = static_cast<int>(programs.size());
+    resetProcStats();
+
+    OneShotSource source(n_procs);
+    Processor::IterGen gen = [&programs](IterNum i, IterProgram &out) {
+        out = programs.at(static_cast<size_t>(i - 1));
+    };
+
+    int done = 0;
+    std::vector<Tick> done_tick(n_procs, 0);
+    for (int p = 0; p < n_procs; ++p) {
+        procs[p]->setBindings(&bindings.at(p));
+        procs[p]->startPhase(&source, gen, false, [&, p](NodeId) {
+            done_tick[p] = eq.curTick();
+            ++done;
+        });
+    }
+    eq.run();
+    SPECRT_ASSERT(done == n_procs, "program phase wedged");
+
+    Tick end = *std::max_element(done_tick.begin(), done_tick.end());
+    Tick dur = end - start;
+    if (n_procs > 1) {
+        for (int p = 0; p < n_procs; ++p)
+            procs[p]->addSyncCycles(
+                static_cast<double>(end - done_tick[p]) +
+                static_cast<double>(cfg.barrierCycles));
+        dur += cfg.barrierCycles;
+    }
+    accumulate(aggScratch);
+    return dur;
+}
+
+Tick
+LoopExecutor::runBackupPhase(bool restore_direction)
+{
+    // Binding layout: 2k = shared array, 2k+1 = backup of array k
+    // (only arrays that need backup participate).
+    std::vector<const ArraySetup *> backed;
+    for (const ArraySetup &s : setups) {
+        if (s.needsBackup)
+            backed.push_back(&s);
+    }
+    if (backed.empty())
+        return 0;
+
+    int n_procs = activeProcs();
+    std::vector<ArrayBinding> table;
+    for (const ArraySetup *s : backed) {
+        table.push_back({s->shared, false, -1});
+        table.push_back({s->backup, false, -1});
+    }
+    std::vector<std::vector<ArrayBinding>> bindings(n_procs, table);
+
+    ProgramSet programs(n_procs);
+    for (int p = 0; p < n_procs; ++p) {
+        for (size_t k = 0; k < backed.size(); ++k) {
+            auto [lo, hi] = sliceOf(backed[k]->decl.elems, n_procs, p);
+            int shared_id = static_cast<int>(2 * k);
+            int backup_id = shared_id + 1;
+            if (restore_direction)
+                genCopyProgram(backup_id, shared_id, lo, hi,
+                               programs[p]);
+            else
+                genCopyProgram(shared_id, backup_id, lo, hi,
+                               programs[p]);
+        }
+    }
+    return runProgramPhase(programs, bindings);
+}
+
+Tick
+LoopExecutor::runZeroOutPhase()
+{
+    // Each processor zeroes its own private shadows.
+    int n_procs = activeProcs();
+    std::vector<std::vector<ArrayBinding>> bindings(n_procs);
+    ProgramSet programs(n_procs);
+
+    for (int p = 0; p < n_procs; ++p) {
+        std::vector<int> ids;
+        for (const ArraySetup &s : setups) {
+            if (s.effTest != TestType::NonPriv &&
+                s.effTest != TestType::Priv)
+                continue;
+            auto push = [&](const Region *r) {
+                ids.push_back(static_cast<int>(bindings[p].size()));
+                bindings[p].push_back({r, false, -1});
+            };
+            push(s.shAw[p]);
+            push(s.shAr[p]);
+            if (s.privatized)
+                push(s.shAnp[p]);
+            if (!s.shAwmin.empty())
+                push(s.shAwmin[p]);
+        }
+        // All shadows of one array share an element count; zero each
+        // array's shadows over its own range.
+        size_t cursor = 0;
+        for (const ArraySetup &s : setups) {
+            if (s.effTest != TestType::NonPriv &&
+                s.effTest != TestType::Priv)
+                continue;
+            size_t n_sh = (s.privatized ? 3u : 2u) +
+                          (s.shAwmin.empty() ? 0u : 1u);
+            std::vector<int> arr_ids(ids.begin() + cursor,
+                                     ids.begin() + cursor + n_sh);
+            cursor += n_sh;
+            lrpdGenZeroOut(programs[p], arr_ids, 0,
+                           s.shAw[p]->numElems());
+        }
+    }
+    if (programs.empty())
+        return 0;
+    return runProgramPhase(programs, bindings);
+}
+
+Tick
+LoopExecutor::runMergePhase()
+{
+    int n_procs = activeProcs();
+    // One binding table shared by all processors: every private
+    // shadow of every processor, then the globals.
+    std::vector<ArrayBinding> table;
+    struct Kinds
+    {
+        const ArraySetup *s;
+        std::vector<MergeKind> kinds;
+    };
+    std::vector<Kinds> all;
+
+    for (const ArraySetup &s : setups) {
+        if (s.effTest != TestType::NonPriv &&
+            s.effTest != TestType::Priv)
+            continue;
+        Kinds k;
+        k.s = &s;
+        auto add_kind = [&](const std::vector<const Region *> &per_proc,
+                            const Region *global) {
+            MergeKind mk;
+            for (int p = 0; p < n_procs; ++p) {
+                mk.perProcIds.push_back(
+                    static_cast<int>(table.size()));
+                table.push_back({per_proc[p], false, -1});
+            }
+            mk.globalId = static_cast<int>(table.size());
+            table.push_back({global, false, -1});
+            k.kinds.push_back(mk);
+        };
+        add_kind(s.shAw, s.glAw);
+        add_kind(s.shAr, s.glAr);
+        if (s.privatized)
+            add_kind(s.shAnp, s.glAnp);
+        if (!s.shAwmin.empty())
+            add_kind(s.shAwmin, s.glAwmin);
+        all.push_back(std::move(k));
+    }
+    if (all.empty())
+        return 0;
+
+    std::vector<std::vector<ArrayBinding>> bindings(n_procs, table);
+    ProgramSet programs(n_procs);
+    for (int p = 0; p < n_procs; ++p) {
+        for (const Kinds &k : all) {
+            auto [lo, hi] =
+                sliceOf(k.s->glAw->numElems(), n_procs, p);
+            lrpdGenMerge(programs[p], k.kinds, lo, hi);
+        }
+    }
+    return runProgramPhase(programs, bindings);
+}
+
+Tick
+LoopExecutor::runAnalysisPhase()
+{
+    int n_procs = activeProcs();
+    std::vector<ArrayBinding> table;
+    struct Entry
+    {
+        const ArraySetup *s;
+        std::vector<int> ids;
+    };
+    std::vector<Entry> all;
+
+    for (const ArraySetup &s : setups) {
+        if (s.effTest != TestType::NonPriv &&
+            s.effTest != TestType::Priv)
+            continue;
+        Entry e;
+        e.s = &s;
+        auto push = [&](const Region *r) {
+            e.ids.push_back(static_cast<int>(table.size()));
+            table.push_back({r, false, -1});
+        };
+        push(s.glAw);
+        push(s.glAr);
+        if (s.privatized)
+            push(s.glAnp);
+        if (s.glAwmin)
+            push(s.glAwmin);
+        all.push_back(std::move(e));
+    }
+    if (all.empty())
+        return 0;
+
+    std::vector<std::vector<ArrayBinding>> bindings(n_procs, table);
+    ProgramSet programs(n_procs);
+    for (int p = 0; p < n_procs; ++p) {
+        for (const Entry &e : all) {
+            auto [lo, hi] =
+                sliceOf(e.s->glAw->numElems(), n_procs, p);
+            lrpdGenAnalysis(programs[p], e.ids, lo, hi);
+        }
+    }
+    return runProgramPhase(programs, bindings);
+}
+
+Tick
+LoopExecutor::runCopyOutPhase()
+{
+    // Winners: for each privatized live-out array, the processor
+    // whose write to an element had the highest iteration copies it
+    // out (the software knows this from the Aw shadows / the
+    // hardware from its PMaxW state; we recover it from the trace).
+    std::vector<const ArraySetup *> live;
+    for (const ArraySetup &s : setups) {
+        // Reduction arrays merge through runReductionPhase instead.
+        if (s.effTest == TestType::Priv && s.privatized &&
+            s.decl.liveOut)
+            live.push_back(&s);
+    }
+    if (live.empty())
+        return 0;
+
+    int n_procs = activeProcs();
+    // winners[declIdx][elem] = (iter, proc)
+    std::map<int, std::map<uint64_t, std::pair<IterNum, NodeId>>> win;
+    for (const AccessEvent &ev : trace) {
+        if (!ev.isWrite)
+            continue;
+        auto &m = win[ev.arrayId];
+        auto it = m.find(ev.elem);
+        if (it == m.end() || ev.iter > it->second.first)
+            m[ev.elem] = {ev.iter, ev.proc};
+    }
+
+    std::vector<std::vector<ArrayBinding>> bindings(n_procs);
+    ProgramSet programs(n_procs);
+    for (int p = 0; p < n_procs; ++p) {
+        for (const ArraySetup *s : live) {
+            int priv_id = static_cast<int>(bindings[p].size());
+            bindings[p].push_back({s->privCopies[p], false, -1});
+            int shared_id = priv_id + 1;
+            bindings[p].push_back({s->shared, false, -1});
+            auto it = win.find(s->declIdx);
+            if (it == win.end())
+                continue;
+            for (const auto &[elem, who] : it->second) {
+                if (who.second != p)
+                    continue;
+                programs[p].push_back(
+                    opLoad(0, priv_id, static_cast<int64_t>(elem)));
+                programs[p].push_back(
+                    opStore(shared_id, static_cast<int64_t>(elem), 0));
+            }
+        }
+    }
+    return runProgramPhase(programs, bindings);
+}
+
+Tick
+LoopExecutor::runReductionPhase()
+{
+    // Merge the per-processor partial accumulators into the shared
+    // arrays: shared(e) op= sum of partials(e). Element-partitioned,
+    // real loads/stores (like the copy-out phase).
+    std::vector<const ArraySetup *> red;
+    for (const ArraySetup &s : setups) {
+        if (s.effTest == TestType::Reduction && s.privatized)
+            red.push_back(&s);
+    }
+    if (red.empty())
+        return 0;
+
+    int n_procs = activeProcs();
+    std::vector<ArrayBinding> table;
+    struct Layout
+    {
+        const ArraySetup *s;
+        int sharedId;
+        std::vector<int> partialIds;
+    };
+    std::vector<Layout> layouts;
+    for (const ArraySetup *s : red) {
+        Layout l;
+        l.s = s;
+        l.sharedId = static_cast<int>(table.size());
+        table.push_back({s->shared, false, -1, false});
+        for (int p = 0; p < n_procs; ++p) {
+            l.partialIds.push_back(static_cast<int>(table.size()));
+            table.push_back({s->privCopies[p], false, -1, false});
+        }
+        layouts.push_back(std::move(l));
+    }
+
+    std::vector<std::vector<ArrayBinding>> bindings(n_procs, table);
+    ProgramSet programs(n_procs);
+    for (int p = 0; p < n_procs; ++p) {
+        for (const Layout &l : layouts) {
+            auto [lo, hi] = sliceOf(l.s->decl.elems, n_procs, p);
+            for (uint64_t e = lo; e < hi; ++e) {
+                auto idx =
+                    IndexOperand::immediate(static_cast<int64_t>(e));
+                programs[p].push_back(opLoad(1, l.sharedId, idx));
+                for (int q = 0; q < n_procs; ++q) {
+                    programs[p].push_back(
+                        opLoad(2, l.partialIds[q], idx));
+                    programs[p].push_back(
+                        opAlu(1, AluOp::Add, 1, 2));
+                }
+                programs[p].push_back(opStore(l.sharedId, idx, 1));
+            }
+        }
+    }
+    return runProgramPhase(programs, bindings);
+}
+
+Tick
+LoopExecutor::runSerialPhase()
+{
+    // Serial re-execution on processor 0, arrays in shared form.
+    std::vector<ArrayBinding> table;
+    for (const ArraySetup &s : setups)
+        table.push_back({s.shared, false, -1});
+    std::vector<std::vector<ArrayBinding>> bindings(1, table);
+
+    EventQueue &eq = dsm->eventQueue();
+    Tick start = eq.curTick();
+    resetProcStats();
+
+    StaticChunkSource source(numIters(), 1);
+    Processor::IterGen gen = [this](IterNum i, IterProgram &out) {
+        w.genIteration(i, out);
+    };
+
+    bool finished = false;
+    procs[0]->setBindings(&bindings[0]);
+    procs[0]->startPhase(&source, gen, false,
+                         [&finished](NodeId) { finished = true; });
+    eq.run();
+    SPECRT_ASSERT(finished, "serial phase wedged");
+    accumulate(aggScratch);
+    return eq.curTick() - start;
+}
+
+RunResult
+LoopExecutor::run()
+{
+    setup();
+    RunResult res;
+    res.mode = xc.mode;
+    aggScratch = BreakdownAgg{};
+
+    bool is_sw = xc.mode == ExecMode::SW;
+    bool is_hw = xc.mode == ExecMode::HW;
+
+    if (is_sw)
+        res.phases.zeroOut = runZeroOutPhase();
+    if (is_sw || is_hw) {
+        res.phases.backup = runBackupPhase(false);
+        if (res.phases.backup > 0)
+            dsm->resetMachine(true); // commit backup; cold caches for
+                                     // the loop, as the paper does
+    }
+
+    if (is_hw)
+        spec->arm();
+
+    auto [loop_ticks, completed] = runLoopPhase();
+    res.phases.loop = loop_ticks;
+    for (auto &p : procs)
+        res.itersExecuted += p->itersExecuted();
+
+    bool failed = false;
+    if (is_hw) {
+        res.hwFailure = spec->failure();
+        failed = res.hwFailure.failed;
+        if (failed)
+            dsm->resetMachine(false); // discard speculative state
+        spec->disarm();
+    } else {
+        SPECRT_ASSERT(completed, "non-HW loop phase aborted");
+    }
+
+    if (is_sw) {
+        res.phases.merge = runMergePhase();
+        res.phases.analysis = runAnalysisPhase();
+        for (const ArraySetup &s : setups) {
+            if (s.effTest == TestType::None)
+                continue;
+            std::vector<AccessEvent> sub;
+            for (const AccessEvent &ev : trace) {
+                if (ev.arrayId == s.declIdx)
+                    sub.push_back(ev);
+            }
+            if (s.effTest == TestType::Reduction) {
+                // The software reduction test: the array may only be
+                // touched from the reduction statement.
+                failed |= !Oracle::reductionValid(sub);
+                continue;
+            }
+            bool read_in =
+                xc.swReadIn && !xc.swProcWise && s.privatized;
+            LrpdAnalysis a =
+                LrpdTest::run(sub, s.decl.elems, activeProcs(),
+                              s.privatized, xc.swProcWise, read_in);
+            bool ok = a.verdict == LrpdVerdict::Doall ||
+                      (a.verdict == LrpdVerdict::DoallWithPriv &&
+                       s.privatized);
+            failed |= !ok;
+            res.swAnalyses[s.declIdx] = a;
+        }
+    }
+
+    res.passed = !failed;
+    if (failed) {
+        res.phases.restore = runBackupPhase(true);
+        res.phases.serial = runSerialPhase();
+    } else {
+        if (is_sw || is_hw)
+            res.phases.copyOut = runCopyOutPhase();
+        if (xc.mode != ExecMode::Serial)
+            res.phases.reduction = runReductionPhase();
+    }
+
+    // Commit all cached state so the backing store holds the final
+    // values (verification reads them there).
+    dsm->resetMachine(true);
+
+    res.totalTicks = res.phases.total();
+    res.agg = aggScratch;
+    if (xc.keepTrace)
+        res.trace = std::move(trace);
+    return res;
+}
+
+} // namespace specrt

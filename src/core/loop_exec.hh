@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The speculative loop executor: runs one workload on one modeled
+ * machine under one of four execution modes:
+ *
+ *  - Serial: uniprocessor execution, all data local (the paper's
+ *    normalization baseline);
+ *  - Ideal:  doall execution with no correctness tests (scheduling
+ *    overhead and load imbalance included);
+ *  - SW:     the software LRPD scheme -- backup, shadow zero-out,
+ *    instrumented marking, merge + analysis phases; on failure,
+ *    restore + serial re-execution after loop completion;
+ *  - HW:     the paper's hardware scheme -- backup, arm the
+ *    coherence-protocol extensions, run the doall; a detected
+ *    dependence aborts immediately, restores, and re-executes
+ *    serially.
+ *
+ * The executor owns the machine: each run is performed on a freshly
+ * constructed DsmSystem.
+ */
+
+#ifndef SPECRT_CORE_LOOP_EXEC_HH
+#define SPECRT_CORE_LOOP_EXEC_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "lrpd/lrpd.hh"
+#include "lrpd/lrpd_codegen.hh"
+#include "mem/dsm.hh"
+#include "runtime/checkpoint.hh"
+#include "runtime/processor.hh"
+#include "runtime/scheduler.hh"
+#include "runtime/workload.hh"
+#include "spec/spec_unit.hh"
+
+namespace specrt
+{
+
+/** Execution scenario (paper section 6). */
+enum class ExecMode
+{
+    Serial,
+    Ideal,
+    SW,
+    HW,
+};
+
+const char *execModeName(ExecMode m);
+
+/** Per-run configuration. */
+struct ExecConfig
+{
+    ExecMode mode = ExecMode::HW;
+    SchedPolicy sched = SchedPolicy::Dynamic;
+    /** Iterations per scheduling block (BlockCyclic / Dynamic). */
+    IterNum blockIters = 4;
+    /** SW: processor-wise test (bitmap shadows; forces StaticChunk). */
+    bool swProcWise = false;
+    /**
+     * SW: the section 2.2.3 read-in extension (extra Awmin shadow,
+     * iteration-wise only): accepts privatized loops whose elements
+     * are read before any iteration writes them.
+     */
+    bool swReadIn = false;
+    /**
+     * Run arrays declared TestType::Priv under the non-privatization
+     * algorithm instead (the paper's forced-failure scenarios).
+     */
+    bool downgradePrivToNonPriv = false;
+    /** Cap on iterations (0 = run all); the paper simulates 15,000
+     *  of P3m's 97,336 iterations. */
+    IterNum maxIters = 0;
+    /** Keep the access trace in the result (tests). */
+    bool keepTrace = false;
+    /** Trace every array, not just those under test (profiling for
+     *  the test advisor). */
+    bool traceAllArrays = false;
+    /**
+     * Width of the privatization time stamps in bits (0 =
+     * unbounded). When the loop has more iterations than 2^tsBits,
+     * the paper synchronizes all processors periodically so the
+     * effective iteration numbers stored in the time stamps can be
+     * reset (section 3.3). The simulator's state never overflows, so
+     * this models the cost: a global barrier every 2^tsBits
+     * iterations.
+     */
+    int tsBits = 0;
+};
+
+/** Simulated durations of each phase (cycles). */
+struct PhaseTimes
+{
+    Tick zeroOut = 0;   ///< SW shadow zero-out
+    Tick backup = 0;    ///< array backup
+    Tick loop = 0;      ///< the (speculative) doall itself
+    Tick merge = 0;     ///< SW shadow merge
+    Tick analysis = 0;  ///< SW analysis
+    Tick copyOut = 0;   ///< privatized live-out copy-out
+    Tick reduction = 0; ///< reduction partial-accumulator merge
+    Tick restore = 0;   ///< state restore after failure
+    Tick serial = 0;    ///< serial re-execution after failure
+
+    Tick
+    total() const
+    {
+        return zeroOut + backup + loop + merge + analysis + copyOut +
+               reduction + restore + serial;
+    }
+};
+
+/** Busy/Sync/Mem totals summed over processors (Fig. 12 breakdown). */
+struct BreakdownAgg
+{
+    double busy = 0;
+    double sync = 0;
+    double mem = 0;
+};
+
+/** Outcome of one run. */
+struct RunResult
+{
+    ExecMode mode = ExecMode::Serial;
+    /** The speculation test passed (always true for Serial/Ideal). */
+    bool passed = true;
+    PhaseTimes phases;
+    Tick totalTicks = 0;
+    BreakdownAgg agg;
+    uint64_t itersExecuted = 0;
+    /** HW: the latched failure, if any. */
+    SpecFailure hwFailure;
+    /** SW: the per-array verdicts (decl index -> analysis). */
+    std::map<int, LrpdAnalysis> swAnalyses;
+    /** Access trace of the loop phase (when keepTrace). */
+    std::vector<AccessEvent> trace;
+};
+
+/** Executes one workload run. */
+class LoopExecutor : public TraceSink
+{
+  public:
+    LoopExecutor(const MachineConfig &config, Workload &workload,
+                 const ExecConfig &exec_config);
+    ~LoopExecutor() override;
+
+    /** Run to completion and report. */
+    RunResult run();
+
+    /** The machine (inspectable after run()). */
+    DsmSystem &machine() { return *dsm; }
+
+    /** The speculation hardware (HW mode only; else null). */
+    SpecSystem *specSystem() { return spec.get(); }
+
+    /** Shared region of declaration @p decl_idx (after run()). */
+    const Region *sharedRegion(int decl_idx) const;
+
+    // TraceSink
+    void record(NodeId proc, IterNum iter, int array_id, uint64_t elem,
+                bool is_write, bool is_reduction) override;
+
+  private:
+    struct ArraySetup
+    {
+        ArrayDecl decl;
+        int declIdx = -1;
+        const Region *shared = nullptr;
+        std::vector<const Region *> privCopies;
+        const Region *backup = nullptr;
+        std::vector<const Region *> shAw, shAr, shAnp, shAwmin;
+        const Region *glAw = nullptr;
+        const Region *glAr = nullptr;
+        const Region *glAnp = nullptr;
+        const Region *glAwmin = nullptr;
+        /** Effective test in this run (after downgrade). */
+        TestType effTest = TestType::None;
+        /** Redirect accesses to private copies in this run. */
+        bool privatized = false;
+        bool needsBackup = false;
+    };
+
+    /** A per-proc program table for utility phases. */
+    using ProgramSet = std::vector<IterProgram>;
+
+    void setup();
+    void allocateArrays();
+    void buildLoopBindings();
+    void loadTranslationTable();
+
+    /** Run a utility phase where proc p executes programs[p]. */
+    Tick runProgramPhase(const ProgramSet &programs,
+                         const std::vector<std::vector<ArrayBinding>>
+                             &bindings);
+
+    /** Run the loop phase; returns (duration, completed normally). */
+    std::pair<Tick, bool> runLoopPhase();
+
+    Tick runBackupPhase(bool restore_direction);
+    Tick runZeroOutPhase();
+    Tick runMergePhase();
+    Tick runAnalysisPhase();
+    Tick runCopyOutPhase();
+    Tick runReductionPhase();
+    Tick runSerialPhase();
+
+    void accumulate(BreakdownAgg &agg);
+    void resetProcStats();
+
+    IterNum numIters() const;
+    int activeProcs() const;
+
+    MachineConfig cfg;
+    Workload &w;
+    ExecConfig xc;
+
+    std::unique_ptr<DsmSystem> dsm;
+    std::unique_ptr<SpecSystem> spec;
+    std::vector<std::unique_ptr<Processor>> procs;
+
+    std::vector<ArraySetup> setups;
+    /** Loop-phase bindings, one table per proc. */
+    std::vector<std::vector<ArrayBinding>> loopBindings;
+    /** Instrumentation map for SW mode. */
+    std::map<int, InstrumentInfo> instrMap;
+
+    std::vector<AccessEvent> trace;
+    bool traceEnabled = false;
+
+    BreakdownAgg aggScratch;
+    bool specAborted = false;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_CORE_LOOP_EXEC_HH

@@ -1,0 +1,72 @@
+#include "core/parallelizer.hh"
+
+#include <sstream>
+
+namespace specrt
+{
+
+RunResult
+SpeculativeParallelizer::run(Workload &w, const ExecConfig &xc) const
+{
+    LoopExecutor exec(cfg, w, xc);
+    return exec.run();
+}
+
+ScenarioComparison
+SpeculativeParallelizer::compare(Workload &w, ExecConfig base) const
+{
+    ScenarioComparison c;
+    base.mode = ExecMode::Serial;
+    c.serial = run(w, base);
+    base.mode = ExecMode::Ideal;
+    c.ideal = run(w, base);
+    base.mode = ExecMode::SW;
+    c.sw = run(w, base);
+    base.mode = ExecMode::HW;
+    c.hw = run(w, base);
+    return c;
+}
+
+SpeculativeParallelizer::Repeated
+SpeculativeParallelizer::runRepeated(
+    const std::function<std::unique_ptr<Workload>(int)> &make,
+    const ExecConfig &xc, int executions) const
+{
+    Repeated agg;
+    agg.runs.reserve(executions);
+    for (int i = 0; i < executions; ++i) {
+        std::unique_ptr<Workload> w = make(i);
+        RunResult r = run(*w, xc);
+        agg.totalTicks += r.totalTicks;
+        agg.failures += r.passed ? 0 : 1;
+        agg.runs.push_back(std::move(r));
+    }
+    return agg;
+}
+
+std::string
+SpeculativeParallelizer::describe(const RunResult &r)
+{
+    std::ostringstream os;
+    os << execModeName(r.mode) << ": " << r.totalTicks << " cycles"
+       << (r.passed ? "" : " [test FAILED, re-executed serially]")
+       << " (loop " << r.phases.loop;
+    if (r.phases.backup)
+        os << ", backup " << r.phases.backup;
+    if (r.phases.zeroOut)
+        os << ", zero-out " << r.phases.zeroOut;
+    if (r.phases.merge)
+        os << ", merge " << r.phases.merge;
+    if (r.phases.analysis)
+        os << ", analysis " << r.phases.analysis;
+    if (r.phases.copyOut)
+        os << ", copy-out " << r.phases.copyOut;
+    if (r.phases.restore)
+        os << ", restore " << r.phases.restore;
+    if (r.phases.serial)
+        os << ", serial " << r.phases.serial;
+    os << ")";
+    return os.str();
+}
+
+} // namespace specrt

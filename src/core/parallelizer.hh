@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Public facade of the specrt library.
+ *
+ * SpeculativeParallelizer runs a workload (a loop the compiler could
+ * not analyze) under any of the paper's four scenarios and provides
+ * a convenience comparison across all of them -- the measurement the
+ * paper's Figures 11-14 are built from.
+ */
+
+#ifndef SPECRT_CORE_PARALLELIZER_HH
+#define SPECRT_CORE_PARALLELIZER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/loop_exec.hh"
+
+namespace specrt
+{
+
+/** Results of running one workload under all four scenarios. */
+struct ScenarioComparison
+{
+    RunResult serial;
+    RunResult ideal;
+    RunResult sw;
+    RunResult hw;
+
+    double
+    speedup(const RunResult &r) const
+    {
+        return r.totalTicks
+                   ? static_cast<double>(serial.totalTicks) /
+                         static_cast<double>(r.totalTicks)
+                   : 0.0;
+    }
+
+    double idealSpeedup() const { return speedup(ideal); }
+    double swSpeedup() const { return speedup(sw); }
+    double hwSpeedup() const { return speedup(hw); }
+};
+
+/**
+ * Entry point for running speculative run-time parallelization on a
+ * modeled machine.
+ */
+class SpeculativeParallelizer
+{
+  public:
+    explicit SpeculativeParallelizer(MachineConfig config = {})
+        : cfg(std::move(config))
+    {
+        cfg.validate();
+    }
+
+    const MachineConfig &config() const { return cfg; }
+
+    /** Run one scenario. A fresh machine is built for the run. */
+    RunResult run(Workload &w, const ExecConfig &xc) const;
+
+    /**
+     * Run Serial, Ideal, SW, and HW with a shared base
+     * configuration (mode overridden per scenario).
+     */
+    ScenarioComparison compare(Workload &w, ExecConfig base) const;
+
+    /**
+     * Aggregate over repeated loop executions (the paper's loops run
+     * hundreds to thousands of times with varying inputs; caches are
+     * flushed between executions, which a fresh machine per run
+     * models exactly).
+     */
+    struct Repeated
+    {
+        std::vector<RunResult> runs;
+        Tick totalTicks = 0;
+        uint64_t failures = 0;
+
+        double
+        meanTicks() const
+        {
+            return runs.empty() ? 0.0
+                                : static_cast<double>(totalTicks) /
+                                      static_cast<double>(runs.size());
+        }
+    };
+
+    /**
+     * Run @p executions instances of a loop; @p make builds the
+     * workload for execution index i (different inputs per
+     * execution, as in Ocean's stride families or Track's 56
+     * instances).
+     */
+    Repeated runRepeated(
+        const std::function<std::unique_ptr<Workload>(int)> &make,
+        const ExecConfig &xc, int executions) const;
+
+    /** One-line textual summary of a result. */
+    static std::string describe(const RunResult &r);
+
+  private:
+    MachineConfig cfg;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_CORE_PARALLELIZER_HH

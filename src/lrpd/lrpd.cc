@@ -1,0 +1,123 @@
+#include "lrpd/lrpd.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+LrpdTest::LrpdTest(uint64_t elems_, int num_procs, bool privatized_,
+                   bool read_in)
+    : elems(elems_), privatized(privatized_), readIn(read_in)
+{
+    SPECRT_ASSERT(num_procs > 0, "no processors");
+    shadows.resize(num_procs);
+    for (Shadow &s : shadows) {
+        s.aw.assign(elems, 0);
+        s.ar.assign(elems, 0);
+        s.anp.assign(elems, 0);
+        if (readIn) {
+            s.awmin.assign(elems, 0);
+            s.ar1st.assign(elems, 0);
+        }
+    }
+}
+
+void
+LrpdTest::markRead(int p, IterNum it, uint64_t e)
+{
+    SPECRT_ASSERT(e < elems, "markRead out of range");
+    Shadow &s = shadows.at(p);
+    if (s.aw[e] == it)
+        return; // written earlier in this iteration: fully covered
+    if (s.ar[e] == 0)
+        s.ar[e] = it;
+    s.anp[e] = 1;
+    if (readIn && it > s.ar1st[e])
+        s.ar1st[e] = it; // highest read-first iteration
+}
+
+void
+LrpdTest::markWrite(int p, IterNum it, uint64_t e)
+{
+    SPECRT_ASSERT(e < elems, "markWrite out of range");
+    Shadow &s = shadows.at(p);
+    if (s.ar[e] == it)
+        s.ar[e] = 0; // cancel the tentative same-iteration Ar mark
+    if (s.aw[e] != it) {
+        s.aw[e] = it;
+        ++s.atw; // one more distinct element written this iteration
+    }
+    if (readIn && (s.awmin[e] == 0 || it < s.awmin[e]))
+        s.awmin[e] = it; // lowest writing iteration
+}
+
+LrpdAnalysis
+LrpdTest::analyze() const
+{
+    LrpdAnalysis a;
+    for (const Shadow &s : shadows)
+        a.atw += s.atw;
+
+    for (uint64_t e = 0; e < elems; ++e) {
+        bool aw = false, ar = false, anp = false;
+        IterNum ar1st_max = 0;
+        IterNum awmin_min = 0;
+        for (const Shadow &s : shadows) {
+            aw |= s.aw[e] != 0;
+            ar |= s.ar[e] != 0;
+            anp |= s.anp[e] != 0;
+            if (readIn) {
+                ar1st_max = std::max(ar1st_max, s.ar1st[e]);
+                if (s.awmin[e] != 0 &&
+                    (awmin_min == 0 || s.awmin[e] < awmin_min))
+                    awmin_min = s.awmin[e];
+            }
+        }
+        if (aw)
+            ++a.atm;
+        a.awAndAr |= aw && ar;
+        a.awAndAnp |= aw && anp;
+        if (readIn && awmin_min != 0 && ar1st_max > awmin_min)
+            a.r1stAfterWmin = true;
+    }
+
+    if (readIn && privatized) {
+        // Section 2.2.3 condition: every read-first iteration of an
+        // element precedes (or equals) every writing iteration.
+        a.verdict = a.r1stAfterWmin ? LrpdVerdict::NotParallel
+                    : a.atw == a.atm && !a.awAndAr
+                        ? LrpdVerdict::Doall
+                        : LrpdVerdict::DoallWithPriv;
+        return a;
+    }
+
+    if (a.awAndAr)
+        a.verdict = LrpdVerdict::NotParallel;
+    else if (a.atw == a.atm)
+        a.verdict = LrpdVerdict::Doall;
+    else if (!privatized || a.awAndAnp)
+        a.verdict = LrpdVerdict::NotParallel;
+    else
+        a.verdict = LrpdVerdict::DoallWithPriv;
+    return a;
+}
+
+LrpdAnalysis
+LrpdTest::run(const std::vector<AccessEvent> &trace, uint64_t elems,
+              int num_procs, bool privatized, bool proc_wise,
+              bool read_in)
+{
+    LrpdTest test(elems, num_procs, privatized, read_in);
+    for (const AccessEvent &ev : trace) {
+        IterNum key = proc_wise ? ev.proc + 1 : ev.iter;
+        if (ev.isWrite)
+            test.markWrite(ev.proc, key, ev.elem);
+        else
+            test.markRead(ev.proc, key, ev.elem);
+    }
+    return test.analyze();
+}
+
+} // namespace specrt

@@ -1,0 +1,145 @@
+#include "mem/addr_map.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+AddrMap::AddrMap(const MachineConfig &config)
+    : _pageBytes(config.pageBytes),
+      _numProcs(config.numProcs),
+      nextBase(config.pageBytes) // leave page 0 unmapped
+{
+}
+
+int
+AddrMap::alloc(const std::string &name, uint64_t bytes,
+               uint32_t elem_bytes, Placement placement, NodeId node)
+{
+    SPECRT_ASSERT(bytes > 0, "empty region '%s'", name.c_str());
+    SPECRT_ASSERT(elem_bytes > 0 && elem_bytes <= 8,
+                  "bad element width %u", elem_bytes);
+    SPECRT_ASSERT(node >= 0 && node < _numProcs,
+                  "bad node %d for region '%s'", node, name.c_str());
+
+    uint64_t rounded = (bytes + _pageBytes - 1) & ~uint64_t(_pageBytes - 1);
+
+    Region r;
+    r.name = name;
+    r.base = nextBase;
+    r.bytes = bytes;
+    r.elemBytes = elem_bytes;
+    r.placement = placement;
+    r.node = node;
+    nextBase += rounded;
+
+    regions.push_back(r);
+    backing.emplace_back(rounded, 0);
+    return static_cast<int>(regions.size()) - 1;
+}
+
+void
+AddrMap::clear()
+{
+    regions.clear();
+    backing.clear();
+    nextBase = _pageBytes;
+}
+
+const Region *
+AddrMap::find(Addr addr) const
+{
+    // Regions are allocated in ascending address order.
+    auto it = std::upper_bound(
+        regions.begin(), regions.end(), addr,
+        [](Addr a, const Region &r) { return a < r.base; });
+    if (it == regions.begin())
+        return nullptr;
+    --it;
+    return it->contains(addr) ? &*it : nullptr;
+}
+
+NodeId
+AddrMap::homeOf(Addr addr) const
+{
+    const Region *r = find(addr);
+    SPECRT_ASSERT(r, "homeOf(unmapped addr %#llx)",
+                  (unsigned long long)addr);
+    if (r->placement == Placement::Fixed)
+        return r->node;
+    uint64_t page = (addr - r->base) / _pageBytes;
+    return static_cast<NodeId>((r->node + page) % _numProcs);
+}
+
+uint8_t *
+AddrMap::backingPtr(Addr addr, uint32_t span)
+{
+    return const_cast<uint8_t *>(
+        static_cast<const AddrMap *>(this)->backingPtr(addr, span));
+}
+
+const uint8_t *
+AddrMap::backingPtr(Addr addr, uint32_t span) const
+{
+    auto it = std::upper_bound(
+        regions.begin(), regions.end(), addr,
+        [](Addr a, const Region &r) { return a < r.base; });
+    SPECRT_ASSERT(it != regions.begin(), "access to unmapped addr %#llx",
+                  (unsigned long long)addr);
+    --it;
+    SPECRT_ASSERT(it->contains(addr), "access to unmapped addr %#llx",
+                  (unsigned long long)addr);
+    size_t idx = static_cast<size_t>(it - regions.begin());
+    uint64_t off = addr - it->base;
+    SPECRT_ASSERT(off + span <= backing[idx].size(),
+                  "access past end of region '%s'", it->name.c_str());
+    return backing[idx].data() + off;
+}
+
+uint64_t
+AddrMap::read(Addr addr, uint32_t size) const
+{
+    SPECRT_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    uint64_t value = 0;
+    std::memcpy(&value, backingPtr(addr, size), size);
+    return value;
+}
+
+void
+AddrMap::write(Addr addr, uint32_t size, uint64_t value)
+{
+    SPECRT_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    std::memcpy(backingPtr(addr, size), &value, size);
+}
+
+void
+AddrMap::readLine(Addr line_addr, uint8_t *out, uint32_t bytes) const
+{
+    std::memcpy(out, backingPtr(line_addr, bytes), bytes);
+}
+
+void
+AddrMap::writeLine(Addr line_addr, const uint8_t *data, uint32_t bytes)
+{
+    std::memcpy(backingPtr(line_addr, bytes), data, bytes);
+}
+
+void
+AddrMap::copyBytes(Addr src, Addr dst, uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const uint8_t *s = backingPtr(src, static_cast<uint32_t>(
+        std::min<uint64_t>(bytes, 1)));
+    uint8_t *d = backingPtr(dst, static_cast<uint32_t>(
+        std::min<uint64_t>(bytes, 1)));
+    // Validate the far ends too, then copy in one shot.
+    backingPtr(src + bytes - 1, 1);
+    backingPtr(dst + bytes - 1, 1);
+    std::memcpy(d, s, bytes);
+}
+
+} // namespace specrt

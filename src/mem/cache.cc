@@ -1,0 +1,128 @@
+#include "mem/cache.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+const char *
+lineStateName(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid: return "Invalid";
+      case LineState::Shared:  return "Shared";
+      case LineState::Dirty:   return "Dirty";
+    }
+    return "Unknown";
+}
+
+NodeCache::NodeCache(const MachineConfig &config)
+    : _lineBytes(config.l2.lineBytes)
+{
+    l2.resize(config.l2.numLines());
+    for (CacheLine &line : l2)
+        line.data.resize(_lineBytes, 0);
+    l1Tags.assign(config.l1.numLines(), invalidAddr);
+}
+
+CacheLine *
+NodeCache::findLine(Addr a)
+{
+    CacheLine &slot = l2Slot(a);
+    return (slot.valid() && slot.addr == lineAlign(a)) ? &slot : nullptr;
+}
+
+const CacheLine *
+NodeCache::findLine(Addr a) const
+{
+    const CacheLine &slot = l2Slot(a);
+    return (slot.valid() && slot.addr == lineAlign(a)) ? &slot : nullptr;
+}
+
+bool
+NodeCache::l1Hit(Addr a) const
+{
+    return l1Tags[l1Index(a)] == lineAlign(a) && findLine(a) != nullptr;
+}
+
+void
+NodeCache::l1Fill(Addr a)
+{
+    l1Tags[l1Index(a)] = lineAlign(a);
+}
+
+void
+NodeCache::l1Evict(Addr a)
+{
+    if (l1Tags[l1Index(a)] == lineAlign(a))
+        l1Tags[l1Index(a)] = invalidAddr;
+}
+
+bool
+NodeCache::fill(Addr line_addr, LineState state, const uint8_t *data,
+                CacheLine *victim)
+{
+    SPECRT_ASSERT(line_addr == lineAlign(line_addr),
+                  "fill with unaligned addr");
+    CacheLine &slot = l2Slot(line_addr);
+
+    bool displaced = false;
+    if (slot.valid() && slot.addr != line_addr) {
+        if (victim)
+            *victim = slot;   // copies data out
+        l1Evict(slot.addr);   // inclusion
+        displaced = true;
+    }
+
+    slot.addr = line_addr;
+    slot.state = state;
+    std::memcpy(slot.data.data(), data, _lineBytes);
+    l1Fill(line_addr);
+    return displaced;
+}
+
+void
+NodeCache::invalidate(Addr a)
+{
+    CacheLine *line = findLine(a);
+    if (line)
+        line->state = LineState::Invalid;
+    l1Evict(a);
+}
+
+void
+NodeCache::flushAll(std::vector<CacheLine> *victims)
+{
+    for (CacheLine &line : l2) {
+        if (line.state == LineState::Dirty && victims)
+            victims->push_back(line);
+        line.state = LineState::Invalid;
+        line.addr = invalidAddr;
+    }
+    for (Addr &tag : l1Tags)
+        tag = invalidAddr;
+}
+
+uint64_t
+NodeCache::readWord(Addr a, uint32_t size) const
+{
+    const CacheLine *line = findLine(a);
+    SPECRT_ASSERT(line, "readWord on absent line %#llx",
+                  (unsigned long long)a);
+    uint64_t value = 0;
+    std::memcpy(&value, line->data.data() + (a - line->addr), size);
+    return value;
+}
+
+void
+NodeCache::writeWord(Addr a, uint32_t size, uint64_t value)
+{
+    CacheLine *line = findLine(a);
+    SPECRT_ASSERT(line, "writeWord on absent line %#llx",
+                  (unsigned long long)a);
+    std::memcpy(line->data.data() + (a - line->addr), &value, size);
+}
+
+} // namespace specrt

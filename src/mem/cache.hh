@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Direct-mapped cache arrays for one node.
+ *
+ * The node-visible coherence state and the line data live in the L2
+ * array (the node's copy exists once). The L1 array is a tag-only
+ * presence filter used for latency: an address "hits in L1" when the
+ * L1 set holds its tag AND the L2 holds the line (inclusion). L2
+ * evictions invalidate any matching L1 entry.
+ */
+
+#ifndef SPECRT_MEM_CACHE_HH
+#define SPECRT_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+/** Node-level coherence state of a line. */
+enum class LineState : uint8_t
+{
+    Invalid,
+    Shared,  ///< clean, possibly multiple nodes
+    Dirty,   ///< exclusive modified, memory stale
+};
+
+const char *lineStateName(LineState s);
+
+/** One L2 line: coherence state + real data bytes. */
+struct CacheLine
+{
+    Addr addr = invalidAddr;      ///< line-aligned address
+    LineState state = LineState::Invalid;
+    std::vector<uint8_t> data;
+
+    bool valid() const { return state != LineState::Invalid; }
+};
+
+/**
+ * The two-level cache structure of one node.
+ */
+class NodeCache
+{
+  public:
+    NodeCache(const MachineConfig &config);
+
+    uint32_t lineBytes() const { return _lineBytes; }
+    uint64_t numL2Lines() const { return l2.size(); }
+
+    Addr lineAlign(Addr a) const { return a & ~Addr(_lineBytes - 1); }
+
+    /** L2 set index for an address. */
+    uint64_t l2Index(Addr a) const
+    {
+        return (lineAlign(a) / _lineBytes) % l2.size();
+    }
+
+    /** L1 set index for an address. */
+    uint64_t l1Index(Addr a) const
+    {
+        return (lineAlign(a) / _lineBytes) % l1Tags.size();
+    }
+
+    /** The L2 line currently occupying the set of @p a (any tag). */
+    CacheLine &l2Slot(Addr a) { return l2[l2Index(a)]; }
+    const CacheLine &l2Slot(Addr a) const { return l2[l2Index(a)]; }
+
+    /** The L2 line holding @p a, or nullptr if not present. */
+    CacheLine *findLine(Addr a);
+    const CacheLine *findLine(Addr a) const;
+
+    /** True if @p a hits in the L1 filter (implies L2 presence). */
+    bool l1Hit(Addr a) const;
+
+    /** Install @p a in the L1 filter (possibly displacing a tag). */
+    void l1Fill(Addr a);
+
+    /** Remove @p a from the L1 filter if present. */
+    void l1Evict(Addr a);
+
+    /**
+     * Install a line in L2 (and L1). The previous occupant of the
+     * set, if valid and of a different tag, is returned through
+     * @p victim (state is copied out before being overwritten).
+     *
+     * @return true if a valid victim (different line) was displaced.
+     */
+    bool fill(Addr line_addr, LineState state, const uint8_t *data,
+              CacheLine *victim);
+
+    /** Drop @p a from both levels (invalidation). No writeback. */
+    void invalidate(Addr a);
+
+    /** Invalidate everything (the paper flushes caches between runs).
+     *  Dirty lines are appended to @p victims for writeback. */
+    void flushAll(std::vector<CacheLine> *victims);
+
+    /** Read a word out of a present line. */
+    uint64_t readWord(Addr a, uint32_t size) const;
+
+    /** Write a word into a present line (caller manages state). */
+    void writeWord(Addr a, uint32_t size, uint64_t value);
+
+  private:
+    uint32_t _lineBytes;
+    std::vector<CacheLine> l2;
+    /** L1 filter: line-aligned address or invalidAddr, per set. */
+    std::vector<Addr> l1Tags;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_MEM_CACHE_HH

@@ -1,0 +1,457 @@
+#include "mem/cache_ctrl.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+CacheCtrl::CacheCtrl(NodeId node_, EventQueue &eq_, Network &net_,
+                     AddrMap &mem_, const MachineConfig &config)
+    : StatGroup("cache" + std::to_string(node_)),
+      node(node_), eq(eq_), net(net_), mem(mem_), cfg(config),
+      cache(config),
+      l1Hits(this, "l1_hits", "loads hitting in L1"),
+      l2Hits(this, "l2_hits", "loads hitting in L2"),
+      misses(this, "misses", "loads missing both levels"),
+      storeHits(this, "store_hits", "stores hitting a dirty line"),
+      storeMisses(this, "store_misses", "stores needing a transaction"),
+      writebacks(this, "writebacks", "dirty lines written back"),
+      wbFullStalls(this, "wb_full_stalls", "stores rejected: buffer full")
+{
+}
+
+bool
+CacheCtrl::wbHasLine(Addr line) const
+{
+    for (const WbEntry &e : wb) {
+        if (lineOf(e.addr) == line)
+            return true;
+    }
+    return false;
+}
+
+void
+CacheCtrl::load(Addr addr, uint32_t size, IterNum iter, LoadDone done)
+{
+    SPECRT_ASSERT(!loadTxn, "second outstanding load at node %d", node);
+    Addr line = lineOf(addr);
+
+    // A load may not bypass a buffered store to the same line.
+    if (wbHasLine(line) || (storeTxnActive && storeTxnLine == line)) {
+        blockedLoads.push_back({addr, size, iter, std::move(done)});
+        return;
+    }
+
+    if (cache.l1Hit(addr)) {
+        ++l1Hits;
+        if (spec)
+            spec->onLoadHit(addr, cache.findLine(addr)->state, iter);
+        uint64_t value = cache.readWord(addr, size);
+        eq.scheduleIn(cfg.lat.l1Hit,
+                      [done = std::move(done), value]() { done(value); });
+        return;
+    }
+
+    if (const CacheLine *cl = cache.findLine(addr)) {
+        ++l2Hits;
+        cache.l1Fill(addr);
+        if (spec)
+            spec->onLoadHit(addr, cl->state, iter);
+        uint64_t value = cache.readWord(addr, size);
+        eq.scheduleIn(cfg.lat.l1Hit + cfg.lat.l2Access,
+                      [done = std::move(done), value]() { done(value); });
+        return;
+    }
+
+    ++misses;
+    loadTxn = LoadTxn{line, addr, size, iter, std::move(done), false};
+
+    Msg req;
+    req.type = MsgType::ReadReq;
+    req.src = node;
+    req.dst = homeOf(addr);
+    req.lineAddr = line;
+    req.elemAddr = addr;
+    req.iter = iter;
+    net.send(std::move(req), cfg.lat.l1Hit + cfg.lat.l2Access);
+}
+
+bool
+CacheCtrl::store(Addr addr, uint32_t size, uint64_t value, IterNum iter)
+{
+    if (wb.size() >= static_cast<size_t>(cfg.writeBufferEntries)) {
+        ++wbFullStalls;
+        return false;
+    }
+    wb.push_back({addr, size, value, iter});
+    scheduleDrain();
+    return true;
+}
+
+void
+CacheCtrl::requestDrainNotice(Notice n)
+{
+    if (wb.empty() && !storeTxnActive) {
+        n();
+        return;
+    }
+    drainNotices.push_back(std::move(n));
+}
+
+void
+CacheCtrl::scheduleDrain()
+{
+    if (drainScheduled || storeTxnActive || wb.empty())
+        return;
+    drainScheduled = true;
+    eq.scheduleIn(1, [this]() {
+        drainScheduled = false;
+        drainHead();
+    });
+}
+
+void
+CacheCtrl::drainHead()
+{
+    if (storeTxnActive || wb.empty())
+        return;
+    const WbEntry &head = wb.front();
+    Addr line = lineOf(head.addr);
+
+    // Do not start a store transaction while a load transaction is
+    // outstanding on the same line (reply ordering across different
+    // senders is not guaranteed).
+    if (loadTxn && loadTxn->line == line)
+        return; // re-poked when the load completes
+
+    CacheLine *cl = cache.findLine(head.addr);
+    if (cl && cl->state == LineState::Dirty) {
+        ++storeHits;
+        cache.writeWord(head.addr, head.size, head.value);
+        cache.l1Fill(head.addr);
+        if (spec)
+            spec->onStoreDirtyHit(head.addr, head.iter);
+        popHead();
+        scheduleDrain();
+        return;
+    }
+
+    ++storeMisses;
+    storeTxnActive = true;
+    storeTxnLine = line;
+
+    Msg req;
+    req.type = MsgType::WriteReq;
+    req.src = node;
+    req.dst = homeOf(head.addr);
+    req.lineAddr = line;
+    req.elemAddr = head.addr;
+    req.iter = head.iter;
+    req.isUpgrade = cl != nullptr;
+    net.send(std::move(req), cfg.lat.l1Hit + cfg.lat.l2Access);
+}
+
+void
+CacheCtrl::popHead()
+{
+    wb.pop_front();
+    if (slotFreeNotice)
+        slotFreeNotice();
+    maybeFireDrainNotice();
+    unblockLoads(invalidAddr);
+}
+
+void
+CacheCtrl::maybeFireDrainNotice()
+{
+    if (!wb.empty() || storeTxnActive || drainNotices.empty())
+        return;
+    std::vector<Notice> notices = std::move(drainNotices);
+    drainNotices.clear();
+    for (Notice &n : notices)
+        n();
+}
+
+void
+CacheCtrl::handle(const Msg &msg)
+{
+    switch (msg.type) {
+      case MsgType::ReadReply:    onReadReply(msg); return;
+      case MsgType::WriteReply:   onWriteReply(msg); return;
+      case MsgType::Inval:        onInval(msg); return;
+      case MsgType::ReadFwd:
+      case MsgType::WriteFwd:     onFwd(msg); return;
+      case MsgType::WritebackAck: onWritebackAck(msg); return;
+      case MsgType::FirstUpdateFail:
+        SPECRT_ASSERT(spec, "FirstUpdateFail with no spec unit");
+        spec->onMsg(msg);
+        return;
+      default:
+        panic("cache %d got unexpected %s", node,
+              msgTypeName(msg.type));
+    }
+}
+
+void
+CacheCtrl::fillLine(const Msg &reply, LineState state, bool is_write)
+{
+    CacheLine victim;
+    bool displaced =
+        cache.fill(reply.lineAddr, state, reply.data.data(), &victim);
+    if (displaced) {
+        if (victim.state == LineState::Dirty)
+            evictDirty(victim);
+        else if (spec)
+            spec->onInval(victim.addr);
+    }
+    if (spec)
+        spec->onFill(reply.lineAddr, reply.specBits, reply.elemAddr,
+                     is_write, reply.iter);
+}
+
+void
+CacheCtrl::evictDirty(const CacheLine &victim)
+{
+    ++writebacks;
+    std::vector<uint32_t> bits;
+    if (spec) {
+        bits = spec->onDirtyOut(victim.addr);
+        spec->onInval(victim.addr);
+    }
+    wbBuf[victim.addr].push_back({victim.data, bits});
+
+    Msg wbm;
+    wbm.type = MsgType::Writeback;
+    wbm.src = node;
+    wbm.dst = homeOf(victim.addr);
+    wbm.lineAddr = victim.addr;
+    wbm.data = victim.data;
+    wbm.specBits = std::move(bits);
+    net.send(std::move(wbm));
+}
+
+void
+CacheCtrl::onReadReply(const Msg &msg)
+{
+    SPECRT_ASSERT(loadTxn && loadTxn->line == msg.lineAddr,
+                  "stray ReadReply at node %d", node);
+    LoadTxn txn = std::move(*loadTxn);
+    loadTxn.reset();
+
+    fillLine(msg, LineState::Shared, false);
+    uint64_t value = cache.readWord(txn.elem, txn.size);
+    if (txn.invalPending) {
+        if (spec)
+            spec->onInval(msg.lineAddr);
+        cache.invalidate(msg.lineAddr);
+    }
+
+    // A store to this line may have been waiting for the load.
+    scheduleDrain();
+    unblockLoads(invalidAddr);
+    txn.done(value);
+}
+
+void
+CacheCtrl::onWriteReply(const Msg &msg)
+{
+    SPECRT_ASSERT(storeTxnActive && storeTxnLine == msg.lineAddr,
+                  "stray WriteReply at node %d", node);
+    SPECRT_ASSERT(!wb.empty(), "WriteReply with empty write buffer");
+
+    fillLine(msg, LineState::Dirty, true);
+
+    const WbEntry &head = wb.front();
+    SPECRT_ASSERT(lineOf(head.addr) == msg.lineAddr, "WB head mismatch");
+    cache.writeWord(head.addr, head.size, head.value);
+    cache.l1Fill(head.addr);
+
+    storeTxnActive = false;
+    storeTxnLine = invalidAddr;
+    popHead();
+
+    // Serve any forwards that raced ahead of this grant.
+    auto it = parkedFwds.find(msg.lineAddr);
+    if (it != parkedFwds.end()) {
+        std::vector<Msg> fwds = std::move(it->second);
+        parkedFwds.erase(it);
+        for (const Msg &f : fwds)
+            serveFwd(f);
+    }
+
+    scheduleDrain();
+    unblockLoads(invalidAddr);
+}
+
+void
+CacheCtrl::onInval(const Msg &msg)
+{
+    if (loadTxn && loadTxn->line == msg.lineAddr)
+        loadTxn->invalPending = true;
+
+    if (cache.findLine(msg.lineAddr)) {
+        if (spec)
+            spec->onInval(msg.lineAddr);
+        cache.invalidate(msg.lineAddr);
+    }
+
+    Msg ack;
+    ack.type = MsgType::InvalAck;
+    ack.src = node;
+    ack.dst = msg.src;
+    ack.lineAddr = msg.lineAddr;
+    net.send(std::move(ack), cfg.lat.invalCycles);
+}
+
+void
+CacheCtrl::onFwd(const Msg &msg)
+{
+    const CacheLine *cl = cache.findLine(msg.lineAddr);
+    bool have_dirty = cl && cl->state == LineState::Dirty;
+    bool in_wb_buf = wbBuf.count(msg.lineAddr) > 0;
+
+    if (!have_dirty && !in_wb_buf) {
+        // Our ownership grant (WriteReply from the old owner) is
+        // still in flight; park the forward until it lands.
+        SPECRT_ASSERT(storeTxnActive && storeTxnLine == msg.lineAddr,
+                      "fwd %s for unowned line %#llx at node %d",
+                      msgTypeName(msg.type),
+                      (unsigned long long)msg.lineAddr, node);
+        parkedFwds[msg.lineAddr].push_back(msg);
+        return;
+    }
+    serveFwd(msg);
+}
+
+void
+CacheCtrl::serveFwd(const Msg &msg)
+{
+    CacheLine *cl = cache.findLine(msg.lineAddr);
+    bool read = msg.type == MsgType::ReadFwd;
+
+    std::vector<uint8_t> data;
+    std::vector<uint32_t> bits;
+    bool retains = false;
+
+    if (cl && cl->state == LineState::Dirty) {
+        data = cl->data;
+        if (spec)
+            bits = spec->combineBits(msg.lineAddr,
+                                     spec->onDirtyOut(msg.lineAddr),
+                                     msg.specBits);
+        if (read) {
+            cl->state = LineState::Shared;
+            retains = true;
+        } else {
+            if (spec)
+                spec->onInval(msg.lineAddr);
+            cache.invalidate(msg.lineAddr);
+        }
+    } else {
+        auto it = wbBuf.find(msg.lineAddr);
+        SPECRT_ASSERT(it != wbBuf.end() && !it->second.empty(),
+                      "serveFwd without data at node %d", node);
+        data = it->second.back().data;
+        bits = spec ? spec->combineBits(msg.lineAddr,
+                                        it->second.back().bits,
+                                        msg.specBits)
+                    : it->second.back().bits;
+        retains = false;
+    }
+
+    Msg reply;
+    reply.type = read ? MsgType::ReadReply : MsgType::WriteReply;
+    reply.src = node;
+    reply.dst = msg.requester;
+    reply.lineAddr = msg.lineAddr;
+    reply.elemAddr = msg.elemAddr;
+    reply.iter = msg.iter;
+    reply.data = data;
+    reply.specBits = bits;
+    net.send(std::move(reply), cfg.lat.ownerAccess);
+
+    Msg home;
+    home.type = read ? MsgType::ShareWb : MsgType::OwnXfer;
+    home.src = node;
+    home.dst = msg.src;
+    home.lineAddr = msg.lineAddr;
+    home.elemAddr = msg.elemAddr;
+    home.iter = msg.iter;
+    home.data = std::move(data);
+    home.specBits = std::move(bits);
+    home.ownerRetains = retains;
+    net.send(std::move(home), cfg.lat.ownerAccess);
+}
+
+void
+CacheCtrl::onWritebackAck(const Msg &msg)
+{
+    auto it = wbBuf.find(msg.lineAddr);
+    SPECRT_ASSERT(it != wbBuf.end() && !it->second.empty(),
+                  "WritebackAck without buffer entry at node %d", node);
+    it->second.pop_front();
+    if (it->second.empty())
+        wbBuf.erase(it);
+}
+
+void
+CacheCtrl::unblockLoads(Addr)
+{
+    if (blockedLoads.empty())
+        return;
+    std::vector<BlockedLoad> still_blocked;
+    std::vector<BlockedLoad> ready;
+    for (BlockedLoad &bl : blockedLoads) {
+        Addr line = lineOf(bl.addr);
+        bool blocked = wbHasLine(line) ||
+                       (storeTxnActive && storeTxnLine == line);
+        (blocked ? still_blocked : ready).push_back(std::move(bl));
+    }
+    blockedLoads = std::move(still_blocked);
+    for (BlockedLoad &bl : ready)
+        load(bl.addr, bl.size, bl.iter, std::move(bl.done));
+}
+
+bool
+CacheCtrl::quiescent() const
+{
+    return !loadTxn && wb.empty() && !storeTxnActive && wbBuf.empty() &&
+           parkedFwds.empty() && blockedLoads.empty();
+}
+
+void
+CacheCtrl::reset(bool commit_dirty)
+{
+    // A committing reset requires a quiescent machine; an aborting
+    // reset (failed speculation) forcibly drops in-flight state.
+    SPECRT_ASSERT(!commit_dirty || quiescent(),
+                  "committing reset of non-quiescent cache ctrl at "
+                  "node %d", node);
+    std::vector<CacheLine> victims;
+    cache.flushAll(&victims);
+    if (commit_dirty) {
+        for (const CacheLine &v : victims)
+            mem.writeLine(v.addr, v.data.data(),
+                          static_cast<uint32_t>(v.data.size()));
+        // Writeback-buffer data is also committed: an entry can
+        // outlive its WritebackAck only transiently.
+        for (auto &[line, entries] : wbBuf) {
+            for (const WbBufEntry &e : entries)
+                mem.writeLine(line, e.data.data(),
+                              static_cast<uint32_t>(e.data.size()));
+        }
+    }
+    wb.clear();
+    loadTxn.reset();
+    storeTxnActive = false;
+    storeTxnLine = invalidAddr;
+    wbBuf.clear();
+    parkedFwds.clear();
+    blockedLoads.clear();
+    drainNotices.clear();
+    drainScheduled = false;
+}
+
+} // namespace specrt

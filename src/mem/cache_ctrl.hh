@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Per-node cache controller: two-level cache, write buffer,
+ * writeback buffer, and the cache side of the DASH-like protocol.
+ *
+ * Processor-visible semantics follow the paper's machine model:
+ * loads block until data returns; stores retire into a write buffer
+ * and the processor does not stall on write misses (it only stalls
+ * when the buffer is full). The speculation unit (spec/) is invoked
+ * at the access points of section 4.2: on cache hits, on fills, and
+ * when dirty lines leave the cache.
+ */
+
+#ifndef SPECRT_MEM_CACHE_CTRL_HH
+#define SPECRT_MEM_CACHE_CTRL_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr_map.hh"
+#include "mem/cache.hh"
+#include "mem/msg.hh"
+#include "mem/network.hh"
+#include "mem/spec_iface.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace specrt
+{
+
+/** The cache controller of one node. */
+class CacheCtrl : public StatGroup
+{
+  public:
+    using LoadDone = std::function<void(uint64_t)>;
+    using Notice = std::function<void()>;
+
+    CacheCtrl(NodeId node, EventQueue &eq, Network &net, AddrMap &mem,
+              const MachineConfig &config);
+
+    /** Attach the speculation hardware (may be null). */
+    void setSpecUnit(SpecCacheIface *unit) { spec = unit; }
+
+    /**
+     * Issue a blocking load of @p size bytes at @p addr.
+     * @p done fires (with the value) once the data is available;
+     * the full access latency has elapsed by then. At most one load
+     * may be outstanding (the modeled processor blocks on loads).
+     */
+    void load(Addr addr, uint32_t size, IterNum iter, LoadDone done);
+
+    /**
+     * Enqueue a store into the write buffer.
+     * @return false if the buffer is full (caller stalls and retries
+     * after a slot-free notice).
+     */
+    bool store(Addr addr, uint32_t size, uint64_t value, IterNum iter);
+
+    /** Invoked every time a write-buffer entry retires. */
+    void setSlotFreeNotice(Notice n) { slotFreeNotice = std::move(n); }
+
+    /**
+     * One-shot notice when the write buffer is empty and no store
+     * transaction is in flight (used at iteration boundaries).
+     */
+    void requestDrainNotice(Notice n);
+
+    /** Network entry point. */
+    void handle(const Msg &msg);
+
+    /**
+     * Run-boundary flush. Dirty lines are either committed straight
+     * into the backing store (@p commit_dirty) or discarded (aborted
+     * speculative run). All transaction state must be quiescent.
+     */
+    void reset(bool commit_dirty);
+
+    /** True when no load/store/writeback activity is in flight. */
+    bool quiescent() const;
+
+    NodeCache &cacheArray() { return cache; }
+    NodeId nodeId() const { return node; }
+
+  private:
+    struct WbEntry
+    {
+        Addr addr;
+        uint32_t size;
+        uint64_t value;
+        IterNum iter;
+    };
+
+    struct LoadTxn
+    {
+        Addr line;
+        Addr elem;
+        uint32_t size;
+        IterNum iter;
+        LoadDone done;
+        bool invalPending = false;
+    };
+
+    struct WbBufEntry
+    {
+        std::vector<uint8_t> data;
+        std::vector<uint32_t> bits;
+    };
+
+    struct BlockedLoad
+    {
+        Addr addr;
+        uint32_t size;
+        IterNum iter;
+        LoadDone done;
+    };
+
+    Addr lineOf(Addr a) const { return cache.lineAlign(a); }
+    NodeId homeOf(Addr a) const { return mem.homeOf(a); }
+
+    bool wbHasLine(Addr line) const;
+    void scheduleDrain();
+    void drainHead();
+    void retireHead();
+    void popHead();
+
+    void onReadReply(const Msg &msg);
+    void onWriteReply(const Msg &msg);
+    void onInval(const Msg &msg);
+    void onFwd(const Msg &msg);
+    void serveFwd(const Msg &msg);
+    void onWritebackAck(const Msg &msg);
+
+    /**
+     * Install a line; handles victim eviction (writeback of dirty
+     * victims) and spec-bit installation + local application of the
+     * triggering access.
+     */
+    void fillLine(const Msg &reply, LineState state, bool is_write);
+
+    void evictDirty(const CacheLine &victim);
+
+    void unblockLoads(Addr line);
+    void maybeFireDrainNotice();
+
+    NodeId node;
+    EventQueue &eq;
+    Network &net;
+    AddrMap &mem;
+    const MachineConfig &cfg;
+    SpecCacheIface *spec = nullptr;
+
+    NodeCache cache;
+
+    std::deque<WbEntry> wb;
+    bool storeTxnActive = false;
+    Addr storeTxnLine = invalidAddr;
+    bool drainScheduled = false;
+
+    std::optional<LoadTxn> loadTxn;
+    std::vector<BlockedLoad> blockedLoads;
+
+    std::unordered_map<Addr, std::deque<WbBufEntry>> wbBuf;
+    std::unordered_map<Addr, std::vector<Msg>> parkedFwds;
+
+    Notice slotFreeNotice;
+    std::vector<Notice> drainNotices;
+
+  public:
+    Scalar l1Hits;
+    Scalar l2Hits;
+    Scalar misses;
+    Scalar storeHits;
+    Scalar storeMisses;
+    Scalar writebacks;
+    Scalar wbFullStalls;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_MEM_CACHE_CTRL_HH

@@ -1,0 +1,373 @@
+#include "mem/dir_ctrl.hh"
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+DirCtrl::DirCtrl(NodeId node_, EventQueue &eq_, Network &net_,
+                 AddrMap &mem_, const MachineConfig &config)
+    : StatGroup("dir" + std::to_string(node_)),
+      node(node_), eq(eq_), net(net_), mem(mem_), cfg(config),
+      txns(this, "txns", "transactions processed"),
+      fwds(this, "fwds", "owner forwards sent"),
+      invalsSent(this, "invals", "invalidations sent"),
+      queuedCycles(this, "queued_cycles", "cycles requests sat queued")
+{
+}
+
+bool
+DirCtrl::startsTxn(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+      case MsgType::WriteReq:
+      case MsgType::Writeback:
+      case MsgType::FirstUpdate:
+      case MsgType::ROnlyUpdate:
+      case MsgType::ReadFirstSig:
+      case MsgType::FirstWriteSig:
+      case MsgType::ReadInReq:
+      case MsgType::CopyOutSig:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+DirCtrl::handle(const Msg &msg)
+{
+    switch (msg.type) {
+      case MsgType::ShareWb:
+        onShareWb(msg);
+        return;
+      case MsgType::OwnXfer:
+        onOwnXfer(msg);
+        return;
+      case MsgType::InvalAck:
+        onInvalAck(msg);
+        return;
+      case MsgType::ReadInReply:
+        // Nested leg of a deferred transaction; entirely the spec
+        // unit's business (it will call resumeDeferred()).
+        SPECRT_ASSERT(spec, "ReadInReply with no spec unit");
+        spec->onMsg(msg);
+        return;
+      default:
+        break;
+    }
+    SPECRT_ASSERT(startsTxn(msg.type), "dir %d got unexpected %s",
+                  node, msgTypeName(msg.type));
+    enqueue(msg);
+}
+
+void
+DirCtrl::enqueue(const Msg &msg)
+{
+    waiting[msg.lineAddr].push_back(msg);
+    tryStart(msg.lineAddr);
+}
+
+void
+DirCtrl::tryStart(Addr line)
+{
+    if (active.count(line))
+        return;
+    auto it = waiting.find(line);
+    if (it == waiting.end() || it->second.empty())
+        return;
+
+    Msg req = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty())
+        waiting.erase(it);
+
+    active.emplace(line, Txn{req, 0, false, false});
+
+    Tick start = claimController();
+    queuedCycles += static_cast<double>(start - eq.curTick());
+    eq.schedule(start, [this, req]() { process(req); });
+}
+
+Tick
+DirCtrl::claimController()
+{
+    Tick start = std::max(eq.curTick(), nextFree);
+    nextFree = start + cfg.lat.dirOccupancy;
+    return start;
+}
+
+void
+DirCtrl::process(const Msg &msg)
+{
+    switch (msg.type) {
+      case MsgType::ReadReq:
+      case MsgType::WriteReq: {
+        DirEntry &e = dir.entry(msg.lineAddr);
+        if (e.state == DirState::Dirty) {
+            SPECRT_ASSERT(e.owner != msg.src,
+                          "requester %d already owns line %#llx",
+                          msg.src, (unsigned long long)msg.lineAddr);
+            // Forward to the owner; spec check runs when the owner's
+            // bits come home (merge-then-test, as in Fig. 6(b)/(d)).
+            Txn &txn = active.at(msg.lineAddr);
+            txn.awaitingOwner = true;
+            Msg fwd;
+            fwd.type = msg.type == MsgType::ReadReq ? MsgType::ReadFwd
+                                                    : MsgType::WriteFwd;
+            fwd.src = node;
+            fwd.dst = e.owner;
+            fwd.lineAddr = msg.lineAddr;
+            fwd.elemAddr = msg.elemAddr;
+            fwd.requester = msg.src;
+            fwd.iter = msg.iter;
+            if (spec) {
+                // Attach the home's authoritative access bits; the
+                // owner combines them with its tags so the requester
+                // receives exact, identity-carrying bits.
+                fwd.specBits =
+                    spec->collectFillBits(msg.src, msg.lineAddr,
+                                          msg.iter);
+            }
+            ++fwds;
+            net.send(std::move(fwd), cfg.lat.dirLookup);
+            return;
+        }
+        if (spec) {
+            SpecDirAction action = msg.type == MsgType::ReadReq
+                                       ? spec->onReadReq(msg)
+                                       : spec->onWriteReq(msg);
+            if (action == SpecDirAction::Defer) {
+                active.at(msg.lineAddr).deferred = true;
+                return;
+            }
+        }
+        processBase(msg);
+        return;
+      }
+      case MsgType::Writeback:
+        processWriteback(msg);
+        return;
+      default:
+        processSpecMsg(msg);
+        return;
+    }
+}
+
+void
+DirCtrl::processBase(const Msg &req)
+{
+    Addr line = req.lineAddr;
+    DirEntry &e = dir.entry(line);
+
+    if (req.type == MsgType::ReadReq) {
+        SPECRT_ASSERT(e.state != DirState::Dirty,
+                      "processBase(read) on Dirty line");
+        e.state = DirState::Shared;
+        e.addSharer(req.src);
+        e.owner = invalidNode;
+        replyFromMemory(req, false, cfg.lat.dirMemAccess);
+        eq.scheduleIn(cfg.lat.dirMemAccess,
+                      [this, line]() { finishTxn(line); });
+        return;
+    }
+
+    SPECRT_ASSERT(req.type == MsgType::WriteReq, "processBase type");
+    uint64_t others = e.state == DirState::Shared
+                          ? (e.sharers & ~(uint64_t(1) << req.src))
+                          : 0;
+    if (others) {
+        Txn &txn = active.at(line);
+        txn.pendingAcks = __builtin_popcountll(others);
+        for (NodeId n = 0; others; ++n, others >>= 1) {
+            if (!(others & 1))
+                continue;
+            Msg inv;
+            inv.type = MsgType::Inval;
+            inv.src = node;
+            inv.dst = n;
+            inv.lineAddr = line;
+            ++invalsSent;
+            net.send(std::move(inv), cfg.lat.dirLookup);
+        }
+        return; // grant when the last InvalAck arrives
+    }
+
+    e.state = DirState::Dirty;
+    e.owner = req.src;
+    e.sharers = 0;
+    replyFromMemory(req, true, cfg.lat.dirMemAccess);
+    eq.scheduleIn(cfg.lat.dirMemAccess,
+                  [this, line]() { finishTxn(line); });
+}
+
+void
+DirCtrl::processWriteback(const Msg &msg)
+{
+    Addr line = msg.lineAddr;
+    DirEntry &e = dir.entry(line);
+    if (e.state == DirState::Dirty && e.owner == msg.src) {
+        SPECRT_ASSERT(msg.data.size() == mem.find(line)->elemBytes ||
+                      !msg.data.empty(),
+                      "writeback without data");
+        mem.writeLine(line, msg.data.data(),
+                      static_cast<uint32_t>(msg.data.size()));
+        if (spec && !msg.specBits.empty())
+            spec->onDirtyBits(msg.src, line, msg.specBits);
+        e.state = DirState::Uncached;
+        e.owner = invalidNode;
+        e.sharers = 0;
+    }
+    // Else: superseded -- a forward already extracted this line from
+    // the sender's writeback buffer; just acknowledge.
+    Msg ack;
+    ack.type = MsgType::WritebackAck;
+    ack.src = node;
+    ack.dst = msg.src;
+    ack.lineAddr = line;
+    net.send(std::move(ack), cfg.lat.dirLookup);
+    eq.scheduleIn(cfg.lat.dirLookup, [this, line]() { finishTxn(line); });
+}
+
+void
+DirCtrl::processSpecMsg(const Msg &msg)
+{
+    SPECRT_ASSERT(spec, "spec message %s with no spec unit at node %d",
+                  msgTypeName(msg.type), node);
+    spec->onMsg(msg);
+    Cycles busy = (msg.type == MsgType::ReadInReq ||
+                   msg.type == MsgType::CopyOutSig)
+                      ? cfg.lat.dirMemAccess
+                      : cfg.lat.dirLookup;
+    Addr line = msg.lineAddr;
+    eq.scheduleIn(busy, [this, line]() { finishTxn(line); });
+}
+
+void
+DirCtrl::onShareWb(const Msg &msg)
+{
+    auto it = active.find(msg.lineAddr);
+    SPECRT_ASSERT(it != active.end() && it->second.awaitingOwner,
+                  "stray ShareWb for %#llx",
+                  (unsigned long long)msg.lineAddr);
+    Txn &txn = it->second;
+    SPECRT_ASSERT(txn.req.type == MsgType::ReadReq, "ShareWb txn type");
+
+    mem.writeLine(msg.lineAddr, msg.data.data(),
+                  static_cast<uint32_t>(msg.data.size()));
+    if (spec) {
+        if (!msg.specBits.empty())
+            spec->onDirtyBits(msg.src, msg.lineAddr, msg.specBits);
+        SpecDirAction action = spec->onReadReq(txn.req);
+        SPECRT_ASSERT(action == SpecDirAction::Proceed,
+                      "spec deferred in owner leg");
+    }
+
+    DirEntry &e = dir.entry(msg.lineAddr);
+    e.state = DirState::Shared;
+    e.sharers = uint64_t(1) << txn.req.src;
+    if (msg.ownerRetains)
+        e.addSharer(msg.src);
+    e.owner = invalidNode;
+    finishTxn(msg.lineAddr);
+}
+
+void
+DirCtrl::onOwnXfer(const Msg &msg)
+{
+    auto it = active.find(msg.lineAddr);
+    SPECRT_ASSERT(it != active.end() && it->second.awaitingOwner,
+                  "stray OwnXfer for %#llx",
+                  (unsigned long long)msg.lineAddr);
+    Txn &txn = it->second;
+    SPECRT_ASSERT(txn.req.type == MsgType::WriteReq, "OwnXfer txn type");
+
+    if (spec) {
+        if (!msg.specBits.empty())
+            spec->onDirtyBits(msg.src, msg.lineAddr, msg.specBits);
+        SpecDirAction action = spec->onWriteReq(txn.req);
+        SPECRT_ASSERT(action == SpecDirAction::Proceed,
+                      "spec deferred in owner leg");
+    }
+
+    DirEntry &e = dir.entry(msg.lineAddr);
+    e.state = DirState::Dirty;
+    e.owner = txn.req.src;
+    e.sharers = 0;
+    finishTxn(msg.lineAddr);
+}
+
+void
+DirCtrl::onInvalAck(const Msg &msg)
+{
+    auto it = active.find(msg.lineAddr);
+    SPECRT_ASSERT(it != active.end() && it->second.pendingAcks > 0,
+                  "stray InvalAck for %#llx",
+                  (unsigned long long)msg.lineAddr);
+    Txn &txn = it->second;
+    if (--txn.pendingAcks > 0)
+        return;
+
+    // All sharers gone: grant ownership. The memory read overlapped
+    // with the invalidations, so the reply goes out immediately.
+    DirEntry &e = dir.entry(msg.lineAddr);
+    e.state = DirState::Dirty;
+    e.owner = txn.req.src;
+    e.sharers = 0;
+    replyFromMemory(txn.req, true, 0);
+    finishTxn(msg.lineAddr);
+}
+
+void
+DirCtrl::replyFromMemory(const Msg &req, bool write, Cycles delay)
+{
+    const Region *r = mem.find(req.lineAddr);
+    SPECRT_ASSERT(r, "reply for unmapped line");
+    uint32_t line_bytes = cfg.l2.lineBytes;
+
+    Msg reply;
+    reply.type = write ? MsgType::WriteReply : MsgType::ReadReply;
+    reply.src = node;
+    reply.dst = req.src;
+    reply.lineAddr = req.lineAddr;
+    reply.elemAddr = req.elemAddr;
+    reply.iter = req.iter;
+    reply.data.resize(line_bytes);
+    mem.readLine(req.lineAddr, reply.data.data(), line_bytes);
+    if (spec)
+        reply.specBits =
+            spec->collectFillBits(req.src, req.lineAddr, req.iter);
+    net.send(std::move(reply), delay);
+}
+
+void
+DirCtrl::resumeDeferred(Addr line_addr)
+{
+    auto it = active.find(line_addr);
+    SPECRT_ASSERT(it != active.end() && it->second.deferred,
+                  "resumeDeferred with no deferred txn");
+    it->second.deferred = false;
+    processBase(it->second.req);
+}
+
+void
+DirCtrl::finishTxn(Addr line)
+{
+    SPECRT_ASSERT(active.count(line), "finishTxn with no txn");
+    active.erase(line);
+    ++txns;
+    tryStart(line);
+}
+
+void
+DirCtrl::reset()
+{
+    SPECRT_ASSERT(active.empty() || true, "reset");
+    active.clear();
+    waiting.clear();
+    dir.clear();
+    nextFree = 0;
+}
+
+} // namespace specrt

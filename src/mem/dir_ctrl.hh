@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Home-node directory controller: a DASH-like invalidation protocol
+ * engine with the paper's speculative-parallelization hooks.
+ *
+ * All transactions touching a line are serialized here, one at a
+ * time, exactly as the paper requires ("the transactions added to
+ * the cache coherence protocol are designed so that they are all
+ * serialized in the directory"). A transaction runs to completion --
+ * including remote legs (owner forwards, invalidation acks, nested
+ * read-ins) -- before the next queued request for that line starts.
+ *
+ * Dirty lines are served by forwarding: the home sends the owner a
+ * ReadFwd/WriteFwd; the owner replies directly to the requester
+ * (giving the 3-hop latency of section 5.1) and sends the line +
+ * its access bits back to the home (ShareWb / OwnXfer), at which
+ * point the home merges the bits and runs the speculation check of
+ * Figs. 6(b)/6(d) with exactly the paper's merge-then-test order.
+ */
+
+#ifndef SPECRT_MEM_DIR_CTRL_HH
+#define SPECRT_MEM_DIR_CTRL_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "mem/addr_map.hh"
+#include "mem/cache.hh"
+#include "mem/directory.hh"
+#include "mem/msg.hh"
+#include "mem/network.hh"
+#include "mem/spec_iface.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace specrt
+{
+
+/** The directory controller of one home node. */
+class DirCtrl : public StatGroup
+{
+  public:
+    DirCtrl(NodeId node, EventQueue &eq, Network &net, AddrMap &mem,
+            const MachineConfig &config);
+
+    /** Attach the speculation hardware (may be null: plain machine). */
+    void setSpecUnit(SpecDirIface *unit) { spec = unit; }
+
+    /** Network entry point. */
+    void handle(const Msg &msg);
+
+    /**
+     * Continue a transaction a spec unit previously deferred
+     * (read-in finished). Runs the base protocol action now.
+     */
+    void resumeDeferred(Addr line_addr);
+
+    /** Drop all transaction + directory state (run boundary). */
+    void reset();
+
+    Directory &directory() { return dir; }
+    NodeId nodeId() const { return node; }
+
+    /** Transactions fully processed. */
+    uint64_t numTxns() const { return static_cast<uint64_t>(txns.value()); }
+
+  private:
+    struct Txn
+    {
+        Msg req;
+        int pendingAcks = 0;
+        bool deferred = false;
+        /** Waiting for ShareWb/OwnXfer from the old owner. */
+        bool awaitingOwner = false;
+    };
+
+    /** True if this message type opens a new serialized transaction. */
+    static bool startsTxn(MsgType t);
+
+    void enqueue(const Msg &msg);
+    void tryStart(Addr line);
+    /** Begin processing @p msg (line marked busy). */
+    void process(const Msg &msg);
+    /** Base protocol action for ReadReq/WriteReq (after spec hook). */
+    void processBase(const Msg &req);
+    void processWriteback(const Msg &msg);
+    void processSpecMsg(const Msg &msg);
+
+    void onShareWb(const Msg &msg);
+    void onOwnXfer(const Msg &msg);
+    void onInvalAck(const Msg &msg);
+
+    /** Send a data reply (ReadReply/WriteReply) out of memory. */
+    void replyFromMemory(const Msg &req, bool write, Cycles delay);
+
+    void finishTxn(Addr line);
+
+    /** Occupancy: processing start time for a new transaction. */
+    Tick claimController();
+
+    NodeId node;
+    EventQueue &eq;
+    Network &net;
+    AddrMap &mem;
+    const MachineConfig &cfg;
+    SpecDirIface *spec = nullptr;
+
+    Directory dir;
+    std::unordered_map<Addr, Txn> active;
+    std::unordered_map<Addr, std::deque<Msg>> waiting;
+    Tick nextFree = 0;
+
+    Scalar txns;
+    Scalar fwds;
+    Scalar invalsSent;
+    Scalar queuedCycles;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_MEM_DIR_CTRL_HH

@@ -1,0 +1,17 @@
+#include "mem/directory.hh"
+
+namespace specrt
+{
+
+const char *
+dirStateName(DirState s)
+{
+    switch (s) {
+      case DirState::Uncached: return "Uncached";
+      case DirState::Shared:   return "Shared";
+      case DirState::Dirty:    return "Dirty";
+    }
+    return "Unknown";
+}
+
+} // namespace specrt

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Full-map directory state for the lines homed at one node.
+ *
+ * Entries are materialized lazily: a line never referenced behaves as
+ * Uncached. Up to 64 nodes are supported (one presence bit each),
+ * which comfortably covers the paper's 16-processor machine.
+ */
+
+#ifndef SPECRT_MEM_DIRECTORY_HH
+#define SPECRT_MEM_DIRECTORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+/** Directory-visible state of a line. */
+enum class DirState : uint8_t
+{
+    Uncached,
+    Shared,
+    Dirty,
+};
+
+const char *dirStateName(DirState s);
+
+/** Directory entry for one line. */
+struct DirEntry
+{
+    DirState state = DirState::Uncached;
+    /** Presence bits (valid when Shared). */
+    uint64_t sharers = 0;
+    /** Owner (valid when Dirty). */
+    NodeId owner = invalidNode;
+
+    bool isSharer(NodeId n) const { return sharers & (uint64_t(1) << n); }
+    void addSharer(NodeId n) { sharers |= uint64_t(1) << n; }
+    void removeSharer(NodeId n) { sharers &= ~(uint64_t(1) << n); }
+    int numSharers() const { return __builtin_popcountll(sharers); }
+};
+
+/** The directory array of one home node. */
+class Directory
+{
+  public:
+    /** Entry for @p line_addr, creating an Uncached one on demand. */
+    DirEntry &entry(Addr line_addr) { return entries[line_addr]; }
+
+    /** Entry if it exists, else nullptr (const inspection). */
+    const DirEntry *
+    find(Addr line_addr) const
+    {
+        auto it = entries.find(line_addr);
+        return it == entries.end() ? nullptr : &it->second;
+    }
+
+    /** Drop all entries (machine reset between runs). */
+    void clear() { entries.clear(); }
+
+    size_t numEntries() const { return entries.size(); }
+
+  private:
+    std::unordered_map<Addr, DirEntry> entries;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_MEM_DIRECTORY_HH

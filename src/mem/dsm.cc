@@ -1,0 +1,56 @@
+#include "mem/dsm.hh"
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+DsmSystem::DsmSystem(const MachineConfig &config)
+    : StatGroup("system"), cfg(config), mem(config)
+{
+    cfg.validate();
+    if (cfg.numProcs > 64)
+        fatal("DsmSystem supports at most 64 nodes (full-map "
+              "directory presence bits)");
+
+    net = std::make_unique<Network>(eq, cfg);
+    addChild(net.get());
+
+    caches.reserve(cfg.numProcs);
+    dirs.reserve(cfg.numProcs);
+    for (NodeId n = 0; n < cfg.numProcs; ++n) {
+        caches.push_back(
+            std::make_unique<CacheCtrl>(n, eq, *net, mem, cfg));
+        dirs.push_back(
+            std::make_unique<DirCtrl>(n, eq, *net, mem, cfg));
+        addChild(caches.back().get());
+        addChild(dirs.back().get());
+
+        CacheCtrl *cc = caches.back().get();
+        DirCtrl *dc = dirs.back().get();
+        net->setCacheHandler(n, [cc](const Msg &m) { cc->handle(m); });
+        net->setDirHandler(n, [dc](const Msg &m) { dc->handle(m); });
+    }
+}
+
+void
+DsmSystem::resetMachine(bool commit_dirty)
+{
+    eq.reset();
+    for (auto &cc : caches)
+        cc->reset(commit_dirty);
+    for (auto &dc : dirs)
+        dc->reset();
+}
+
+bool
+DsmSystem::quiescent() const
+{
+    for (const auto &cc : caches) {
+        if (!cc->quiescent())
+            return false;
+    }
+    return true;
+}
+
+} // namespace specrt

@@ -1,0 +1,53 @@
+#include "mem/msg.hh"
+
+namespace specrt
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:         return "ReadReq";
+      case MsgType::WriteReq:        return "WriteReq";
+      case MsgType::Writeback:       return "Writeback";
+      case MsgType::ReadReply:       return "ReadReply";
+      case MsgType::WriteReply:      return "WriteReply";
+      case MsgType::Inval:           return "Inval";
+      case MsgType::WritebackAck:    return "WritebackAck";
+      case MsgType::ReadFwd:         return "ReadFwd";
+      case MsgType::WriteFwd:        return "WriteFwd";
+      case MsgType::ShareWb:         return "ShareWb";
+      case MsgType::OwnXfer:         return "OwnXfer";
+      case MsgType::InvalAck:        return "InvalAck";
+      case MsgType::FirstUpdate:     return "FirstUpdate";
+      case MsgType::ROnlyUpdate:     return "ROnlyUpdate";
+      case MsgType::FirstUpdateFail: return "FirstUpdateFail";
+      case MsgType::ReadFirstSig:    return "ReadFirstSig";
+      case MsgType::FirstWriteSig:   return "FirstWriteSig";
+      case MsgType::ReadInReq:       return "ReadInReq";
+      case MsgType::ReadInReply:     return "ReadInReply";
+      case MsgType::CopyOutSig:      return "CopyOutSig";
+    }
+    return "Unknown";
+}
+
+bool
+msgToHome(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+      case MsgType::WriteReq:
+      case MsgType::Writeback:
+      case MsgType::FirstUpdate:
+      case MsgType::ROnlyUpdate:
+      case MsgType::ReadFirstSig:
+      case MsgType::FirstWriteSig:
+      case MsgType::ReadInReq:
+      case MsgType::CopyOutSig:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace specrt

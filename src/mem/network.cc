@@ -1,0 +1,64 @@
+#include "mem/network.hh"
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+Network::Network(EventQueue &eq_, const MachineConfig &config)
+    : StatGroup("network"),
+      eq(eq_),
+      hopLatency(config.lat.netHop),
+      cacheHandlers(config.numProcs),
+      dirHandlers(config.numProcs),
+      msgs(this, "msgs", "total messages sent"),
+      hopStat(this, "hops", "inter-node network traversals"),
+      msgsByType(this, "msgs_by_type", "messages per MsgType", 32)
+{
+}
+
+void
+Network::setCacheHandler(NodeId node, Handler h)
+{
+    cacheHandlers.at(node) = std::move(h);
+}
+
+void
+Network::setDirHandler(NodeId node, Handler h)
+{
+    dirHandlers.at(node) = std::move(h);
+}
+
+void
+Network::send(Msg msg, Cycles extra_delay)
+{
+    SPECRT_ASSERT(msg.src >= 0 &&
+                  msg.src < static_cast<NodeId>(cacheHandlers.size()),
+                  "bad msg src %d", msg.src);
+    SPECRT_ASSERT(msg.dst >= 0 &&
+                  msg.dst < static_cast<NodeId>(cacheHandlers.size()),
+                  "bad msg dst %d", msg.dst);
+
+    ++msgs;
+    msgsByType[static_cast<size_t>(msg.type)] += 1;
+
+    Cycles delay = extra_delay;
+    if (msg.src != msg.dst) {
+        delay += hopLatency;
+        ++hops;
+        ++hopStat;
+    }
+
+    bool to_dir = msgToHome(msg.type) || msg.type == MsgType::ShareWb ||
+                  msg.type == MsgType::OwnXfer ||
+                  msg.type == MsgType::InvalAck ||
+                  msg.type == MsgType::ReadInReply;
+    Handler &h = to_dir ? dirHandlers.at(msg.dst)
+                        : cacheHandlers.at(msg.dst);
+    SPECRT_ASSERT(h, "no handler for %s at node %d",
+                  msgTypeName(msg.type), msg.dst);
+
+    eq.scheduleIn(delay, [&h, m = std::move(msg)]() { h(m); });
+}
+
+} // namespace specrt

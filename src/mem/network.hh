@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Interconnection network of the modeled machine.
+ *
+ * As in the paper, the global network is abstracted as a constant
+ * per-traversal latency with no contention ("we model contention in
+ * the whole system except in the global network, which is abstracted
+ * away as a constant latency"). Messages between distinct nodes take
+ * lat.netHop cycles; intra-node messages are immediate. Delivery
+ * between any src/dst pair is in send order (the paper's algorithms
+ * assume in-order delivery).
+ */
+
+#ifndef SPECRT_MEM_NETWORK_HH
+#define SPECRT_MEM_NETWORK_HH
+
+#include <functional>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace specrt
+{
+
+/**
+ * Routes messages to per-node handlers with constant latency.
+ */
+class Network : public StatGroup
+{
+  public:
+    using Handler = std::function<void(const Msg &)>;
+
+    Network(EventQueue &eq, const MachineConfig &config);
+
+    /** Install the cache-controller handler for @p node. */
+    void setCacheHandler(NodeId node, Handler h);
+
+    /** Install the directory-controller handler for @p node. */
+    void setDirHandler(NodeId node, Handler h);
+
+    /**
+     * Send @p msg from msg.src to msg.dst after @p extra_delay cycles
+     * of sender-side processing. The message is dispatched to the
+     * destination's directory handler for home-bound types, else to
+     * its cache handler.
+     */
+    void send(Msg msg, Cycles extra_delay = 0);
+
+    /** Network traversals between distinct nodes. */
+    uint64_t numHops() const { return hops; }
+    /** Total messages sent (including intra-node). */
+    uint64_t numMsgs() const { return static_cast<uint64_t>(msgs.value()); }
+
+  private:
+    EventQueue &eq;
+    Cycles hopLatency;
+
+    std::vector<Handler> cacheHandlers;
+    std::vector<Handler> dirHandlers;
+
+    uint64_t hops = 0;
+    Scalar msgs;
+    Scalar hopStat;
+
+  public:
+    /** Per-message-type counters (index by MsgType value). */
+    VectorStat msgsByType;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_MEM_NETWORK_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Interfaces through which the base coherence machinery calls into
+ * the speculative-parallelization hardware (implemented in spec/).
+ *
+ * The hooks mirror the integration points of the paper's design
+ * (section 4.2): the cache's Access Bit Array + Test Logic is
+ * consulted on every processor access that touches the cache, and
+ * the directory's Translation Table + Access Bit Table is consulted
+ * while the home serializes each transaction. A null interface means
+ * "plain machine, no speculation hardware".
+ */
+
+#ifndef SPECRT_MEM_SPEC_IFACE_HH
+#define SPECRT_MEM_SPEC_IFACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/msg.hh"
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+/**
+ * Cache-side speculation unit of one node (access bit array + test
+ * logic beside the L1/L2 tags).
+ */
+class SpecCacheIface
+{
+  public:
+    virtual ~SpecCacheIface() = default;
+
+    /**
+     * Processor load that hit in this node's cache.
+     * May update tag access bits and send update messages; may FAIL.
+     */
+    virtual void onLoadHit(Addr addr, LineState state, IterNum iter) = 0;
+
+    /**
+     * Processor store performed directly in the cache (line Dirty).
+     * Clean-hit and missing stores reach the home as WriteReq and are
+     * checked there instead.
+     */
+    virtual void onStoreDirtyHit(Addr addr, IterNum iter) = 0;
+
+    /**
+     * A line was filled after a miss. Install the access bits that
+     * came with the data, then apply the triggering access locally
+     * (idempotent when the home already accounted for it; needed
+     * when the bits came from the old owner's tags via a forward).
+     *
+     * @param line_addr line-aligned address
+     * @param bits      access bits attached to the reply (may be
+     *                  empty for plain data)
+     * @param elem_addr address of the access that missed
+     * @param is_write  whether that access was a store
+     * @param iter      its iteration number
+     */
+    virtual void onFill(Addr line_addr,
+                        const std::vector<uint32_t> &bits,
+                        Addr elem_addr, bool is_write, IterNum iter) = 0;
+
+    /**
+     * A dirty line is leaving the cache (writeback or forward reply);
+     * harvest the tag access bits to ship to the home.
+     */
+    virtual std::vector<uint32_t> onDirtyOut(Addr line_addr) = 0;
+
+    /**
+     * Combine an owner's harvested tag bits with the home's
+     * directory bits (attached to a forward). The owner's 2-bit tag
+     * view cannot name the first accessor; the home's view can, and
+     * the two views are together exact (while a line is dirty, only
+     * its owner can change the bits). The result is shipped to the
+     * requester and back to the home.
+     */
+    virtual std::vector<uint32_t>
+    combineBits(Addr line_addr, const std::vector<uint32_t> &owner_bits,
+                const std::vector<uint32_t> &home_bits) = 0;
+
+    /** The line was invalidated; drop its tag bits. */
+    virtual void onInval(Addr line_addr) = 0;
+
+    /** Element-granularity spec message (e.g.\ FirstUpdateFail). */
+    virtual void onMsg(const Msg &msg) = 0;
+};
+
+/** What a directory-side hook tells the protocol engine to do. */
+enum class SpecDirAction
+{
+    /** Continue the base transaction normally. */
+    Proceed,
+    /**
+     * The spec unit started a nested transaction (e.g.\ a read-in to
+     * the shared array); the engine parks the request and continues
+     * when the unit calls DirCtrl::resumeDeferred().
+     */
+    Defer,
+};
+
+/**
+ * Directory-side speculation unit of one home node (translation
+ * table + access bit table + test logic beside the directory).
+ */
+class SpecDirIface
+{
+  public:
+    virtual ~SpecDirIface() = default;
+
+    /** Home is processing a read request (Fig. 6(b) / Fig. 8(c)). */
+    virtual SpecDirAction onReadReq(const Msg &req) = 0;
+
+    /** Home is processing a write request (Fig. 6(d) / Fig. 9(h)). */
+    virtual SpecDirAction onWriteReq(const Msg &req) = 0;
+
+    /**
+     * Access bits to attach to a data reply for @p line_addr going to
+     * @p requester ("copy dir state to tag state for all the words in
+     * the line").
+     */
+    virtual std::vector<uint32_t> collectFillBits(NodeId requester,
+                                                  Addr line_addr,
+                                                  IterNum iter) = 0;
+
+    /**
+     * Dirty-line access bits arriving with a Writeback / ShareWb /
+     * OwnXfer ("update directory using the tag state of all the words
+     * of the dirty line").
+     */
+    virtual void onDirtyBits(NodeId from, Addr line_addr,
+                             const std::vector<uint32_t> &bits) = 0;
+
+    /**
+     * Element-granularity spec message addressed to this directory
+     * (FirstUpdate, ROnlyUpdate, ReadFirstSig, FirstWriteSig,
+     * ReadInReq, ReadInReply, CopyOutSig).
+     */
+    virtual void onMsg(const Msg &msg) = 0;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_MEM_SPEC_IFACE_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The micro-ISA in which loop iterations are expressed.
+ *
+ * Workloads generate one small register program per iteration.
+ * Indices may come from registers, so subscripted-subscript loops
+ * (A(K(i))) are expressed naturally: load K(i) into a register, then
+ * use that register as the index of the next access. Data values
+ * really flow through the simulated memory system, so a passing
+ * speculative run can be checked against serial execution.
+ */
+
+#ifndef SPECRT_RUNTIME_ISA_HH
+#define SPECRT_RUNTIME_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+/** Number of general-purpose registers per processor. */
+constexpr int numRegs = 32;
+
+/** Operation kinds. */
+enum class OpKind : uint8_t
+{
+    Imm,    ///< dst = imm
+    Alu,    ///< dst = srcA <op> srcB
+    Load,   ///< dst = array[index]
+    Store,  ///< array[index] = src
+    Busy,   ///< spin for `cycles` cycles (models non-memory work)
+};
+
+/** ALU operations. */
+enum class AluOp : uint8_t
+{
+    Add, Sub, Mul, And, Or, Xor, Min, Max, Mod, Shr,
+};
+
+/** An index operand: an immediate element index or a register. */
+struct IndexOperand
+{
+    bool isReg = false;
+    int reg = 0;
+    int64_t imm = 0;
+
+    static IndexOperand immediate(int64_t v) { return {false, 0, v}; }
+    static IndexOperand fromReg(int r) { return {true, r, 0}; }
+};
+
+/** One micro-op. */
+struct Op
+{
+    OpKind kind = OpKind::Busy;
+    int dst = 0;            ///< Imm/Alu/Load destination register
+    int srcA = 0;           ///< Alu operand / Store value register
+    int srcB = 0;           ///< Alu operand
+    AluOp alu = AluOp::Add;
+    int arrayId = -1;       ///< Load/Store target array
+    IndexOperand index;     ///< Load/Store element index
+    int64_t imm = 0;        ///< Imm value
+    Cycles cycles = 0;      ///< Busy duration
+    /**
+     * The access belongs to a compiler-identified reduction
+     * statement (A(x) op= expr). Arrays under the reduction test
+     * may only be touched by such accesses; the hardware checks the
+     * tag with its address-range comparator on every access.
+     */
+    bool isReduction = false;
+};
+
+/** A single iteration's body. */
+using IterProgram = std::vector<Op>;
+
+// --- builders ---------------------------------------------------------
+
+inline Op
+opImm(int dst, int64_t value)
+{
+    Op op;
+    op.kind = OpKind::Imm;
+    op.dst = dst;
+    op.imm = value;
+    return op;
+}
+
+inline Op
+opAlu(int dst, AluOp alu, int src_a, int src_b)
+{
+    Op op;
+    op.kind = OpKind::Alu;
+    op.dst = dst;
+    op.alu = alu;
+    op.srcA = src_a;
+    op.srcB = src_b;
+    return op;
+}
+
+inline Op
+opLoad(int dst, int array_id, IndexOperand index)
+{
+    Op op;
+    op.kind = OpKind::Load;
+    op.dst = dst;
+    op.arrayId = array_id;
+    op.index = index;
+    return op;
+}
+
+inline Op
+opLoad(int dst, int array_id, int64_t index)
+{
+    return opLoad(dst, array_id, IndexOperand::immediate(index));
+}
+
+inline Op
+opStore(int array_id, IndexOperand index, int src)
+{
+    Op op;
+    op.kind = OpKind::Store;
+    op.arrayId = array_id;
+    op.index = index;
+    op.srcA = src;
+    return op;
+}
+
+inline Op
+opStore(int array_id, int64_t index, int src)
+{
+    return opStore(array_id, IndexOperand::immediate(index), src);
+}
+
+inline Op
+opBusy(Cycles cycles)
+{
+    Op op;
+    op.kind = OpKind::Busy;
+    op.cycles = cycles;
+    return op;
+}
+
+/** A load that is part of a reduction statement. */
+inline Op
+opLoadRed(int dst, int array_id, IndexOperand index)
+{
+    Op op = opLoad(dst, array_id, index);
+    op.isReduction = true;
+    return op;
+}
+
+/** A store that is part of a reduction statement. */
+inline Op
+opStoreRed(int array_id, IndexOperand index, int src)
+{
+    Op op = opStore(array_id, index, src);
+    op.isReduction = true;
+    return op;
+}
+
+/** Evaluate an ALU operation (shared by the processor and tests). */
+int64_t evalAlu(AluOp op, int64_t a, int64_t b);
+
+/** Disassemble one op (diagnostics). */
+std::string opToString(const Op &op);
+
+} // namespace specrt
+
+#endif // SPECRT_RUNTIME_ISA_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Iteration schedulers (WorkSource implementations).
+ *
+ * - StaticChunk: the iteration space is split into one contiguous
+ *   chunk per processor (the static scheduling the processor-wise
+ *   software test requires; may suffer load imbalance).
+ * - BlockCyclic: fixed-size blocks dealt round-robin (section 4.1's
+ *   chunked superiterations).
+ * - Dynamic: processors grab fixed-size blocks from a shared counter
+ *   protected by a lock; grabs serialize and each costs
+ *   schedLockCycles (this is where Sync time comes from).
+ */
+
+#ifndef SPECRT_RUNTIME_SCHEDULER_HH
+#define SPECRT_RUNTIME_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "runtime/processor.hh"
+#include "sim/config.hh"
+
+namespace specrt
+{
+
+/** Scheduling policy selector. */
+enum class SchedPolicy
+{
+    StaticChunk,
+    BlockCyclic,
+    Dynamic,
+};
+
+const char *schedPolicyName(SchedPolicy p);
+
+/** One contiguous chunk per processor. */
+class StaticChunkSource : public WorkSource
+{
+  public:
+    /**
+     * @param num_iters  iterations 1..num_iters
+     * @param num_procs  active processors
+     */
+    StaticChunkSource(IterNum num_iters, int num_procs);
+
+    Grant next(NodeId p, Tick now) override;
+
+    /** The chunk assigned to processor @p p (lo, hi). */
+    std::pair<IterNum, IterNum> chunkOf(NodeId p) const;
+
+  private:
+    IterNum numIters;
+    int numProcs;
+    std::vector<bool> handedOut;
+};
+
+/** Fixed-size blocks dealt round-robin to processors. */
+class BlockCyclicSource : public WorkSource
+{
+  public:
+    BlockCyclicSource(IterNum num_iters, int num_procs,
+                      IterNum block_iters);
+
+    Grant next(NodeId p, Tick now) override;
+
+  private:
+    IterNum numIters;
+    int numProcs;
+    IterNum blockIters;
+    std::vector<IterNum> nextBlock; ///< per-proc next block ordinal
+};
+
+/** Self-scheduling from a lock-protected shared counter. */
+class DynamicSource : public WorkSource
+{
+  public:
+    DynamicSource(IterNum num_iters, IterNum block_iters,
+                  Cycles grab_cycles);
+
+    Grant next(NodeId p, Tick now) override;
+
+    /** Reset the counter for reuse. */
+    void reset() { nextIter = 1; lockFree = 0; }
+
+  private:
+    IterNum numIters;
+    IterNum blockIters;
+    Cycles grabCycles;
+    IterNum nextIter = 1;
+    Tick lockFree = 0;
+};
+
+/** Make the configured source. */
+std::unique_ptr<WorkSource> makeSource(SchedPolicy policy,
+                                       IterNum num_iters, int num_procs,
+                                       IterNum block_iters,
+                                       Cycles grab_cycles);
+
+} // namespace specrt
+
+#endif // SPECRT_RUNTIME_SCHEDULER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Static validation of workloads before simulation.
+ *
+ * Generating every iteration up front catches authoring mistakes
+ * (out-of-range immediate indices, reserved-register clobbers,
+ * reduction-tag misuse, bad array ids) with a readable report
+ * instead of a mid-simulation panic. Register-carried indices can
+ * only be checked at run time, so the validator flags them as
+ * "dynamic" rather than verified.
+ */
+
+#ifndef SPECRT_RUNTIME_VALIDATE_HH
+#define SPECRT_RUNTIME_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/workload.hh"
+
+namespace specrt
+{
+
+/** One validation finding. */
+struct ValidationIssue
+{
+    IterNum iter = 0;       ///< iteration (0 = declaration level)
+    size_t opIndex = 0;     ///< op within the iteration
+    std::string message;
+};
+
+/** Validation outcome. */
+struct ValidationReport
+{
+    std::vector<ValidationIssue> issues;
+    /** Accesses whose index comes from a register (not statically
+     *  checkable). */
+    uint64_t dynamicIndexAccesses = 0;
+    uint64_t opsChecked = 0;
+
+    bool ok() const { return issues.empty(); }
+    std::string summary() const;
+};
+
+/**
+ * Validate @p w: declarations well-formed, every immediate index in
+ * bounds, registers within range (r27-r31 reserved for the LRPD
+ * instrumentation), Busy durations sane, reduction tags only on
+ * reduction arrays and reduction arrays only touched by tagged
+ * accesses.
+ *
+ * @param max_iters cap on generated iterations (0 = all)
+ */
+ValidationReport validateWorkload(Workload &w, IterNum max_iters = 0);
+
+} // namespace specrt
+
+#endif // SPECRT_RUNTIME_VALIDATE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The workload abstraction: a loop whose dependences the compiler
+ * could not analyze, expressed as a generator of per-iteration
+ * micro-ISA programs plus declarations of the arrays it touches.
+ */
+
+#ifndef SPECRT_RUNTIME_WORKLOAD_HH
+#define SPECRT_RUNTIME_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/addr_map.hh"
+#include "runtime/isa.hh"
+#include "spec/translation_table.hh"
+
+namespace specrt
+{
+
+/** Declaration of one array the loop touches. */
+struct ArrayDecl
+{
+    std::string name;
+    uint64_t elems = 0;
+    uint32_t elemBytes = 4;
+    /** Which run-time test the array needs (None = analyzable). */
+    TestType test = TestType::None;
+    /** The loop may modify the array (needs backup unless
+     *  privatized). */
+    bool modified = false;
+    /** Privatized array whose final values are needed after the
+     *  loop (requires copy-out). */
+    bool liveOut = false;
+};
+
+/**
+ * A loop to parallelize at run time.
+ *
+ * Iterations are 1-based. genIteration() must reference arrays by
+ * their index in arrays(). Values stored in arrays under test must
+ * never be used as indices (they may be stale in a failing
+ * speculative run); index arrays must be declared TestType::None.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+    virtual std::vector<ArrayDecl> arrays() const = 0;
+    virtual IterNum numIters() const = 0;
+
+    /**
+     * Write the loop's input data straight into the backing store
+     * (models program state on loop entry). @p regions holds the
+     * shared region of each declared array, in declaration order.
+     */
+    virtual void initData(AddrMap &mem,
+                          const std::vector<const Region *> &regions) = 0;
+
+    /** Emit the body of iteration @p i into @p out. */
+    virtual void genIteration(IterNum i, IterProgram &out) = 0;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_RUNTIME_WORKLOAD_HH

@@ -1,0 +1,53 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+namespace
+{
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+MachineConfig::validate() const
+{
+    if (numProcs < 1 || numProcs > 1024)
+        fatal("numProcs must be in [1, 1024], got %d", numProcs);
+    if (!isPow2(pageBytes))
+        fatal("pageBytes must be a power of two, got %u", pageBytes);
+    for (const CacheConfig *c : {&l1, &l2}) {
+        if (!isPow2(c->lineBytes) || !isPow2(c->sizeBytes))
+            fatal("cache size/line must be powers of two");
+        if (c->sizeBytes < c->lineBytes)
+            fatal("cache smaller than one line");
+    }
+    if (l1.lineBytes != l2.lineBytes)
+        fatal("L1 and L2 must share a line size (got %u vs %u)",
+              l1.lineBytes, l2.lineBytes);
+    if (l2.sizeBytes < l1.sizeBytes)
+        fatal("L2 must be at least as large as L1 (inclusion)");
+    if (writeBufferEntries < 1)
+        fatal("writeBufferEntries must be >= 1");
+}
+
+std::string
+MachineConfig::summary() const
+{
+    std::ostringstream os;
+    os << numProcs << " procs, L1 " << (l1.sizeBytes / 1024) << "KB/"
+       << l1.lineBytes << "B, L2 " << (l2.sizeBytes / 1024) << "KB/"
+       << l2.lineBytes << "B, page " << pageBytes << "B";
+    return os.str();
+}
+
+} // namespace specrt

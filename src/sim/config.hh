@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Machine configuration for the modeled CC-NUMA multiprocessor.
+ *
+ * Defaults follow the experimental setup of Zhang, Rauchwerger &
+ * Torrellas (HPCA 1998), section 5.1: 200-MHz processors, 32-KB
+ * direct-mapped on-chip L1, 512-KB direct-mapped L2, 64-byte lines, a
+ * DASH-like invalidation protocol, and unloaded round-trip latencies
+ * of 1 / 12 / 60 / 208 / 291 cycles to L1 / L2 / local memory /
+ * 2-hop remote memory / 3-hop remote memory. The component latencies
+ * below compose to those round trips; bench_latency_table verifies
+ * this on the built simulator.
+ */
+
+#ifndef SPECRT_SIM_CONFIG_HH
+#define SPECRT_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+/** Geometry of one cache level. All caches are direct-mapped. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    uint64_t sizeBytes;
+    /** Line size in bytes. */
+    uint32_t lineBytes;
+
+    uint64_t numLines() const { return sizeBytes / lineBytes; }
+};
+
+/**
+ * Component latencies, in processor cycles. All are one-way service
+ * times; round trips are sums over the transaction path.
+ */
+struct LatencyConfig
+{
+    /** L1 hit (load-to-use). */
+    Cycles l1Hit = 1;
+    /** L1 miss detection + L2 array access + refill into L1. */
+    Cycles l2Access = 11;
+    /**
+     * Home-node directory + memory access, overlapped ("in the home
+     * node, directory and memory are accessed at the same time").
+     */
+    Cycles dirMemAccess = 48;
+    /** Directory lookup only (when the home must forward). */
+    Cycles dirLookup = 20;
+    /** Owner-cache intervention: fetch dirty line out of a cache. */
+    Cycles ownerAccess = 37;
+    /** One network traversal between any two distinct nodes. */
+    Cycles netHop = 74;
+    /** Invalidation processing at a sharer cache. */
+    Cycles invalCycles = 4;
+    /**
+     * Minimum occupancy of a directory controller per transaction;
+     * models contention at the home (the network itself is modeled
+     * contention-free, as in the paper).
+     */
+    Cycles dirOccupancy = 6;
+    /** Minimum occupancy of the L2/memory port per request. */
+    Cycles memOccupancy = 4;
+};
+
+/** Full machine description. */
+struct MachineConfig
+{
+    /** Number of nodes == number of processors. */
+    int numProcs = 16;
+    /** Page size used for round-robin data placement. */
+    uint32_t pageBytes = 4096;
+
+    CacheConfig l1 = {32 * 1024, 64};
+    CacheConfig l2 = {512 * 1024, 64};
+    LatencyConfig lat;
+
+    /** Write-buffer entries per processor (no stall on write miss). */
+    int writeBufferEntries = 16;
+
+    /**
+     * Cycles a processor holds the dynamic-scheduling lock when
+     * grabbing a chunk of iterations (covers the remote atomic on
+     * the shared counter). Grabs serialize, so this is also the
+     * minimum spacing between grants under contention.
+     */
+    Cycles schedLockCycles = 100;
+
+    /**
+     * Cost of one barrier episode (arrival of the last processor to
+     * release), charged at every phase boundary.
+     */
+    Cycles barrierCycles = 150;
+
+    /** Checks that the configuration is self-consistent (fatal()s). */
+    void validate() const;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SIM_CONFIG_HH

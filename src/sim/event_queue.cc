@@ -1,0 +1,79 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> callback)
+{
+    SPECRT_ASSERT(when >= _curTick,
+                  "scheduling in the past: when=%llu cur=%llu",
+                  (unsigned long long)when, (unsigned long long)_curTick);
+    EventId id = nextId++;
+    pending.push(Entry{when, nextSeq++, id, std::move(callback)});
+    live.insert(id);
+    return id;
+}
+
+void
+EventQueue::deschedule(EventId id)
+{
+    if (id == invalidEventId || !live.erase(id))
+        return; // unknown or already fired: harmless no-op
+    if (cancelled.insert(id).second)
+        ++numCancelled;
+}
+
+void
+EventQueue::fireNext()
+{
+    Entry entry = std::move(const_cast<Entry &>(pending.top()));
+    pending.pop();
+    auto it = cancelled.find(entry.id);
+    if (it != cancelled.end()) {
+        cancelled.erase(it);
+        --numCancelled;
+        return;
+    }
+    live.erase(entry.id);
+    SPECRT_ASSERT(entry.when >= _curTick, "event queue went backwards");
+    _curTick = entry.when;
+    ++_numFired;
+    entry.callback();
+}
+
+Tick
+EventQueue::run()
+{
+    stopped = false;
+    while (!pending.empty() && !stopped)
+        fireNext();
+    return _curTick;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    stopped = false;
+    while (!pending.empty() && !stopped && pending.top().when <= limit)
+        fireNext();
+    return _curTick;
+}
+
+void
+EventQueue::reset()
+{
+    pending = {};
+    live.clear();
+    cancelled.clear();
+    numCancelled = 0;
+    _curTick = 0;
+    nextSeq = 0;
+    nextId = 1;
+    _numFired = 0;
+    stopped = false;
+}
+
+} // namespace specrt

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Discrete-event engine driving the whole simulator.
+ *
+ * Everything in specrt (processor ops, coherence messages, directory
+ * occupancy, barrier releases) is an event scheduled at an absolute
+ * Tick. Events scheduled for the same tick fire in schedule order,
+ * which keeps the simulation deterministic.
+ */
+
+#ifndef SPECRT_SIM_EVENT_QUEUE_HH
+#define SPECRT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+/** Handle used to cancel a pending event. */
+using EventId = uint64_t;
+
+/** Sentinel for "no event". */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * A single-threaded discrete-event queue.
+ *
+ * The queue owns the current simulated time. Callbacks may schedule
+ * further events (including at the current tick, which fire later in
+ * the same tick).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in cycles. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p callback to fire at absolute time @p when.
+     * @return a handle usable with deschedule().
+     */
+    EventId schedule(Tick when, std::function<void()> callback);
+
+    /** Schedule @p callback @p delay cycles from now. */
+    EventId
+    scheduleIn(Cycles delay, std::function<void()> callback)
+    {
+        return schedule(_curTick + delay, std::move(callback));
+    }
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * event is a harmless no-op.
+     */
+    void deschedule(EventId id);
+
+    /** Number of events still pending. */
+    size_t numPending() const { return pending.size() - numCancelled; }
+
+    /** True if no events are pending. */
+    bool empty() const { return numPending() == 0; }
+
+    /**
+     * Run until the queue drains or stop() is called.
+     * @return the tick of the last event fired.
+     */
+    Tick run();
+
+    /**
+     * Run events up to and including tick @p limit.
+     * @return the tick of the last event fired.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Make run()/runUntil() return before firing the next event. */
+    void stop() { stopped = true; }
+
+    /** Total number of events ever fired (for stats/tests). */
+    uint64_t numFired() const { return _numFired; }
+
+    /**
+     * Reset to an empty queue at tick 0. Pending events are dropped.
+     */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;
+        EventId id;
+        std::function<void()> callback;
+    };
+
+    struct EntryCompare
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop and fire one event; assumes the queue is non-empty. */
+    void fireNext();
+
+    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> pending;
+    /** Ids currently in the queue and not cancelled. */
+    std::unordered_set<EventId> live;
+    std::unordered_set<EventId> cancelled;
+    size_t numCancelled = 0;
+
+    Tick _curTick = 0;
+    uint64_t nextSeq = 0;
+    EventId nextId = 1;
+    uint64_t _numFired = 0;
+    bool stopped = false;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,134 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace specrt
+{
+
+namespace
+{
+
+LogSink userSink;
+bool throwOnFatal = false;
+std::mutex logMutex;
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (len < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(logMutex);
+    if (userSink) {
+        userSink(level, msg);
+    } else {
+        std::fprintf(stderr, "%s: %s\n", logLevelName(level), msg.c_str());
+    }
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "unknown";
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> guard(logMutex);
+    LogSink old = userSink;
+    userSink = std::move(sink);
+    return old;
+}
+
+void
+setLogThrowOnFatal(bool throw_on_fatal)
+{
+    throwOnFatal = throw_on_fatal;
+}
+
+void
+assertFail(const char *cond, const char *file, int line,
+           const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::string full = "assertion '" + std::string(cond) + "' failed at " +
+                       file + ":" + std::to_string(line) + ": " + msg;
+    emit(LogLevel::Panic, full);
+    if (throwOnFatal)
+        throw FatalError{LogLevel::Panic, full};
+    std::abort();
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(LogLevel::Panic, msg);
+    if (throwOnFatal)
+        throw FatalError{LogLevel::Panic, msg};
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(LogLevel::Fatal, msg);
+    if (throwOnFatal)
+        throw FatalError{LogLevel::Fatal, msg};
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(LogLevel::Warn, msg);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(LogLevel::Inform, msg);
+}
+
+} // namespace specrt

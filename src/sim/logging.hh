@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  -- internal simulator bug; never the user's fault. Aborts.
+ * fatal()  -- the user asked for something impossible (bad config,
+ *             invalid arguments). Exits with an error code.
+ * warn()   -- something questionable happened but simulation goes on.
+ * inform() -- plain status output.
+ *
+ * All take printf-style format strings. A LogSink can be installed to
+ * capture messages in tests instead of writing to stderr.
+ */
+
+#ifndef SPECRT_SIM_LOGGING_HH
+#define SPECRT_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace specrt
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/** Name of a log level, e.g.\ "warn". */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Callback type for capturing log output. Receives the severity and
+ * the fully formatted message (no trailing newline).
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install a log sink, returning the previous one. Passing a null
+ * function restores the default (stderr) sink.
+ */
+LogSink setLogSink(LogSink sink);
+
+/**
+ * Whether fatal()/panic() throw FatalError instead of terminating the
+ * process. Tests enable this to assert on failure paths.
+ */
+void setLogThrowOnFatal(bool throw_on_fatal);
+
+/** Exception thrown by fatal()/panic() when throw-on-fatal is set. */
+struct FatalError
+{
+    LogLevel level;
+    std::string message;
+};
+
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Implementation helper for SPECRT_ASSERT; do not call directly. */
+[[noreturn]] void assertFail(const char *cond, const char *file,
+                             int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** panic() unless the condition holds; requires a message. */
+#define SPECRT_ASSERT(cond, ...)                                        \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::specrt::assertFail(#cond, __FILE__, __LINE__,             \
+                                 __VA_ARGS__);                          \
+        }                                                               \
+    } while (0)
+
+} // namespace specrt
+
+#endif // SPECRT_SIM_LOGGING_HH

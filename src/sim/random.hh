@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Workload generators and schedulers must be reproducible run-to-run,
+ * so everything random in specrt draws from a seeded Rng rather than
+ * std::random_device or rand().
+ */
+
+#ifndef SPECRT_SIM_RANDOM_HH
+#define SPECRT_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace specrt
+{
+
+/** xoshiro256** generator; small, fast, and splittable via reseed. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed (splitmix64). */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p = 0.5) { return nextDouble() < p; }
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SIM_RANDOM_HH

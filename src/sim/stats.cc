@@ -1,0 +1,138 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? _name : prefix + "." + _name;
+    for (const StatBase *stat : stats)
+        stat->print(os, full);
+    for (const StatGroup *child : children)
+        child->dump(os, full);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (StatBase *stat : stats)
+        stat->reset();
+    for (StatGroup *child : children)
+        child->resetStats();
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << "." << name() << " " << _value
+       << " # " << desc() << "\n";
+}
+
+double
+VectorStat::total() const
+{
+    double t = 0;
+    for (double v : values)
+        t += v;
+    return t;
+}
+
+void
+VectorStat::print(std::ostream &os, const std::string &prefix) const
+{
+    for (size_t i = 0; i < values.size(); ++i) {
+        os << prefix << "." << name() << "[" << i << "] " << values[i]
+           << " # " << desc() << "\n";
+    }
+    os << prefix << "." << name() << ".total " << total()
+       << " # " << desc() << "\n";
+}
+
+void
+VectorStat::reset()
+{
+    for (double &v : values)
+        v = 0;
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc, double lo_, double hi_,
+                           double bucket_size)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      lo(lo_), hi(hi_), bucketSize(bucket_size)
+{
+    SPECRT_ASSERT(hi > lo && bucket_size > 0, "bad distribution params");
+    size_t n = static_cast<size_t>(std::ceil((hi - lo) / bucketSize));
+    buckets.assign(n ? n : 1, 0);
+}
+
+void
+Distribution::sample(double v, uint64_t count)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        if (v < _min) _min = v;
+        if (v > _max) _max = v;
+    }
+    _count += count;
+    sum += v * count;
+
+    if (v < lo) {
+        underflow += count;
+    } else if (v >= hi) {
+        overflow += count;
+    } else {
+        auto idx = static_cast<size_t>((v - lo) / bucketSize);
+        if (idx >= buckets.size())
+            idx = buckets.size() - 1;
+        buckets[idx] += count;
+    }
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix + "." + name();
+    os << full << ".count " << _count << " # " << desc() << "\n";
+    os << full << ".mean " << mean() << " # " << desc() << "\n";
+    os << full << ".min " << min() << " # " << desc() << "\n";
+    os << full << ".max " << max() << " # " << desc() << "\n";
+    if (underflow)
+        os << full << ".underflow " << underflow << "\n";
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (!buckets[i])
+            continue;
+        double b_lo = lo + i * bucketSize;
+        os << full << ".bucket[" << b_lo << "," << (b_lo + bucketSize)
+           << ") " << buckets[i] << "\n";
+    }
+    if (overflow)
+        os << full << ".overflow " << overflow << "\n";
+}
+
+void
+Distribution::reset()
+{
+    for (uint64_t &b : buckets)
+        b = 0;
+    underflow = overflow = 0;
+    _count = 0;
+    sum = 0;
+    _min = _max = 0;
+}
+
+} // namespace specrt

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A small gem5-flavored statistics package.
+ *
+ * Stats register themselves with a StatGroup at construction; the
+ * group can dump every stat with name, description, and value(s).
+ * Three kinds are provided:
+ *   Scalar       -- a single counter or value
+ *   VectorStat   -- a fixed-length vector of counters (e.g.\ per node)
+ *   Distribution -- bucketed histogram with mean/min/max
+ */
+
+#ifndef SPECRT_SIM_STATS_HH
+#define SPECRT_SIM_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace specrt
+{
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Print "name value # desc" line(s). */
+    virtual void print(std::ostream &os, const std::string &prefix)
+        const = 0;
+
+    /** Reset to the initial (zero) state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A group of statistics, dumped and reset together. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    void addStat(StatBase *stat) { stats.push_back(stat); }
+    void
+    addChild(StatGroup *child)
+    {
+        children.push_back(child);
+    }
+
+    /** Dump this group and all children. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats in this group and all children. */
+    void resetStats();
+
+  private:
+    std::string _name;
+    std::vector<StatBase *> stats;
+    std::vector<StatGroup *> children;
+};
+
+/** A single scalar counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator=(double v) { _value = v; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator++() { _value += 1; return *this; }
+
+    double value() const { return _value; }
+
+    void print(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** A fixed-length vector of counters. */
+class VectorStat : public StatBase
+{
+  public:
+    VectorStat(StatGroup *parent, std::string name, std::string desc,
+               size_t size)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          values(size, 0.0)
+    {}
+
+    double &operator[](size_t i) { return values.at(i); }
+    double operator[](size_t i) const { return values.at(i); }
+
+    size_t size() const { return values.size(); }
+    double total() const;
+
+    void print(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    std::vector<double> values;
+};
+
+/** Bucketed histogram with summary moments. */
+class Distribution : public StatBase
+{
+  public:
+    /**
+     * @param lo lowest bucketed value
+     * @param hi highest bucketed value (inclusive)
+     * @param bucket_size width of each bucket
+     */
+    Distribution(StatGroup *parent, std::string name, std::string desc,
+                 double lo, double hi, double bucket_size);
+
+    void sample(double v, uint64_t count = 1);
+
+    uint64_t count() const { return _count; }
+    double mean() const { return _count ? sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    void print(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    double lo, hi, bucketSize;
+    std::vector<uint64_t> buckets;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+    uint64_t _count = 0;
+    double sum = 0;
+    double _min = 0;
+    double _max = 0;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SIM_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of specrt.
+ *
+ * The simulator counts time in processor cycles of the modeled
+ * 200-MHz cores (one Tick == one cycle). Addresses are byte
+ * addresses in the modeled global physical address space.
+ */
+
+#ifndef SPECRT_SIM_TYPES_HH
+#define SPECRT_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace specrt
+{
+
+/** Simulated time, in processor cycles. */
+using Tick = uint64_t;
+
+/** A duration, in processor cycles. */
+using Cycles = uint64_t;
+
+/** Byte address in the modeled global physical address space. */
+using Addr = uint64_t;
+
+/** Node (processor/memory-module/directory) identifier. */
+using NodeId = int32_t;
+
+/** Loop iteration number (1-based inside a speculative loop). */
+using IterNum = int64_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = -1;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+} // namespace specrt
+
+#endif // SPECRT_SIM_TYPES_HH

@@ -1,0 +1,76 @@
+#include "spec/access_bits.hh"
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+uint32_t
+npPackDir(const NPDirBits &d)
+{
+    uint32_t first = d.first == invalidNode
+                         ? 0u
+                         : static_cast<uint32_t>(d.first) + 1u;
+    return first | (d.noShr ? 1u << 7 : 0u) | (d.rOnly ? 1u << 8 : 0u);
+}
+
+uint32_t
+npPackTag(const NPTagBits &t, NodeId self)
+{
+    uint32_t first = 0;
+    switch (t.first) {
+      case TagFirst::None:
+        first = 0;
+        break;
+      case TagFirst::Own:
+        first = static_cast<uint32_t>(self) + 1u;
+        break;
+      case TagFirst::Other:
+        first = npWireFirstOther;
+        break;
+    }
+    return first | (t.noShr ? 1u << 7 : 0u) | (t.rOnly ? 1u << 8 : 0u);
+}
+
+NPWire
+npUnpack(uint32_t wire)
+{
+    return NPWire{wire & 0x7f, (wire & (1u << 7)) != 0,
+                  (wire & (1u << 8)) != 0};
+}
+
+NPTagBits
+npWireToTag(uint32_t wire, NodeId self)
+{
+    NPWire w = npUnpack(wire);
+    NPTagBits t;
+    if (w.firstCode == 0) {
+        t.first = TagFirst::None;
+    } else if (w.firstCode != npWireFirstOther &&
+               static_cast<NodeId>(w.firstCode - 1) == self) {
+        t.first = TagFirst::Own;
+    } else {
+        t.first = TagFirst::Other;
+    }
+    t.noShr = w.noShr;
+    t.rOnly = w.rOnly;
+    return t;
+}
+
+uint32_t
+privPackTag(bool read1st, bool write)
+{
+    return (read1st ? 1u : 0u) | (write ? 2u : 0u);
+}
+
+PrivTagBits
+privWireToTag(uint32_t wire, IterNum iter)
+{
+    PrivTagBits t;
+    t.read1st = (wire & 1u) != 0;
+    t.write = (wire & 2u) != 0;
+    t.iter = iter;
+    return t;
+}
+
+} // namespace specrt

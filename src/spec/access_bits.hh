@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Per-element speculation state ("access bits", paper Fig. 5) and
+ * its wire encoding.
+ *
+ * A single set of hardware bits is used differently depending on the
+ * algorithm applied to the array (non-privatization vs.
+ * privatization), exactly as in the paper. The structs here are the
+ * logical views; spec_unit.cc stores them beside the cache tags and
+ * the directory ("Access Bit Array" / "Access Bit Table").
+ *
+ * Wire format (Msg::specBits, one uint32_t per element of a line):
+ *
+ *   non-privatization --
+ *     bits [0:6]  First: 0 = NONE, 1..64 = node id + 1,
+ *                 65 = set-but-only-the-home-knows-who (a cache's
+ *                 tag.First == OTHER being shipped home; the home's
+ *                 dir.First is guaranteed to already hold the id)
+ *     bit  [7]    NoShr ("Priv" in the paper's Figs. 6-7)
+ *     bit  [8]    ROnly
+ *
+ *   privatization --
+ *     bit  [0]    Read1st (valid for the iteration in Msg::iter)
+ *     bit  [1]    Write   (same)
+ */
+
+#ifndef SPECRT_SPEC_ACCESS_BITS_HH
+#define SPECRT_SPEC_ACCESS_BITS_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+/** Sentinel: "no iteration has written yet" for MinW. */
+constexpr IterNum iterInf = std::numeric_limits<IterNum>::max();
+
+/** Cache-tag view of the First field (2 bits, paper section 3.2). */
+enum class TagFirst : uint8_t
+{
+    None,
+    Own,
+    Other,
+};
+
+/** Non-privatization cache tag bits for one element. */
+struct NPTagBits
+{
+    TagFirst first = TagFirst::None;
+    bool noShr = false;
+    bool rOnly = false;
+};
+
+/** Non-privatization directory bits for one element. */
+struct NPDirBits
+{
+    NodeId first = invalidNode;  ///< full processor id (or none)
+    bool noShr = false;
+    bool rOnly = false;
+};
+
+/** Privatization cache tag bits for one element (per-iteration). */
+struct PrivTagBits
+{
+    bool read1st = false;
+    bool write = false;
+    /** Iteration the bits are valid for (hardware clears each
+     *  iteration; we tag instead of clearing). */
+    IterNum iter = 0;
+};
+
+/** Privatization state at the directory of a PRIVATE copy. */
+struct PrivPrivDirBits
+{
+    /** Highest read-first iteration by this processor (0 = none). */
+    IterNum pMaxR1st = 0;
+    /** Highest iteration by this processor that wrote (0 = none). */
+    IterNum pMaxW = 0;
+
+    bool untouched() const { return pMaxR1st == 0 && pMaxW == 0; }
+};
+
+/** Privatization state at the directory of the SHARED array. */
+struct PrivSharedDirBits
+{
+    /** Highest read-first iteration executed so far by any proc. */
+    IterNum maxR1st = 0;
+    /** Lowest iteration executed so far that wrote the element. */
+    IterNum minW = iterInf;
+    /** Copy-out arbitration: highest writing iteration copied out. */
+    IterNum lastCopyIter = 0;
+};
+
+// --- non-privatization wire encoding --------------------------------
+
+/** First field value meaning "set, identity known only at home". */
+constexpr uint32_t npWireFirstOther = 65;
+
+/** Pack directory bits for shipment (home -> cache fill). */
+uint32_t npPackDir(const NPDirBits &d);
+
+/** Pack cache tag bits for shipment (owner -> home / requester). */
+uint32_t npPackTag(const NPTagBits &t, NodeId self);
+
+/** Raw wire fields. */
+struct NPWire
+{
+    uint32_t firstCode; ///< 0 / id+1 / npWireFirstOther
+    bool noShr;
+    bool rOnly;
+};
+
+NPWire npUnpack(uint32_t wire);
+
+/** Decode a wire word into a receiver-relative tag view. */
+NPTagBits npWireToTag(uint32_t wire, NodeId self);
+
+// --- privatization wire encoding -------------------------------------
+
+uint32_t privPackTag(bool read1st, bool write);
+PrivTagBits privWireToTag(uint32_t wire, IterNum iter);
+
+} // namespace specrt
+
+#endif // SPECRT_SPEC_ACCESS_BITS_HH

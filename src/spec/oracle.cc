@@ -1,0 +1,208 @@
+#include "spec/oracle.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "spec/access_bits.hh"
+
+namespace specrt
+{
+
+const char *
+lrpdVerdictName(LrpdVerdict v)
+{
+    switch (v) {
+      case LrpdVerdict::NotParallel:   return "NotParallel";
+      case LrpdVerdict::Doall:         return "Doall";
+      case LrpdVerdict::DoallWithPriv: return "DoallWithPriv";
+    }
+    return "Unknown";
+}
+
+bool
+Oracle::nonPrivParallel(const std::vector<AccessEvent> &trace)
+{
+    struct ElemInfo
+    {
+        std::set<NodeId> procs;
+        bool written = false;
+    };
+    std::map<uint64_t, ElemInfo> elems;
+    for (const AccessEvent &e : trace) {
+        ElemInfo &info = elems[e.elem];
+        info.procs.insert(e.proc);
+        info.written |= e.isWrite;
+    }
+    for (const auto &[elem, info] : elems) {
+        bool read_only = !info.written;
+        bool single_proc = info.procs.size() == 1;
+        if (!read_only && !single_proc)
+            return false;
+    }
+    return true;
+}
+
+bool
+Oracle::privParallel(const std::vector<AccessEvent> &trace)
+{
+    // Per element: highest read-first iteration vs lowest writing
+    // iteration. Read-first-ness depends only on within-iteration
+    // program order, which the trace preserves.
+    struct ElemInfo
+    {
+        IterNum maxR1st = 0;
+        IterNum minW = iterInf;
+        /** Iterations that wrote the element (for read-first calc). */
+        std::set<IterNum> writers;
+    };
+    std::map<uint64_t, ElemInfo> elems;
+
+    // First pass: which (elem, iter) pairs see a write before the
+    // read? Track per (elem,iter) whether a write already happened.
+    std::map<std::pair<uint64_t, IterNum>, bool> written_in_iter;
+    for (const AccessEvent &e : trace) {
+        ElemInfo &info = elems[e.elem];
+        auto key = std::make_pair(e.elem, e.iter);
+        if (e.isWrite) {
+            written_in_iter[key] = true;
+            info.minW = std::min(info.minW, e.iter);
+        } else {
+            if (!written_in_iter[key])
+                info.maxR1st = std::max(info.maxR1st, e.iter);
+        }
+    }
+    for (const auto &[elem, info] : elems) {
+        if (info.maxR1st > info.minW)
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/**
+ * Run the LRPD marking + analysis with an arbitrary "iteration key"
+ * (the iteration number for the iteration-wise test, the processor
+ * for the processor-wise test).
+ */
+LrpdVerdict
+lrpdWithKey(const std::vector<AccessEvent> &trace,
+            const std::vector<int64_t> &keys)
+{
+    struct Shadow
+    {
+        bool aw = false;
+        bool ar = false;
+        bool anp = false;
+    };
+    std::map<uint64_t, Shadow> shadow;
+
+    // Per (elem, key): whether the key-iteration wrote the element
+    // at all, and whether a write precedes a given read.
+    std::map<std::pair<uint64_t, int64_t>, bool> writes_in_key;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i].isWrite)
+            writes_in_key[{trace[i].elem, keys[i]}] = true;
+    }
+
+    std::map<std::pair<uint64_t, int64_t>, bool> written_so_far;
+    std::set<std::pair<uint64_t, int64_t>> elem_writes; // for Atw
+    uint64_t atw = 0;
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const AccessEvent &e = trace[i];
+        int64_t key = keys[i];
+        Shadow &s = shadow[e.elem];
+        if (e.isWrite) {
+            s.aw = true;
+            written_so_far[{e.elem, key}] = true;
+            if (elem_writes.insert({e.elem, key}).second)
+                ++atw; // distinct element written in this iteration
+        } else {
+            if (!writes_in_key[{e.elem, key}])
+                s.ar = true; // not written in this iteration at all
+            if (!written_so_far[{e.elem, key}])
+                s.anp = true; // not written before this read
+        }
+    }
+
+    uint64_t atm = 0;
+    bool aw_and_ar = false;
+    bool aw_and_anp = false;
+    for (const auto &[elem, s] : shadow) {
+        if (s.aw)
+            ++atm;
+        aw_and_ar |= s.aw && s.ar;
+        aw_and_anp |= s.aw && s.anp;
+    }
+
+    if (aw_and_ar)
+        return LrpdVerdict::NotParallel;
+    if (atw == atm)
+        return LrpdVerdict::Doall;
+    if (aw_and_anp)
+        return LrpdVerdict::NotParallel;
+    return LrpdVerdict::DoallWithPriv;
+}
+
+} // namespace
+
+LrpdVerdict
+Oracle::lrpd(const std::vector<AccessEvent> &trace)
+{
+    std::vector<int64_t> keys(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        keys[i] = trace[i].iter;
+    return lrpdWithKey(trace, keys);
+}
+
+LrpdVerdict
+Oracle::lrpdProcWise(const std::vector<AccessEvent> &trace)
+{
+    std::vector<int64_t> keys(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        keys[i] = trace[i].proc;
+    return lrpdWithKey(trace, keys);
+}
+
+int64_t
+Oracle::firstPrivViolation(const std::vector<AccessEvent> &trace)
+{
+    std::map<uint64_t, PrivSharedDirBits> state;
+    std::map<std::pair<uint64_t, IterNum>, bool> written_in_iter;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const AccessEvent &e = trace[i];
+        PrivSharedDirBits &bits = state[e.elem];
+        auto key = std::make_pair(e.elem, e.iter);
+        if (e.isWrite) {
+            bool first = !written_in_iter[key];
+            written_in_iter[key] = true;
+            if (first) {
+                if (e.iter < bits.maxR1st)
+                    return static_cast<int64_t>(i);
+                bits.minW = std::min(bits.minW, e.iter);
+            }
+        } else {
+            if (!written_in_iter[key]) {
+                if (e.iter > bits.minW)
+                    return static_cast<int64_t>(i);
+                bits.maxR1st = std::max(bits.maxR1st, e.iter);
+            }
+        }
+    }
+    return -1;
+}
+
+bool
+Oracle::reductionValid(const std::vector<AccessEvent> &trace)
+{
+    for (const AccessEvent &e : trace) {
+        if (!e.isReduction)
+            return false;
+    }
+    return true;
+}
+
+} // namespace specrt

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reference dependence oracle used by tests and benchmarks.
+ *
+ * Given the exact access trace a loop performs on an array under
+ * test, the oracle answers -- by definition, not by protocol --
+ * whether each of the paper's tests must pass:
+ *
+ *  - non-privatization (section 3.2): every element is either
+ *    read-only or accessed by only one processor;
+ *  - privatization with read-in/copy-out (sections 2.2.3 / 3.3):
+ *    for every element, no read-first iteration is higher than any
+ *    writing iteration;
+ *  - software LRPD (section 2.2.2): the shadow-array analysis
+ *    computed directly.
+ *
+ * Both the pure protocol logic and the full machine must agree with
+ * these verdicts on every trace (the property tests check this).
+ */
+
+#ifndef SPECRT_SPEC_ORACLE_HH
+#define SPECRT_SPEC_ORACLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+/** One access in a loop's trace of an array under test. */
+struct AccessEvent
+{
+    NodeId proc;
+    IterNum iter;     ///< 1-based iteration number
+    uint64_t elem;    ///< element index within the array
+    bool isWrite;
+    /** Which declared array this access targets (multi-array runs);
+     *  the oracle itself analyses one array at a time. */
+    int arrayId = 0;
+    /** The access came from a tagged reduction statement. */
+    bool isReduction = false;
+};
+
+/** Verdict of the basic LRPD test (paper section 2.2.2). */
+enum class LrpdVerdict
+{
+    NotParallel,     ///< test failed; re-execute serially
+    Doall,           ///< parallel without privatizing the array
+    DoallWithPriv,   ///< parallel once the array is privatized
+};
+
+const char *lrpdVerdictName(LrpdVerdict v);
+
+/**
+ * The dependence oracle. Events must be given in per-iteration
+ * program order (events of one iteration in the order the loop body
+ * performs them); ordering across iterations is irrelevant.
+ */
+class Oracle
+{
+  public:
+    /** Does the non-privatization hardware test pass? */
+    static bool nonPrivParallel(const std::vector<AccessEvent> &trace);
+
+    /**
+     * Does the privatization hardware test (with read-in/copy-out)
+     * pass?
+     */
+    static bool privParallel(const std::vector<AccessEvent> &trace);
+
+    /**
+     * Basic LRPD verdict, iteration-wise. Pass the same trace;
+     * the within-iteration order is taken from trace order.
+     */
+    static LrpdVerdict lrpd(const std::vector<AccessEvent> &trace);
+
+    /**
+     * Processor-wise LRPD: processors are super-iterations. Assumes
+     * each processor executes its iterations in ascending order (the
+     * static-scheduling constraint of section 2.2.3); events of one
+     * processor are taken in (iter, trace-order) order.
+     */
+    static LrpdVerdict lrpdProcWise(const std::vector<AccessEvent> &trace);
+
+    /**
+     * Index (into the trace, iteration-order interleaving) of the
+     * first access at which a cross-iteration dependence becomes
+     * visible to the privatization test, or -1 if none.
+     */
+    static int64_t firstPrivViolation(
+        const std::vector<AccessEvent> &trace);
+
+    /**
+     * Does the reduction test pass: was the array touched only by
+     * tagged reduction accesses?
+     */
+    static bool reductionValid(const std::vector<AccessEvent> &trace);
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SPEC_ORACLE_HH

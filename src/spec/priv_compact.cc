@@ -1,0 +1,65 @@
+#include "spec/priv_compact.hh"
+
+namespace specrt
+{
+
+PrivPDirResult
+privCompactRead(PrivCompactBits &b, IterNum iter, bool line_untouched)
+{
+    PrivPDirResult r;
+    if (line_untouched) {
+        r.needReadIn = true;
+        return r;
+    }
+    PrivCompactBits eff = privCompactEffective(b, iter);
+    if (!eff.read1st && !eff.write) {
+        // First read of the iteration with no covering write: a
+        // read-first, exactly when PMaxR1st < iter && PMaxW < iter
+        // holds in the time-stamp version (iterations ascend per
+        // processor).
+        eff.read1st = true;
+        r.readFirst = true;
+    }
+    b = eff;
+    return r;
+}
+
+PrivPDirResult
+privCompactWrite(PrivCompactBits &b, IterNum iter, bool line_untouched)
+{
+    PrivPDirResult r;
+    if (!b.writeAny) {
+        // First write to the element in the whole loop (PMaxW == 0
+        // in the time-stamp version).
+        if (line_untouched) {
+            r.needReadIn = true;
+            return r;
+        }
+        PrivCompactBits eff = privCompactEffective(b, iter);
+        eff.write = true;
+        eff.writeAny = true;
+        b = eff;
+        r.firstWrite = true;
+        return r;
+    }
+    PrivCompactBits eff = privCompactEffective(b, iter);
+    eff.write = true;
+    eff.writeAny = true;
+    b = eff;
+    return r;
+}
+
+void
+privCompactReadInDone(PrivCompactBits &b, IterNum iter, bool for_write)
+{
+    PrivCompactBits eff = privCompactEffective(b, iter);
+    if (for_write) {
+        eff.write = true;
+        eff.writeAny = true;
+    } else {
+        eff.read1st = true;
+    }
+    b = eff;
+}
+
+} // namespace specrt

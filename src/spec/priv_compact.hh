@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The space-reduced privatization state of paper section 4.1.
+ *
+ * The full private-directory state keeps two iteration time stamps
+ * per element (PMaxR1st, PMaxW). The paper observes that 3 bits
+ * suffice: per-iteration Read1st and Write bits (cleared at each
+ * iteration boundary, like the cache tags) plus a sticky WriteAny
+ * bit ("set if the element has been written in any of the iterations
+ * executed so far"), and that "with these three bits, we can build a
+ * protocol that has no more messages than the one with PMaxR1st and
+ * PMaxW".
+ *
+ * This header implements that compact state machine; a property test
+ * (tests/test_priv_compact.cc) proves it generates exactly the same
+ * signal stream as the time-stamp version for every per-processor
+ * access sequence with ascending iterations.
+ */
+
+#ifndef SPECRT_SPEC_PRIV_COMPACT_HH
+#define SPECRT_SPEC_PRIV_COMPACT_HH
+
+#include "spec/access_bits.hh"
+#include "spec/priv.hh"
+
+namespace specrt
+{
+
+/** Compact private-directory state for one element (3 bits). */
+struct PrivCompactBits
+{
+    bool read1st = false;  ///< read-first happened this iteration
+    bool write = false;    ///< written this iteration
+    /** Written in any iteration so far (never cleared). */
+    bool writeAny = false;
+    /** Iteration the per-iteration bits are valid for (hardware
+     *  clears them at iteration boundaries; we tag instead). */
+    IterNum iter = 0;
+};
+
+/** Roll the per-iteration bits forward to @p iter. */
+inline PrivCompactBits
+privCompactEffective(const PrivCompactBits &b, IterNum iter)
+{
+    if (b.iter == iter)
+        return b;
+    return PrivCompactBits{false, false, b.writeAny, iter};
+}
+
+/**
+ * Private directory processes a read of the element in iteration
+ * @p iter (compact form of Fig. 8(b)/(c)'s bookkeeping).
+ */
+PrivPDirResult privCompactRead(PrivCompactBits &b, IterNum iter,
+                               bool line_untouched);
+
+/** Private directory processes a write (compact Fig. 9(g)/(h)). */
+PrivPDirResult privCompactWrite(PrivCompactBits &b, IterNum iter,
+                                bool line_untouched);
+
+/** Complete a read-in (data arrived from the shared array). */
+void privCompactReadInDone(PrivCompactBits &b, IterNum iter,
+                           bool for_write);
+
+/** True when the element has never been touched. */
+inline bool
+privCompactUntouched(const PrivCompactBits &b)
+{
+    return !b.writeAny && !b.read1st && !b.write && b.iter == 0;
+}
+
+} // namespace specrt
+
+#endif // SPECRT_SPEC_PRIV_COMPACT_HH

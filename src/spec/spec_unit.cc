@@ -1,0 +1,641 @@
+#include "spec/spec_unit.hh"
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+// --------------------------------------------------------------------
+// SpecCacheUnit
+// --------------------------------------------------------------------
+
+SpecCacheUnit::SpecCacheUnit(SpecSystem &sys_, NodeId node_)
+    : sys(sys_), node(node_)
+{
+}
+
+std::vector<NPTagBits> &
+SpecCacheUnit::npLine(Addr line, uint32_t elems)
+{
+    auto it = npLines.find(line);
+    if (it == npLines.end())
+        it = npLines.emplace(line, std::vector<NPTagBits>(elems)).first;
+    return it->second;
+}
+
+std::vector<PrivTagBits> &
+SpecCacheUnit::privLine(Addr line, uint32_t elems)
+{
+    auto it = privLines.find(line);
+    if (it == privLines.end())
+        it = privLines.emplace(line,
+                               std::vector<PrivTagBits>(elems)).first;
+    return it->second;
+}
+
+void
+SpecCacheUnit::onLoadHit(Addr addr, LineState state, IterNum iter)
+{
+    if (!sys.armed())
+        return;
+    const TestRange *range = sys.table().lookup(addr);
+    if (!range)
+        return;
+
+    Addr line = sys.lineOf(addr);
+    uint32_t elems = sys.lineBytes() / range->elemBytes;
+    size_t idx = (addr - line) / range->elemBytes;
+
+    if (range->type == TestType::NonPriv) {
+        NPTagBits &bits = npLine(line, elems)[idx];
+        NPCacheResult res =
+            npCacheRead(bits, state == LineState::Dirty);
+        if (res.fail) {
+            sys.fail(node, addr, res.reason);
+            return;
+        }
+        if (res.sendFirstUpdate || res.sendROnlyUpdate) {
+            Msg m;
+            m.type = res.sendFirstUpdate ? MsgType::FirstUpdate
+                                         : MsgType::ROnlyUpdate;
+            m.src = node;
+            m.dst = sys.mem().homeOf(addr);
+            m.lineAddr = line;
+            m.elemAddr = addr;
+            if (res.sendFirstUpdate)
+                ++sys.firstUpdates;
+            else
+                ++sys.rOnlyUpdates;
+            sys.net().send(std::move(m));
+        }
+        return;
+    }
+
+    SPECRT_ASSERT(range->role == PrivRole::PrivateCopy,
+                  "processor read of privatization-tested shared "
+                  "array %#llx during the loop",
+                  (unsigned long long)addr);
+    PrivTagBits &bits = privLine(line, elems)[idx];
+    PrivCacheResult res = privCacheRead(bits, iter);
+    if (res.readFirst) {
+        Msg m;
+        m.type = MsgType::ReadFirstSig;
+        m.src = node;
+        m.dst = sys.mem().homeOf(addr); // the private directory
+        m.lineAddr = line;
+        m.elemAddr = addr;
+        m.iter = iter;
+        ++sys.readFirstSigs;
+        sys.net().send(std::move(m));
+    }
+}
+
+void
+SpecCacheUnit::onStoreDirtyHit(Addr addr, IterNum iter)
+{
+    if (!sys.armed())
+        return;
+    const TestRange *range = sys.table().lookup(addr);
+    if (!range)
+        return;
+
+    Addr line = sys.lineOf(addr);
+    uint32_t elems = sys.lineBytes() / range->elemBytes;
+    size_t idx = (addr - line) / range->elemBytes;
+
+    if (range->type == TestType::NonPriv) {
+        NPTagBits &bits = npLine(line, elems)[idx];
+        NPCacheResult res = npCacheWriteDirty(bits);
+        if (res.fail)
+            sys.fail(node, addr, res.reason);
+        return;
+    }
+
+    SPECRT_ASSERT(range->role == PrivRole::PrivateCopy,
+                  "processor write of privatization-tested shared "
+                  "array %#llx during the loop",
+                  (unsigned long long)addr);
+    PrivTagBits &bits = privLine(line, elems)[idx];
+    PrivCacheResult res = privCacheWrite(bits, iter);
+    if (res.firstWrite) {
+        Msg m;
+        m.type = MsgType::FirstWriteSig;
+        m.src = node;
+        m.dst = sys.mem().homeOf(addr); // the private directory
+        m.lineAddr = line;
+        m.elemAddr = addr;
+        m.iter = iter;
+        ++sys.firstWriteSigs;
+        sys.net().send(std::move(m));
+    }
+}
+
+void
+SpecCacheUnit::onFill(Addr line_addr, const std::vector<uint32_t> &bits,
+                      Addr elem_addr, bool is_write, IterNum iter)
+{
+    if (!sys.armed())
+        return;
+    const TestRange *range = sys.table().lookup(line_addr);
+    if (!range)
+        return;
+
+    uint32_t elems = sys.lineBytes() / range->elemBytes;
+    size_t idx = (elem_addr - line_addr) / range->elemBytes;
+
+    if (range->type == TestType::NonPriv) {
+        SPECRT_ASSERT(bits.size() == elems,
+                      "non-priv fill with %zu bits, want %u",
+                      bits.size(), elems);
+        std::vector<NPTagBits> &tags = npLine(line_addr, elems);
+        for (size_t i = 0; i < elems; ++i)
+            tags[i] = npWireToTag(bits[i], node);
+        NPCacheResult res = npCacheLocalApply(tags[idx], is_write);
+        if (res.fail)
+            sys.fail(node, elem_addr, res.reason);
+        return;
+    }
+
+    SPECRT_ASSERT(range->role == PrivRole::PrivateCopy,
+                  "fill of privatization-tested shared line");
+    SPECRT_ASSERT(bits.size() == elems,
+                  "priv fill with %zu bits, want %u", bits.size(),
+                  elems);
+    std::vector<PrivTagBits> &tags = privLine(line_addr, elems);
+    for (size_t i = 0; i < elems; ++i)
+        tags[i] = privWireToTag(bits[i], iter);
+    // Apply the triggering access locally; the private directory
+    // already accounted for it, so no signals here.
+    PrivTagBits eff = privEffective(tags[idx], iter);
+    if (is_write)
+        eff.write = true;
+    else if (!eff.write)
+        eff.read1st = true;
+    tags[idx] = eff;
+}
+
+std::vector<uint32_t>
+SpecCacheUnit::onDirtyOut(Addr line_addr)
+{
+    if (!sys.armed())
+        return {};
+    const TestRange *range = sys.table().lookup(line_addr);
+    if (!range || range->type != TestType::NonPriv)
+        return {}; // priv state is kept current via signals
+
+    uint32_t elems = sys.lineBytes() / range->elemBytes;
+    std::vector<NPTagBits> &tags = npLine(line_addr, elems);
+    std::vector<uint32_t> wire(elems);
+    for (size_t i = 0; i < elems; ++i)
+        wire[i] = npPackTag(tags[i], node);
+    return wire;
+}
+
+std::vector<uint32_t>
+SpecCacheUnit::combineBits(Addr line_addr,
+                           const std::vector<uint32_t> &owner_bits,
+                           const std::vector<uint32_t> &home_bits)
+{
+    (void)line_addr;
+    if (owner_bits.empty())
+        return home_bits;
+    if (home_bits.empty())
+        return owner_bits;
+    SPECRT_ASSERT(owner_bits.size() == home_bits.size(),
+                  "combineBits size mismatch: %zu vs %zu",
+                  owner_bits.size(), home_bits.size());
+    std::vector<uint32_t> out(owner_bits.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = npCombineWire(owner_bits[i], home_bits[i]);
+    return out;
+}
+
+void
+SpecCacheUnit::onInval(Addr line_addr)
+{
+    npLines.erase(line_addr);
+    privLines.erase(line_addr);
+}
+
+void
+SpecCacheUnit::onMsg(const Msg &msg)
+{
+    if (!sys.armed())
+        return;
+    SPECRT_ASSERT(msg.type == MsgType::FirstUpdateFail,
+                  "cache spec unit got %s", msgTypeName(msg.type));
+    auto it = npLines.find(msg.lineAddr);
+    if (it == npLines.end())
+        return; // line (and its tags) gone; home state authoritative
+    const TestRange *range = sys.table().lookup(msg.elemAddr);
+    SPECRT_ASSERT(range, "FirstUpdateFail outside any test range");
+    size_t idx = (msg.elemAddr - msg.lineAddr) / range->elemBytes;
+    NPCacheResult res = npCacheFirstUpdateFail(it->second[idx]);
+    if (res.fail)
+        sys.fail(node, msg.elemAddr, res.reason);
+}
+
+void
+SpecCacheUnit::clearAll()
+{
+    npLines.clear();
+    privLines.clear();
+}
+
+// --------------------------------------------------------------------
+// SpecDirUnit
+// --------------------------------------------------------------------
+
+SpecDirUnit::SpecDirUnit(SpecSystem &sys_, NodeId node_)
+    : sys(sys_), node(node_)
+{
+}
+
+bool
+SpecDirUnit::lineUntouched(Addr line, const TestRange &range) const
+{
+    for (Addr a = line; a < line + sys.lineBytes();
+         a += range.elemBytes) {
+        auto it = pp.find(a);
+        if (it != pp.end() && !it->second.untouched())
+            return false;
+    }
+    return true;
+}
+
+void
+SpecDirUnit::sendReadFirstToShared(const TestRange &range,
+                                   Addr priv_elem, IterNum iter)
+{
+    Addr shared_elem = range.toShared(priv_elem);
+    Msg m;
+    m.type = MsgType::ReadFirstSig;
+    m.src = node;
+    m.dst = sys.mem().homeOf(shared_elem);
+    m.lineAddr = sys.lineOf(shared_elem);
+    m.elemAddr = shared_elem;
+    m.iter = iter;
+    sys.net().send(std::move(m));
+}
+
+void
+SpecDirUnit::sendFirstWriteToShared(const TestRange &range,
+                                    Addr priv_elem, IterNum iter)
+{
+    Addr shared_elem = range.toShared(priv_elem);
+    Msg m;
+    m.type = MsgType::FirstWriteSig;
+    m.src = node;
+    m.dst = sys.mem().homeOf(shared_elem);
+    m.lineAddr = sys.lineOf(shared_elem);
+    m.elemAddr = shared_elem;
+    m.iter = iter;
+    sys.net().send(std::move(m));
+}
+
+void
+SpecDirUnit::startReadIn(const Msg &req, const TestRange &range,
+                         bool for_write)
+{
+    Addr priv_line = req.lineAddr;
+    Addr shared_elem = range.toShared(req.elemAddr);
+    Addr shared_line = sys.lineOf(shared_elem);
+    SPECRT_ASSERT(!pendingReadIns.count(shared_line),
+                  "overlapping read-ins for shared line %#llx",
+                  (unsigned long long)shared_line);
+    pendingReadIns[shared_line] = {priv_line, req.elemAddr};
+
+    Msg m;
+    m.type = MsgType::ReadInReq;
+    m.src = node;
+    m.dst = sys.mem().homeOf(shared_elem);
+    m.lineAddr = shared_line;
+    m.elemAddr = shared_elem;
+    m.iter = req.iter;
+    m.forWrite = for_write;
+    ++sys.readIns;
+    sys.net().send(std::move(m));
+}
+
+SpecDirAction
+SpecDirUnit::onReadReq(const Msg &req)
+{
+    if (!sys.armed())
+        return SpecDirAction::Proceed;
+    const TestRange *range = sys.table().lookup(req.elemAddr);
+    if (!range)
+        return SpecDirAction::Proceed;
+
+    if (range->type == TestType::NonPriv) {
+        NPDirResult res = npDirRead(np[req.elemAddr], req.src);
+        if (res.fail)
+            sys.fail(req.src, req.elemAddr, res.reason);
+        return SpecDirAction::Proceed;
+    }
+
+    SPECRT_ASSERT(range->role == PrivRole::PrivateCopy,
+                  "cached read of privatization-tested shared array");
+    bool untouched = lineUntouched(req.lineAddr, *range);
+    PrivPDirResult res =
+        privPDirRead(pp[req.elemAddr], req.iter, untouched);
+    if (res.needReadIn) {
+        startReadIn(req, *range, false);
+        return SpecDirAction::Defer;
+    }
+    if (res.readFirst)
+        sendReadFirstToShared(*range, req.elemAddr, req.iter);
+    return SpecDirAction::Proceed;
+}
+
+SpecDirAction
+SpecDirUnit::onWriteReq(const Msg &req)
+{
+    if (!sys.armed())
+        return SpecDirAction::Proceed;
+    const TestRange *range = sys.table().lookup(req.elemAddr);
+    if (!range)
+        return SpecDirAction::Proceed;
+
+    if (range->type == TestType::NonPriv) {
+        NPDirResult res = npDirWrite(np[req.elemAddr], req.src);
+        if (res.fail)
+            sys.fail(req.src, req.elemAddr, res.reason);
+        return SpecDirAction::Proceed;
+    }
+
+    SPECRT_ASSERT(range->role == PrivRole::PrivateCopy,
+                  "cached write of privatization-tested shared array");
+    bool untouched = lineUntouched(req.lineAddr, *range);
+    PrivPDirResult res =
+        privPDirWrite(pp[req.elemAddr], req.iter, untouched);
+    if (res.needReadIn) {
+        startReadIn(req, *range, true);
+        return SpecDirAction::Defer;
+    }
+    if (res.firstWrite)
+        sendFirstWriteToShared(*range, req.elemAddr, req.iter);
+    return SpecDirAction::Proceed;
+}
+
+std::vector<uint32_t>
+SpecDirUnit::collectFillBits(NodeId requester, Addr line_addr,
+                             IterNum iter)
+{
+    if (!sys.armed())
+        return {};
+    const TestRange *range = sys.table().lookup(line_addr);
+    if (!range)
+        return {};
+
+    uint32_t elems = sys.lineBytes() / range->elemBytes;
+    std::vector<uint32_t> wire(elems, 0);
+
+    if (range->type == TestType::NonPriv) {
+        for (uint32_t i = 0; i < elems; ++i) {
+            auto it = np.find(line_addr + i * range->elemBytes);
+            wire[i] = npPackDir(it == np.end() ? NPDirBits{}
+                                               : it->second);
+        }
+        (void)requester;
+        return wire;
+    }
+
+    SPECRT_ASSERT(range->role == PrivRole::PrivateCopy,
+                  "fill bits for privatization-tested shared line");
+    for (uint32_t i = 0; i < elems; ++i) {
+        auto it = pp.find(line_addr + i * range->elemBytes);
+        if (it == pp.end())
+            continue;
+        wire[i] = privPackTag(it->second.pMaxR1st == iter,
+                              it->second.pMaxW == iter);
+    }
+    return wire;
+}
+
+void
+SpecDirUnit::onDirtyBits(NodeId from, Addr line_addr,
+                         const std::vector<uint32_t> &bits)
+{
+    if (!sys.armed() || bits.empty())
+        return;
+    const TestRange *range = sys.table().lookup(line_addr);
+    if (!range)
+        return;
+    SPECRT_ASSERT(range->type == TestType::NonPriv,
+                  "dirty bits for non-non-priv range");
+    uint32_t elems = sys.lineBytes() / range->elemBytes;
+    SPECRT_ASSERT(bits.size() == elems, "dirty bits size mismatch");
+    for (uint32_t i = 0; i < elems; ++i) {
+        Addr elem = line_addr + i * range->elemBytes;
+        NPDirResult res = npDirMergeDirty(np[elem], from, bits[i]);
+        if (res.fail) {
+            sys.fail(from, elem, res.reason);
+            return;
+        }
+    }
+}
+
+void
+SpecDirUnit::onMsg(const Msg &msg)
+{
+    if (!sys.armed())
+        return;
+
+    if (msg.type == MsgType::ReadInReply) {
+        auto it = pendingReadIns.find(msg.lineAddr);
+        SPECRT_ASSERT(it != pendingReadIns.end(),
+                      "stray ReadInReply for %#llx",
+                      (unsigned long long)msg.lineAddr);
+        PendingReadIn pending = it->second;
+        pendingReadIns.erase(it);
+
+        sys.mem().writeLine(pending.privLine, msg.data.data(),
+                            static_cast<uint32_t>(msg.data.size()));
+        privPDirReadInDone(pp[pending.privElem], msg.iter,
+                           msg.forWrite);
+        sys.dirCtrl(node).resumeDeferred(pending.privLine);
+        return;
+    }
+
+    const TestRange *range = sys.table().lookup(msg.elemAddr);
+    SPECRT_ASSERT(range, "spec dir message outside any test range");
+
+    switch (msg.type) {
+      case MsgType::FirstUpdate: {
+        NPDirResult res = npDirFirstUpdate(np[msg.elemAddr], msg.src);
+        if (res.fail) {
+            sys.fail(msg.src, msg.elemAddr, res.reason);
+            return;
+        }
+        if (res.sendFirstUpdateFail) {
+            Msg fail;
+            fail.type = MsgType::FirstUpdateFail;
+            fail.src = node;
+            fail.dst = msg.src;
+            fail.lineAddr = msg.lineAddr;
+            fail.elemAddr = msg.elemAddr;
+            sys.net().send(std::move(fail));
+        }
+        return;
+      }
+      case MsgType::ROnlyUpdate: {
+        NPDirResult res = npDirROnlyUpdate(np[msg.elemAddr], msg.src);
+        if (res.fail)
+            sys.fail(msg.src, msg.elemAddr, res.reason);
+        return;
+      }
+      case MsgType::ReadFirstSig: {
+        if (range->role == PrivRole::PrivateCopy) {
+            // Fig. 8(b): record and forward to the shared directory.
+            privPDirReadFirstSig(pp[msg.elemAddr], msg.iter);
+            sendReadFirstToShared(*range, msg.elemAddr, msg.iter);
+            return;
+        }
+        PrivSDirResult res =
+            privSDirReadFirst(ps[msg.elemAddr], msg.iter);
+        if (res.fail)
+            sys.fail(msg.src, msg.elemAddr, res.reason);
+        return;
+      }
+      case MsgType::FirstWriteSig: {
+        if (range->role == PrivRole::PrivateCopy) {
+            // Fig. 9(g).
+            PrivPDirResult res =
+                privPDirFirstWriteSig(pp[msg.elemAddr], msg.iter);
+            if (res.firstWrite)
+                sendFirstWriteToShared(*range, msg.elemAddr, msg.iter);
+            return;
+        }
+        PrivSDirResult res =
+            privSDirFirstWrite(ps[msg.elemAddr], msg.iter);
+        if (res.fail)
+            sys.fail(msg.src, msg.elemAddr, res.reason);
+        return;
+      }
+      case MsgType::ReadInReq: {
+        SPECRT_ASSERT(range->role == PrivRole::SharedArray,
+                      "read-in request at non-shared range");
+        PrivSharedDirBits &bits = ps[msg.elemAddr];
+        PrivSDirResult res =
+            msg.forWrite ? privSDirFirstWrite(bits, msg.iter)
+                         : privSDirReadFirst(bits, msg.iter);
+        if (res.fail)
+            sys.fail(msg.src, msg.elemAddr, res.reason);
+        // Reply with the line even on failure so nothing wedges.
+        Msg reply;
+        reply.type = MsgType::ReadInReply;
+        reply.src = node;
+        reply.dst = msg.src;
+        reply.lineAddr = msg.lineAddr;
+        reply.elemAddr = msg.elemAddr;
+        reply.iter = msg.iter;
+        reply.forWrite = msg.forWrite;
+        reply.data.resize(sys.lineBytes());
+        sys.mem().readLine(msg.lineAddr, reply.data.data(),
+                           sys.lineBytes());
+        sys.net().send(std::move(reply), sys.cfg().lat.dirMemAccess);
+        return;
+      }
+      case MsgType::CopyOutSig: {
+        SPECRT_ASSERT(range->role == PrivRole::SharedArray,
+                      "copy-out at non-shared range");
+        ++sys.copyOuts;
+        if (privSDirCopyOut(ps[msg.elemAddr], msg.iter))
+            sys.mem().write(msg.elemAddr, range->elemBytes, msg.value);
+        return;
+      }
+      default:
+        panic("dir spec unit got %s", msgTypeName(msg.type));
+    }
+}
+
+void
+SpecDirUnit::clearAll()
+{
+    np.clear();
+    ps.clear();
+    pp.clear();
+    pendingReadIns.clear();
+}
+
+std::vector<std::pair<Addr, IterNum>>
+SpecDirUnit::writtenPrivElems(Addr base, Addr end) const
+{
+    std::vector<std::pair<Addr, IterNum>> out;
+    for (const auto &[addr, bits] : pp) {
+        if (addr >= base && addr < end && bits.pMaxW > 0)
+            out.emplace_back(addr, bits.pMaxW);
+    }
+    return out;
+}
+
+// --------------------------------------------------------------------
+// SpecSystem
+// --------------------------------------------------------------------
+
+SpecSystem::SpecSystem(DsmSystem &dsm_)
+    : StatGroup("spec"),
+      firstUpdates(this, "first_updates", "First_update messages"),
+      rOnlyUpdates(this, "ronly_updates", "ROnly_update messages"),
+      readFirstSigs(this, "read_first_sigs", "read-first signals"),
+      firstWriteSigs(this, "first_write_sigs", "first-write signals"),
+      readIns(this, "read_ins", "read-in transactions"),
+      copyOuts(this, "copy_outs", "copy-out transactions"),
+      failures(this, "failures", "speculation failures latched"),
+      dsm(dsm_)
+{
+    for (NodeId n = 0; n < dsm.numProcs(); ++n) {
+        cacheUnits.push_back(std::make_unique<SpecCacheUnit>(*this, n));
+        dirUnits.push_back(std::make_unique<SpecDirUnit>(*this, n));
+        dsm.cacheCtrl(n).setSpecUnit(cacheUnits.back().get());
+        dsm.dirCtrl(n).setSpecUnit(dirUnits.back().get());
+    }
+}
+
+SpecSystem::~SpecSystem()
+{
+    for (NodeId n = 0; n < dsm.numProcs(); ++n) {
+        dsm.cacheCtrl(n).setSpecUnit(nullptr);
+        dsm.dirCtrl(n).setSpecUnit(nullptr);
+    }
+}
+
+void
+SpecSystem::arm()
+{
+    for (auto &u : cacheUnits)
+        u->clearAll();
+    for (auto &u : dirUnits)
+        u->clearAll();
+    clearFailure();
+    _armed = true;
+}
+
+void
+SpecSystem::disarm()
+{
+    _armed = false;
+}
+
+void
+SpecSystem::fail(NodeId node, Addr elem, const char *reason)
+{
+    if (_failure.failed)
+        return;
+    _failure.failed = true;
+    _failure.node = node;
+    _failure.elemAddr = elem;
+    _failure.tick = dsm.eventQueue().curTick();
+    _failure.reason = reason ? reason : "unspecified";
+    ++failures;
+    if (abortHook)
+        abortHook();
+}
+
+std::vector<std::pair<Addr, IterNum>>
+SpecSystem::writtenPrivElems(NodeId p, Addr base, Addr end) const
+{
+    return dirUnits.at(p)->writtenPrivElems(base, end);
+}
+
+} // namespace specrt

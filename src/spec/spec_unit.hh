@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The speculative-parallelization hardware, attached to a DsmSystem.
+ *
+ * SpecSystem owns one SpecCacheUnit per cache controller (the Access
+ * Bit Array + Test Logic of Fig. 10(a,b)) and one SpecDirUnit per
+ * directory controller (the Translation Table + Access Bit Table +
+ * Test Logic of Fig. 10(c)). Arm it before a speculative loop,
+ * disarm after; a detected cross-iteration dependence calls the
+ * abort hook and latches the failure.
+ */
+
+#ifndef SPECRT_SPEC_SPEC_UNIT_HH
+#define SPECRT_SPEC_SPEC_UNIT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/dsm.hh"
+#include "mem/spec_iface.hh"
+#include "spec/access_bits.hh"
+#include "spec/nonpriv.hh"
+#include "spec/priv.hh"
+#include "spec/translation_table.hh"
+
+namespace specrt
+{
+
+class SpecSystem;
+
+/** Cache-side speculation unit of one node. */
+class SpecCacheUnit : public SpecCacheIface
+{
+  public:
+    SpecCacheUnit(SpecSystem &sys, NodeId node);
+
+    void onLoadHit(Addr addr, LineState state, IterNum iter) override;
+    void onStoreDirtyHit(Addr addr, IterNum iter) override;
+    void onFill(Addr line_addr, const std::vector<uint32_t> &bits,
+                Addr elem_addr, bool is_write, IterNum iter) override;
+    std::vector<uint32_t> onDirtyOut(Addr line_addr) override;
+    std::vector<uint32_t>
+    combineBits(Addr line_addr, const std::vector<uint32_t> &owner_bits,
+                const std::vector<uint32_t> &home_bits) override;
+    void onInval(Addr line_addr) override;
+    void onMsg(const Msg &msg) override;
+
+    /** Drop every tag access bit (loop boundary reset line). */
+    void clearAll();
+
+  private:
+    std::vector<NPTagBits> &npLine(Addr line, uint32_t elems);
+    std::vector<PrivTagBits> &privLine(Addr line, uint32_t elems);
+
+    SpecSystem &sys;
+    NodeId node;
+
+    std::unordered_map<Addr, std::vector<NPTagBits>> npLines;
+    std::unordered_map<Addr, std::vector<PrivTagBits>> privLines;
+};
+
+/** Directory-side speculation unit of one home node. */
+class SpecDirUnit : public SpecDirIface
+{
+  public:
+    SpecDirUnit(SpecSystem &sys, NodeId node);
+
+    SpecDirAction onReadReq(const Msg &req) override;
+    SpecDirAction onWriteReq(const Msg &req) override;
+    std::vector<uint32_t> collectFillBits(NodeId requester,
+                                          Addr line_addr,
+                                          IterNum iter) override;
+    void onDirtyBits(NodeId from, Addr line_addr,
+                     const std::vector<uint32_t> &bits) override;
+    void onMsg(const Msg &msg) override;
+
+    /** Drop all access-bit-table state (loop boundary). */
+    void clearAll();
+
+    /**
+     * Elements of a private-copy range this node is home of that
+     * were written during the loop, with their last writing
+     * iteration (used by the runtime to drive copy-out).
+     */
+    std::vector<std::pair<Addr, IterNum>>
+    writtenPrivElems(Addr base, Addr end) const;
+
+  private:
+    struct PendingReadIn
+    {
+        Addr privLine;
+        Addr privElem;
+    };
+
+    /** True if every element of the private line is untouched. */
+    bool lineUntouched(Addr line, const TestRange &range) const;
+
+    void sendReadFirstToShared(const TestRange &range, Addr priv_elem,
+                               IterNum iter);
+    void sendFirstWriteToShared(const TestRange &range, Addr priv_elem,
+                                IterNum iter);
+    void startReadIn(const Msg &req, const TestRange &range,
+                     bool for_write);
+
+    SpecSystem &sys;
+    NodeId node;
+
+    std::unordered_map<Addr, NPDirBits> np;
+    std::unordered_map<Addr, PrivSharedDirBits> ps;
+    std::unordered_map<Addr, PrivPrivDirBits> pp;
+    /** Keyed by the SHARED line address of the in-flight read-in. */
+    std::unordered_map<Addr, PendingReadIn> pendingReadIns;
+};
+
+/** Description of a latched speculation failure. */
+struct SpecFailure
+{
+    bool failed = false;
+    NodeId node = invalidNode;
+    Addr elemAddr = invalidAddr;
+    Tick tick = 0;
+    std::string reason;
+};
+
+/** The whole speculation hardware of one machine. */
+class SpecSystem : public StatGroup
+{
+  public:
+    explicit SpecSystem(DsmSystem &dsm);
+    ~SpecSystem();
+
+    SpecSystem(const SpecSystem &) = delete;
+    SpecSystem &operator=(const SpecSystem &) = delete;
+
+    DsmSystem &machine() { return dsm; }
+    TranslationTable &table() { return _table; }
+
+    /** Clear all access bits and start checking accesses. */
+    void arm();
+    /** Stop checking (loop done); keeps state for inspection. */
+    void disarm();
+    bool armed() const { return _armed; }
+
+    /** Latch a failure and fire the abort hook (idempotent). */
+    void fail(NodeId node, Addr elem, const char *reason);
+    const SpecFailure &failure() const { return _failure; }
+    /** Clear the failure latch (new loop attempt). */
+    void clearFailure() { _failure = SpecFailure{}; }
+
+    /** Hook fired once on the first failure. */
+    void setAbortHook(std::function<void()> hook)
+    {
+        abortHook = std::move(hook);
+    }
+
+    /** Written elements of processor @p p's private range. */
+    std::vector<std::pair<Addr, IterNum>>
+    writtenPrivElems(NodeId p, Addr base, Addr end) const;
+
+    SpecCacheUnit &cacheUnit(NodeId n) { return *cacheUnits.at(n); }
+    SpecDirUnit &dirUnit(NodeId n) { return *dirUnits.at(n); }
+
+    // Shared plumbing for the units.
+    Network &net() { return dsm.network(); }
+    AddrMap &mem() { return dsm.memory(); }
+    const MachineConfig &cfg() const { return dsm.config(); }
+    DirCtrl &dirCtrl(NodeId n) { return dsm.dirCtrl(n); }
+    uint32_t lineBytes() const { return dsm.config().l2.lineBytes; }
+    Addr lineOf(Addr a) const
+    {
+        return a & ~Addr(lineBytes() - 1);
+    }
+
+    Scalar firstUpdates;
+    Scalar rOnlyUpdates;
+    Scalar readFirstSigs;
+    Scalar firstWriteSigs;
+    Scalar readIns;
+    Scalar copyOuts;
+    Scalar failures;
+
+  private:
+    DsmSystem &dsm;
+    TranslationTable _table;
+    bool _armed = false;
+    SpecFailure _failure;
+    std::function<void()> abortHook;
+
+    std::vector<std::unique_ptr<SpecCacheUnit>> cacheUnits;
+    std::vector<std::unique_ptr<SpecDirUnit>> dirUnits;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SPEC_SPEC_UNIT_HH

@@ -1,0 +1,59 @@
+#include "spec/translation_table.hh"
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+void
+TranslationTable::addNonPriv(const Region &region)
+{
+    TestRange r;
+    r.base = region.base;
+    r.end = region.base + region.bytes;
+    r.elemBytes = region.elemBytes;
+    r.type = TestType::NonPriv;
+    ranges.push_back(r);
+}
+
+void
+TranslationTable::addPriv(const Region &shared,
+                          const std::vector<const Region *> &copies)
+{
+    TestRange s;
+    s.base = shared.base;
+    s.end = shared.base + shared.bytes;
+    s.elemBytes = shared.elemBytes;
+    s.type = TestType::Priv;
+    s.role = PrivRole::SharedArray;
+    ranges.push_back(s);
+
+    for (size_t p = 0; p < copies.size(); ++p) {
+        const Region *c = copies[p];
+        SPECRT_ASSERT(c && c->bytes == shared.bytes &&
+                      c->elemBytes == shared.elemBytes,
+                      "private copy %zu does not mirror shared array "
+                      "'%s'", p, shared.name.c_str());
+        TestRange r;
+        r.base = c->base;
+        r.end = c->base + c->bytes;
+        r.elemBytes = c->elemBytes;
+        r.type = TestType::Priv;
+        r.role = PrivRole::PrivateCopy;
+        r.sharedBase = shared.base;
+        r.owner = static_cast<NodeId>(p);
+        ranges.push_back(r);
+    }
+}
+
+const TestRange *
+TranslationTable::lookup(Addr addr) const
+{
+    for (const TestRange &r : ranges) {
+        if (r.contains(addr))
+            return &r;
+    }
+    return nullptr;
+}
+
+} // namespace specrt

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The address-range comparator / translation table of section 4.1.
+ *
+ * The compiler loads it with the physical ranges of the arrays under
+ * test before the speculative loop starts; given an address it
+ * yields which algorithm applies (plain / non-privatization /
+ * privatization) and, for privatization, links each processor's
+ * private copy to the shared array it mirrors.
+ */
+
+#ifndef SPECRT_SPEC_TRANSLATION_TABLE_HH
+#define SPECRT_SPEC_TRANSLATION_TABLE_HH
+
+#include <vector>
+
+#include "mem/addr_map.hh"
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+/** Which speculation algorithm applies to a range. */
+enum class TestType
+{
+    None,      ///< plain cache coherence
+    NonPriv,   ///< non-privatization algorithm (Figs. 4, 6, 7)
+    Priv,      ///< privatization algorithm (Figs. 8, 9)
+    /**
+     * Reduction parallelization (an extension in the spirit of the
+     * LRPD test's reduction leg; the paper lists faster handling of
+     * common loop types as ongoing work). The array is accessed only
+     * through tagged reduction statements; execution privatizes it
+     * into zero-initialized partial accumulators that are merged
+     * into the shared array after the loop. A non-reduction access
+     * is detected by the address-range comparator and fails the run.
+     */
+    Reduction,
+};
+
+/** Role of a range under the privatization algorithm. */
+enum class PrivRole
+{
+    NotPriv,
+    SharedArray,   ///< the shared array (MaxR1st / MinW live here)
+    PrivateCopy,   ///< one processor's private copy
+};
+
+/** One entry of the translation table. */
+struct TestRange
+{
+    Addr base = invalidAddr;
+    Addr end = invalidAddr;      ///< one past the last byte
+    uint32_t elemBytes = 4;
+    TestType type = TestType::None;
+    PrivRole role = PrivRole::NotPriv;
+    /** Base of the mirrored shared array (PrivateCopy ranges). */
+    Addr sharedBase = invalidAddr;
+    /** Owner processor (PrivateCopy ranges). */
+    NodeId owner = invalidNode;
+
+    bool contains(Addr a) const { return a >= base && a < end; }
+
+    /** Translate a private-copy address to its shared counterpart. */
+    Addr
+    toShared(Addr a) const
+    {
+        return sharedBase + (a - base);
+    }
+};
+
+/**
+ * The (global) translation table. The paper keeps one per node,
+ * loaded identically by system calls; a single shared object is
+ * equivalent in a simulator.
+ */
+class TranslationTable
+{
+  public:
+    /** Register a non-privatization array under test. */
+    void addNonPriv(const Region &region);
+
+    /**
+     * Register a privatization-tested array: the shared region plus
+     * one private copy per processor.
+     *
+     * @param shared  the shared array region
+     * @param copies  region of processor p's private copy, indexed p
+     */
+    void addPriv(const Region &shared,
+                 const std::vector<const Region *> &copies);
+
+    /** Look up the entry covering @p addr, or nullptr (plain data). */
+    const TestRange *lookup(Addr addr) const;
+
+    /** Unload everything (loop finished). */
+    void clear() { ranges.clear(); }
+
+    size_t numRanges() const { return ranges.size(); }
+
+  private:
+    std::vector<TestRange> ranges;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SPEC_TRANSLATION_TABLE_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Analogue of Adm's run.do20 (paper section 5.2).
+ *
+ * The paper's loop: executed 900 times with 32 or 64 iterations;
+ * small working set; some arrays need the non-privatization scheme
+ * and some the privatization scheme; 8-byte elements; good load
+ * balance (processor-wise software test); accesses to the arrays
+ * under test are a large fraction of the loop's work.
+ *
+ * The analogue: iteration i updates its own slice of a
+ * non-privatization-tested field array through an index permutation
+ * (subscripted subscripts) and uses a small privatized workspace
+ * written before read.
+ */
+
+#ifndef SPECRT_WORKLOADS_ADM_HH
+#define SPECRT_WORKLOADS_ADM_HH
+
+#include "runtime/workload.hh"
+
+namespace specrt
+{
+
+struct AdmParams
+{
+    IterNum iters = 64;
+    /** Field elements per iteration (8-byte elements). */
+    uint64_t elemsPerIter = 48;
+    /** Privatized workspace elements. */
+    uint64_t wsElems = 32;
+    Cycles flopCycles = 16;
+    uint64_t seed = 13;
+};
+
+class AdmLoop : public Workload
+{
+  public:
+    explicit AdmLoop(const AdmParams &params = {});
+
+    std::string name() const override { return "adm.run_do20"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return p.iters; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+  private:
+    AdmParams p;
+    uint64_t fieldElems;
+    std::vector<int64_t> perm;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_WORKLOADS_ADM_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Small loops from the paper's figures, plus a configurable random
+ * loop for property testing.
+ *
+ * - Fig1A: A(i) = A(i) + A(i-1)           (flow deps; never parallel)
+ * - Fig1B: element swap through tmp        (parallel once tmp is
+ *          privatized)
+ * - Fig1C: A(f(i)) = ...; ... = A(g(i))    (subscripted subscripts)
+ * - Fig2:  the worked marking example (K/L/B1 of Figure 2; the test
+ *          must fail)
+ * - Fig3:  single-element loops parallel only under privatization
+ *          with read-in/copy-out
+ * - RandomLoop: seeded random access pattern with tunable sharing /
+ *          dependence probability (drives the property tests)
+ */
+
+#ifndef SPECRT_WORKLOADS_MICROLOOPS_HH
+#define SPECRT_WORKLOADS_MICROLOOPS_HH
+
+#include "runtime/workload.hh"
+#include "sim/random.hh"
+#include "spec/oracle.hh"
+
+namespace specrt
+{
+
+/** Figure 1(a): A(i) = A(i) + A(i-1). */
+class Fig1ALoop : public Workload
+{
+  public:
+    explicit Fig1ALoop(IterNum iters = 64) : n(iters) {}
+
+    std::string name() const override { return "fig1a"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return n; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+  private:
+    IterNum n;
+};
+
+/**
+ * Figure 1(b): swap A(2i) and A(2i-1) through scalar tmp.
+ * tmp is privatizable; the swap touches disjoint elements per
+ * iteration, so the loop is parallel with tmp privatized.
+ */
+class Fig1BLoop : public Workload
+{
+  public:
+    explicit Fig1BLoop(IterNum iters = 64) : n(iters) {}
+
+    std::string name() const override { return "fig1b"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return n; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+  private:
+    IterNum n;
+};
+
+/**
+ * Figure 1(c): A(f(i)) = ...; ... = A(g(i)). The subscript arrays
+ * come from "input data": a seed picks them. With disjoint == true
+ * the subscripts are a permutation (parallel); otherwise they
+ * collide (not parallel).
+ */
+class Fig1CLoop : public Workload
+{
+  public:
+    Fig1CLoop(IterNum iters, uint64_t elems, bool disjoint,
+              uint64_t seed);
+
+    std::string name() const override { return "fig1c"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return n; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+  private:
+    IterNum n;
+    uint64_t elems;
+    std::vector<int64_t> f, g;
+};
+
+/** The Figure 2 worked example (5 iterations; the test fails). */
+class Fig2Loop : public Workload
+{
+  public:
+    Fig2Loop();
+
+    std::string name() const override { return "fig2"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return 5; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+  private:
+    std::vector<int64_t> k, l;
+    std::vector<uint8_t> b1;
+};
+
+/** Variants of the Figure 3 single-element loops. */
+enum class Fig3Kind
+{
+    /** Read-only prefix, then write-before-read suffix: parallel
+     *  only with read-in support. */
+    ReadInNeeded,
+    /** Every iteration writes before reading: plain privatization,
+     *  live-out value needs copy-out. */
+    WriteFirst,
+    /** Reads after an earlier iteration's write: NOT parallel. */
+    FlowDep,
+};
+
+class Fig3Loop : public Workload
+{
+  public:
+    Fig3Loop(Fig3Kind kind, IterNum iters = 32);
+
+    std::string name() const override { return "fig3"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return n; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+  private:
+    Fig3Kind kind;
+    IterNum n;
+};
+
+/** Parameters of the histogram (reduction) loop. */
+struct HistogramParams
+{
+    IterNum iters = 256;
+    uint64_t bins = 64;
+    /** Reduction updates per iteration. */
+    int updates = 3;
+    /**
+     * Iteration that reads a bin OUTSIDE the reduction statement
+     * (0 = none): the illegal access the reduction test must catch.
+     */
+    IterNum rogueIter = 0;
+    uint64_t seed = 5;
+};
+
+/**
+ * A classic run-time reduction: bins(K(i)) += W(i), with the bin
+ * indices coming from input data. Exercises TestType::Reduction --
+ * privatized partial accumulators merged after the loop, with the
+ * tagged-access check guarding against non-reduction uses.
+ */
+class HistogramLoop : public Workload
+{
+  public:
+    explicit HistogramLoop(const HistogramParams &params = {});
+
+    std::string name() const override { return "histogram"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return p.iters; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+  private:
+    HistogramParams p;
+};
+
+/** Parameters of the random property-test loop. */
+struct RandomLoopParams
+{
+    IterNum iters = 64;
+    uint64_t elems = 256;
+    /** Accesses per iteration to the array under test. */
+    int accesses = 4;
+    /** Probability an access is a write. */
+    double writeProb = 0.3;
+    /**
+     * Element locality: each iteration draws its elements from a
+     * window of this size placed by the iteration index; a window of
+     * `elems` makes all iterations collide freely.
+     */
+    uint64_t window = 256;
+    TestType test = TestType::NonPriv;
+    uint64_t seed = 1;
+};
+
+/** Seeded random loop over one tested array. */
+class RandomLoop : public Workload
+{
+  public:
+    explicit RandomLoop(const RandomLoopParams &params);
+
+    std::string name() const override { return "random"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return p.iters; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+    /** The exact access trace the loop performs (oracle input). */
+    const std::vector<AccessEvent> &expectedTrace() const
+    {
+        return trace;
+    }
+
+  private:
+    RandomLoopParams p;
+    /** Pre-drawn accesses: trace[k] for iteration order. */
+    std::vector<AccessEvent> trace;
+    std::vector<std::vector<std::pair<uint64_t, bool>>> perIter;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_WORKLOADS_MICROLOOPS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analogue of Ocean's ftrvmt.do109 (paper section 5.2).
+ *
+ * The paper's loop: executed 4129 times, usually with 32 iterations;
+ * small working set (258 x 64 complex elements); data accessed with
+ * different strides in different executions; tested with the
+ * non-privatization algorithm; good load balance (the software
+ * scheme uses the processor-wise test); run with 8 processors.
+ *
+ * The analogue is an FFT-like pass over a complex array: iteration i
+ * updates a disjoint set of elements (so the loop is parallel and
+ * every element is touched by one processor), with a stride
+ * parameter that changes between executions. A large fraction of the
+ * loop's accesses hit the array under test, which is what makes the
+ * software scheme's instruction overhead high for this loop.
+ */
+
+#ifndef SPECRT_WORKLOADS_OCEAN_HH
+#define SPECRT_WORKLOADS_OCEAN_HH
+
+#include "runtime/workload.hh"
+
+namespace specrt
+{
+
+/** Parameters of one execution of the Ocean loop. */
+struct OceanParams
+{
+    IterNum iters = 32;
+    /** Complex elements (8 bytes each). 258*64 in the paper. */
+    uint64_t elems = 258 * 64;
+    /** Stride family for this execution (1 = unit, or the iteration
+     *  count for column-major style access). */
+    uint64_t stride = 1;
+    /** Twiddle work per element, in cycles. */
+    Cycles flopCycles = 12;
+    /**
+     * Inject a cross-iteration flow dependence: the last iteration
+     * reads an element iteration 1 writes (the paper's Figure 13
+     * forced-failure experiment injects a dependence between early
+     * iterations; ours spans chunks so every scheduling splits it).
+     */
+    bool injectDep = false;
+};
+
+class OceanLoop : public Workload
+{
+  public:
+    explicit OceanLoop(const OceanParams &params = {});
+
+    std::string name() const override { return "ocean.ftrvmt_do109"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return p.iters; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+  private:
+    OceanParams p;
+    uint64_t elemsPerIter;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_WORKLOADS_OCEAN_HH

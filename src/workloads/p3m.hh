@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analogue of P3m's pp.do100 (paper section 5.2).
+ *
+ * The paper's loop: executed once with 97,336 iterations (15,000
+ * simulated); very large working set; several arrays need the
+ * privatization algorithm; 4-byte elements; no read-in or copy-out
+ * needed; load across iterations highly imbalanced, so dynamic
+ * scheduling is required.
+ *
+ * The analogue is a particle-particle force pass: iteration i
+ * gathers a variable-length neighbor list from a large read-only
+ * position array (the big working set), accumulates into privatized
+ * workspace arrays (written before read each iteration, so the
+ * privatization test passes with no read-in), and writes one
+ * analyzable result element.
+ */
+
+#ifndef SPECRT_WORKLOADS_P3M_HH
+#define SPECRT_WORKLOADS_P3M_HH
+
+#include "runtime/workload.hh"
+#include "sim/random.hh"
+
+namespace specrt
+{
+
+struct P3mParams
+{
+    IterNum iters = 97336;
+    /** Privatized workspace elements (4 bytes each). */
+    uint64_t wsElems = 6144;
+    /** Read-only particle data elements (the big working set). */
+    uint64_t posElems = 192 * 1024;
+    /** Neighbor count: min + hash(i) % spread, plus a heavy tail. */
+    int minNeighbors = 2;
+    int spreadNeighbors = 12;
+    /** One iteration in `tailEvery` gets tailFactor times the work
+     *  (the load imbalance that forces dynamic scheduling). */
+    int tailEvery = 29;
+    int tailFactor = 10;
+    Cycles flopCycles = 20;
+    uint64_t seed = 7;
+};
+
+class P3mLoop : public Workload
+{
+  public:
+    explicit P3mLoop(const P3mParams &params = {});
+
+    std::string name() const override { return "p3m.pp_do100"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return p.iters; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+    /** Neighbors of iteration i (work per iteration; imbalance). */
+    int neighborsOf(IterNum i) const;
+
+  private:
+    P3mParams p;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_WORKLOADS_P3M_HH

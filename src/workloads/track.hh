@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analogue of Track's nlfilt.do300 (paper section 5.2).
+ *
+ * The paper's loop: executed 56 times, 480 iterations on average;
+ * small working set; four arrays under the non-privatization scheme
+ * (4- or 8-byte elements); the fraction of accesses to the tested
+ * arrays varies from 0% to 44% across executions. Five of the 56
+ * executions are not fully parallel: the iteration-wise software
+ * test fails on them, but the processor-wise test passes because
+ * the dependent iterations are adjacent (the hardware scheme passes
+ * them too as long as adjacent iterations are scheduled in the same
+ * block). There is load imbalance, so the static scheduling the
+ * processor-wise software test requires hurts.
+ *
+ * The analogue: a non-linear filter over track candidates. Each
+ * instance (0..55) selects the fraction of tested-array accesses and
+ * whether adjacent-iteration dependences exist (instances where
+ * `instance % 11 == 3`, giving 5 of 56).
+ */
+
+#ifndef SPECRT_WORKLOADS_TRACK_HH
+#define SPECRT_WORKLOADS_TRACK_HH
+
+#include "runtime/workload.hh"
+
+namespace specrt
+{
+
+struct TrackParams
+{
+    /** Which of the 56 executions (0-based). */
+    int instance = 0;
+    IterNum iters = 480;
+    /** Elements per tested array. */
+    uint64_t elems = 4096;
+    Cycles flopCycles = 22;
+    /** Work multiplier spread (load imbalance). */
+    int imbalanceSpread = 10;
+    uint64_t seed = 17;
+};
+
+class TrackLoop : public Workload
+{
+  public:
+    explicit TrackLoop(const TrackParams &params = {});
+
+    std::string name() const override { return "track.nlfilt_do300"; }
+    std::vector<ArrayDecl> arrays() const override;
+    IterNum numIters() const override { return p.iters; }
+    void initData(AddrMap &mem,
+                  const std::vector<const Region *> &r) override;
+    void genIteration(IterNum i, IterProgram &out) override;
+
+    /** True if this instance carries adjacent-iteration dependences
+     *  (5 of 56 instances, as in the paper). */
+    bool hasAdjacentDeps() const { return p.instance % 11 == 3; }
+
+    /** Fraction of accesses that touch the tested arrays (0..0.44). */
+    double testedFraction() const;
+
+  private:
+    TrackParams p;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_WORKLOADS_TRACK_HH

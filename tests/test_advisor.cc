@@ -1,0 +1,124 @@
+/** @file Tests of the test-selection advisor (paper section 2.2.4). */
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.hh"
+#include "core/loop_exec.hh"
+#include "workloads/adm.hh"
+#include "workloads/microloops.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+std::vector<ArrayAdvice>
+profileAndAdvise(Workload &w, int procs = 8)
+{
+    MachineConfig cfg;
+    cfg.numProcs = procs;
+    ExecConfig xc;
+    xc.mode = ExecMode::Ideal;
+    xc.keepTrace = true;
+    xc.traceAllArrays = true;
+    LoopExecutor exec(cfg, w, xc);
+    RunResult r = exec.run();
+    return adviseTests(r.trace, w.arrays());
+}
+
+} // namespace
+
+TEST(Advisor, ReadOnlyArraysNeedNoTest)
+{
+    Fig1CLoop loop(64, 256, true, 3);
+    auto advice = profileAndAdvise(loop);
+    ASSERT_EQ(advice.size(), 3u);
+    EXPECT_EQ(advice[1].recommended, TestType::None); // F
+    EXPECT_TRUE(advice[1].readOnly);
+    EXPECT_EQ(advice[2].recommended, TestType::None); // G
+}
+
+TEST(Advisor, DisjointSubscriptsGetNonPrivRobust)
+{
+    Fig1CLoop loop(64, 256, true, 3);
+    auto advice = profileAndAdvise(loop);
+    EXPECT_EQ(advice[0].recommended, TestType::NonPriv);
+    EXPECT_TRUE(advice[0].nonPrivRobust);
+    EXPECT_FALSE(advice[0].expectSerial);
+}
+
+TEST(Advisor, WorkspaceGetsPrivatization)
+{
+    AdmParams p;
+    p.iters = 16;
+    AdmLoop loop(p);
+    auto advice = profileAndAdvise(loop);
+    EXPECT_EQ(advice[0].recommended, TestType::NonPriv); // field
+    EXPECT_EQ(advice[1].recommended, TestType::Priv);    // wrk
+    EXPECT_TRUE(advice[1].privOk);
+    EXPECT_FALSE(advice[1].nonPrivRobust);
+}
+
+TEST(Advisor, HistogramGetsReduction)
+{
+    HistogramParams p;
+    p.iters = 32;
+    HistogramLoop loop(p);
+    auto advice = profileAndAdvise(loop);
+    EXPECT_EQ(advice[0].recommended, TestType::Reduction);
+    EXPECT_TRUE(advice[0].reductionOk);
+    EXPECT_FALSE(advice[0].privOk);    // accumulations are read-first
+    EXPECT_FALSE(advice[0].nonPrivRobust);
+}
+
+TEST(Advisor, SerialRecurrenceIsFlagged)
+{
+    Fig1ALoop loop(32);
+    auto advice = profileAndAdvise(loop);
+    EXPECT_TRUE(advice[0].expectSerial);
+    EXPECT_EQ(advice[0].lrpd, LrpdVerdict::NotParallel);
+}
+
+TEST(Advisor, ReportMentionsEveryArray)
+{
+    AdmParams p;
+    p.iters = 16;
+    AdmLoop loop(p);
+    auto advice = profileAndAdvise(loop);
+    std::string report = adviceReport(advice);
+    EXPECT_NE(report.find("field"), std::string::npos);
+    EXPECT_NE(report.find("wrk"), std::string::npos);
+    EXPECT_NE(report.find("idx"), std::string::npos);
+    EXPECT_NE(report.find("privatization"), std::string::npos);
+}
+
+TEST(Advisor, EmptyTraceIsHarmless)
+{
+    std::vector<ArrayDecl> decls = {
+        {"X", 8, 4, TestType::None, false, false}};
+    auto advice = adviseTests({}, decls);
+    ASSERT_EQ(advice.size(), 1u);
+    EXPECT_EQ(advice[0].recommended, TestType::None);
+}
+
+TEST(Advisor, RecommendationsActuallyPass)
+{
+    // Close the loop: run each workload under its recommended tests
+    // and expect the hardware to agree.
+    AdmParams p;
+    p.iters = 32;
+    AdmLoop loop(p);
+    auto advice = profileAndAdvise(loop);
+    auto decls = loop.arrays();
+    for (const ArrayAdvice &a : advice)
+        EXPECT_EQ(a.recommended, decls[a.declIdx].test)
+            << "advisor disagrees with the workload's declaration "
+            << decls[a.declIdx].name;
+
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    LoopExecutor exec(cfg, loop, xc);
+    EXPECT_TRUE(exec.run().passed);
+}

@@ -1,0 +1,138 @@
+/** @file Unit tests for the two-level cache arrays. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+MachineConfig
+tinyCfg()
+{
+    MachineConfig cfg;
+    cfg.l1 = {1024, 64};   // 16 lines
+    cfg.l2 = {4096, 64};   // 64 lines
+    return cfg;
+}
+
+std::vector<uint8_t>
+pattern(uint8_t seed)
+{
+    std::vector<uint8_t> data(64);
+    for (int i = 0; i < 64; ++i)
+        data[i] = static_cast<uint8_t>(seed + i);
+    return data;
+}
+
+} // namespace
+
+TEST(NodeCache, IndexingWrapsBySetCount)
+{
+    NodeCache cache(tinyCfg());
+    EXPECT_EQ(cache.numL2Lines(), 64u);
+    EXPECT_EQ(cache.l2Index(0), cache.l2Index(64 * 64));
+    EXPECT_NE(cache.l2Index(0), cache.l2Index(64));
+    EXPECT_EQ(cache.lineAlign(0x12345), 0x12340u);
+}
+
+TEST(NodeCache, FillThenFind)
+{
+    NodeCache cache(tinyCfg());
+    auto data = pattern(1);
+    CacheLine victim;
+    EXPECT_FALSE(cache.fill(0x1000, LineState::Shared, data.data(),
+                            &victim));
+    const CacheLine *line = cache.findLine(0x1010);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::Shared);
+    EXPECT_TRUE(cache.l1Hit(0x1010));
+}
+
+TEST(NodeCache, ConflictEvictsVictim)
+{
+    NodeCache cache(tinyCfg());
+    auto d1 = pattern(1);
+    auto d2 = pattern(2);
+    CacheLine victim;
+    cache.fill(0x0, LineState::Dirty, d1.data(), &victim);
+    // Same L2 set: stride = 64 lines * 64 bytes.
+    EXPECT_TRUE(cache.fill(64 * 64, LineState::Shared, d2.data(),
+                           &victim));
+    EXPECT_EQ(victim.addr, 0u);
+    EXPECT_EQ(victim.state, LineState::Dirty);
+    EXPECT_EQ(victim.data[0], d1[0]);
+    EXPECT_EQ(cache.findLine(0x0), nullptr);
+    EXPECT_FALSE(cache.l1Hit(0x0)); // inclusion: L1 dropped too
+}
+
+TEST(NodeCache, WordReadWrite)
+{
+    NodeCache cache(tinyCfg());
+    auto data = pattern(0);
+    CacheLine victim;
+    cache.fill(0x2000, LineState::Dirty, data.data(), &victim);
+    cache.writeWord(0x2008, 4, 0xaabbccdd);
+    EXPECT_EQ(cache.readWord(0x2008, 4), 0xaabbccddu);
+    // Neighbouring words untouched.
+    EXPECT_EQ(cache.readWord(0x200c, 1), data[12]);
+}
+
+TEST(NodeCache, InvalidateDropsBothLevels)
+{
+    NodeCache cache(tinyCfg());
+    auto data = pattern(3);
+    CacheLine victim;
+    cache.fill(0x3000, LineState::Shared, data.data(), &victim);
+    cache.invalidate(0x3000);
+    EXPECT_EQ(cache.findLine(0x3000), nullptr);
+    EXPECT_FALSE(cache.l1Hit(0x3000));
+}
+
+TEST(NodeCache, L1IsAFilterOverL2)
+{
+    NodeCache cache(tinyCfg());
+    auto d1 = pattern(1);
+    auto d2 = pattern(2);
+    CacheLine victim;
+    cache.fill(0x0000, LineState::Shared, d1.data(), &victim);
+    // L1 has 16 sets; 16 lines later maps to the same L1 set but a
+    // different L2 set.
+    cache.fill(16 * 64, LineState::Shared, d2.data(), &victim);
+    EXPECT_FALSE(cache.l1Hit(0x0000));      // displaced from L1...
+    EXPECT_NE(cache.findLine(0x0000), nullptr); // ...but still in L2
+    cache.l1Fill(0x0000);
+    EXPECT_TRUE(cache.l1Hit(0x0000));
+}
+
+TEST(NodeCache, FlushCollectsDirtyVictims)
+{
+    NodeCache cache(tinyCfg());
+    auto d = pattern(9);
+    CacheLine victim;
+    // Adjacent lines: different L2 sets, both resident.
+    cache.fill(0x1000, LineState::Dirty, d.data(), &victim);
+    cache.fill(0x1040, LineState::Shared, d.data(), &victim);
+    std::vector<CacheLine> victims;
+    cache.flushAll(&victims);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0].addr, 0x1000u);
+    EXPECT_EQ(cache.findLine(0x1000), nullptr);
+    EXPECT_EQ(cache.findLine(0x1040), nullptr);
+}
+
+TEST(NodeCache, RefillSameLineKeepsVictimOut)
+{
+    NodeCache cache(tinyCfg());
+    auto d1 = pattern(1);
+    auto d2 = pattern(2);
+    CacheLine victim;
+    cache.fill(0x1000, LineState::Shared, d1.data(), &victim);
+    // Refill of the very same line must not report a victim.
+    EXPECT_FALSE(cache.fill(0x1000, LineState::Dirty, d2.data(),
+                            &victim));
+    EXPECT_EQ(cache.findLine(0x1000)->state, LineState::Dirty);
+    EXPECT_EQ(cache.readWord(0x1000, 1), d2[0]);
+}

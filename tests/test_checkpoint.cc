@@ -1,0 +1,76 @@
+/** @file Tests of checkpointing (dense programs + sparse hash). */
+
+#include <gtest/gtest.h>
+
+#include "mem/dsm.hh"
+#include "runtime/checkpoint.hh"
+
+using namespace specrt;
+
+TEST(CopyProgram, EmitsLoadStorePairs)
+{
+    IterProgram prog;
+    genCopyProgram(0, 1, 10, 14, prog);
+    ASSERT_EQ(prog.size(), 8u);
+    EXPECT_EQ(prog[0].kind, OpKind::Load);
+    EXPECT_EQ(prog[0].arrayId, 0);
+    EXPECT_EQ(prog[0].index.imm, 10);
+    EXPECT_EQ(prog[1].kind, OpKind::Store);
+    EXPECT_EQ(prog[1].arrayId, 1);
+    EXPECT_EQ(prog[7].index.imm, 13);
+}
+
+TEST(SparseCheckpoint, SavesOnlyFirstValue)
+{
+    SparseCheckpoint cp(4);
+    EXPECT_TRUE(cp.saveIfFirst(0x1000, 7));
+    EXPECT_FALSE(cp.saveIfFirst(0x1000, 99));
+    EXPECT_TRUE(cp.saveIfFirst(0x1004, 8));
+    EXPECT_EQ(cp.numSaved(), 2u);
+    EXPECT_TRUE(cp.has(0x1000));
+    EXPECT_FALSE(cp.has(0x2000));
+}
+
+TEST(SparseCheckpoint, RestoreWritesSavedValues)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    AddrMap mem(cfg);
+    const Region &r =
+        mem.region(mem.alloc("A", 4096, 4, Placement::Fixed, 0));
+    mem.write(r.elemAddr(3), 4, 111);
+    mem.write(r.elemAddr(4), 4, 222);
+
+    SparseCheckpoint cp(4);
+    cp.saveIfFirst(r.elemAddr(3), mem.read(r.elemAddr(3), 4));
+    mem.write(r.elemAddr(3), 4, 999); // speculative pollution
+    mem.write(r.elemAddr(4), 4, 888); // never saved: stays polluted
+
+    cp.restore(mem);
+    EXPECT_EQ(mem.read(r.elemAddr(3), 4), 111u);
+    EXPECT_EQ(mem.read(r.elemAddr(4), 4), 888u);
+
+    cp.clear();
+    EXPECT_EQ(cp.numSaved(), 0u);
+}
+
+TEST(DenseSnapshot, CaptureRestoreDiff)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    AddrMap mem(cfg);
+    const Region &r =
+        mem.region(mem.alloc("A", 256, 4, Placement::Fixed, 0));
+    for (uint64_t e = 0; e < 64; ++e)
+        mem.write(r.elemAddr(e), 4, e);
+
+    DenseSnapshot snap(mem, r);
+    EXPECT_EQ(snap.diffBytes(mem), 0u);
+
+    mem.write(r.elemAddr(10), 4, 0xffffffff);
+    EXPECT_GT(snap.diffBytes(mem), 0u);
+
+    snap.restore(mem);
+    EXPECT_EQ(snap.diffBytes(mem), 0u);
+    EXPECT_EQ(mem.read(r.elemAddr(10), 4), 10u);
+}

@@ -1,0 +1,156 @@
+/** @file Unit tests for the discrete-event engine. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+using namespace specrt;
+
+TEST(EventQueue, StartsAtTickZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() {
+        ++fired;
+        eq.scheduleIn(4, [&]() { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 5u);
+}
+
+TEST(EventQueue, SameTickReentrantScheduling)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(7, [&]() {
+        order.push_back(1);
+        // Zero-delay event fires later within the same tick.
+        eq.scheduleIn(0, [&]() { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.curTick(), 7u);
+}
+
+TEST(EventQueue, Deschedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId a = eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(20, [&]() { ++fired; });
+    eq.deschedule(a);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DescheduleUnknownIsNoop)
+{
+    EventQueue eq;
+    eq.deschedule(invalidEventId);
+    eq.deschedule(123456);
+    eq.schedule(1, []() {});
+    EXPECT_EQ(eq.numPending(), 1u);
+    eq.run();
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(20, [&]() { ++fired; });
+    eq.schedule(30, [&]() { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.numPending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, StopHaltsImmediately)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() {
+        ++fired;
+        eq.stop();
+    });
+    eq.schedule(20, [&]() { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.numPending(), 1u);
+    // A subsequent run() resumes.
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetDropsEverything)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CountsFiredEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i + 1, []() {});
+    eq.run();
+    EXPECT_EQ(eq.numFired(), 5u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; ++i) {
+        Tick when = static_cast<Tick>((i * 2654435761u) % 5000 + 1);
+        eq.schedule(when, [&, when]() {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(eq.numFired(), 10000u);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests of the section 2.2.3 software read-in extension (the Awmin
+ * shadow): the extended LRPD test must agree with the hardware
+ * privatization predicate (Oracle::privParallel) on every trace, and
+ * the executor's SW mode with swReadIn must pass the Figure 3
+ * read-in loop that the basic software test rejects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loop_exec.hh"
+#include "lrpd/lrpd.hh"
+#include "sim/random.hh"
+#include "workloads/microloops.hh"
+
+using namespace specrt;
+
+TEST(LrpdReadIn, AcceptsReadOnlyPrefixPattern)
+{
+    // Iterations 1..4 read element 0; 5..8 write then read it.
+    std::vector<AccessEvent> t;
+    for (IterNum i = 1; i <= 4; ++i)
+        t.push_back({0, i, 0, false, 0});
+    for (IterNum i = 5; i <= 8; ++i) {
+        t.push_back({0, i, 0, true, 0});
+        t.push_back({0, i, 0, false, 0});
+    }
+    LrpdAnalysis basic = LrpdTest::run(t, 1, 2, true, false, false);
+    EXPECT_EQ(basic.verdict, LrpdVerdict::NotParallel);
+    LrpdAnalysis ext = LrpdTest::run(t, 1, 2, true, false, true);
+    EXPECT_EQ(ext.verdict, LrpdVerdict::DoallWithPriv);
+    EXPECT_FALSE(ext.r1stAfterWmin);
+}
+
+TEST(LrpdReadIn, RejectsReadAfterWriteIteration)
+{
+    // Iteration 1 writes; iteration 2 reads first: flow dependence.
+    std::vector<AccessEvent> t = {
+        {0, 1, 0, true, 0},
+        {0, 2, 0, false, 0},
+    };
+    LrpdAnalysis ext = LrpdTest::run(t, 1, 2, true, false, true);
+    EXPECT_EQ(ext.verdict, LrpdVerdict::NotParallel);
+    EXPECT_TRUE(ext.r1stAfterWmin);
+}
+
+TEST(LrpdReadIn, ReadBeforeLaterWriteInSameIterationIsReadFirst)
+{
+    // Iteration 2 reads then writes: that read is read-first, and
+    // iteration 1's write makes it a dependence.
+    std::vector<AccessEvent> t = {
+        {0, 1, 0, true, 0},
+        {0, 2, 0, false, 0},
+        {0, 2, 0, true, 0},
+    };
+    LrpdAnalysis ext = LrpdTest::run(t, 1, 2, true, false, true);
+    EXPECT_EQ(ext.verdict, LrpdVerdict::NotParallel);
+}
+
+TEST(LrpdReadIn, AgreesWithHardwarePredicateOnRandomTraces)
+{
+    Rng rng(4242);
+    for (int round = 0; round < 300; ++round) {
+        std::vector<AccessEvent> t;
+        int procs = 1 + static_cast<int>(rng.nextBounded(4));
+        for (IterNum i = 1; i <= 12; ++i) {
+            NodeId p = static_cast<NodeId>(rng.nextBounded(procs));
+            for (int a = 0; a < 3; ++a)
+                t.push_back({p, i, rng.nextBounded(4),
+                             rng.nextBool(0.45), 0});
+        }
+        LrpdAnalysis ext = LrpdTest::run(t, 4, procs, true, false,
+                                         true);
+        EXPECT_EQ(ext.verdict != LrpdVerdict::NotParallel,
+                  Oracle::privParallel(t))
+            << "round " << round;
+    }
+}
+
+TEST(LrpdReadIn, ExecutorSwReadInPassesFig3)
+{
+    Fig3Loop loop(Fig3Kind::ReadInNeeded, 32);
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+
+    ExecConfig basic;
+    basic.mode = ExecMode::SW;
+    LoopExecutor be(cfg, loop, basic);
+    EXPECT_FALSE(be.run().passed);
+
+    ExecConfig ext;
+    ext.mode = ExecMode::SW;
+    ext.swReadIn = true;
+    LoopExecutor ee(cfg, loop, ext);
+    RunResult r = ee.run();
+    EXPECT_TRUE(r.passed);
+    // The extra Awmin shadow costs more marking work.
+    EXPECT_GT(r.phases.loop, 0u);
+}
+
+TEST(LrpdReadIn, ExecutorSwReadInStillRejectsFlowDeps)
+{
+    Fig3Loop loop(Fig3Kind::FlowDep, 32);
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+    ExecConfig ext;
+    ext.mode = ExecMode::SW;
+    ext.swReadIn = true;
+    LoopExecutor exec(cfg, loop, ext);
+    RunResult r = exec.run();
+    EXPECT_FALSE(r.passed);
+    EXPECT_GT(r.phases.serial, 0u);
+}
+
+TEST(LrpdReadIn, CostsMoreThanBasicMarking)
+{
+    Fig3Loop loop(Fig3Kind::WriteFirst, 64);
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+    ExecConfig basic;
+    basic.mode = ExecMode::SW;
+    LoopExecutor be(cfg, loop, basic);
+    RunResult rb = be.run();
+    ExecConfig ext = basic;
+    ext.swReadIn = true;
+    LoopExecutor ee(cfg, loop, ext);
+    RunResult re = ee.run();
+    EXPECT_TRUE(rb.passed);
+    EXPECT_TRUE(re.passed);
+    EXPECT_GE(re.agg.busy, rb.agg.busy); // extra shadow instructions
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Machine-level property tests over seeded random loops:
+ *
+ *  (1) soundness -- whenever the full hardware protocol passes a
+ *      run, the oracle's predicate holds on the actual scheduled
+ *      trace (non-privatization) or on the loop's access pattern
+ *      (privatization, schedule-independent);
+ *  (2) completeness -- for static scheduling (deterministic
+ *      placement) the non-privatization verdict exactly equals the
+ *      oracle's; the privatization verdict always exactly equals
+ *      the oracle's;
+ *  (3) state safety -- pass or fail, the final shared-memory state
+ *      equals serial execution's (failures restore + re-execute;
+ *      passing privatized runs copy out).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loop_exec.hh"
+#include "runtime/scheduler.hh"
+#include "workloads/microloops.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+std::vector<uint64_t>
+arrayContents(LoopExecutor &exec, int decl)
+{
+    const Region *r = exec.sharedRegion(decl);
+    std::vector<uint64_t> out(r->numElems());
+    for (uint64_t e = 0; e < r->numElems(); ++e)
+        out[e] = exec.machine().memory().read(r->elemAddr(e),
+                                              r->elemBytes);
+    return out;
+}
+
+/** The loop's full trace with static-chunk processor placement. */
+std::vector<AccessEvent>
+staticPlacedTrace(const RandomLoop &loop, IterNum iters, int procs)
+{
+    StaticChunkSource chunks(iters, procs);
+    std::vector<NodeId> owner(iters + 1, 0);
+    for (NodeId p = 0; p < procs; ++p) {
+        auto [lo, hi] = chunks.chunkOf(p);
+        for (IterNum i = lo; i < hi; ++i)
+            owner[i] = p;
+    }
+    std::vector<AccessEvent> placed = loop.expectedTrace();
+    for (AccessEvent &e : placed)
+        e.proc = owner[e.iter];
+    return placed;
+}
+
+struct PropCase
+{
+    uint64_t seed;
+    int procs;
+    RandomLoopParams params;
+    SchedPolicy sched;
+    IterNum block;
+};
+
+class MachineProperty : public ::testing::TestWithParam<PropCase>
+{
+};
+
+} // namespace
+
+TEST_P(MachineProperty, VerdictAndState)
+{
+    PropCase pc = GetParam();
+    MachineConfig cfg;
+    cfg.numProcs = pc.procs;
+
+    for (int round = 0; round < 6; ++round) {
+        RandomLoopParams rp = pc.params;
+        rp.seed = pc.seed * 1000 + round;
+        RandomLoop loop(rp);
+
+        ExecConfig sxc;
+        sxc.mode = ExecMode::Serial;
+        LoopExecutor serial(cfg, loop, sxc);
+        RunResult sres = serial.run();
+        ASSERT_TRUE(sres.passed);
+        auto sa = arrayContents(serial, 0);
+
+        ExecConfig xc;
+        xc.mode = ExecMode::HW;
+        xc.sched = pc.sched;
+        xc.blockIters = pc.block;
+        xc.keepTrace = true;
+        LoopExecutor hw(cfg, loop, xc);
+        RunResult hres = hw.run();
+        auto ha = arrayContents(hw, 0);
+
+        if (rp.test == TestType::NonPriv) {
+            if (hres.passed) {
+                // Soundness: the scheduled pattern truly qualifies.
+                EXPECT_TRUE(Oracle::nonPrivParallel(hres.trace))
+                    << "seed " << rp.seed;
+            }
+            if (pc.sched == SchedPolicy::StaticChunk) {
+                // Deterministic placement: exact equivalence.
+                bool oracle_ok = Oracle::nonPrivParallel(
+                    staticPlacedTrace(loop, rp.iters, pc.procs));
+                EXPECT_EQ(hres.passed, oracle_ok)
+                    << "seed " << rp.seed;
+            }
+        } else {
+            bool oracle_ok =
+                Oracle::privParallel(loop.expectedTrace());
+            EXPECT_EQ(hres.passed, oracle_ok) << "seed " << rp.seed;
+        }
+
+        EXPECT_EQ(ha, sa) << "state diverged from serial (seed "
+                          << rp.seed << ", passed=" << hres.passed
+                          << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NonPrivSweep, MachineProperty,
+    ::testing::Values(
+        PropCase{21, 4,
+                 {32, 512, 3, 0.4, 1, TestType::NonPriv, 0},
+                 SchedPolicy::Dynamic, 4},
+        PropCase{22, 4,
+                 {24, 16, 3, 0.5, 16, TestType::NonPriv, 0},
+                 SchedPolicy::Dynamic, 2},
+        PropCase{23, 8,
+                 {48, 64, 4, 0.2, 64, TestType::NonPriv, 0},
+                 SchedPolicy::BlockCyclic, 4},
+        PropCase{24, 8,
+                 {48, 64, 4, 0.0, 64, TestType::NonPriv, 0},
+                 SchedPolicy::Dynamic, 4},
+        PropCase{25, 2,
+                 {16, 8, 2, 0.9, 8, TestType::NonPriv, 0},
+                 SchedPolicy::StaticChunk, 4},
+        PropCase{26, 8,
+                 {64, 32, 3, 0.3, 32, TestType::NonPriv, 0},
+                 SchedPolicy::StaticChunk, 4}));
+
+INSTANTIATE_TEST_SUITE_P(
+    PrivSweep, MachineProperty,
+    ::testing::Values(
+        PropCase{31, 4,
+                 {32, 64, 4, 0.6, 64, TestType::Priv, 0},
+                 SchedPolicy::Dynamic, 4},
+        PropCase{32, 8,
+                 {40, 16, 3, 0.5, 16, TestType::Priv, 0},
+                 SchedPolicy::BlockCyclic, 2},
+        PropCase{33, 4,
+                 {24, 8, 4, 0.8, 8, TestType::Priv, 0},
+                 SchedPolicy::StaticChunk, 4},
+        PropCase{34, 8,
+                 {64, 128, 3, 0.05, 128, TestType::Priv, 0},
+                 SchedPolicy::Dynamic, 8}));
+
+TEST(MachineProperty, ReadOnlyRandomLoopsAlwaysPassNonPriv)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        RandomLoopParams rp{48, 64, 4, 0.0, 64, TestType::NonPriv,
+                            seed};
+        RandomLoop loop(rp);
+        ExecConfig xc;
+        xc.mode = ExecMode::HW;
+        LoopExecutor hw(cfg, loop, xc);
+        EXPECT_TRUE(hw.run().passed) << "seed " << seed;
+    }
+}
+
+TEST(MachineProperty, SingleProcessorHwAlwaysPassesNonPriv)
+{
+    // With one processor every element is trivially single-processor
+    // and the non-privatization test can never fail.
+    MachineConfig cfg;
+    cfg.numProcs = 1;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        RandomLoopParams rp{32, 8, 4, 0.6, 8, TestType::NonPriv,
+                            seed};
+        RandomLoop loop(rp);
+        ExecConfig xc;
+        xc.mode = ExecMode::HW;
+        LoopExecutor hw(cfg, loop, xc);
+        EXPECT_TRUE(hw.run().passed) << "seed " << seed;
+    }
+}
+
+TEST(MachineProperty, SwVerdictMatchesLrpdOracleUnderStaticChunk)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    for (uint64_t seed = 41; seed <= 46; ++seed) {
+        RandomLoopParams rp{24, 16, 3, 0.4, 16, TestType::NonPriv,
+                            seed};
+        RandomLoop loop(rp);
+        ExecConfig xc;
+        xc.mode = ExecMode::SW;
+        xc.sched = SchedPolicy::StaticChunk;
+        LoopExecutor sw(cfg, loop, xc);
+        RunResult res = sw.run();
+        LrpdVerdict v = Oracle::lrpd(
+            staticPlacedTrace(loop, rp.iters, cfg.numProcs));
+        EXPECT_EQ(res.passed, v == LrpdVerdict::Doall)
+            << "seed " << seed;
+    }
+}

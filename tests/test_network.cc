@@ -1,0 +1,112 @@
+/** @file Unit tests for the constant-latency network. */
+
+#include <gtest/gtest.h>
+
+#include "mem/network.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+struct Fixture
+{
+    MachineConfig cfg;
+    EventQueue eq;
+    std::unique_ptr<Network> net;
+    std::vector<Msg> cacheRx;
+    std::vector<Msg> dirRx;
+    std::vector<Tick> rxTicks;
+
+    Fixture()
+    {
+        cfg.numProcs = 4;
+        net = std::make_unique<Network>(eq, cfg);
+        for (NodeId n = 0; n < 4; ++n) {
+            net->setCacheHandler(n, [this](const Msg &m) {
+                cacheRx.push_back(m);
+                rxTicks.push_back(eq.curTick());
+            });
+            net->setDirHandler(n, [this](const Msg &m) {
+                dirRx.push_back(m);
+                rxTicks.push_back(eq.curTick());
+            });
+        }
+    }
+
+    Msg
+    mk(MsgType t, NodeId src, NodeId dst)
+    {
+        Msg m;
+        m.type = t;
+        m.src = src;
+        m.dst = dst;
+        m.lineAddr = 0x1000;
+        return m;
+    }
+};
+
+} // namespace
+
+TEST(Network, InterNodeLatencyIsOneHop)
+{
+    Fixture f;
+    f.net->send(f.mk(MsgType::ReadReply, 0, 1));
+    f.eq.run();
+    ASSERT_EQ(f.rxTicks.size(), 1u);
+    EXPECT_EQ(f.rxTicks[0], f.cfg.lat.netHop);
+}
+
+TEST(Network, IntraNodeIsImmediate)
+{
+    Fixture f;
+    f.net->send(f.mk(MsgType::ReadReply, 2, 2));
+    f.eq.run();
+    ASSERT_EQ(f.rxTicks.size(), 1u);
+    EXPECT_EQ(f.rxTicks[0], 0u);
+}
+
+TEST(Network, ExtraDelayAdds)
+{
+    Fixture f;
+    f.net->send(f.mk(MsgType::ReadReply, 0, 1), 11);
+    f.eq.run();
+    EXPECT_EQ(f.rxTicks[0], f.cfg.lat.netHop + 11);
+}
+
+TEST(Network, RoutesRequestsToDirectory)
+{
+    Fixture f;
+    f.net->send(f.mk(MsgType::ReadReq, 0, 1));
+    f.net->send(f.mk(MsgType::FirstUpdate, 0, 1));
+    f.net->send(f.mk(MsgType::Inval, 1, 0));
+    f.eq.run();
+    EXPECT_EQ(f.dirRx.size(), 2u);
+    EXPECT_EQ(f.cacheRx.size(), 1u);
+    EXPECT_EQ(f.cacheRx[0].type, MsgType::Inval);
+}
+
+TEST(Network, InOrderPerPair)
+{
+    Fixture f;
+    for (int i = 0; i < 20; ++i) {
+        Msg m = f.mk(MsgType::ReadReply, 0, 1);
+        m.iter = i;
+        f.net->send(std::move(m));
+    }
+    f.eq.run();
+    ASSERT_EQ(f.cacheRx.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(f.cacheRx[i].iter, i);
+}
+
+TEST(Network, CountsHopsAndMsgs)
+{
+    Fixture f;
+    f.net->send(f.mk(MsgType::ReadReply, 0, 1));
+    f.net->send(f.mk(MsgType::ReadReply, 1, 1));
+    f.net->send(f.mk(MsgType::ReadReply, 2, 3));
+    f.eq.run();
+    EXPECT_EQ(f.net->numMsgs(), 3u);
+    EXPECT_EQ(f.net->numHops(), 2u);
+}

@@ -1,0 +1,79 @@
+/** @file Tests of the SpeculativeParallelizer facade. */
+
+#include <gtest/gtest.h>
+
+#include "core/parallelizer.hh"
+#include "sim/logging.hh"
+#include "workloads/microloops.hh"
+
+using namespace specrt;
+
+TEST(Parallelizer, CompareRunsAllFourScenarios)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    SpeculativeParallelizer spec(cfg);
+    Fig1CLoop loop(64, 256, true, 3);
+    ExecConfig xc;
+    ScenarioComparison c = spec.compare(loop, xc);
+    EXPECT_EQ(c.serial.mode, ExecMode::Serial);
+    EXPECT_EQ(c.ideal.mode, ExecMode::Ideal);
+    EXPECT_EQ(c.sw.mode, ExecMode::SW);
+    EXPECT_EQ(c.hw.mode, ExecMode::HW);
+    EXPECT_TRUE(c.hw.passed);
+    EXPECT_GT(c.serial.totalTicks, 0u);
+    EXPECT_GT(c.hwSpeedup(), 0.0);
+    EXPECT_GT(c.idealSpeedup(), 0.0);
+    EXPECT_GT(c.swSpeedup(), 0.0);
+}
+
+TEST(Parallelizer, SpeedupIsSerialOverScenario)
+{
+    ScenarioComparison c;
+    c.serial.totalTicks = 1000;
+    c.hw.totalTicks = 250;
+    EXPECT_DOUBLE_EQ(c.speedup(c.hw), 4.0);
+}
+
+TEST(Parallelizer, DescribeMentionsPhasesAndFailure)
+{
+    RunResult r;
+    r.mode = ExecMode::HW;
+    r.passed = false;
+    r.totalTicks = 123;
+    r.phases.loop = 10;
+    r.phases.backup = 5;
+    r.phases.restore = 6;
+    r.phases.serial = 100;
+    std::string s = SpeculativeParallelizer::describe(r);
+    EXPECT_NE(s.find("HW"), std::string::npos);
+    EXPECT_NE(s.find("FAILED"), std::string::npos);
+    EXPECT_NE(s.find("restore 6"), std::string::npos);
+    EXPECT_NE(s.find("serial 100"), std::string::npos);
+}
+
+TEST(Parallelizer, ConfigIsValidatedAtConstruction)
+{
+    setLogThrowOnFatal(true);
+    LogSink old = setLogSink([](LogLevel, const std::string &) {});
+    MachineConfig cfg;
+    cfg.numProcs = -3;
+    EXPECT_THROW(SpeculativeParallelizer{cfg}, FatalError);
+    setLogSink(old);
+    setLogThrowOnFatal(false);
+}
+
+TEST(Parallelizer, RunsAreDeterministic)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    SpeculativeParallelizer spec(cfg);
+    Fig1CLoop loop(64, 256, true, 3);
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    RunResult a = spec.run(loop, xc);
+    RunResult b = spec.run(loop, xc);
+    EXPECT_EQ(a.totalTicks, b.totalTicks);
+    EXPECT_EQ(a.phases.loop, b.phases.loop);
+    EXPECT_EQ(a.agg.busy, b.agg.busy);
+}

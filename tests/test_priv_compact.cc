@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Equivalence of the section 4.1 compact (3-bit) private-directory
+ * state with the full time-stamp state: for every per-processor
+ * access sequence with ascending iteration numbers, both emit the
+ * same read-first and first-write signal streams ("a protocol that
+ * has no more messages than the one with PMaxR1st and PMaxW"), and
+ * the compact read-in decision is conservative (never misses a
+ * needed read-in).
+ */
+
+#include <gtest/gtest.h>
+
+#include "spec/priv.hh"
+#include "spec/priv_compact.hh"
+#include "sim/random.hh"
+
+using namespace specrt;
+
+TEST(PrivCompact, PerIterationBitsRoll)
+{
+    PrivCompactBits b;
+    privCompactWrite(b, 3, false);
+    EXPECT_TRUE(b.write);
+    PrivCompactBits eff = privCompactEffective(b, 4);
+    EXPECT_FALSE(eff.write);
+    EXPECT_TRUE(eff.writeAny); // sticky
+}
+
+TEST(PrivCompact, FirstWritePerLoopSignalsOnce)
+{
+    PrivCompactBits b;
+    EXPECT_TRUE(privCompactWrite(b, 2, false).firstWrite);
+    EXPECT_FALSE(privCompactWrite(b, 2, false).firstWrite);
+    EXPECT_FALSE(privCompactWrite(b, 5, false).firstWrite);
+}
+
+TEST(PrivCompact, ReadFirstPerIteration)
+{
+    PrivCompactBits b;
+    EXPECT_TRUE(privCompactRead(b, 1, false).readFirst);
+    EXPECT_FALSE(privCompactRead(b, 1, false).readFirst);
+    EXPECT_TRUE(privCompactRead(b, 2, false).readFirst);
+    privCompactWrite(b, 3, false);
+    EXPECT_FALSE(privCompactRead(b, 3, false).readFirst); // covered
+}
+
+TEST(PrivCompact, ReadInDoneForWriteSticksWriteAny)
+{
+    PrivCompactBits b;
+    privCompactReadInDone(b, 4, true);
+    EXPECT_TRUE(b.writeAny);
+    EXPECT_FALSE(privCompactWrite(b, 5, false).firstWrite);
+}
+
+namespace
+{
+
+struct SignalTrace
+{
+    std::vector<std::pair<IterNum, int>> events; // (iter, kind)
+    // kind: 0 = read-first, 1 = first-write, 2 = read-in
+};
+
+/** Drive the time-stamp state over a sequence; record signals. */
+SignalTrace
+runTimestamp(const std::vector<std::tuple<IterNum, bool, bool>> &seq)
+{
+    SignalTrace t;
+    PrivPrivDirBits d;
+    for (auto [iter, is_write, untouched] : seq) {
+        PrivPDirResult r = is_write
+                               ? privPDirWrite(d, iter, untouched)
+                               : privPDirRead(d, iter, untouched);
+        if (r.needReadIn) {
+            t.events.emplace_back(iter, 2);
+            privPDirReadInDone(d, iter, is_write);
+        }
+        if (r.readFirst)
+            t.events.emplace_back(iter, 0);
+        if (r.firstWrite)
+            t.events.emplace_back(iter, 1);
+    }
+    return t;
+}
+
+/** Same, compact state. */
+SignalTrace
+runCompact(const std::vector<std::tuple<IterNum, bool, bool>> &seq)
+{
+    SignalTrace t;
+    PrivCompactBits b;
+    for (auto [iter, is_write, untouched] : seq) {
+        PrivPDirResult r =
+            is_write ? privCompactWrite(b, iter, untouched)
+                     : privCompactRead(b, iter, untouched);
+        if (r.needReadIn) {
+            t.events.emplace_back(iter, 2);
+            privCompactReadInDone(b, iter, is_write);
+        }
+        if (r.readFirst)
+            t.events.emplace_back(iter, 0);
+        if (r.firstWrite)
+            t.events.emplace_back(iter, 1);
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(PrivCompact, SignalStreamsMatchTimestampVersion)
+{
+    // Random per-processor access sequences: iterations ascend;
+    // within an iteration, random reads/writes. The element starts
+    // untouched; the untouched flag is true only until the first
+    // access completes (single-element "line").
+    Rng rng(2718);
+    for (int round = 0; round < 500; ++round) {
+        std::vector<std::tuple<IterNum, bool, bool>> seq;
+        bool untouched = true;
+        IterNum iter = 0;
+        int accesses = 3 + static_cast<int>(rng.nextBounded(12));
+        for (int a = 0; a < accesses; ++a) {
+            if (iter == 0 || rng.nextBool(0.4))
+                ++iter; // advance (possibly skipping) iterations
+            if (rng.nextBool(0.3))
+                iter += static_cast<IterNum>(rng.nextBounded(3));
+            bool is_write = rng.nextBool(0.5);
+            seq.emplace_back(iter, is_write, untouched);
+            untouched = false;
+        }
+        SignalTrace ts = runTimestamp(seq);
+        SignalTrace cp = runCompact(seq);
+        EXPECT_EQ(ts.events, cp.events) << "round " << round;
+    }
+}
+
+TEST(PrivCompact, ReadInDecisionIsConservative)
+{
+    // After a read-only iteration, the compact state cannot remember
+    // the element was read (its per-iteration bit cleared); if the
+    // line looks untouched it re-reads-in -- harmless (same data)
+    // but never the other way around: whenever the time-stamp
+    // version wants a read-in, so does the compact one.
+    PrivPrivDirBits d;
+    PrivCompactBits b;
+    // Both untouched: both read in.
+    EXPECT_TRUE(privPDirRead(d, 1, true).needReadIn);
+    EXPECT_TRUE(privCompactRead(b, 1, true).needReadIn);
+}

@@ -1,0 +1,86 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+using namespace specrt;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, BoundedStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, BoolProbability)
+{
+    Rng r(13);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += r.nextBool(0.25);
+    EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(Random, ReseedRestartsStream)
+{
+    Rng r(5);
+    uint64_t first = r.next();
+    r.next();
+    r.reseed(5);
+    EXPECT_EQ(r.next(), first);
+}
+
+TEST(Random, BoundedUniformish)
+{
+    Rng r(17);
+    int buckets[8] = {};
+    for (int i = 0; i < 80000; ++i)
+        ++buckets[r.nextBounded(8)];
+    for (int b = 0; b < 8; ++b)
+        EXPECT_NEAR(buckets[b], 10000, 500);
+}

@@ -1,0 +1,188 @@
+/** @file Tests of the iteration schedulers (WorkSource impls). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/scheduler.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+/** Drain a source completely; return per-proc iteration sets. */
+std::vector<std::set<IterNum>>
+drain(WorkSource &src, int procs)
+{
+    std::vector<std::set<IterNum>> got(procs);
+    bool progress = true;
+    std::vector<bool> done(procs, false);
+    while (progress) {
+        progress = false;
+        for (NodeId p = 0; p < procs; ++p) {
+            if (done[p])
+                continue;
+            WorkSource::Grant g = src.next(p, 0);
+            if (g.done) {
+                done[p] = true;
+                continue;
+            }
+            progress = true;
+            for (IterNum i = g.lo; i < g.hi; ++i) {
+                EXPECT_TRUE(got[p].insert(i).second)
+                    << "iteration granted twice to proc " << p;
+            }
+        }
+    }
+    return got;
+}
+
+void
+expectExactCover(const std::vector<std::set<IterNum>> &got, IterNum n)
+{
+    std::set<IterNum> all;
+    for (const auto &s : got) {
+        for (IterNum i : s) {
+            EXPECT_TRUE(all.insert(i).second)
+                << "iteration " << i << " granted to two procs";
+        }
+    }
+    EXPECT_EQ(all.size(), static_cast<size_t>(n));
+    if (!all.empty()) {
+        EXPECT_EQ(*all.begin(), 1);
+        EXPECT_EQ(*all.rbegin(), n);
+    }
+}
+
+} // namespace
+
+TEST(StaticChunk, CoversExactlyOnceContiguously)
+{
+    StaticChunkSource src(100, 7);
+    auto got = drain(src, 7);
+    expectExactCover(got, 100);
+    for (const auto &s : got) {
+        if (s.empty())
+            continue;
+        EXPECT_EQ(*s.rbegin() - *s.begin() + 1,
+                  static_cast<IterNum>(s.size()))
+            << "chunk not contiguous";
+    }
+}
+
+TEST(StaticChunk, BalancesWithinOne)
+{
+    StaticChunkSource src(13, 4);
+    auto got = drain(src, 4);
+    expectExactCover(got, 13);
+    for (const auto &s : got) {
+        EXPECT_GE(s.size(), 3u);
+        EXPECT_LE(s.size(), 4u);
+    }
+}
+
+TEST(StaticChunk, MoreProcsThanIters)
+{
+    StaticChunkSource src(2, 5);
+    auto got = drain(src, 5);
+    expectExactCover(got, 2);
+}
+
+TEST(BlockCyclic, DealsBlocksRoundRobin)
+{
+    BlockCyclicSource src(24, 3, 4);
+    auto got = drain(src, 3);
+    expectExactCover(got, 24);
+    // Proc 0 gets blocks 0, 3: iterations 1..4 and 13..16.
+    EXPECT_TRUE(got[0].count(1));
+    EXPECT_TRUE(got[0].count(13));
+    EXPECT_FALSE(got[0].count(5));
+    EXPECT_TRUE(got[1].count(5));
+}
+
+TEST(BlockCyclic, RaggedTail)
+{
+    BlockCyclicSource src(10, 4, 4);
+    auto got = drain(src, 4);
+    expectExactCover(got, 10);
+}
+
+TEST(Dynamic, CoversExactlyOnce)
+{
+    DynamicSource src(37, 5, 10);
+    auto got = drain(src, 4);
+    expectExactCover(got, 37);
+}
+
+TEST(Dynamic, GrabsSerializeOnTheLock)
+{
+    DynamicSource src(100, 4, 50);
+    // Two processors ask at the same instant: the second must wait
+    // for the first's lock hold.
+    WorkSource::Grant a = src.next(0, 1000);
+    WorkSource::Grant b = src.next(1, 1000);
+    EXPECT_EQ(a.delay, 50u);
+    EXPECT_EQ(b.delay, 100u);
+    // A later uncontended grab pays only the grab cost.
+    WorkSource::Grant c = src.next(2, 5000);
+    EXPECT_EQ(c.delay, 50u);
+}
+
+TEST(Dynamic, GrantsAreAscendingBlocks)
+{
+    DynamicSource src(20, 6, 1);
+    WorkSource::Grant a = src.next(0, 0);
+    WorkSource::Grant b = src.next(1, 0);
+    EXPECT_EQ(a.lo, 1);
+    EXPECT_EQ(a.hi, 7);
+    EXPECT_EQ(b.lo, 7);
+    WorkSource::Grant tail = src.next(0, 0);
+    EXPECT_EQ(tail.lo, 13);
+    WorkSource::Grant last = src.next(0, 0);
+    EXPECT_EQ(last.hi, 21); // clipped to numIters + 1
+    EXPECT_TRUE(src.next(0, 0).done);
+}
+
+TEST(MakeSource, BuildsEachPolicy)
+{
+    auto a = makeSource(SchedPolicy::StaticChunk, 10, 2, 4, 5);
+    auto b = makeSource(SchedPolicy::BlockCyclic, 10, 2, 4, 5);
+    auto c = makeSource(SchedPolicy::Dynamic, 10, 2, 4, 5);
+    auto ga = drain(*a, 2);
+    auto gb = drain(*b, 2);
+    auto gc = drain(*c, 2);
+    expectExactCover(ga, 10);
+    expectExactCover(gb, 10);
+    expectExactCover(gc, 10);
+    EXPECT_STREQ(schedPolicyName(SchedPolicy::Dynamic), "dynamic");
+}
+
+TEST(Schedulers, PerProcIterationsAscendEverywhere)
+{
+    // The paper requires each processor to execute its iterations in
+    // increasing order; grants must never go backwards.
+    for (SchedPolicy pol :
+         {SchedPolicy::StaticChunk, SchedPolicy::BlockCyclic,
+          SchedPolicy::Dynamic}) {
+        auto src = makeSource(pol, 57, 3, 4, 1);
+        std::vector<IterNum> last(3, 0);
+        std::vector<bool> done(3, false);
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (NodeId p = 0; p < 3; ++p) {
+                if (done[p])
+                    continue;
+                auto g = src->next(p, 0);
+                if (g.done) {
+                    done[p] = true;
+                    continue;
+                }
+                progress = true;
+                EXPECT_GT(g.lo, last[p]);
+                last[p] = g.hi - 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace specrt;
+
+TEST(Stats, ScalarArithmetic)
+{
+    StatGroup g("g");
+    Scalar s(&g, "s", "a scalar");
+    EXPECT_EQ(s.value(), 0.0);
+    s += 3;
+    ++s;
+    EXPECT_EQ(s.value(), 4.0);
+    s = 10;
+    EXPECT_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, VectorTotals)
+{
+    StatGroup g("g");
+    VectorStat v(&g, "v", "a vector", 4);
+    v[0] = 1;
+    v[3] = 5;
+    EXPECT_EQ(v.total(), 6.0);
+    EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(Stats, VectorOutOfRangeThrows)
+{
+    StatGroup g("g");
+    VectorStat v(&g, "v", "a vector", 2);
+    EXPECT_THROW(v[5] = 1, std::out_of_range);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    StatGroup g("g");
+    Distribution d(&g, "d", "a dist", 0, 100, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(95);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), (5 + 15 + 15 + 95) / 4.0);
+    EXPECT_EQ(d.min(), 5.0);
+    EXPECT_EQ(d.max(), 95.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Stats, DistributionOverUnderflow)
+{
+    StatGroup g("g");
+    Distribution d(&g, "d", "a dist", 10, 20, 5);
+    d.sample(5);    // underflow
+    d.sample(25);   // overflow
+    d.sample(12);
+    std::ostringstream os;
+    d.print(os, "x");
+    std::string out = os.str();
+    EXPECT_NE(out.find("underflow 1"), std::string::npos);
+    EXPECT_NE(out.find("overflow 1"), std::string::npos);
+}
+
+TEST(Stats, GroupDumpContainsNamesAndDescs)
+{
+    StatGroup root("root");
+    StatGroup child("child");
+    root.addChild(&child);
+    Scalar a(&root, "a", "stat a");
+    Scalar b(&child, "b", "stat b");
+    a = 7;
+    b = 9;
+    std::ostringstream os;
+    root.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("root.a 7 # stat a"), std::string::npos);
+    EXPECT_NE(out.find("root.child.b 9 # stat b"), std::string::npos);
+}
+
+TEST(Stats, GroupResetRecurses)
+{
+    StatGroup root("root");
+    StatGroup child("child");
+    root.addChild(&child);
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a = 1;
+    b = 2;
+    root.resetStats();
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(b.value(), 0.0);
+}

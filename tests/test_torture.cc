@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Stress tests: heavily contended lines, concurrent processor
+ * activity through the full processor model, epoch barriers, and
+ * end-to-end determinism under every scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loop_exec.hh"
+#include "runtime/processor.hh"
+#include "runtime/scheduler.hh"
+#include "workloads/microloops.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+/**
+ * Each processor owns a disjoint element set, but neighbouring
+ * processors' elements interleave within cache lines -- maximal
+ * false sharing. Every element's final value is deterministic (a
+ * single writer), whatever the interleaving of the line ping-pong.
+ */
+class FalseSharingTorture : public Workload
+{
+  public:
+    FalseSharingTorture(int procs, int rounds)
+        : procs(procs), rounds(rounds)
+    {}
+
+    std::string name() const override { return "torture"; }
+
+    std::vector<ArrayDecl>
+    arrays() const override
+    {
+        return {{"A", static_cast<uint64_t>(procs) * 64, 4,
+                 TestType::None, true, false}};
+    }
+
+    IterNum numIters() const override { return procs * rounds; }
+
+    void
+    initData(AddrMap &mem,
+             const std::vector<const Region *> &r) override
+    {
+        for (uint64_t e = 0; e < r[0]->numElems(); ++e)
+            mem.write(r[0]->elemAddr(e), 4, 7);
+    }
+
+    void
+    genIteration(IterNum i, IterProgram &out) override
+    {
+        // Iteration i belongs to "lane" (i-1) % procs; it updates 64
+        // elements strided by `procs` so lanes interleave in lines.
+        int64_t lane = (i - 1) % procs;
+        for (int64_t k = 0; k < 64; ++k) {
+            int64_t e = k * procs + lane;
+            out.push_back(opLoad(1, 0, e));
+            out.push_back(opImm(2, i));
+            out.push_back(opAlu(1, AluOp::Add, 1, 2));
+            out.push_back(opStore(0, e, 1));
+        }
+    }
+
+  private:
+    int procs;
+    int rounds;
+};
+
+} // namespace
+
+TEST(Torture, FalseSharingPingPongKeepsDataIntact)
+{
+    const int procs = 8, rounds = 4;
+    FalseSharingTorture loop(procs, rounds);
+    MachineConfig cfg;
+    cfg.numProcs = procs;
+
+    // Lane l executes iterations l+1, l+1+procs, ...: block-cyclic
+    // with block 1 maps lane l to processor l, maximizing line
+    // ping-pong while keeping each element single-writer.
+    ExecConfig xc;
+    xc.mode = ExecMode::Ideal;
+    xc.sched = SchedPolicy::BlockCyclic;
+    xc.blockIters = 1;
+    LoopExecutor exec(cfg, loop, xc);
+    RunResult r = exec.run();
+    EXPECT_TRUE(r.passed);
+    EXPECT_EQ(r.itersExecuted,
+              static_cast<uint64_t>(procs) * rounds);
+
+    // Element (k*procs + lane) accumulated its lane's iterations.
+    const Region *a = exec.sharedRegion(0);
+    for (int64_t lane = 0; lane < procs; ++lane) {
+        uint64_t expect = 7;
+        for (int round = 0; round < rounds; ++round)
+            expect += static_cast<uint64_t>(lane + 1 + round * procs);
+        for (int64_t k = 0; k < 64; ++k) {
+            ASSERT_EQ(exec.machine().memory().read(
+                          a->elemAddr(k * procs + lane), 4),
+                      expect)
+                << "lane " << lane << " k " << k;
+        }
+    }
+}
+
+TEST(Torture, EpochBarriersPreserveSemantics)
+{
+    // Running the loop in time-stamp epochs must not change results
+    // or verdicts, only add barrier time.
+    Fig1CLoop loop(256, 1024, true, 11);
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+
+    ExecConfig plain;
+    plain.mode = ExecMode::HW;
+    LoopExecutor pe(cfg, loop, plain);
+    RunResult pr = pe.run();
+
+    ExecConfig epochs = plain;
+    epochs.tsBits = 5; // barrier every 32 of 256 iterations
+    LoopExecutor ee(cfg, loop, epochs);
+    RunResult er = ee.run();
+
+    EXPECT_TRUE(pr.passed);
+    EXPECT_TRUE(er.passed);
+    EXPECT_EQ(er.itersExecuted, pr.itersExecuted);
+    EXPECT_GT(er.phases.loop, pr.phases.loop); // barriers cost time
+    EXPECT_GT(er.agg.sync, pr.agg.sync);
+
+    const Region *pa = pe.sharedRegion(0);
+    const Region *ea = ee.sharedRegion(0);
+    for (uint64_t e = 0; e < pa->numElems(); ++e) {
+        ASSERT_EQ(pe.machine().memory().read(pa->elemAddr(e), 4),
+                  ee.machine().memory().read(ea->elemAddr(e), 4));
+    }
+}
+
+TEST(Torture, EpochBarriersStillAbortOnDependence)
+{
+    Fig1ALoop loop(128);
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    xc.tsBits = 4;
+    xc.blockIters = 2;
+    LoopExecutor exec(cfg, loop, xc);
+    RunResult r = exec.run();
+    EXPECT_FALSE(r.passed);
+    EXPECT_LT(r.itersExecuted, 128u);
+}
+
+TEST(Torture, AllSchedulersAgreeOnResults)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+    Fig1CLoop loop(128, 512, true, 13);
+
+    std::vector<uint64_t> reference;
+    for (SchedPolicy pol :
+         {SchedPolicy::StaticChunk, SchedPolicy::BlockCyclic,
+          SchedPolicy::Dynamic}) {
+        ExecConfig xc;
+        xc.mode = ExecMode::HW;
+        xc.sched = pol;
+        xc.blockIters = 3;
+        LoopExecutor exec(cfg, loop, xc);
+        RunResult r = exec.run();
+        ASSERT_TRUE(r.passed) << schedPolicyName(pol);
+        const Region *a = exec.sharedRegion(0);
+        std::vector<uint64_t> got(a->numElems());
+        for (uint64_t e = 0; e < got.size(); ++e)
+            got[e] = exec.machine().memory().read(a->elemAddr(e), 4);
+        if (reference.empty())
+            reference = got;
+        else
+            EXPECT_EQ(got, reference) << schedPolicyName(pol);
+    }
+}
+
+TEST(Torture, WideMachineStillCoherent)
+{
+    // 32 nodes hammering a privatization workload.
+    MachineConfig cfg;
+    cfg.numProcs = 32;
+    RandomLoopParams rp{64, 32, 3, 0.7, 32, TestType::Priv, 77};
+    RandomLoop loop(rp);
+
+    ExecConfig sxc;
+    sxc.mode = ExecMode::Serial;
+    LoopExecutor se(cfg, loop, sxc);
+    se.run();
+
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    LoopExecutor he(cfg, loop, xc);
+    RunResult r = he.run();
+    EXPECT_EQ(r.passed, Oracle::privParallel(loop.expectedTrace()));
+
+    const Region *sa = se.sharedRegion(0);
+    const Region *ha = he.sharedRegion(0);
+    for (uint64_t e = 0; e < sa->numElems(); ++e) {
+        ASSERT_EQ(he.machine().memory().read(ha->elemAddr(e), 4),
+                  se.machine().memory().read(sa->elemAddr(e), 4));
+    }
+}

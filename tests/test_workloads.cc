@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests of the four Perfect-Club loop analogues: each passes the
+ * test it is designed for, fails when forced into the paper's
+ * failure scenarios, and produces serial-equivalent results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loop_exec.hh"
+#include "workloads/adm.hh"
+#include "workloads/ocean.hh"
+#include "workloads/p3m.hh"
+#include "workloads/track.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+MachineConfig
+machine(int procs)
+{
+    MachineConfig cfg;
+    cfg.numProcs = procs;
+    return cfg;
+}
+
+RunResult
+run(Workload &w, ExecMode mode, int procs, ExecConfig xc = {})
+{
+    xc.mode = mode;
+    LoopExecutor exec(machine(procs), w, xc);
+    return exec.run();
+}
+
+} // namespace
+
+TEST(Ocean, PassesNonPrivWithBothStrides)
+{
+    for (uint64_t stride : {uint64_t(1), uint64_t(32)}) {
+        OceanParams p;
+        p.stride = stride;
+        p.elems = 4096; // scaled down for the unit test
+        OceanLoop loop(p);
+        RunResult hw = run(loop, ExecMode::HW, 8);
+        EXPECT_TRUE(hw.passed) << "stride " << stride << ": "
+                               << hw.hwFailure.reason;
+        EXPECT_EQ(hw.itersExecuted, 32u);
+    }
+}
+
+TEST(Ocean, MatchesSerialResults)
+{
+    OceanParams p;
+    p.elems = 2048;
+    OceanLoop loop(p);
+
+    LoopExecutor serial(machine(8), loop, ExecConfig{ExecMode::Serial});
+    serial.run();
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    LoopExecutor hw(machine(8), loop, xc);
+    RunResult hres = hw.run();
+    EXPECT_TRUE(hres.passed);
+
+    const Region *sr = serial.sharedRegion(0);
+    const Region *hr = hw.sharedRegion(0);
+    for (uint64_t e = 0; e < sr->numElems(); ++e) {
+        ASSERT_EQ(hw.machine().memory().read(hr->elemAddr(e), 8),
+                  serial.machine().memory().read(sr->elemAddr(e), 8))
+            << "element " << e;
+    }
+}
+
+TEST(Ocean, SwProcessorWisePasses)
+{
+    OceanParams p;
+    p.elems = 2048;
+    OceanLoop loop(p);
+    ExecConfig xc;
+    xc.swProcWise = true;
+    RunResult sw = run(loop, ExecMode::SW, 8, xc);
+    EXPECT_TRUE(sw.passed);
+}
+
+TEST(P3m, PassesPrivatizationTest)
+{
+    P3mParams p;
+    p.iters = 400;
+    p.posElems = 8 * 1024;
+    p.wsElems = 256;
+    P3mLoop loop(p);
+    ExecConfig xc;
+    xc.sched = SchedPolicy::Dynamic;
+    RunResult hw = run(loop, ExecMode::HW, 16, xc);
+    EXPECT_TRUE(hw.passed) << hw.hwFailure.reason;
+    EXPECT_EQ(hw.itersExecuted, 400u);
+    // Workspaces are write-before-read: no read-ins are needed for
+    // correctness but first-writes flow to the shared directory.
+    EXPECT_EQ(hw.phases.copyOut, 0u); // not live-out
+}
+
+TEST(P3m, ForcedNonPrivFailsImmediately)
+{
+    // The paper's Figure 13 scenario: do not privatize, run the
+    // non-privatization algorithm; the workspaces collide.
+    P3mParams p;
+    p.iters = 400;
+    p.posElems = 8 * 1024;
+    p.wsElems = 256;
+    P3mLoop loop(p);
+    ExecConfig xc;
+    xc.downgradePrivToNonPriv = true;
+    RunResult hw = run(loop, ExecMode::HW, 16, xc);
+    EXPECT_FALSE(hw.passed);
+    EXPECT_LT(hw.itersExecuted, 400u); // aborted early
+    EXPECT_GT(hw.phases.serial, 0u);
+}
+
+TEST(P3m, LoadIsImbalanced)
+{
+    P3mLoop loop;
+    int max_n = 0, min_n = 1 << 30;
+    for (IterNum i = 1; i <= 1000; ++i) {
+        int n = loop.neighborsOf(i);
+        max_n = std::max(max_n, n);
+        min_n = std::min(min_n, n);
+    }
+    EXPECT_GE(max_n, 5 * min_n)
+        << "imbalance too small to require dynamic scheduling";
+}
+
+TEST(Adm, PassesWithMixedTestTypes)
+{
+    AdmParams p;
+    AdmLoop loop(p);
+    RunResult hw = run(loop, ExecMode::HW, 16);
+    EXPECT_TRUE(hw.passed) << hw.hwFailure.reason;
+    RunResult sw = run(loop, ExecMode::SW, 16,
+                       ExecConfig{ExecMode::SW, SchedPolicy::StaticChunk,
+                                  4, true});
+    EXPECT_TRUE(sw.passed);
+}
+
+TEST(Adm, ForcedNonPrivFails)
+{
+    AdmLoop loop;
+    ExecConfig xc;
+    xc.downgradePrivToNonPriv = true;
+    RunResult hw = run(loop, ExecMode::HW, 16, xc);
+    EXPECT_FALSE(hw.passed);
+}
+
+TEST(Adm, MatchesSerialResults)
+{
+    AdmParams p;
+    p.iters = 32;
+    AdmLoop loop(p);
+    LoopExecutor serial(machine(8), loop, ExecConfig{ExecMode::Serial});
+    serial.run();
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    LoopExecutor hw(machine(8), loop, xc);
+    RunResult hres = hw.run();
+    EXPECT_TRUE(hres.passed);
+    const Region *sr = serial.sharedRegion(0);
+    const Region *hr = hw.sharedRegion(0);
+    for (uint64_t e = 0; e < sr->numElems(); ++e) {
+        ASSERT_EQ(hw.machine().memory().read(hr->elemAddr(e), 8),
+                  serial.machine().memory().read(sr->elemAddr(e), 8));
+    }
+}
+
+TEST(Track, MostInstancesAreParallel)
+{
+    int failing = 0;
+    for (int inst = 0; inst < 56; ++inst) {
+        TrackLoop probe(TrackParams{inst});
+        failing += probe.hasAdjacentDeps();
+    }
+    EXPECT_EQ(failing, 5); // 5 of the 56 executions, as in the paper
+}
+
+TEST(Track, CleanInstancePassesEverywhere)
+{
+    TrackParams p;
+    p.instance = 1;
+    p.iters = 96;
+    p.elems = 128;
+    TrackLoop loop(p);
+    ASSERT_FALSE(loop.hasAdjacentDeps());
+    RunResult hw = run(loop, ExecMode::HW, 8);
+    EXPECT_TRUE(hw.passed) << hw.hwFailure.reason;
+    ExecConfig swxc;
+    swxc.swProcWise = false;
+    RunResult sw = run(loop, ExecMode::SW, 8, swxc);
+    EXPECT_TRUE(sw.passed);
+}
+
+TEST(Track, DependentInstanceBehavesLikeThePaper)
+{
+    TrackParams p;
+    p.instance = 3; // has adjacent-iteration dependences
+    p.iters = 96;
+    p.elems = 128;
+    TrackLoop loop(p);
+    ASSERT_TRUE(loop.hasAdjacentDeps());
+    ASSERT_GT(loop.testedFraction(), 0.0);
+
+    // Iteration-wise software test: fails.
+    ExecConfig iter_xc;
+    iter_xc.swProcWise = false;
+    RunResult sw_iter = run(loop, ExecMode::SW, 8, iter_xc);
+    EXPECT_FALSE(sw_iter.passed);
+
+    // Processor-wise software test (static scheduling): passes,
+    // because the dependent iterations land on the same processor.
+    ExecConfig proc_xc;
+    proc_xc.swProcWise = true;
+    RunResult sw_proc = run(loop, ExecMode::SW, 8, proc_xc);
+    EXPECT_TRUE(sw_proc.passed);
+
+    // Hardware scheme with small dynamic blocks: passes (the pair
+    // shares a block), no static scheduling needed.
+    ExecConfig hw_xc;
+    hw_xc.sched = SchedPolicy::Dynamic;
+    hw_xc.blockIters = 4;
+    RunResult hw = run(loop, ExecMode::HW, 8, hw_xc);
+    EXPECT_TRUE(hw.passed) << hw.hwFailure.reason;
+
+    // Hardware with single-iteration blocks: the pair can split
+    // across processors and the test fails (used for Figure 13).
+    ExecConfig hw1_xc;
+    hw1_xc.sched = SchedPolicy::BlockCyclic;
+    hw1_xc.blockIters = 1;
+    RunResult hw1 = run(loop, ExecMode::HW, 8, hw1_xc);
+    EXPECT_FALSE(hw1.passed);
+}
+
+TEST(Track, TestedFractionSpansInstances)
+{
+    double lo = 1.0, hi = 0.0;
+    for (int inst = 0; inst < 56; ++inst) {
+        TrackLoop probe(TrackParams{inst});
+        lo = std::min(lo, probe.testedFraction());
+        hi = std::max(hi, probe.testedFraction());
+    }
+    EXPECT_EQ(lo, 0.0);
+    EXPECT_NEAR(hi, 0.44, 1e-9);
+}
