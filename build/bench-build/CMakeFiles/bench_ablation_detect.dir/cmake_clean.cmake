@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_detect"
+  "../bench/bench_ablation_detect.pdb"
+  "CMakeFiles/bench_ablation_detect.dir/bench_ablation_detect.cc.o"
+  "CMakeFiles/bench_ablation_detect.dir/bench_ablation_detect.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

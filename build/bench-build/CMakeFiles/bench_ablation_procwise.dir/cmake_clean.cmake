@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_procwise"
+  "../bench/bench_ablation_procwise.pdb"
+  "CMakeFiles/bench_ablation_procwise.dir/bench_ablation_procwise.cc.o"
+  "CMakeFiles/bench_ablation_procwise.dir/bench_ablation_procwise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_procwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_readin"
+  "../bench/bench_ablation_readin.pdb"
+  "CMakeFiles/bench_ablation_readin.dir/bench_ablation_readin.cc.o"
+  "CMakeFiles/bench_ablation_readin.dir/bench_ablation_readin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_readin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reduction"
+  "../bench/bench_ablation_reduction.pdb"
+  "CMakeFiles/bench_ablation_reduction.dir/bench_ablation_reduction.cc.o"
+  "CMakeFiles/bench_ablation_reduction.dir/bench_ablation_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

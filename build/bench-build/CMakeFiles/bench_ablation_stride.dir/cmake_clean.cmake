@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_stride"
+  "../bench/bench_ablation_stride.pdb"
+  "CMakeFiles/bench_ablation_stride.dir/bench_ablation_stride.cc.o"
+  "CMakeFiles/bench_ablation_stride.dir/bench_ablation_stride.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tswidth"
+  "../bench/bench_ablation_tswidth.pdb"
+  "CMakeFiles/bench_ablation_tswidth.dir/bench_ablation_tswidth.cc.o"
+  "CMakeFiles/bench_ablation_tswidth.dir/bench_ablation_tswidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tswidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_latency_table"
+  "../bench/bench_latency_table.pdb"
+  "CMakeFiles/bench_latency_table.dir/bench_latency_table.cc.o"
+  "CMakeFiles/bench_latency_table.dir/bench_latency_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_host"
+  "../bench/bench_micro_host.pdb"
+  "CMakeFiles/bench_micro_host.dir/bench_micro_host.cc.o"
+  "CMakeFiles/bench_micro_host.dir/bench_micro_host.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_state_overhead"
+  "../bench/bench_state_overhead.pdb"
+  "CMakeFiles/bench_state_overhead.dir/bench_state_overhead.cc.o"
+  "CMakeFiles/bench_state_overhead.dir/bench_state_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

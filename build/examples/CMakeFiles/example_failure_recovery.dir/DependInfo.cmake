@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/failure_recovery.cpp" "examples/CMakeFiles/example_failure_recovery.dir/failure_recovery.cpp.o" "gcc" "examples/CMakeFiles/example_failure_recovery.dir/failure_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specrt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_lrpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

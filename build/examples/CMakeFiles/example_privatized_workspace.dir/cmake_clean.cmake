@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_privatized_workspace.dir/privatized_workspace.cpp.o"
+  "CMakeFiles/example_privatized_workspace.dir/privatized_workspace.cpp.o.d"
+  "privatized_workspace"
+  "privatized_workspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_privatized_workspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/specrt_core.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/specrt_core.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/loop_exec.cc" "src/CMakeFiles/specrt_core.dir/core/loop_exec.cc.o" "gcc" "src/CMakeFiles/specrt_core.dir/core/loop_exec.cc.o.d"
+  "/root/repo/src/core/parallelizer.cc" "src/CMakeFiles/specrt_core.dir/core/parallelizer.cc.o" "gcc" "src/CMakeFiles/specrt_core.dir/core/parallelizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specrt_lrpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specrt_core.dir/core/advisor.cc.o"
+  "CMakeFiles/specrt_core.dir/core/advisor.cc.o.d"
+  "CMakeFiles/specrt_core.dir/core/loop_exec.cc.o"
+  "CMakeFiles/specrt_core.dir/core/loop_exec.cc.o.d"
+  "CMakeFiles/specrt_core.dir/core/parallelizer.cc.o"
+  "CMakeFiles/specrt_core.dir/core/parallelizer.cc.o.d"
+  "libspecrt_core.a"
+  "libspecrt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specrt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specrt_lrpd.dir/lrpd/lrpd.cc.o"
+  "CMakeFiles/specrt_lrpd.dir/lrpd/lrpd.cc.o.d"
+  "CMakeFiles/specrt_lrpd.dir/lrpd/lrpd_codegen.cc.o"
+  "CMakeFiles/specrt_lrpd.dir/lrpd/lrpd_codegen.cc.o.d"
+  "libspecrt_lrpd.a"
+  "libspecrt_lrpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specrt_lrpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

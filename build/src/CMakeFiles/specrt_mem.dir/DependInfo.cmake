@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/addr_map.cc" "src/CMakeFiles/specrt_mem.dir/mem/addr_map.cc.o" "gcc" "src/CMakeFiles/specrt_mem.dir/mem/addr_map.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/specrt_mem.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/specrt_mem.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/cache_ctrl.cc" "src/CMakeFiles/specrt_mem.dir/mem/cache_ctrl.cc.o" "gcc" "src/CMakeFiles/specrt_mem.dir/mem/cache_ctrl.cc.o.d"
+  "/root/repo/src/mem/dir_ctrl.cc" "src/CMakeFiles/specrt_mem.dir/mem/dir_ctrl.cc.o" "gcc" "src/CMakeFiles/specrt_mem.dir/mem/dir_ctrl.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/specrt_mem.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/specrt_mem.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/dsm.cc" "src/CMakeFiles/specrt_mem.dir/mem/dsm.cc.o" "gcc" "src/CMakeFiles/specrt_mem.dir/mem/dsm.cc.o.d"
+  "/root/repo/src/mem/msg.cc" "src/CMakeFiles/specrt_mem.dir/mem/msg.cc.o" "gcc" "src/CMakeFiles/specrt_mem.dir/mem/msg.cc.o.d"
+  "/root/repo/src/mem/network.cc" "src/CMakeFiles/specrt_mem.dir/mem/network.cc.o" "gcc" "src/CMakeFiles/specrt_mem.dir/mem/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specrt_mem.dir/mem/addr_map.cc.o"
+  "CMakeFiles/specrt_mem.dir/mem/addr_map.cc.o.d"
+  "CMakeFiles/specrt_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/specrt_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/specrt_mem.dir/mem/cache_ctrl.cc.o"
+  "CMakeFiles/specrt_mem.dir/mem/cache_ctrl.cc.o.d"
+  "CMakeFiles/specrt_mem.dir/mem/dir_ctrl.cc.o"
+  "CMakeFiles/specrt_mem.dir/mem/dir_ctrl.cc.o.d"
+  "CMakeFiles/specrt_mem.dir/mem/directory.cc.o"
+  "CMakeFiles/specrt_mem.dir/mem/directory.cc.o.d"
+  "CMakeFiles/specrt_mem.dir/mem/dsm.cc.o"
+  "CMakeFiles/specrt_mem.dir/mem/dsm.cc.o.d"
+  "CMakeFiles/specrt_mem.dir/mem/msg.cc.o"
+  "CMakeFiles/specrt_mem.dir/mem/msg.cc.o.d"
+  "CMakeFiles/specrt_mem.dir/mem/network.cc.o"
+  "CMakeFiles/specrt_mem.dir/mem/network.cc.o.d"
+  "libspecrt_mem.a"
+  "libspecrt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specrt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/checkpoint.cc" "src/CMakeFiles/specrt_runtime.dir/runtime/checkpoint.cc.o" "gcc" "src/CMakeFiles/specrt_runtime.dir/runtime/checkpoint.cc.o.d"
+  "/root/repo/src/runtime/isa.cc" "src/CMakeFiles/specrt_runtime.dir/runtime/isa.cc.o" "gcc" "src/CMakeFiles/specrt_runtime.dir/runtime/isa.cc.o.d"
+  "/root/repo/src/runtime/processor.cc" "src/CMakeFiles/specrt_runtime.dir/runtime/processor.cc.o" "gcc" "src/CMakeFiles/specrt_runtime.dir/runtime/processor.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/CMakeFiles/specrt_runtime.dir/runtime/scheduler.cc.o" "gcc" "src/CMakeFiles/specrt_runtime.dir/runtime/scheduler.cc.o.d"
+  "/root/repo/src/runtime/validate.cc" "src/CMakeFiles/specrt_runtime.dir/runtime/validate.cc.o" "gcc" "src/CMakeFiles/specrt_runtime.dir/runtime/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specrt_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

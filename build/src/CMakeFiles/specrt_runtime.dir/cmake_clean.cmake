@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specrt_runtime.dir/runtime/checkpoint.cc.o"
+  "CMakeFiles/specrt_runtime.dir/runtime/checkpoint.cc.o.d"
+  "CMakeFiles/specrt_runtime.dir/runtime/isa.cc.o"
+  "CMakeFiles/specrt_runtime.dir/runtime/isa.cc.o.d"
+  "CMakeFiles/specrt_runtime.dir/runtime/processor.cc.o"
+  "CMakeFiles/specrt_runtime.dir/runtime/processor.cc.o.d"
+  "CMakeFiles/specrt_runtime.dir/runtime/scheduler.cc.o"
+  "CMakeFiles/specrt_runtime.dir/runtime/scheduler.cc.o.d"
+  "CMakeFiles/specrt_runtime.dir/runtime/validate.cc.o"
+  "CMakeFiles/specrt_runtime.dir/runtime/validate.cc.o.d"
+  "libspecrt_runtime.a"
+  "libspecrt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specrt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

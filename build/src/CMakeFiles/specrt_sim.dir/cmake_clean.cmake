@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specrt_sim.dir/sim/config.cc.o"
+  "CMakeFiles/specrt_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/specrt_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/specrt_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/specrt_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/specrt_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/specrt_sim.dir/sim/random.cc.o"
+  "CMakeFiles/specrt_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/specrt_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/specrt_sim.dir/sim/stats.cc.o.d"
+  "libspecrt_sim.a"
+  "libspecrt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specrt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/access_bits.cc" "src/CMakeFiles/specrt_spec.dir/spec/access_bits.cc.o" "gcc" "src/CMakeFiles/specrt_spec.dir/spec/access_bits.cc.o.d"
+  "/root/repo/src/spec/nonpriv.cc" "src/CMakeFiles/specrt_spec.dir/spec/nonpriv.cc.o" "gcc" "src/CMakeFiles/specrt_spec.dir/spec/nonpriv.cc.o.d"
+  "/root/repo/src/spec/oracle.cc" "src/CMakeFiles/specrt_spec.dir/spec/oracle.cc.o" "gcc" "src/CMakeFiles/specrt_spec.dir/spec/oracle.cc.o.d"
+  "/root/repo/src/spec/priv.cc" "src/CMakeFiles/specrt_spec.dir/spec/priv.cc.o" "gcc" "src/CMakeFiles/specrt_spec.dir/spec/priv.cc.o.d"
+  "/root/repo/src/spec/priv_compact.cc" "src/CMakeFiles/specrt_spec.dir/spec/priv_compact.cc.o" "gcc" "src/CMakeFiles/specrt_spec.dir/spec/priv_compact.cc.o.d"
+  "/root/repo/src/spec/spec_unit.cc" "src/CMakeFiles/specrt_spec.dir/spec/spec_unit.cc.o" "gcc" "src/CMakeFiles/specrt_spec.dir/spec/spec_unit.cc.o.d"
+  "/root/repo/src/spec/translation_table.cc" "src/CMakeFiles/specrt_spec.dir/spec/translation_table.cc.o" "gcc" "src/CMakeFiles/specrt_spec.dir/spec/translation_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

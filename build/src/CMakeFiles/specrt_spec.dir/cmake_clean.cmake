@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specrt_spec.dir/spec/access_bits.cc.o"
+  "CMakeFiles/specrt_spec.dir/spec/access_bits.cc.o.d"
+  "CMakeFiles/specrt_spec.dir/spec/nonpriv.cc.o"
+  "CMakeFiles/specrt_spec.dir/spec/nonpriv.cc.o.d"
+  "CMakeFiles/specrt_spec.dir/spec/oracle.cc.o"
+  "CMakeFiles/specrt_spec.dir/spec/oracle.cc.o.d"
+  "CMakeFiles/specrt_spec.dir/spec/priv.cc.o"
+  "CMakeFiles/specrt_spec.dir/spec/priv.cc.o.d"
+  "CMakeFiles/specrt_spec.dir/spec/priv_compact.cc.o"
+  "CMakeFiles/specrt_spec.dir/spec/priv_compact.cc.o.d"
+  "CMakeFiles/specrt_spec.dir/spec/spec_unit.cc.o"
+  "CMakeFiles/specrt_spec.dir/spec/spec_unit.cc.o.d"
+  "CMakeFiles/specrt_spec.dir/spec/translation_table.cc.o"
+  "CMakeFiles/specrt_spec.dir/spec/translation_table.cc.o.d"
+  "libspecrt_spec.a"
+  "libspecrt_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specrt_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specrt_workloads.dir/workloads/adm.cc.o"
+  "CMakeFiles/specrt_workloads.dir/workloads/adm.cc.o.d"
+  "CMakeFiles/specrt_workloads.dir/workloads/microloops.cc.o"
+  "CMakeFiles/specrt_workloads.dir/workloads/microloops.cc.o.d"
+  "CMakeFiles/specrt_workloads.dir/workloads/ocean.cc.o"
+  "CMakeFiles/specrt_workloads.dir/workloads/ocean.cc.o.d"
+  "CMakeFiles/specrt_workloads.dir/workloads/p3m.cc.o"
+  "CMakeFiles/specrt_workloads.dir/workloads/p3m.cc.o.d"
+  "CMakeFiles/specrt_workloads.dir/workloads/track.cc.o"
+  "CMakeFiles/specrt_workloads.dir/workloads/track.cc.o.d"
+  "libspecrt_workloads.a"
+  "libspecrt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specrt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_addr_map.dir/test_addr_map.cc.o"
+  "CMakeFiles/test_addr_map.dir/test_addr_map.cc.o.d"
+  "test_addr_map"
+  "test_addr_map.pdb"
+  "test_addr_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_addr_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dir_ctrl.dir/test_dir_ctrl.cc.o"
+  "CMakeFiles/test_dir_ctrl.dir/test_dir_ctrl.cc.o.d"
+  "test_dir_ctrl"
+  "test_dir_ctrl.pdb"
+  "test_dir_ctrl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dir_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsm_protocol.dir/test_dsm_protocol.cc.o"
+  "CMakeFiles/test_dsm_protocol.dir/test_dsm_protocol.cc.o.d"
+  "test_dsm_protocol"
+  "test_dsm_protocol.pdb"
+  "test_dsm_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsm_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

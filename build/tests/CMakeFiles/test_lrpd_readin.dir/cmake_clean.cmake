@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrpd_readin.dir/test_lrpd_readin.cc.o"
+  "CMakeFiles/test_lrpd_readin.dir/test_lrpd_readin.cc.o.d"
+  "test_lrpd_readin"
+  "test_lrpd_readin.pdb"
+  "test_lrpd_readin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrpd_readin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

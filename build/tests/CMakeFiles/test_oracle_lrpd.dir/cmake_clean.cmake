@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_lrpd.dir/test_oracle_lrpd.cc.o"
+  "CMakeFiles/test_oracle_lrpd.dir/test_oracle_lrpd.cc.o.d"
+  "test_oracle_lrpd"
+  "test_oracle_lrpd.pdb"
+  "test_oracle_lrpd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_lrpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallelizer.dir/test_parallelizer.cc.o"
+  "CMakeFiles/test_parallelizer.dir/test_parallelizer.cc.o.d"
+  "test_parallelizer"
+  "test_parallelizer.pdb"
+  "test_parallelizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallelizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priv_compact.dir/test_priv_compact.cc.o"
+  "CMakeFiles/test_priv_compact.dir/test_priv_compact.cc.o.d"
+  "test_priv_compact"
+  "test_priv_compact.pdb"
+  "test_priv_compact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priv_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_priv_logic.cc" "tests/CMakeFiles/test_priv_logic.dir/test_priv_logic.cc.o" "gcc" "tests/CMakeFiles/test_priv_logic.dir/test_priv_logic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specrt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_lrpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/specrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

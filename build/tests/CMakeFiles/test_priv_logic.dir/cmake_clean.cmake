@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priv_logic.dir/test_priv_logic.cc.o"
+  "CMakeFiles/test_priv_logic.dir/test_priv_logic.cc.o.d"
+  "test_priv_logic"
+  "test_priv_logic.pdb"
+  "test_priv_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priv_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

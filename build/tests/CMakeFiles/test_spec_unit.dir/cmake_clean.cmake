@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_unit.dir/test_spec_unit.cc.o"
+  "CMakeFiles/test_spec_unit.dir/test_spec_unit.cc.o.d"
+  "test_spec_unit"
+  "test_spec_unit.pdb"
+  "test_spec_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_addr_map[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_dsm_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_nonpriv_logic[1]_include.cmake")
+include("/root/repo/build/tests/test_priv_logic[1]_include.cmake")
+include("/root/repo/build/tests/test_priv_compact[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_dir_ctrl[1]_include.cmake")
+include("/root/repo/build/tests/test_parallelizer[1]_include.cmake")
+include("/root/repo/build/tests/test_reduction[1]_include.cmake")
+include("/root/repo/build/tests/test_advisor[1]_include.cmake")
+include("/root/repo/build/tests/test_lrpd_readin[1]_include.cmake")
+include("/root/repo/build/tests/test_torture[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle_lrpd[1]_include.cmake")
+include("/root/repo/build/tests/test_processor_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_property[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
