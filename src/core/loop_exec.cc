@@ -296,6 +296,25 @@ LoopExecutor::setup()
     if (xc.mode == ExecMode::HW)
         spec = std::make_unique<SpecSystem>(*dsm);
 
+    checker.reset();
+    if (xc.checkInvariants) {
+        checker = std::make_unique<InvariantChecker>(*dsm);
+        if (spec)
+            checker->setSpecSystem(spec.get());
+        checker->newRun();
+    }
+
+    infraAborted = false;
+    infraAbortReason.clear();
+    dsm->setTxnLostHook([this](const char *what) {
+        if (!infraAborted) {
+            infraAborted = true;
+            infraAbortReason =
+                std::string(what) + " exhausted its retry budget";
+        }
+        dsm->eventQueue().stop();
+    });
+
     procs.clear();
     for (NodeId n = 0; n < cfg.numProcs; ++n) {
         procs.push_back(std::make_unique<Processor>(
@@ -395,6 +414,24 @@ LoopExecutor::runLoopPhase()
     traceEnabled = xc.mode == ExecMode::SW || xc.mode == ExecMode::HW ||
                    xc.keepTrace;
 
+    // Fault injection targets the loop phase only (the recovery
+    // machinery under test guards speculative execution; utility
+    // phases and the serial baseline run fault-free).
+    FaultPlan &plan = dsm->faultPlan();
+    bool inject = plan.config().anyFaults() &&
+                  xc.mode != ExecMode::Serial;
+    struct PlanGuard
+    {
+        FaultPlan *p;
+        ~PlanGuard()
+        {
+            if (p)
+                p->disarm();
+        }
+    } plan_guard{inject ? &plan : nullptr};
+    if (inject)
+        plan.arm();
+
     // Time-stamp epochs: with tsBits set, a global barrier separates
     // every 2^tsBits iterations (section 3.3's periodic
     // synchronization for time-stamp overflow).
@@ -421,6 +458,14 @@ LoopExecutor::runLoopPhase()
                                  });
         }
         eq.run();
+
+        if (infraAborted) {
+            traceEnabled = false;
+            for (auto &p : procs)
+                p->hardStop();
+            accumulate(aggScratch);
+            return {eq.curTick() - phase_start, false};
+        }
 
         if (specAborted) {
             traceEnabled = false;
@@ -846,6 +891,24 @@ LoopExecutor::run()
     for (auto &p : procs)
         res.itersExecuted += p->itersExecuted();
 
+    if (infraAborted) {
+        // Fault injection defeated the retry machinery: the run
+        // produced nothing usable. Discard the machine state and
+        // report; runWithDegradation retries or degrades.
+        res.infraFailed = true;
+        res.infraReason = infraAbortReason;
+        res.passed = false;
+        if (is_hw)
+            spec->disarm();
+        dsm->resetMachine(false);
+        res.totalTicks = res.phases.total();
+        res.agg = aggScratch;
+        return res;
+    }
+
+    if (checker && completed)
+        res.invariantViolations += checker->checkAll();
+
     bool failed = false;
     if (is_hw) {
         res.hwFailure = spec->failure();
@@ -898,6 +961,9 @@ LoopExecutor::run()
             res.phases.reduction = runReductionPhase();
     }
 
+    if (checker)
+        res.invariantViolations += checker->checkAll();
+
     // Commit all cached state so the backing store holds the final
     // values (verification reads them there).
     dsm->resetMachine(true);
@@ -907,6 +973,52 @@ LoopExecutor::run()
     if (xc.keepTrace)
         res.trace = std::move(trace);
     return res;
+}
+
+LadderOutcome
+runWithDegradation(const MachineConfig &config, Workload &w,
+                   ExecConfig xc, const DegradationPolicy &policy,
+                   DegradationLog *log)
+{
+    LadderOutcome out;
+    MachineConfig cfg = config;
+
+    auto attempt = [&](ExecMode mode) {
+        xc.mode = mode;
+        out.exec = std::make_unique<LoopExecutor>(cfg, w, xc);
+        out.result = out.exec->run();
+        out.steps.push_back({mode, out.result.infraFailed,
+                             out.result.passed,
+                             out.result.infraReason});
+        return !out.result.infraFailed;
+    };
+
+    ExecMode mode = xc.mode;
+    while (true) {
+        int attempts = 1;
+        if (mode == ExecMode::HW)
+            attempts = std::max(1, policy.maxHwAttempts);
+        else if (mode != ExecMode::Serial)
+            attempts = std::max(1, policy.maxSwAttempts);
+        if (mode == ExecMode::Serial)
+            cfg.fault = FaultConfig{}; // the floor runs fault-free
+
+        for (int i = 0; i < attempts; ++i) {
+            if (!out.steps.empty() && policy.reseedPerAttempt)
+                cfg.fault.seed += 0x9e3779b97f4a7c15ULL;
+            if (attempt(mode))
+                return out;
+        }
+
+        SPECRT_ASSERT(mode != ExecMode::Serial,
+                      "fault-free serial floor infra-failed");
+        ExecMode to =
+            mode == ExecMode::HW ? ExecMode::SW : ExecMode::Serial;
+        ++out.degradations;
+        if (log)
+            log->record(mode, to, out.result.infraReason);
+        mode = to;
+    }
 }
 
 } // namespace specrt

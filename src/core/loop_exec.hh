@@ -26,9 +26,11 @@
 #include <memory>
 #include <vector>
 
+#include "core/advisor.hh"
 #include "lrpd/lrpd.hh"
 #include "lrpd/lrpd_codegen.hh"
 #include "mem/dsm.hh"
+#include "mem/invariants.hh"
 #include "runtime/checkpoint.hh"
 #include "runtime/processor.hh"
 #include "runtime/scheduler.hh"
@@ -74,6 +76,11 @@ struct ExecConfig
     IterNum maxIters = 0;
     /** Keep the access trace in the result (tests). */
     bool keepTrace = false;
+    /**
+     * Run the protocol invariant checker (mem/invariants.hh) at the
+     * run's quiesce points and count violations into the result.
+     */
+    bool checkInvariants = false;
     /** Trace every array, not just those under test (profiling for
      *  the test advisor). */
     bool traceAllArrays = false;
@@ -128,6 +135,17 @@ struct RunResult
     Tick totalTicks = 0;
     BreakdownAgg agg;
     uint64_t itersExecuted = 0;
+    /**
+     * The run died of an infrastructure fault (a transaction or
+     * signal exhausted its retry budget under fault injection), NOT
+     * of a detected dependence. The machine state was discarded; the
+     * caller must retry or degrade (see runWithDegradation).
+     */
+    bool infraFailed = false;
+    /** What was lost, when infraFailed. */
+    std::string infraReason;
+    /** Protocol invariant violations found (checkInvariants). */
+    uint64_t invariantViolations = 0;
     /** HW: the latched failure, if any. */
     SpecFailure hwFailure;
     /** SW: the per-array verdicts (decl index -> analysis). */
@@ -152,6 +170,9 @@ class LoopExecutor : public TraceSink
 
     /** The speculation hardware (HW mode only; else null). */
     SpecSystem *specSystem() { return spec.get(); }
+
+    /** The invariant checker (checkInvariants only; else null). */
+    InvariantChecker *invariantChecker() { return checker.get(); }
 
     /** Shared region of declaration @p decl_idx (after run()). */
     const Region *sharedRegion(int decl_idx) const;
@@ -216,6 +237,7 @@ class LoopExecutor : public TraceSink
 
     std::unique_ptr<DsmSystem> dsm;
     std::unique_ptr<SpecSystem> spec;
+    std::unique_ptr<InvariantChecker> checker;
     std::vector<std::unique_ptr<Processor>> procs;
 
     std::vector<ArraySetup> setups;
@@ -229,7 +251,55 @@ class LoopExecutor : public TraceSink
 
     BreakdownAgg aggScratch;
     bool specAborted = false;
+    bool infraAborted = false;
+    std::string infraAbortReason;
 };
+
+/** Retry/degradation budget of runWithDegradation. */
+struct DegradationPolicy
+{
+    /** HW attempts (reseeding the fault schedule) before degrading
+     *  to the software scheme. */
+    int maxHwAttempts = 2;
+    /** SW attempts before degrading to serial execution. */
+    int maxSwAttempts = 1;
+    /** Perturb the fault seed between attempts (a deterministic
+     *  schedule would otherwise fail identically every retry). */
+    bool reseedPerAttempt = true;
+};
+
+/** One rung of the degradation ladder, in execution order. */
+struct DegradationStep
+{
+    ExecMode mode;
+    bool infraFailed = false;
+    bool passed = false;
+    std::string reason;
+};
+
+/** What runWithDegradation did and produced. */
+struct LadderOutcome
+{
+    /** Result of the final attempt (the one that did not infra-fail). */
+    RunResult result;
+    /** Executor of the final attempt (machine inspectable). */
+    std::unique_ptr<LoopExecutor> exec;
+    std::vector<DegradationStep> steps;
+    /** Mode downgrades performed (0 = first tier succeeded). */
+    int degradations = 0;
+};
+
+/**
+ * Run @p w under @p xc.mode, degrading gracefully when fault
+ * injection defeats the retry machinery: HW -> SW-LRPD -> Serial.
+ * Each tier gets a bounded number of attempts (reseeded fault
+ * schedules); the serial floor runs fault-free and cannot fail.
+ * Degradations are recorded in @p log when given.
+ */
+LadderOutcome runWithDegradation(const MachineConfig &config,
+                                 Workload &w, ExecConfig xc,
+                                 const DegradationPolicy &policy = {},
+                                 DegradationLog *log = nullptr);
 
 } // namespace specrt
 

@@ -100,6 +100,9 @@ class NodeCache
      *  Dirty lines are appended to @p victims for writeback. */
     void flushAll(std::vector<CacheLine> *victims);
 
+    /** Every L2 slot, valid or not (invariant checker iteration). */
+    const std::vector<CacheLine> &l2Lines() const { return l2; }
+
     /** Read a word out of a present line. */
     uint64_t readWord(Addr a, uint32_t size) const;
 

@@ -18,8 +18,16 @@ CacheCtrl::CacheCtrl(NodeId node_, EventQueue &eq_, Network &net_,
       storeHits(this, "store_hits", "stores hitting a dirty line"),
       storeMisses(this, "store_misses", "stores needing a transaction"),
       writebacks(this, "writebacks", "dirty lines written back"),
-      wbFullStalls(this, "wb_full_stalls", "stores rejected: buffer full")
+      wbFullStalls(this, "wb_full_stalls", "stores rejected: buffer full"),
+      watchdogFires(this, "watchdog_fires",
+                    "transaction watchdog expirations"),
+      msgsRetried(this, "msgs_retried", "requests re-sent by watchdog"),
+      strayMsgs(this, "stray_msgs", "duplicate/stale replies ignored"),
+      disownedGrants(this, "disowned_grants",
+                     "unwanted ownership grants written back"),
+      txnsLost(this, "txns_lost", "transactions lost after all retries")
 {
+    lenient = cfg.fault.lenientProtocol();
 }
 
 bool
@@ -66,16 +74,24 @@ CacheCtrl::load(Addr addr, uint32_t size, IterNum iter, LoadDone done)
     }
 
     ++misses;
-    loadTxn = LoadTxn{line, addr, size, iter, std::move(done), false};
+    loadTxn = LoadTxn{line, addr, size, iter, std::move(done), false,
+                      seqCounter++, 0, invalidEventId};
+    sendLoadReq(cfg.lat.l1Hit + cfg.lat.l2Access);
+    loadTxn->watchdog = armWatchdog(true, loadTxn->seq, 0);
+}
 
+void
+CacheCtrl::sendLoadReq(Cycles extra_delay)
+{
     Msg req;
     req.type = MsgType::ReadReq;
     req.src = node;
-    req.dst = homeOf(addr);
-    req.lineAddr = line;
-    req.elemAddr = addr;
-    req.iter = iter;
-    net.send(std::move(req), cfg.lat.l1Hit + cfg.lat.l2Access);
+    req.dst = homeOf(loadTxn->elem);
+    req.lineAddr = loadTxn->line;
+    req.elemAddr = loadTxn->elem;
+    req.iter = loadTxn->iter;
+    req.txnSeq = loadTxn->seq;
+    net.send(std::move(req), extra_delay);
 }
 
 bool
@@ -141,16 +157,84 @@ CacheCtrl::drainHead()
     ++storeMisses;
     storeTxnActive = true;
     storeTxnLine = line;
+    storeTxnSeq = seqCounter++;
+    storeAttempts = 0;
+    sendStoreReq(cfg.lat.l1Hit + cfg.lat.l2Access);
+    storeWatchdog = armWatchdog(false, storeTxnSeq, 0);
+}
 
+void
+CacheCtrl::sendStoreReq(Cycles extra_delay)
+{
+    const WbEntry &head = wb.front();
     Msg req;
     req.type = MsgType::WriteReq;
     req.src = node;
     req.dst = homeOf(head.addr);
-    req.lineAddr = line;
+    req.lineAddr = storeTxnLine;
     req.elemAddr = head.addr;
     req.iter = head.iter;
-    req.isUpgrade = cl != nullptr;
-    net.send(std::move(req), cfg.lat.l1Hit + cfg.lat.l2Access);
+    req.isUpgrade = cache.findLine(head.addr) != nullptr;
+    req.txnSeq = storeTxnSeq;
+    net.send(std::move(req), extra_delay);
+}
+
+EventId
+CacheCtrl::armWatchdog(bool is_load, uint64_t seq, int attempt)
+{
+    if (cfg.fault.watchdogTimeout == 0)
+        return invalidEventId;
+    // Exponential backoff: each retry waits twice as long.
+    Cycles timeout = cfg.fault.watchdogTimeout
+                     << std::min(attempt, 16);
+    return eq.scheduleIn(timeout, [this, is_load, seq]() {
+        onWatchdog(is_load, seq);
+    });
+}
+
+void
+CacheCtrl::onWatchdog(bool is_load, uint64_t seq)
+{
+    // Stale timer: the transaction it guarded already completed.
+    if (is_load && (!loadTxn || loadTxn->seq != seq))
+        return;
+    if (!is_load && (!storeTxnActive || storeTxnSeq != seq))
+        return;
+
+    ++watchdogFires;
+    int attempts = is_load ? loadTxn->attempts : storeAttempts;
+    if (attempts >= cfg.fault.watchdogMaxRetries) {
+        txnLost(is_load ? loadTxn->elem : wb.front().addr,
+                is_load ? "load transaction" : "store transaction");
+        return;
+    }
+
+    // Retry with the SAME sequence number: whichever of the original
+    // or the retry draws a reply first completes the transaction, and
+    // the directory ignores the loser as a duplicate.
+    ++msgsRetried;
+    if (is_load) {
+        ++loadTxn->attempts;
+        sendLoadReq(0);
+        loadTxn->watchdog = armWatchdog(true, seq, loadTxn->attempts);
+    } else {
+        ++storeAttempts;
+        sendStoreReq(0);
+        storeWatchdog = armWatchdog(false, seq, storeAttempts);
+    }
+}
+
+void
+CacheCtrl::txnLost(Addr elem, const char *what)
+{
+    ++txnsLost;
+    if (lostHook) {
+        lostHook(node, elem, what);
+        return;
+    }
+    panic("node %d: %s for %#llx exhausted its watchdog retries and "
+          "no degradation hook is installed",
+          node, what, (unsigned long long)elem);
 }
 
 void
@@ -235,8 +319,15 @@ CacheCtrl::evictDirty(const CacheLine &victim)
 void
 CacheCtrl::onReadReply(const Msg &msg)
 {
-    SPECRT_ASSERT(loadTxn && loadTxn->line == msg.lineAddr,
-                  "stray ReadReply at node %d", node);
+    if (!loadTxn || loadTxn->line != msg.lineAddr ||
+        msg.txnSeq != loadTxn->seq) {
+        // Duplicate or superseded reply; shared data is never unique,
+        // so dropping it is safe.
+        SPECRT_ASSERT(lenient, "stray ReadReply at node %d", node);
+        ++strayMsgs;
+        return;
+    }
+    eq.deschedule(loadTxn->watchdog);
     LoadTxn txn = std::move(*loadTxn);
     loadTxn.reset();
 
@@ -257,9 +348,15 @@ CacheCtrl::onReadReply(const Msg &msg)
 void
 CacheCtrl::onWriteReply(const Msg &msg)
 {
-    SPECRT_ASSERT(storeTxnActive && storeTxnLine == msg.lineAddr,
-                  "stray WriteReply at node %d", node);
+    if (!storeTxnActive || storeTxnLine != msg.lineAddr ||
+        msg.txnSeq != storeTxnSeq) {
+        SPECRT_ASSERT(lenient, "stray WriteReply at node %d", node);
+        disownGrant(msg);
+        return;
+    }
     SPECRT_ASSERT(!wb.empty(), "WriteReply with empty write buffer");
+    eq.deschedule(storeWatchdog);
+    storeWatchdog = invalidEventId;
 
     fillLine(msg, LineState::Dirty, true);
 
@@ -286,12 +383,56 @@ CacheCtrl::onWriteReply(const Msg &msg)
 }
 
 void
+CacheCtrl::disownGrant(const Msg &msg)
+{
+    ++strayMsgs;
+    if (cache.findLine(msg.lineAddr)) {
+        // The line is (still or again) cached here: the duplicate
+        // grant carries nothing we need.
+        return;
+    }
+    // Ownership was transferred here with data that may exist nowhere
+    // else (the old owner invalidated itself serving a retried
+    // forward). Write it straight back; the home either commits it
+    // (it still thinks we own the line) or supersedes the writeback.
+    ++disownedGrants;
+    ++writebacks;
+    wbBuf[msg.lineAddr].push_back({msg.data, {}});
+
+    Msg wbm;
+    wbm.type = MsgType::Writeback;
+    wbm.src = node;
+    wbm.dst = homeOf(msg.lineAddr);
+    wbm.lineAddr = msg.lineAddr;
+    wbm.data = msg.data;
+    net.send(std::move(wbm));
+
+    // Forwards that raced ahead of the unwanted grant can now be
+    // served out of the writeback buffer.
+    auto it = parkedFwds.find(msg.lineAddr);
+    if (it != parkedFwds.end()) {
+        std::vector<Msg> fwds = std::move(it->second);
+        parkedFwds.erase(it);
+        for (const Msg &f : fwds)
+            serveFwd(f);
+    }
+}
+
+void
 CacheCtrl::onInval(const Msg &msg)
 {
     if (loadTxn && loadTxn->line == msg.lineAddr)
         loadTxn->invalPending = true;
 
-    if (cache.findLine(msg.lineAddr)) {
+    const CacheLine *cl = cache.findLine(msg.lineAddr);
+    if (lenient && cl && cl->state == LineState::Dirty) {
+        // A stale duplicate Inval: the directory never invalidates an
+        // owner, so this Inval predates our ownership. Ack it without
+        // touching the dirty line (the directory dedups acks).
+        ++strayMsgs;
+        cl = nullptr;
+    }
+    if (cl) {
         if (spec)
             spec->onInval(msg.lineAddr);
         cache.invalidate(msg.lineAddr);
@@ -314,8 +455,12 @@ CacheCtrl::onFwd(const Msg &msg)
 
     if (!have_dirty && !in_wb_buf) {
         // Our ownership grant (WriteReply from the old owner) is
-        // still in flight; park the forward until it lands.
-        SPECRT_ASSERT(storeTxnActive && storeTxnLine == msg.lineAddr,
+        // still in flight; park the forward until it lands. Under
+        // fault injection the grant may be one we never asked for
+        // (watchdog-retry race) -- disownGrant() then serves the
+        // parked forward from the writeback buffer.
+        SPECRT_ASSERT(lenient ||
+                      (storeTxnActive && storeTxnLine == msg.lineAddr),
                       "fwd %s for unowned line %#llx at node %d",
                       msgTypeName(msg.type),
                       (unsigned long long)msg.lineAddr, node);
@@ -368,6 +513,7 @@ CacheCtrl::serveFwd(const Msg &msg)
     reply.lineAddr = msg.lineAddr;
     reply.elemAddr = msg.elemAddr;
     reply.iter = msg.iter;
+    reply.txnSeq = msg.txnSeq;
     reply.data = data;
     reply.specBits = bits;
     net.send(std::move(reply), cfg.lat.ownerAccess);
@@ -447,6 +593,12 @@ CacheCtrl::reset(bool commit_dirty)
     loadTxn.reset();
     storeTxnActive = false;
     storeTxnLine = invalidAddr;
+    // Watchdog timers are owned by the event queue, which the system
+    // reset has already cleared; only drop the stale handles here (a
+    // stale timer that did survive no-ops on the seq mismatch).
+    storeTxnSeq = 0;
+    storeAttempts = 0;
+    storeWatchdog = invalidEventId;
     wbBuf.clear();
     parkedFwds.clear();
     blockedLoads.clear();

@@ -38,6 +38,8 @@ class CacheCtrl : public StatGroup
   public:
     using LoadDone = std::function<void(uint64_t)>;
     using Notice = std::function<void()>;
+    /** Fired when a transaction exhausts its watchdog retries. */
+    using LostHook = std::function<void(NodeId, Addr, const char *)>;
 
     CacheCtrl(NodeId node, EventQueue &eq, Network &net, AddrMap &mem,
               const MachineConfig &config);
@@ -73,6 +75,12 @@ class CacheCtrl : public StatGroup
     void handle(const Msg &msg);
 
     /**
+     * Install the lost-transaction hook (graceful degradation).
+     * Without one, watchdog exhaustion panics.
+     */
+    void setLostHook(LostHook h) { lostHook = std::move(h); }
+
+    /**
      * Run-boundary flush. Dirty lines are either committed straight
      * into the backing store (@p commit_dirty) or discarded (aborted
      * speculative run). All transaction state must be quiescent.
@@ -102,6 +110,11 @@ class CacheCtrl : public StatGroup
         IterNum iter;
         LoadDone done;
         bool invalPending = false;
+        /** Sequence echoed by every reply of this transaction. */
+        uint64_t seq = 0;
+        /** Watchdog retries already performed. */
+        int attempts = 0;
+        EventId watchdog = invalidEventId;
     };
 
     struct WbBufEntry
@@ -134,6 +147,23 @@ class CacheCtrl : public StatGroup
     void serveFwd(const Msg &msg);
     void onWritebackAck(const Msg &msg);
 
+    /** (Re)issue the request of the outstanding load transaction. */
+    void sendLoadReq(Cycles extra_delay);
+    /** (Re)issue the request of the outstanding store transaction. */
+    void sendStoreReq(Cycles extra_delay);
+    /** Arm the transaction watchdog (no-op when disabled). */
+    EventId armWatchdog(bool is_load, uint64_t seq, int attempt);
+    void onWatchdog(bool is_load, uint64_t seq);
+    void txnLost(Addr elem, const char *what);
+
+    /**
+     * A WriteReply granted ownership nobody is waiting for (a
+     * watchdog retry raced with the original grant). The line data
+     * may exist nowhere else: buffer it and write it straight back
+     * so home and memory converge, then serve any parked forwards.
+     */
+    void disownGrant(const Msg &msg);
+
     /**
      * Install a line; handles victim eviction (writeback of dirty
      * victims) and spec-bit installation + local application of the
@@ -158,7 +188,16 @@ class CacheCtrl : public StatGroup
     std::deque<WbEntry> wb;
     bool storeTxnActive = false;
     Addr storeTxnLine = invalidAddr;
+    uint64_t storeTxnSeq = 0;
+    int storeAttempts = 0;
+    EventId storeWatchdog = invalidEventId;
     bool drainScheduled = false;
+
+    /** Per-node transaction sequence numbers (never reused). */
+    uint64_t seqCounter = 1;
+    /** Duplicates/strays tolerated instead of asserted. */
+    bool lenient = false;
+    LostHook lostHook;
 
     std::optional<LoadTxn> loadTxn;
     std::vector<BlockedLoad> blockedLoads;
@@ -177,6 +216,11 @@ class CacheCtrl : public StatGroup
     Scalar storeMisses;
     Scalar writebacks;
     Scalar wbFullStalls;
+    Scalar watchdogFires;
+    Scalar msgsRetried;
+    Scalar strayMsgs;
+    Scalar disownedGrants;
+    Scalar txnsLost;
 };
 
 } // namespace specrt

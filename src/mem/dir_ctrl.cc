@@ -12,8 +12,12 @@ DirCtrl::DirCtrl(NodeId node_, EventQueue &eq_, Network &net_,
       txns(this, "txns", "transactions processed"),
       fwds(this, "fwds", "owner forwards sent"),
       invalsSent(this, "invals", "invalidations sent"),
-      queuedCycles(this, "queued_cycles", "cycles requests sat queued")
+      queuedCycles(this, "queued_cycles", "cycles requests sat queued"),
+      dupRequests(this, "dup_requests",
+                  "duplicate/retried requests ignored as already served"),
+      strayMsgs(this, "stray_msgs", "stray protocol legs tolerated")
 {
+    lenient = cfg.fault.lenientProtocol();
 }
 
 bool
@@ -106,9 +110,19 @@ DirCtrl::process(const Msg &msg)
       case MsgType::WriteReq: {
         DirEntry &e = dir.entry(msg.lineAddr);
         if (e.state == DirState::Dirty) {
-            SPECRT_ASSERT(e.owner != msg.src,
-                          "requester %d already owns line %#llx",
-                          msg.src, (unsigned long long)msg.lineAddr);
+            if (e.owner == msg.src) {
+                // Duplicate or watchdog-retried request from the node
+                // we already granted to. The grant is provably still
+                // in flight (replies are never dropped), so ignoring
+                // the duplicate is safe: the requester will accept
+                // the original reply under the same sequence number.
+                SPECRT_ASSERT(lenient,
+                              "requester %d already owns line %#llx",
+                              msg.src, (unsigned long long)msg.lineAddr);
+                ++dupRequests;
+                finishTxn(msg.lineAddr);
+                return;
+            }
             // Forward to the owner; spec check runs when the owner's
             // bits come home (merge-then-test, as in Fig. 6(b)/(d)).
             Txn &txn = active.at(msg.lineAddr);
@@ -122,6 +136,7 @@ DirCtrl::process(const Msg &msg)
             fwd.elemAddr = msg.elemAddr;
             fwd.requester = msg.src;
             fwd.iter = msg.iter;
+            fwd.txnSeq = msg.txnSeq;
             if (spec) {
                 // Attach the home's authoritative access bits; the
                 // owner combines them with its tags so the requester
@@ -179,7 +194,7 @@ DirCtrl::processBase(const Msg &req)
                           : 0;
     if (others) {
         Txn &txn = active.at(line);
-        txn.pendingAcks = __builtin_popcountll(others);
+        txn.ackWait = others;
         for (NodeId n = 0; others; ++n, others >>= 1) {
             if (!(others & 1))
                 continue;
@@ -302,11 +317,18 @@ void
 DirCtrl::onInvalAck(const Msg &msg)
 {
     auto it = active.find(msg.lineAddr);
-    SPECRT_ASSERT(it != active.end() && it->second.pendingAcks > 0,
-                  "stray InvalAck for %#llx",
-                  (unsigned long long)msg.lineAddr);
+    uint64_t bit = uint64_t(1) << msg.src;
+    if (it == active.end() || !(it->second.ackWait & bit)) {
+        // Duplicate ack (the Inval or the ack itself was duplicated):
+        // this node's bit is already clear. The mask dedups it.
+        SPECRT_ASSERT(lenient, "stray InvalAck for %#llx",
+                      (unsigned long long)msg.lineAddr);
+        ++strayMsgs;
+        return;
+    }
     Txn &txn = it->second;
-    if (--txn.pendingAcks > 0)
+    txn.ackWait &= ~bit;
+    if (txn.ackWait)
         return;
 
     // All sharers gone: grant ownership. The memory read overlapped
@@ -333,6 +355,7 @@ DirCtrl::replyFromMemory(const Msg &req, bool write, Cycles delay)
     reply.lineAddr = req.lineAddr;
     reply.elemAddr = req.elemAddr;
     reply.iter = req.iter;
+    reply.txnSeq = req.txnSeq;
     reply.data.resize(line_bytes);
     mem.readLine(req.lineAddr, reply.data.data(), line_bytes);
     if (spec)

@@ -66,11 +66,25 @@ class DirCtrl : public StatGroup
     /** Transactions fully processed. */
     uint64_t numTxns() const { return static_cast<uint64_t>(txns.value()); }
 
+    /** In-flight serialized transactions (quiesce check). */
+    size_t numActiveTxns() const { return active.size(); }
+    /** Requests queued behind an active transaction. */
+    size_t
+    numQueuedReqs() const
+    {
+        size_t n = 0;
+        for (const auto &[line, q] : waiting)
+            n += q.size();
+        return n;
+    }
+
   private:
     struct Txn
     {
         Msg req;
-        int pendingAcks = 0;
+        /** Per-node bitmask of invalidation acks still outstanding
+         *  (a mask, not a count, so duplicate acks dedup cleanly). */
+        uint64_t ackWait = 0;
         bool deferred = false;
         /** Waiting for ShareWb/OwnXfer from the old owner. */
         bool awaitingOwner = false;
@@ -111,11 +125,17 @@ class DirCtrl : public StatGroup
     std::unordered_map<Addr, Txn> active;
     std::unordered_map<Addr, std::deque<Msg>> waiting;
     Tick nextFree = 0;
+    /** Duplicates/strays tolerated instead of asserted. */
+    bool lenient = false;
 
     Scalar txns;
     Scalar fwds;
     Scalar invalsSent;
     Scalar queuedCycles;
+
+  public:
+    Scalar dupRequests;
+    Scalar strayMsgs;
 };
 
 } // namespace specrt

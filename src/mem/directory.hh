@@ -64,6 +64,13 @@ class Directory
 
     size_t numEntries() const { return entries.size(); }
 
+    /** All materialized entries (invariant checker iteration). */
+    const std::unordered_map<Addr, DirEntry> &
+    entriesMap() const
+    {
+        return entries;
+    }
+
   private:
     std::unordered_map<Addr, DirEntry> entries;
 };

@@ -13,7 +13,10 @@ DsmSystem::DsmSystem(const MachineConfig &config)
         fatal("DsmSystem supports at most 64 nodes (full-map "
               "directory presence bits)");
 
+    faults = std::make_unique<FaultPlan>(cfg.fault);
+    addChild(faults.get());
     net = std::make_unique<Network>(eq, cfg);
+    net->setFaultPlan(faults.get());
     addChild(net.get());
 
     caches.reserve(cfg.numProcs);
@@ -34,9 +37,25 @@ DsmSystem::DsmSystem(const MachineConfig &config)
 }
 
 void
+DsmSystem::setTxnLostHook(std::function<void(const char *)> hook)
+{
+    net->setLostHook(
+        [hook](const Msg &, const char *what) { hook(what); });
+    for (auto &cc : caches) {
+        cc->setLostHook(
+            [hook](NodeId, Addr, const char *what) { hook(what); });
+    }
+}
+
+void
 DsmSystem::resetMachine(bool commit_dirty)
 {
+    // The event-queue reset discards in-flight deliveries, pending
+    // retransmissions, and armed watchdog timers wholesale; the
+    // network and cache resets then drop the matching bookkeeping
+    // (channel FIFO floors, retransmit counts, watchdog handles).
     eq.reset();
+    net->reset();
     for (auto &cc : caches)
         cc->reset(commit_dirty);
     for (auto &dc : dirs)

@@ -20,6 +20,7 @@
 #include "mem/network.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace specrt
@@ -41,6 +42,20 @@ class DsmSystem : public StatGroup
     int numProcs() const { return cfg.numProcs; }
 
     /**
+     * The machine's fault schedule (built from cfg.fault). Always
+     * present but disarmed by default; arm it around the phase that
+     * should experience faults.
+     */
+    FaultPlan &faultPlan() { return *faults; }
+
+    /**
+     * Install the hook fired when a transaction or retransmitted
+     * signal exhausts its retry budget (graceful degradation).
+     * Without one, message loss panics.
+     */
+    void setTxnLostHook(std::function<void(const char *)> hook);
+
+    /**
      * Run-boundary reset: flush all caches (committing or discarding
      * dirty data), clear all directory + transaction state, and drop
      * any pending events. The paper flushes the caches after every
@@ -56,6 +71,7 @@ class DsmSystem : public StatGroup
     MachineConfig cfg;
     EventQueue eq;
     AddrMap mem;
+    std::unique_ptr<FaultPlan> faults;
     std::unique_ptr<Network> net;
     std::vector<std::unique_ptr<CacheCtrl>> caches;
     std::vector<std::unique_ptr<DirCtrl>> dirs;

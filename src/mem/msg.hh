@@ -95,6 +95,15 @@ struct Msg
     /** Iteration number of the access (privatization algorithm). */
     IterNum iter = 0;
 
+    /**
+     * Requester-side transaction sequence number for ReadReq/WriteReq
+     * and every reply generated on their behalf (echoed through
+     * forwards). The requester uses it to discard stale replies that
+     * race with watchdog retries; 0 means "no sequence" (messages
+     * outside a requester transaction).
+     */
+    uint64_t txnSeq = 0;
+
     /** For ShareWb: whether the previous owner kept a shared copy. */
     bool ownerRetains = false;
 

@@ -1,9 +1,23 @@
 #include "mem/network.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace specrt
 {
+
+namespace
+{
+
+uint64_t
+channelKey(NodeId src, NodeId dst)
+{
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+}
+
+} // namespace
 
 Network::Network(EventQueue &eq_, const MachineConfig &config)
     : StatGroup("network"),
@@ -13,6 +27,10 @@ Network::Network(EventQueue &eq_, const MachineConfig &config)
       dirHandlers(config.numProcs),
       msgs(this, "msgs", "total messages sent"),
       hopStat(this, "hops", "inter-node network traversals"),
+      msgsRetried(this, "msgs_retried",
+                  "dropped signals retransmitted by the NI"),
+      msgsLost(this, "msgs_lost",
+               "signals lost after exhausting retransmissions"),
       msgsByType(this, "msgs_by_type", "messages per MsgType", 32)
 {
 }
@@ -32,6 +50,12 @@ Network::setDirHandler(NodeId node, Handler h)
 void
 Network::send(Msg msg, Cycles extra_delay)
 {
+    transmit(std::move(msg), extra_delay, 0);
+}
+
+void
+Network::transmit(Msg msg, Cycles extra_delay, int attempt)
+{
     SPECRT_ASSERT(msg.src >= 0 &&
                   msg.src < static_cast<NodeId>(cacheHandlers.size()),
                   "bad msg src %d", msg.src);
@@ -49,6 +73,36 @@ Network::send(Msg msg, Cycles extra_delay)
         ++hopStat;
     }
 
+    FaultDecision fd;
+    if (plan && plan->armed())
+        fd = plan->decide(msg.type);
+
+    if (fd.drop) {
+        if (!FaultPlan::netRetransmits(msg.type))
+            return; // request: the requester's watchdog retries it
+        if (attempt >= plan->config().watchdogMaxRetries) {
+            ++msgsLost;
+            if (lostHook) {
+                lostHook(msg, "speculation signal");
+                return;
+            }
+            panic("%s src %d dst %d line %#llx lost: retransmission "
+                  "budget exhausted and no degradation hook installed",
+                  msgTypeName(msg.type), msg.src, msg.dst,
+                  (unsigned long long)msg.lineAddr);
+        }
+        scheduleRetransmit(std::move(msg), attempt + 1);
+        return;
+    }
+
+    if (fd.duplicate)
+        deliver(msg, delay, fd.jitter);
+    deliver(msg, delay, fd.jitter);
+}
+
+void
+Network::deliver(const Msg &msg, Cycles delay, Cycles jitter)
+{
     bool to_dir = msgToHome(msg.type) || msg.type == MsgType::ShareWb ||
                   msg.type == MsgType::OwnXfer ||
                   msg.type == MsgType::InvalAck ||
@@ -58,7 +112,40 @@ Network::send(Msg msg, Cycles extra_delay)
     SPECRT_ASSERT(h, "no handler for %s at node %d",
                   msgTypeName(msg.type), msg.dst);
 
-    eq.scheduleIn(delay, [&h, m = std::move(msg)]() { h(m); });
+    if (!plan || !plan->armed()) {
+        // Fault-free fast path: identical timing to the plain network.
+        eq.scheduleIn(delay, [&h, m = msg]() { h(m); });
+        return;
+    }
+
+    // Clamp behind the latest delivery already scheduled on this
+    // (src,dst) channel so jitter cannot reorder a channel.
+    Tick when = eq.curTick() + delay + jitter;
+    Tick &floor = channelFloor[channelKey(msg.src, msg.dst)];
+    when = std::max(when, floor);
+    floor = when;
+    eq.schedule(when, [&h, m = msg]() { h(m); });
+}
+
+void
+Network::scheduleRetransmit(Msg msg, int attempt)
+{
+    const FaultConfig &fc = plan->config();
+    int shift = std::min(attempt - 1, 16);
+    Cycles backoff = fc.watchdogTimeout << shift;
+    ++pendingRetransmits;
+    eq.scheduleIn(backoff, [this, m = std::move(msg), attempt]() mutable {
+        --pendingRetransmits;
+        ++msgsRetried;
+        transmit(std::move(m), 0, attempt);
+    });
+}
+
+void
+Network::reset()
+{
+    channelFloor.clear();
+    pendingRetransmits = 0;
 }
 
 } // namespace specrt

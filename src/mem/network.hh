@@ -9,17 +9,27 @@
  * lat.netHop cycles; intra-node messages are immediate. Delivery
  * between any src/dst pair is in send order (the paper's algorithms
  * assume in-order delivery).
+ *
+ * A FaultPlan (sim/fault.hh) may be attached: while armed it can
+ * jitter, duplicate, or drop messages. Jitter never reorders a
+ * (src,dst) channel -- each channel remembers its latest scheduled
+ * delivery and later sends are clamped behind it. Dropped
+ * fire-and-forget speculation signals are retransmitted by the
+ * network interface with exponential backoff; dropped requests are
+ * recovered by the requester's watchdog (cache_ctrl).
  */
 
 #ifndef SPECRT_MEM_NETWORK_HH
 #define SPECRT_MEM_NETWORK_HH
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/msg.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace specrt
@@ -32,6 +42,8 @@ class Network : public StatGroup
 {
   public:
     using Handler = std::function<void(const Msg &)>;
+    /** Fired when a retransmitted signal exhausts its retry budget. */
+    using LostHook = std::function<void(const Msg &, const char *)>;
 
     Network(EventQueue &eq, const MachineConfig &config);
 
@@ -41,6 +53,12 @@ class Network : public StatGroup
     /** Install the directory-controller handler for @p node. */
     void setDirHandler(NodeId node, Handler h);
 
+    /** Attach the fault schedule (null = fault-free). */
+    void setFaultPlan(FaultPlan *p) { plan = p; }
+
+    /** Install the lost-transaction hook (degradation path). */
+    void setLostHook(LostHook h) { lostHook = std::move(h); }
+
     /**
      * Send @p msg from msg.src to msg.dst after @p extra_delay cycles
      * of sender-side processing. The message is dispatched to the
@@ -49,23 +67,48 @@ class Network : public StatGroup
      */
     void send(Msg msg, Cycles extra_delay = 0);
 
+    /**
+     * Drop channel-ordering floors and retransmission bookkeeping
+     * (run-boundary reset; the owning event queue is reset by the
+     * caller, which discards any in-flight retransmit events).
+     */
+    void reset();
+
     /** Network traversals between distinct nodes. */
     uint64_t numHops() const { return hops; }
     /** Total messages sent (including intra-node). */
     uint64_t numMsgs() const { return static_cast<uint64_t>(msgs.value()); }
+    /** Signal retransmissions still scheduled (quiesce check). */
+    size_t numPendingRetransmits() const { return pendingRetransmits; }
 
   private:
+    /** One transmission attempt (attempt > 0 for retransmissions). */
+    void transmit(Msg msg, Cycles extra_delay, int attempt);
+    /** Deliver one copy at base delay + @p jitter, FIFO-clamped. */
+    void deliver(const Msg &msg, Cycles delay, Cycles jitter);
+    /** Schedule a backoff retransmission of a dropped signal. */
+    void scheduleRetransmit(Msg msg, int attempt);
+
     EventQueue &eq;
     Cycles hopLatency;
 
     std::vector<Handler> cacheHandlers;
     std::vector<Handler> dirHandlers;
 
+    FaultPlan *plan = nullptr;
+    LostHook lostHook;
+    /** Latest scheduled delivery tick per (src,dst) channel. */
+    std::unordered_map<uint64_t, Tick> channelFloor;
+    size_t pendingRetransmits = 0;
+
     uint64_t hops = 0;
     Scalar msgs;
     Scalar hopStat;
 
   public:
+    Scalar msgsRetried;
+    Scalar msgsLost;
+
     /** Per-message-type counters (index by MsgType value). */
     VectorStat msgsByType;
 };

@@ -38,6 +38,16 @@ MachineConfig::validate() const
         fatal("L2 must be at least as large as L1 (inclusion)");
     if (writeBufferEntries < 1)
         fatal("writeBufferEntries must be >= 1");
+    for (double p : {fault.dropProb, fault.dupProb, fault.jitterProb}) {
+        if (p < 0 || p > 1)
+            fatal("fault probabilities must be in [0, 1], got %g", p);
+    }
+    if (fault.dropProb > 0 && fault.watchdogTimeout == 0)
+        fatal("fault.dropProb requires the transaction watchdog "
+              "(fault.watchdogTimeout > 0): dropped requests are "
+              "only recovered by requester retry");
+    if (fault.watchdogMaxRetries < 0)
+        fatal("fault.watchdogMaxRetries must be >= 0");
 }
 
 std::string

@@ -67,6 +67,60 @@ struct LatencyConfig
     Cycles memOccupancy = 4;
 };
 
+/**
+ * Fault-injection and transaction-watchdog knobs.
+ *
+ * All injection is driven by a seeded FaultPlan (sim/fault.hh) wired
+ * into Network::send(), so a given (seed, workload, config) triple
+ * replays the exact same fault schedule. Message drops are only
+ * allowed for transactions that can be retried: requests covered by
+ * the cache-controller watchdog and fire-and-forget speculation
+ * signals retransmitted by the network interface.
+ */
+struct FaultConfig
+{
+    /** Seed of the fault schedule. */
+    uint64_t seed = 0;
+
+    /** Probability a drop-eligible message is lost in the network. */
+    double dropProb = 0;
+    /** Probability a dup-eligible message is delivered twice. */
+    double dupProb = 0;
+    /** Probability a message gets extra delivery latency. */
+    double jitterProb = 0;
+    /** Maximum extra latency of a jittered message, in cycles. */
+    Cycles jitterMaxCycles = 200;
+
+    /**
+     * Transaction watchdog timeout in cycles (0 = watchdog off).
+     * A requester whose miss/upgrade transaction exceeds this retries
+     * the request; the timeout doubles per retry (exponential
+     * backoff). Dropped fire-and-forget signals are retransmitted by
+     * the network on the same schedule.
+     */
+    Cycles watchdogTimeout = 0;
+    /** Retries before a transaction is declared lost. */
+    int watchdogMaxRetries = 4;
+
+    /** Any injection enabled at all. */
+    bool
+    anyFaults() const
+    {
+        return dropProb > 0 || dupProb > 0 || jitterProb > 0;
+    }
+
+    /**
+     * Whether the protocol engines must tolerate duplicate and stray
+     * messages instead of asserting: injection or the watchdog (which
+     * can retry spuriously on a slow reply) can produce them.
+     */
+    bool
+    lenientProtocol() const
+    {
+        return anyFaults() || watchdogTimeout > 0;
+    }
+};
+
 /** Full machine description. */
 struct MachineConfig
 {
@@ -95,6 +149,9 @@ struct MachineConfig
      * release), charged at every phase boundary.
      */
     Cycles barrierCycles = 150;
+
+    /** Fault injection + watchdog (off by default). */
+    FaultConfig fault;
 
     /** Checks that the configuration is self-consistent (fatal()s). */
     void validate() const;

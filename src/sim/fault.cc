@@ -1,0 +1,108 @@
+#include "sim/fault.hh"
+
+#include "mem/msg.hh"
+
+namespace specrt
+{
+
+FaultPlan::FaultPlan(const FaultConfig &config)
+    : StatGroup("faults"),
+      faultsInjected(this, "faults_injected",
+                     "messages faulted (drop + dup + jitter)"),
+      drops(this, "drops", "messages dropped in the network"),
+      dups(this, "dups", "messages delivered twice"),
+      jitters(this, "jitters", "messages given extra latency"),
+      cfg(config),
+      rng(config.seed)
+{
+}
+
+void
+FaultPlan::reseed(uint64_t seed)
+{
+    cfg.seed = seed;
+    rng.reseed(seed);
+}
+
+bool
+FaultPlan::netRetransmits(MsgType t)
+{
+    switch (t) {
+      case MsgType::FirstUpdate:
+      case MsgType::ROnlyUpdate:
+      case MsgType::ReadFirstSig:
+      case MsgType::FirstWriteSig:
+      case MsgType::CopyOutSig:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+FaultPlan::dropEligible(MsgType t, bool watchdog_enabled)
+{
+    if (netRetransmits(t))
+        return true;
+    if (t == MsgType::ReadReq || t == MsgType::WriteReq)
+        return watchdog_enabled; // recovered by requester retry only
+    return false;
+}
+
+bool
+FaultPlan::dupEligible(MsgType t, bool watchdog_enabled)
+{
+    if (dropEligible(t, watchdog_enabled))
+        return true;
+    switch (t) {
+      // Idempotent at the receiver: the cache drops stale replies by
+      // transaction sequence number, Inval of an absent/dirty line is
+      // ignored, and the directory dedups acks by node bit.
+      case MsgType::ReadReply:
+      case MsgType::WriteReply:
+      case MsgType::Inval:
+      case MsgType::InvalAck:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FaultDecision
+FaultPlan::decide(MsgType type)
+{
+    FaultDecision d;
+    if (!_armed || !cfg.anyFaults())
+        return d;
+
+    bool watchdog = cfg.watchdogTimeout > 0;
+
+    // Always draw all three variates so the schedule for message k
+    // does not depend on the eligibility of messages before it.
+    bool want_drop = rng.nextBool(cfg.dropProb);
+    bool want_dup = rng.nextBool(cfg.dupProb);
+    bool want_jitter = rng.nextBool(cfg.jitterProb);
+    Cycles jitter_amt =
+        cfg.jitterMaxCycles ? 1 + rng.nextBounded(cfg.jitterMaxCycles)
+                            : 0;
+
+    if (want_drop && dropEligible(type, watchdog)) {
+        d.drop = true;
+        ++drops;
+        ++faultsInjected;
+        return d; // a dropped message is neither duped nor delayed
+    }
+    if (want_dup && dupEligible(type, watchdog)) {
+        d.duplicate = true;
+        ++dups;
+        ++faultsInjected;
+    }
+    if (want_jitter && jitter_amt > 0) {
+        d.jitter = jitter_amt;
+        ++jitters;
+        ++faultsInjected;
+    }
+    return d;
+}
+
+} // namespace specrt

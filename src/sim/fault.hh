@@ -1,0 +1,86 @@
+/**
+ * @file
+ * FaultPlan: a seeded, reproducible schedule of injectable network
+ * faults (latency jitter, duplication, drop).
+ *
+ * The plan is consulted by Network::send() for every message while
+ * armed. Decisions are drawn from a private xoshiro256** stream, so
+ * one (seed, workload, config) triple replays the exact same fault
+ * schedule -- a failing torture seed is a deterministic repro.
+ *
+ * Eligibility is per message type:
+ *  - drop: only transactions somebody retries. ReadReq/WriteReq are
+ *    covered by the cache-controller watchdog; the fire-and-forget
+ *    speculation signals (FirstUpdate, ROnlyUpdate, ReadFirstSig,
+ *    FirstWriteSig, CopyOutSig) are retransmitted by the network
+ *    interface. Replies, forwards, writebacks, acks, and the
+ *    deferred read-in legs are never dropped: the protocol has no
+ *    recovery leg for them.
+ *  - duplicate: the drop set plus the idempotent home/cache replies
+ *    (ReadReply, WriteReply, Inval, InvalAck).
+ *  - jitter: every type; per-(src,dst) FIFO order is preserved by
+ *    the network's channel floor, matching the paper's in-order
+ *    delivery assumption.
+ */
+
+#ifndef SPECRT_SIM_FAULT_HH
+#define SPECRT_SIM_FAULT_HH
+
+#include "sim/config.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+enum class MsgType : uint8_t;
+
+/** What the plan decided for one transmission. */
+struct FaultDecision
+{
+    bool drop = false;
+    bool duplicate = false;
+    Cycles jitter = 0;
+};
+
+/** Seeded fault schedule, consulted per transmitted message. */
+class FaultPlan : public StatGroup
+{
+  public:
+    explicit FaultPlan(const FaultConfig &config);
+
+    const FaultConfig &config() const { return cfg; }
+
+    /** Injection only happens while armed (speculative loop phase). */
+    void arm() { _armed = true; }
+    void disarm() { _armed = false; }
+    bool armed() const { return _armed; }
+
+    /** Restart the schedule from a new seed (per-attempt reseed). */
+    void reseed(uint64_t seed);
+
+    /** Draw the fate of one transmission. */
+    FaultDecision decide(MsgType type);
+
+    /** A drop-eligible type (given the watchdog configuration). */
+    static bool dropEligible(MsgType t, bool watchdog_enabled);
+    /** A dup-eligible type. */
+    static bool dupEligible(MsgType t, bool watchdog_enabled);
+    /** Signals the network itself retransmits when dropped. */
+    static bool netRetransmits(MsgType t);
+
+    Scalar faultsInjected;
+    Scalar drops;
+    Scalar dups;
+    Scalar jitters;
+
+  private:
+    FaultConfig cfg;
+    Rng rng;
+    bool _armed = false;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SIM_FAULT_HH

@@ -615,6 +615,8 @@ void
 SpecSystem::disarm()
 {
     _armed = false;
+    for (auto &u : dirUnits)
+        u->clearPendingReadIns();
 }
 
 void

@@ -51,6 +51,18 @@ class SpecCacheUnit : public SpecCacheIface
     /** Drop every tag access bit (loop boundary reset line). */
     void clearAll();
 
+    /** Tag-side access bits (invariant checker inspection). */
+    const std::unordered_map<Addr, std::vector<NPTagBits>> &
+    npTagLines() const
+    {
+        return npLines;
+    }
+    const std::unordered_map<Addr, std::vector<PrivTagBits>> &
+    privTagLines() const
+    {
+        return privLines;
+    }
+
   private:
     std::vector<NPTagBits> &npLine(Addr line, uint32_t elems);
     std::vector<PrivTagBits> &privLine(Addr line, uint32_t elems);
@@ -87,6 +99,31 @@ class SpecDirUnit : public SpecDirIface
      */
     std::vector<std::pair<Addr, IterNum>>
     writtenPrivElems(Addr base, Addr end) const;
+
+    /** Directory-side access bits (invariant checker inspection). */
+    const std::unordered_map<Addr, NPDirBits> &npBits() const
+    {
+        return np;
+    }
+    const std::unordered_map<Addr, PrivSharedDirBits> &
+    sharedBits() const
+    {
+        return ps;
+    }
+    const std::unordered_map<Addr, PrivPrivDirBits> &privBits() const
+    {
+        return pp;
+    }
+    /** Read-ins still waiting for their ReadInReply (quiesce). */
+    size_t numPendingReadIns() const { return pendingReadIns.size(); }
+
+    /**
+     * Drop in-flight read-in bookkeeping. Called at disarm: after an
+     * abort the replies were discarded with the event queue, so the
+     * entries can never complete and must not survive into the next
+     * phase (the quiesce pass would flag them as orphans).
+     */
+    void clearPendingReadIns() { pendingReadIns.clear(); }
 
   private:
     struct PendingReadIn
@@ -162,6 +199,11 @@ class SpecSystem : public StatGroup
 
     SpecCacheUnit &cacheUnit(NodeId n) { return *cacheUnits.at(n); }
     SpecDirUnit &dirUnit(NodeId n) { return *dirUnits.at(n); }
+    const SpecCacheUnit &cacheUnit(NodeId n) const
+    {
+        return *cacheUnits.at(n);
+    }
+    const SpecDirUnit &dirUnit(NodeId n) const { return *dirUnits.at(n); }
 
     // Shared plumbing for the units.
     Network &net() { return dsm.network(); }

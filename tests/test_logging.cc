@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Failure-path tests for the logging layer: fatal()/panic()/
+ * SPECRT_ASSERT must raise FatalError under throw-on-fatal (so the
+ * suite can assert on error paths without dying), warn() must not
+ * throw, and an installed LogSink must capture everything.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+class ThrowOnFatalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setLogThrowOnFatal(true);
+        prev = setLogSink([this](LogLevel l, const std::string &m) {
+            captured.push_back({l, m});
+        });
+    }
+
+    void
+    TearDown() override
+    {
+        setLogThrowOnFatal(false);
+        setLogSink(prev);
+    }
+
+    LogSink prev;
+    std::vector<std::pair<LogLevel, std::string>> captured;
+};
+
+} // namespace
+
+TEST_F(ThrowOnFatalTest, FatalThrowsFatalError)
+{
+    try {
+        fatal("bad knob value %d", 42);
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.level, LogLevel::Fatal);
+        EXPECT_NE(e.message.find("bad knob value 42"),
+                  std::string::npos);
+    }
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Fatal);
+}
+
+TEST_F(ThrowOnFatalTest, PanicThrowsFatalError)
+{
+    try {
+        panic("impossible state %s", "reached");
+        FAIL() << "panic() returned";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.level, LogLevel::Panic);
+        EXPECT_NE(e.message.find("impossible state reached"),
+                  std::string::npos);
+    }
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Panic);
+}
+
+TEST_F(ThrowOnFatalTest, FailedAssertThrowsWithLocation)
+{
+    try {
+        SPECRT_ASSERT(1 == 2, "math broke: %d", 3);
+        FAIL() << "assert fell through";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.level, LogLevel::Panic);
+        EXPECT_NE(e.message.find("1 == 2"), std::string::npos);
+        EXPECT_NE(e.message.find("math broke: 3"), std::string::npos);
+        EXPECT_NE(e.message.find("test_logging.cc"), std::string::npos);
+    }
+}
+
+TEST_F(ThrowOnFatalTest, PassingAssertIsSilent)
+{
+    SPECRT_ASSERT(true, "never emitted");
+    EXPECT_TRUE(captured.empty());
+}
+
+TEST_F(ThrowOnFatalTest, WarnDoesNotThrow)
+{
+    warn("questionable %s", "thing");
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "questionable thing");
+}
+
+TEST_F(ThrowOnFatalTest, InformGoesThroughSink)
+{
+    inform("status %d%%", 50);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Inform);
+    EXPECT_EQ(captured[0].second, "status 50%");
+}
+
+TEST(Logging, SinkInstallReturnsPrevious)
+{
+    std::vector<std::string> a, b;
+    LogSink orig = setLogSink(
+        [&a](LogLevel, const std::string &m) { a.push_back(m); });
+    LogSink prev = setLogSink(
+        [&b](LogLevel, const std::string &m) { b.push_back(m); });
+    EXPECT_TRUE(prev); // the a-sink came back out
+    warn("to b");
+    setLogSink(orig);
+    EXPECT_TRUE(a.empty());
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b[0], "to b");
+}
+
+TEST(Logging, LevelNames)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Inform), "info");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::Fatal), "fatal");
+    EXPECT_STREQ(logLevelName(LogLevel::Panic), "panic");
+}

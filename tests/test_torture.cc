@@ -181,6 +181,54 @@ TEST(Torture, AllSchedulersAgreeOnResults)
     }
 }
 
+TEST(Torture, FiftySeededFaultSchedulesMatchSerial)
+{
+    // Fifty reproducible fault schedules (drop + duplicate + jitter)
+    // against random NonPriv/Priv workloads: the watchdog/retry
+    // machinery must always converge to the fault-free serial answer
+    // with the invariant checker silent. When a schedule defeats the
+    // retry budget anyway, the ladder degrades instead of dying.
+    for (uint64_t s = 0; s < 50; ++s) {
+        RandomLoopParams rp{48, 64, 3, 0.7, 64,
+                            (s % 2) ? TestType::Priv
+                                    : TestType::NonPriv,
+                            1000 + s};
+        RandomLoop loop(rp);
+        MachineConfig cfg;
+        cfg.numProcs = 4;
+
+        ExecConfig sxc;
+        sxc.mode = ExecMode::Serial;
+        LoopExecutor se(cfg, loop, sxc);
+        se.run();
+
+        cfg.fault.seed = s;
+        cfg.fault.dropProb = 0.02;
+        cfg.fault.dupProb = 0.05;
+        cfg.fault.jitterProb = 0.2;
+        cfg.fault.jitterMaxCycles = 150;
+        cfg.fault.watchdogTimeout = 3000;
+        cfg.fault.watchdogMaxRetries = 6;
+
+        ExecConfig xc;
+        xc.mode = ExecMode::HW;
+        xc.checkInvariants = true;
+        LadderOutcome out = runWithDegradation(cfg, loop, xc);
+        ASSERT_FALSE(out.result.infraFailed)
+            << "seed " << s << ": " << out.result.infraReason;
+        ASSERT_EQ(out.result.invariantViolations, 0u) << "seed " << s;
+
+        const Region *sa = se.sharedRegion(0);
+        const Region *ha = out.exec->sharedRegion(0);
+        for (uint64_t e = 0; e < sa->numElems(); ++e) {
+            ASSERT_EQ(
+                out.exec->machine().memory().read(ha->elemAddr(e), 4),
+                se.machine().memory().read(sa->elemAddr(e), 4))
+                << "seed " << s << " elem " << e;
+        }
+    }
+}
+
 TEST(Torture, WideMachineStillCoherent)
 {
     // 32 nodes hammering a privatization workload.
