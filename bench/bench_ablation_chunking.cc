@@ -16,8 +16,7 @@
 using namespace specrt;
 using namespace specrt::bench;
 
-int
-main()
+SPECRT_BENCH_MAIN(ablation_chunking)
 {
     printHeader("Ablation: scheduling block size under the "
                 "privatization algorithm (P3m, 16 procs)");
@@ -29,7 +28,7 @@ main()
     printRow({"blocking", "HW ticks", "sync%", "spd vs b=1", ""}, w);
 
     ExecConfig base;
-    base.maxIters = 4000;
+    base.maxIters = quickPick<IterNum>(4000, 1000);
 
     double first = 0;
     for (IterNum block : {1, 2, 4, 8, 16, 32}) {
@@ -38,8 +37,7 @@ main()
         xc.mode = ExecMode::HW;
         xc.sched = SchedPolicy::Dynamic;
         xc.blockIters = block;
-        LoopExecutor exec(cfg, loop, xc);
-        RunResult r = exec.run();
+        RunResult r = runMachine(cfg, loop, xc);
         double tot = r.agg.busy + r.agg.sync + r.agg.mem;
         if (first == 0)
             first = static_cast<double>(r.totalTicks);
@@ -57,8 +55,7 @@ main()
         ExecConfig xc = base;
         xc.mode = ExecMode::HW;
         xc.sched = SchedPolicy::StaticChunk;
-        LoopExecutor exec(cfg, loop, xc);
-        RunResult r = exec.run();
+        RunResult r = runMachine(cfg, loop, xc);
         double tot = r.agg.busy + r.agg.sync + r.agg.mem;
         printRow({"static (1/proc)", fmtTicks(r.totalTicks),
                   fmt(100 * r.agg.sync / tot, 1),

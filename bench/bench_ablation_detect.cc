@@ -64,15 +64,14 @@ class DepAtLoop : public Workload
 
 } // namespace
 
-int
-main()
+SPECRT_BENCH_MAIN(ablation_detect)
 {
     printHeader("Ablation: failure-detection latency vs dependence "
                 "position (16 procs, 2048 iterations)");
 
     MachineConfig cfg;
     cfg.numProcs = 16;
-    const IterNum iters = 2048;
+    const IterNum iters = quickPick<IterNum>(2048, 512);
 
     std::vector<int> w = {12, 14, 14, 14, 16};
     printRow({"dep at", "HW loop ticks", "HW iters run",
@@ -87,12 +86,10 @@ main()
         xc.mode = ExecMode::HW;
         xc.sched = SchedPolicy::Dynamic;
         xc.blockIters = 4;
-        LoopExecutor hw_exec(cfg, loop, xc);
-        RunResult hw = hw_exec.run();
+        RunResult hw = runMachine(cfg, loop, xc);
 
         xc.mode = ExecMode::SW;
-        LoopExecutor sw_exec(cfg, loop, xc);
-        RunResult sw = sw_exec.run();
+        RunResult sw = runMachine(cfg, loop, xc);
 
         printRow({fmt(frac, 0) + "%",
                   fmtTicks(hw.phases.loop),

@@ -35,14 +35,12 @@ run(int instance, ExecMode mode, bool proc_wise, SchedPolicy sched,
     xc.swProcWise = proc_wise;
     xc.sched = sched;
     xc.blockIters = block;
-    LoopExecutor exec(cfg, loop, xc);
-    return exec.run();
+    return runMachine(cfg, loop, xc);
 }
 
 } // namespace
 
-int
-main()
+SPECRT_BENCH_MAIN(ablation_procwise)
 {
     printHeader("Ablation: iteration-wise vs processor-wise tests "
                 "(Track, 16 procs)");
@@ -53,7 +51,11 @@ main()
              w);
 
     int iter_fails = 0, proc_fails = 0, hw_fails = 0;
-    for (int instance : {1, 3, 7, 14, 25, 36, 47}) {
+    // Quick mode keeps a dependent/independent mix of instances.
+    std::vector<int> instances =
+        quick() ? std::vector<int>{1, 3, 25, 47}
+                : std::vector<int>{1, 3, 7, 14, 25, 36, 47};
+    for (int instance : instances) {
         TrackLoop probe(TrackParams{instance});
         RunResult swi = run(instance, ExecMode::SW, false,
                             SchedPolicy::Dynamic, 4);
@@ -78,5 +80,8 @@ main()
                 "failures) but pass processor-wise (%d) and under "
                 "the hardware test (%d), as in the paper.\n",
                 iter_fails, proc_fails, hw_fails);
-    return 0;
+    telemetry().metric("iter_wise_failures", iter_fails);
+    telemetry().metric("proc_wise_failures", proc_fails);
+    telemetry().metric("hw_failures", hw_fails);
+    return (proc_fails == 0 && hw_fails == 0) ? 0 : 1;
 }

@@ -16,8 +16,7 @@
 using namespace specrt;
 using namespace specrt::bench;
 
-int
-main()
+SPECRT_BENCH_MAIN(ablation_readin)
 {
     printHeader("Ablation: privatization with read-in/copy-out "
                 "(Figure 3 loops, 8 procs)");
@@ -43,8 +42,7 @@ main()
         ExecConfig xc;
         xc.mode = ExecMode::HW;
         xc.keepTrace = true;
-        LoopExecutor exec(cfg, loop, xc);
-        RunResult hw = exec.run();
+        RunResult hw = runMachine(cfg, loop, xc);
 
         // The basic (no read-in) LRPD verdict on the same pattern.
         std::vector<AccessEvent> array0;
@@ -62,8 +60,7 @@ main()
         ExecConfig sxc;
         sxc.mode = ExecMode::SW;
         sxc.swReadIn = true;
-        LoopExecutor sw_exec(cfg, loop2, sxc);
-        RunResult sw = sw_exec.run();
+        RunResult sw = runMachine(cfg, loop2, sxc);
 
         printRow({c.name, hw.passed ? "pass" : "FAIL",
                   lrpdVerdictName(basic),

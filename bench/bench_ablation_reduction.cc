@@ -59,16 +59,15 @@ class RetaggedHistogram : public Workload
 
 } // namespace
 
-int
-main()
+SPECRT_BENCH_MAIN(ablation_reduction)
 {
     printHeader("Ablation: reduction parallelization "
-                "(histogram, 16 procs, 4096 iterations)");
+                "(histogram, 16 procs)");
 
     MachineConfig cfg;
     cfg.numProcs = 16;
     HistogramParams hp;
-    hp.iters = 4096;
+    hp.iters = quickPick<IterNum>(4096, 1024);
     hp.bins = 512;
 
     RunResult serial;
@@ -76,8 +75,7 @@ main()
         HistogramLoop loop(hp);
         ExecConfig xc;
         xc.mode = ExecMode::Serial;
-        LoopExecutor exec(cfg, loop, xc);
-        serial = exec.run();
+        serial = runMachine(cfg, loop, xc);
     }
     double st = static_cast<double>(serial.totalTicks);
 
@@ -103,8 +101,10 @@ main()
         xc.mode = ExecMode::HW;
         xc.sched = SchedPolicy::Dynamic;
         xc.blockIters = 8;
-        LoopExecutor exec(cfg, loop, xc);
-        RunResult r = exec.run();
+        RunResult r = runMachine(cfg, loop, xc);
+        if (c.type == TestType::Reduction)
+            telemetry().metric("reduction_speedup",
+                               st / static_cast<double>(r.totalTicks));
         printRow({c.name, r.passed ? "pass" : "FAIL",
                   fmtTicks(r.totalTicks),
                   fmt(st / static_cast<double>(r.totalTicks)),

@@ -21,11 +21,12 @@
 using namespace specrt;
 using namespace specrt::bench;
 
-int
-main()
+SPECRT_BENCH_MAIN(ablation_stride)
 {
+    const int execs = quickPick(4, 2);
     printHeader("Ablation: Ocean stride families over repeated "
-                "executions (8 procs, 4 executions each)");
+                "executions (8 procs, " + std::to_string(execs) +
+                " executions each)");
 
     MachineConfig cfg;
     cfg.numProcs = 8;
@@ -47,7 +48,9 @@ main()
             xc.mode = mode;
             xc.sched = SchedPolicy::StaticChunk;
             xc.swProcWise = true;
-            auto agg = spec.runRepeated(make, xc, 4);
+            auto agg = spec.runRepeated(make, xc, execs);
+            for (RunResult &r : agg.runs)
+                telemetry().recordRun(r);
             mean[mode] = agg.meanTicks();
             if (agg.failures)
                 std::printf("  !! unexpected failures (%llu)\n",
@@ -60,6 +63,9 @@ main()
                   fmt(st / mean[ExecMode::SW]),
                   fmt(st / mean[ExecMode::HW])},
                  w);
+        telemetry().metric(stride == 1 ? "hw_speedup_unit"
+                                       : "hw_speedup_column",
+                           st / mean[ExecMode::HW]);
     }
 
     std::printf("\nShape: the strided executions lose parallel "

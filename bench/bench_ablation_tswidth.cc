@@ -20,11 +20,10 @@
 using namespace specrt;
 using namespace specrt::bench;
 
-int
-main()
+SPECRT_BENCH_MAIN(ablation_tswidth)
 {
     printHeader("Ablation: privatization time-stamp width "
-                "(P3m, 16 procs, 4000 iterations)");
+                "(P3m, 16 procs)");
 
     MachineConfig cfg;
     cfg.numProcs = 16;
@@ -35,17 +34,18 @@ main()
              w);
 
     double unbounded = 0;
-    // Unbounded first (reference).
-    for (int bits : {0, 12, 10, 8, 6, 4}) {
+    // Unbounded first (reference); quick mode keeps the endpoints.
+    std::vector<int> widths = quick() ? std::vector<int>{0, 8, 4}
+                                      : std::vector<int>{0, 12, 10, 8, 6, 4};
+    for (int bits : widths) {
         P3mLoop loop;
         ExecConfig xc;
         xc.mode = ExecMode::HW;
         xc.sched = SchedPolicy::Dynamic;
         xc.blockIters = 4;
-        xc.maxIters = 4000;
+        xc.maxIters = quickPick<IterNum>(4000, 1000);
         xc.tsBits = bits;
-        LoopExecutor exec(cfg, loop, xc);
-        RunResult r = exec.run();
+        RunResult r = runMachine(cfg, loop, xc);
         if (!r.passed)
             std::printf("  !! unexpected failure at %d bits\n", bits);
         double tot = r.agg.busy + r.agg.sync + r.agg.mem;

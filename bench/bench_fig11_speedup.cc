@@ -18,8 +18,7 @@
 using namespace specrt;
 using namespace specrt::bench;
 
-int
-main()
+SPECRT_BENCH_MAIN(fig11_speedup)
 {
     printHeader("Figure 11: speedups of the parallel executions "
                 "(vs. Serial)");
@@ -57,5 +56,8 @@ main()
                 ideal_sum / n16, sw_sum / n16, hw_sum / n16);
     std::printf("Shape checks: HW between SW and Ideal on every "
                 "loop; HW/SW ratio ~1.5-2.5x.\n");
+    telemetry().metric("ideal_speedup_mean_16p", ideal_sum / n16);
+    telemetry().metric("sw_speedup_mean_16p", sw_sum / n16);
+    telemetry().metric("hw_speedup_mean_16p", hw_sum / n16);
     return 0;
 }

@@ -45,11 +45,12 @@ row(const std::string &label, const RunResult &r, double serial_total,
 
 } // namespace
 
-int
-main()
+SPECRT_BENCH_MAIN(fig12_breakdown)
 {
     printHeader("Figure 12: normalized execution time breakdown "
                 "(Serial = 100)");
+    double hw_vs_sw_sum = 0;
+    int n = 0;
     for (const PaperLoop &loop : paperLoops()) {
         ScenarioComparison c = runAll(loop);
         double st = static_cast<double>(c.serial.totalTicks);
@@ -64,6 +65,9 @@ main()
         std::printf("  HW is %.0f%% faster than SW "
                     "(paper: ~50%% on average)\n",
                     (hw_vs_sw - 1.0) * 100);
+        hw_vs_sw_sum += hw_vs_sw;
+        ++n;
     }
+    telemetry().metric("hw_vs_sw_time_ratio_mean", hw_vs_sw_sum / n);
     return 0;
 }

@@ -18,34 +18,18 @@
 using namespace specrt;
 using namespace specrt::bench;
 
-namespace
-{
-
-RunResult
-runWith(const PaperLoop &loop, ExecMode mode, int procs)
-{
-    MachineConfig cfg;
-    cfg.numProcs = procs;
-    auto w = loop.make();
-    ExecConfig xc = loop.xc;
-    xc.mode = mode;
-    LoopExecutor exec(cfg, *w, xc);
-    return exec.run();
-}
-
-} // namespace
-
-int
-main()
+SPECRT_BENCH_MAIN(fig14_scalability)
 {
     printHeader("Figure 14: scalability (speedup vs. processors)");
-    const int counts[] = {4, 8, 16};
+    // Quick mode keeps the endpoints of the processor sweep.
+    const std::vector<int> counts =
+        quick() ? std::vector<int>{4, 16} : std::vector<int>{4, 8, 16};
 
     for (const PaperLoop &loop : paperLoops()) {
         if (loop.name == "Ocean")
             continue; // too small for 16 processors, as in the paper
 
-        RunResult serial = runWith(loop, ExecMode::Serial, 16);
+        RunResult serial = runScenarioWith(loop, ExecMode::Serial, 16);
         double st = static_cast<double>(serial.totalTicks);
 
         std::printf("\n%s:\n", loop.name.c_str());
@@ -54,9 +38,10 @@ main()
         double prev_sw = 0;
         bool sw_saturating = false;
         for (int procs : counts) {
-            RunResult ideal = runWith(loop, ExecMode::Ideal, procs);
-            RunResult sw = runWith(loop, ExecMode::SW, procs);
-            RunResult hw = runWith(loop, ExecMode::HW, procs);
+            RunResult ideal =
+                runScenarioWith(loop, ExecMode::Ideal, procs);
+            RunResult sw = runScenarioWith(loop, ExecMode::SW, procs);
+            RunResult hw = runScenarioWith(loop, ExecMode::HW, procs);
             double si = st / static_cast<double>(ideal.totalTicks);
             double ss = st / static_cast<double>(sw.totalTicks);
             double sh = st / static_cast<double>(hw.totalTicks);
@@ -84,7 +69,8 @@ main()
         std::printf("  %-7s %8s %8s %8s\n", "procs", "Ideal", "SW",
                     "HW");
         P3mParams pp;
-        pp.wsElems = 8192;
+        pp.wsElems = quickPick<uint64_t>(8192, 2048);
+        IterNum iterCap = quickPick<IterNum>(15000, 2000);
         RunResult serial;
         {
             MachineConfig cfg;
@@ -92,9 +78,8 @@ main()
             P3mLoop wl(pp);
             ExecConfig xc;
             xc.mode = ExecMode::Serial;
-            xc.maxIters = 15000;
-            LoopExecutor exec(cfg, wl, xc);
-            serial = exec.run();
+            xc.maxIters = iterCap;
+            serial = runMachine(cfg, wl, xc);
         }
         double st = static_cast<double>(serial.totalTicks);
         double sw8 = 0, sw16 = 0;
@@ -110,9 +95,9 @@ main()
                 xc.mode = modes[m];
                 xc.sched = SchedPolicy::Dynamic;
                 xc.blockIters = 4;
-                xc.maxIters = 15000;
-                LoopExecutor exec(cfg, wl, xc);
-                spd[m] = st / static_cast<double>(exec.run().totalTicks);
+                xc.maxIters = iterCap;
+                spd[m] = st / static_cast<double>(
+                                  runMachine(cfg, wl, xc).totalTicks);
             }
             std::printf("  %-7d %8.2f %8.2f %8.2f\n", procs, spd[0],
                         spd[1], spd[2]);
@@ -124,6 +109,8 @@ main()
         std::printf("  SW at 16 procs %s SW at 8 procs (paper: "
                     "lower)\n",
                     sw16 < sw8 ? "is LOWER than" : "exceeds");
+        telemetry().metric("p3m_large_sw_speedup_8p", sw8);
+        telemetry().metric("p3m_large_sw_speedup_16p", sw16);
     }
     return 0;
 }

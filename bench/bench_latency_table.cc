@@ -55,8 +55,7 @@ struct Probe
 
 } // namespace
 
-int
-main()
+SPECRT_BENCH_MAIN(latency_table)
 {
     printHeader("Section 5.1 latency table: unloaded round trips "
                 "(cycles)");
@@ -100,5 +99,8 @@ main()
                remote3 == 291;
     std::printf("\n%s\n", all ? "All five round trips match the paper."
                               : "MISMATCH against the paper's table!");
+    telemetry().metric("latency_matches", all ? 5 : 0);
+    telemetry().simTicks += p.dsm->eventQueue().curTick();
+    telemetry().eventsFired += p.dsm->eventQueue().numFiredTotal();
     return all ? 0 : 1;
 }

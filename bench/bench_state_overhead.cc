@@ -21,8 +21,7 @@
 using namespace specrt;
 using namespace specrt::bench;
 
-int
-main()
+SPECRT_BENCH_MAIN(state_overhead)
 {
     printHeader("Section 3.4: per-element state, software vs "
                 "hardware (time stamp = 16 bits)");
@@ -61,9 +60,10 @@ main()
         xc.mode = ExecMode::HW;
         xc.keepTrace = true;
         if (loop.name == "P3m")
-            xc.maxIters = 4000;
+            xc.maxIters = quickPick<IterNum>(4000, 1000);
         LoopExecutor exec(cfg, *wl, xc);
         RunResult r = exec.run();
+        telemetry().recordRun(r);
         SpecSystem *spec = exec.specSystem();
         double accesses = static_cast<double>(r.trace.size());
         double fu = spec->firstUpdates.value();

@@ -41,7 +41,7 @@ std::vector<PaperLoop> paperLoops()
         l.make = []() { return std::make_unique<P3mLoop>(); };
         l.xc.sched = SchedPolicy::Dynamic;
         l.xc.blockIters = 4;
-        l.xc.maxIters = 15000;
+        l.xc.maxIters = quickPick<IterNum>(15000, 2000);
         l.paperIdeal = 12.0;
         l.paperSw = 4.0;
         l.paperHw = 8.0;
@@ -89,15 +89,30 @@ std::vector<PaperLoop> paperLoops()
 }
 
 RunResult
+runMachine(const MachineConfig &cfg, Workload &w, const ExecConfig &xc)
+{
+    LoopExecutor exec(cfg, w, xc);
+    RunResult r = exec.run();
+    telemetry().recordRun(r);
+    telemetry().snapshotStats(exec.machine());
+    return r;
+}
+
+RunResult
 runScenario(const PaperLoop &loop, ExecMode mode)
 {
+    return runScenarioWith(loop, mode, loop.procs);
+}
+
+RunResult
+runScenarioWith(const PaperLoop &loop, ExecMode mode, int procs)
+{
     MachineConfig cfg;
-    cfg.numProcs = loop.procs;
+    cfg.numProcs = procs;
     auto w = loop.make();
     ExecConfig xc = loop.xc;
     xc.mode = mode;
-    LoopExecutor exec(cfg, *w, xc);
-    return exec.run();
+    return runMachine(cfg, *w, xc);
 }
 
 ScenarioComparison

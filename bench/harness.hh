@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/parallelizer.hh"
+#include "telemetry.hh"
 #include "workloads/adm.hh"
 #include "workloads/microloops.hh"
 #include "workloads/ocean.hh"
@@ -42,11 +43,28 @@ struct PaperLoop
     double paperHw;
 };
 
-/** The four loops, paper-configured. */
+/**
+ * The four loops, paper-configured. Under --quick the expensive
+ * iteration caps shrink to CI-smoke sizes (the figures' shapes
+ * survive; the absolute numbers are only comparable to other quick
+ * runs).
+ */
 std::vector<PaperLoop> paperLoops();
+
+/**
+ * Run one executor and fold the result into the telemetry
+ * accumulator. All bench-driven runs should funnel through here so
+ * BENCH_results.json sees every simulated tick.
+ */
+RunResult runMachine(const MachineConfig &cfg, Workload &w,
+                     const ExecConfig &xc);
 
 /** Run one scenario of a paper loop. */
 RunResult runScenario(const PaperLoop &loop, ExecMode mode);
+
+/** Run one scenario with a processor-count override (Fig. 14). */
+RunResult runScenarioWith(const PaperLoop &loop, ExecMode mode,
+                          int procs);
 
 /** Run all four scenarios. */
 ScenarioComparison runAll(const PaperLoop &loop);

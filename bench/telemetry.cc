@@ -1,0 +1,234 @@
+#include "telemetry.hh"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/loop_exec.hh"
+#include "sim/config.hh"
+
+#ifndef SPECRT_GIT_SHA
+#define SPECRT_GIT_SHA "unknown"
+#endif
+
+namespace specrt::bench
+{
+
+namespace
+{
+
+bool quickMode = false;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    // %.17g round-trips doubles; integers up to 2^53 print exactly.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // JSON has no inf/nan.
+    if (std::strstr(buf, "inf") || std::strstr(buf, "nan"))
+        return "0";
+    return buf;
+}
+
+/**
+ * Append @p record to the JSON array in @p path, creating the file
+ * (as a one-element array) when missing or unparsable.
+ */
+bool
+appendRecord(const std::string &path, const std::string &record)
+{
+    std::string existing;
+    {
+        std::ifstream is(path);
+        if (is) {
+            std::ostringstream buf;
+            buf << is.rdbuf();
+            existing = buf.str();
+        }
+    }
+
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        return false;
+
+    size_t end = existing.find_last_of(']');
+    if (end == std::string::npos ||
+        existing.find('[') == std::string::npos) {
+        os << "[\n" << record << "\n]\n";
+        return static_cast<bool>(os);
+    }
+    std::string head = existing.substr(0, end);
+    while (!head.empty() &&
+           (head.back() == '\n' || head.back() == ' ' ||
+            head.back() == '\t' || head.back() == '\r'))
+        head.pop_back();
+    bool emptyArray = !head.empty() && head.back() == '[';
+    os << head << (emptyArray ? "\n" : ",\n") << record << "\n]\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace
+
+bool
+quick()
+{
+    return quickMode;
+}
+
+Telemetry &
+telemetry()
+{
+    static Telemetry t;
+    return t;
+}
+
+void
+Telemetry::recordRun(const RunResult &r)
+{
+    simTicks += r.totalTicks;
+    eventsFired += r.eventsFired;
+    ++runs;
+    if (r.infraFailed)
+        ++infraFailedRuns;
+}
+
+void
+Telemetry::metric(const std::string &key, double value)
+{
+    for (auto &kv : metrics) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    metrics.emplace_back(key, value);
+}
+
+void
+Telemetry::snapshotStats(const StatGroup &g)
+{
+    stats.clear();
+    g.snapshot(stats);
+}
+
+int
+benchMain(int argc, char **argv, const char *name, int (*body)())
+{
+    const char *envOut = std::getenv("SPECRT_BENCH_OUT");
+    std::string outPath = envOut ? envOut : "BENCH_results.json";
+    bool writeJson = true;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            quickMode = true;
+        } else if (arg == "--no-json") {
+            writeJson = false;
+        } else if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--quick] [--no-json] "
+                        "[--out <path>]\n",
+                        argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n",
+                         argv[0], arg.c_str());
+            return 2;
+        }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    int rc = body();
+    auto t1 = std::chrono::steady_clock::now();
+    double wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double wallS = wallMs / 1e3;
+
+    Telemetry &t = telemetry();
+    double tps = wallS > 0 ? static_cast<double>(t.simTicks) / wallS
+                           : 0.0;
+    double eps = wallS > 0
+                     ? static_cast<double>(t.eventsFired) / wallS
+                     : 0.0;
+
+    if (!writeJson)
+        return rc;
+
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016" PRIx64,
+                  MachineConfig{}.fingerprint());
+
+    std::ostringstream rec;
+    rec << "  {\n"
+        << "    \"schema\": 1,\n"
+        << "    \"bench\": \"" << jsonEscape(name) << "\",\n"
+        << "    \"quick\": " << (quickMode ? "true" : "false")
+        << ",\n"
+        << "    \"git_sha\": \"" << jsonEscape(SPECRT_GIT_SHA)
+        << "\",\n"
+        << "    \"config_fingerprint\": \"" << fp << "\",\n"
+        << "    \"exit_code\": " << rc << ",\n"
+        << "    \"wall_ms\": " << jsonNumber(wallMs) << ",\n"
+        << "    \"sim_ticks\": " << t.simTicks << ",\n"
+        << "    \"events_fired\": " << t.eventsFired << ",\n"
+        << "    \"ticks_per_sec\": " << jsonNumber(tps) << ",\n"
+        << "    \"events_per_sec\": " << jsonNumber(eps) << ",\n"
+        << "    \"runs\": " << t.runs << ",\n"
+        << "    \"infra_failed_runs\": " << t.infraFailedRuns << ",\n";
+    rec << "    \"metrics\": {";
+    for (size_t i = 0; i < t.metrics.size(); ++i) {
+        rec << (i ? ", " : "") << "\"" << jsonEscape(t.metrics[i].first)
+            << "\": " << jsonNumber(t.metrics[i].second);
+    }
+    rec << "},\n";
+    rec << "    \"stats\": {";
+    for (size_t i = 0; i < t.stats.size(); ++i) {
+        rec << (i ? ", " : "") << "\"" << jsonEscape(t.stats[i].first)
+            << "\": " << jsonNumber(t.stats[i].second);
+    }
+    rec << "}\n  }";
+
+    if (!appendRecord(outPath, rec.str())) {
+        std::fprintf(stderr, "%s: failed to write telemetry to %s\n",
+                     name, outPath.c_str());
+        return rc ? rc : 1;
+    }
+    std::printf("\n[telemetry] %s%s: %.0f ms wall, %" PRIu64
+                " sim ticks, %.3g ticks/s, %" PRIu64
+                " events -> %s\n",
+                name, quickMode ? " (quick)" : "", wallMs, t.simTicks,
+                tps, t.eventsFired, outPath.c_str());
+    return rc;
+}
+
+} // namespace specrt::bench

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Machine-readable benchmark telemetry.
+ *
+ * Every bench binary runs through benchMain() (see the
+ * SPECRT_BENCH_MAIN macro), which times the bench body, accumulates
+ * simulated work via the Telemetry singleton, and appends one JSON
+ * record to BENCH_results.json: wall time, simulated ticks, ticks
+ * per second, events fired, a per-counter Stats snapshot of the last
+ * machine, a machine-config fingerprint, and the git SHA the binary
+ * was built from. scripts/check_bench_regression.py compares those
+ * records against bench/baseline.json in CI.
+ *
+ * Flags understood by every bench binary:
+ *   --quick       CI smoke sizing (benches consult bench::quick())
+ *   --out <path>  telemetry file (default $SPECRT_BENCH_OUT or
+ *                 ./BENCH_results.json)
+ *   --no-json     skip writing telemetry
+ */
+
+#ifndef SPECRT_BENCH_TELEMETRY_HH
+#define SPECRT_BENCH_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace specrt
+{
+struct RunResult;
+}
+
+namespace specrt::bench
+{
+
+/** True when the binary runs in --quick (CI smoke) mode. */
+bool quick();
+
+/** Pick @p full normally, @p q under --quick. */
+template <typename T>
+T
+quickPick(T full, T q)
+{
+    return quick() ? q : full;
+}
+
+/** Per-process accumulator behind the JSON record. */
+class Telemetry
+{
+  public:
+    /** Fold one simulator run into the totals. */
+    void recordRun(const RunResult &r);
+
+    /** Record a bench-specific headline number. */
+    void metric(const std::string &key, double value);
+
+    /** Capture @p g's counters (replaces the previous snapshot). */
+    void snapshotStats(const StatGroup &g);
+
+    uint64_t simTicks = 0;
+    uint64_t eventsFired = 0;
+    uint64_t runs = 0;
+    /** Runs that died of injected infrastructure faults. */
+    uint64_t infraFailedRuns = 0;
+    std::vector<std::pair<std::string, double>> metrics;
+    StatSnapshot stats;
+};
+
+/** The process-wide telemetry accumulator. */
+Telemetry &telemetry();
+
+/**
+ * Entry point shared by all bench binaries: parses the telemetry
+ * flags, runs @p body, and writes the JSON record (unless
+ * --no-json). Returns the bench's exit code.
+ */
+int benchMain(int argc, char **argv, const char *name, int (*body)());
+
+/**
+ * Declare the bench body; benchMain() provides main(). Usage:
+ *
+ *   SPECRT_BENCH_MAIN(fig11_speedup)
+ *   {
+ *       ... // return an exit code
+ *   }
+ */
+#define SPECRT_BENCH_MAIN(name)                                         \
+    static int specrtBenchBody();                                       \
+    int                                                                 \
+    main(int argc, char **argv)                                         \
+    {                                                                   \
+        return ::specrt::bench::benchMain(argc, argv, #name,            \
+                                          &specrtBenchBody);            \
+    }                                                                   \
+    static int specrtBenchBody()
+
+} // namespace specrt::bench
+
+#endif // SPECRT_BENCH_TELEMETRY_HH

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a fresh BENCH_results.json against the committed
+baseline (bench/baseline.json) and fail on throughput regressions.
+
+For every bench present in both files, the current simulation rate
+(ticks_per_sec) must stay within a tolerance band of the baseline's.
+Benches without a baseline entry, or with a zero/absent rate (e.g.
+table-printing benches that simulate nothing), are skipped with a
+note. Benches may also declare their own gates via a metric named
+``*_speedup`` with a ``min_<metric>`` entry in the baseline.
+
+Exit status: 0 when everything is in band, 1 on any violation, 2 on
+bad input.
+
+Refreshing the baseline
+-----------------------
+Machine speed drifts with the CI runner generation, so the committed
+baseline is only compared in *ratio* terms with a wide band (default
++/-75% in CI, because shared runners are noisy; tighten locally with
+--tolerance 0.25). To refresh after an intentional engine change:
+
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j
+    for b in build/bench/bench_*; do
+        "$b" --quick --out /tmp/quick.json || true
+    done
+    python3 scripts/check_bench_regression.py \
+        --results /tmp/quick.json --rebase
+    git add bench/baseline.json
+
+--rebase rewrites bench/baseline.json from the current results
+instead of comparing.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, list):
+        print(f"error: {path} is not a JSON array", file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def latest_by_bench(records):
+    """Keep the last record per bench name (results files append)."""
+    out = {}
+    for rec in records:
+        if isinstance(rec, dict) and "bench" in rec:
+            out[rec["bench"]] = rec
+    return out
+
+
+def rebase(results, baseline_path):
+    base = []
+    for name in sorted(results):
+        rec = results[name]
+        entry = {
+            "bench": name,
+            "ticks_per_sec": rec.get("ticks_per_sec", 0),
+            "events_per_sec": rec.get("events_per_sec", 0),
+        }
+        # Carry headline speedup metrics as explicit minimum gates.
+        for key, val in sorted(rec.get("metrics", {}).items()):
+            if key.endswith("_speedup"):
+                entry[f"min_{key}"] = round(val * 0.8, 3)
+        base.append(entry)
+    baseline_path.write_text(json.dumps(base, indent=2) + "\n")
+    print(f"baseline rewritten: {baseline_path} ({len(base)} benches)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results", default=str(REPO / "BENCH_results.json"))
+    ap.add_argument("--baseline", default=str(REPO / "bench" / "baseline.json"))
+    ap.add_argument("--tolerance", type=float, default=0.75,
+                    help="allowed fractional drop in ticks/sec "
+                         "(default 0.75: CI runners are noisy)")
+    ap.add_argument("--rebase", action="store_true",
+                    help="rewrite the baseline from current results")
+    args = ap.parse_args()
+
+    results = latest_by_bench(load(args.results))
+    if not results:
+        print("error: no bench records in results file", file=sys.stderr)
+        return 2
+
+    if args.rebase:
+        rebase(results, Path(args.baseline))
+        return 0
+
+    baseline = {b["bench"]: b for b in load(args.baseline)}
+
+    failures = 0
+    checked = 0
+    for name in sorted(results):
+        rec = results[name]
+        if rec.get("exit_code", 0) != 0:
+            print(f"FAIL {name}: bench exited nonzero "
+                  f"({rec.get('exit_code')})")
+            failures += 1
+            continue
+        base = baseline.get(name)
+        if base is None:
+            print(f"skip {name}: no baseline entry "
+                  "(run --rebase to add it)")
+            continue
+
+        cur = rec.get("ticks_per_sec", 0)
+        ref = base.get("ticks_per_sec", 0)
+        if cur and ref:
+            floor = ref * (1.0 - args.tolerance)
+            status = "ok  " if cur >= floor else "FAIL"
+            print(f"{status} {name}: {cur:.3g} ticks/s "
+                  f"(baseline {ref:.3g}, floor {floor:.3g})")
+            if cur < floor:
+                failures += 1
+            checked += 1
+        else:
+            print(f"skip {name}: no simulation rate to compare")
+
+        # Explicit minimum gates (e.g. min_sched_fire_speedup).
+        for key, floor in base.items():
+            if not key.startswith("min_"):
+                continue
+            metric = key[len("min_"):]
+            val = rec.get("metrics", {}).get(metric)
+            if val is None:
+                print(f"FAIL {name}: metric {metric} missing")
+                failures += 1
+                continue
+            status = "ok  " if val >= floor else "FAIL"
+            print(f"{status} {name}: {metric} = {val:.3f} "
+                  f"(floor {floor})")
+            if val < floor:
+                failures += 1
+            checked += 1
+
+    print(f"\n{checked} comparisons, {failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

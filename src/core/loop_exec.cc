@@ -903,6 +903,7 @@ LoopExecutor::run()
         dsm->resetMachine(false);
         res.totalTicks = res.phases.total();
         res.agg = aggScratch;
+        res.eventsFired = dsm->eventQueue().numFiredTotal();
         return res;
     }
 
@@ -970,6 +971,7 @@ LoopExecutor::run()
 
     res.totalTicks = res.phases.total();
     res.agg = aggScratch;
+    res.eventsFired = dsm->eventQueue().numFiredTotal();
     if (xc.keepTrace)
         res.trace = std::move(trace);
     return res;

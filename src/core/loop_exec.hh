@@ -135,6 +135,8 @@ struct RunResult
     Tick totalTicks = 0;
     BreakdownAgg agg;
     uint64_t itersExecuted = 0;
+    /** Host-side cost proxy: events the engine fired for this run. */
+    uint64_t eventsFired = 0;
     /**
      * The run died of an infrastructure fault (a transaction or
      * signal exhausted its retry budget under fault injection), NOT

@@ -60,4 +60,35 @@ MachineConfig::summary() const
     return os.str();
 }
 
+uint64_t
+MachineConfig::fingerprint() const
+{
+    uint64_t h = 14695981039346656037ull; // FNV offset basis
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull; // FNV prime
+        }
+    };
+    mix(static_cast<uint64_t>(numProcs));
+    mix(pageBytes);
+    mix(l1.sizeBytes);
+    mix(l1.lineBytes);
+    mix(l2.sizeBytes);
+    mix(l2.lineBytes);
+    mix(lat.l1Hit);
+    mix(lat.l2Access);
+    mix(lat.dirMemAccess);
+    mix(lat.dirLookup);
+    mix(lat.ownerAccess);
+    mix(lat.netHop);
+    mix(lat.invalCycles);
+    mix(lat.dirOccupancy);
+    mix(lat.memOccupancy);
+    mix(static_cast<uint64_t>(writeBufferEntries));
+    mix(schedLockCycles);
+    mix(barrierCycles);
+    return h;
+}
+
 } // namespace specrt

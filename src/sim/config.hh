@@ -158,6 +158,14 @@ struct MachineConfig
 
     /** Human-readable one-line summary. */
     std::string summary() const;
+
+    /**
+     * Stable FNV-1a hash over every modeled-machine parameter.
+     * Benchmark telemetry records it so perf points taken under
+     * different machine models are never compared against each
+     * other.
+     */
+    uint64_t fingerprint() const;
 };
 
 } // namespace specrt

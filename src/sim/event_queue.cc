@@ -5,51 +5,245 @@
 namespace specrt
 {
 
+EventQueue::~EventQueue()
+{
+    // Exact-cancel invariant: every live slot corresponds to exactly
+    // one pending entry; nothing lingers in auxiliary state. (The old
+    // lazy-deletion engine leaked its cancelled-id set here whenever
+    // the queue died with pending events.)
+    SPECRT_ASSERT(slotsInUse == pendingCount,
+                  "event queue leaked auxiliary state: "
+                  "%zu live slots vs %zu pending events",
+                  slotsInUse, pendingCount);
+    SPECRT_ASSERT(fifoDead <= fifo.size() - fifoHead,
+                  "event queue FIFO lane corrupt: %zu dead of %zu",
+                  fifoDead, fifo.size() - fifoHead);
+}
+
+uint32_t
+EventQueue::allocSlot()
+{
+    uint32_t idx;
+    if (freeHead != badIndex) {
+        idx = freeHead;
+        freeHead = slots[idx].nextFree;
+    } else {
+        idx = static_cast<uint32_t>(slots.size());
+        slots.emplace_back();
+    }
+    ++slotsInUse;
+    return idx;
+}
+
+void
+EventQueue::freeSlot(uint32_t idx)
+{
+    Slot &s = slots[idx];
+    s.cb.clear(); // no-op if already moved out by fire()
+    s.loc = LocFree;
+    ++s.gen; // stale ids naming this slot stop matching
+    s.nextFree = freeHead;
+    freeHead = idx;
+    --slotsInUse;
+}
+
+uint32_t
+EventQueue::liveSlotOf(EventId id) const
+{
+    if (id == invalidEventId)
+        return badIndex;
+    uint64_t hi = id >> 32;
+    if (hi == 0 || hi > slots.size())
+        return badIndex;
+    auto idx = static_cast<uint32_t>(hi - 1);
+    const Slot &s = slots[idx];
+    if (s.loc == LocFree || s.gen != static_cast<uint32_t>(id))
+        return badIndex;
+    return idx;
+}
+
 EventId
-EventQueue::schedule(Tick when, std::function<void()> callback)
+EventQueue::schedule(Tick when, SmallFunction callback, EventKind kind)
 {
     SPECRT_ASSERT(when >= _curTick,
                   "scheduling in the past: when=%llu cur=%llu",
-                  (unsigned long long)when, (unsigned long long)_curTick);
-    EventId id = nextId++;
-    pending.push(Entry{when, nextSeq++, id, std::move(callback)});
-    live.insert(id);
+                  (unsigned long long)when,
+                  (unsigned long long)_curTick);
+    uint32_t slot = allocSlot();
+    uint64_t seq = nextSeq++;
+    Slot &s = slots[slot];
+    EventId id = (static_cast<uint64_t>(slot) + 1) << 32 | s.gen;
+    s.cb = std::move(callback);
+    s.kind = kind;
+
+    if (when == _curTick) {
+        // Fast lane: same-tick events (zero-delay protocol hand-offs)
+        // append to a FIFO instead of churning the heap. FIFO entries
+        // all carry when == curTick and ascending seq, so the lane is
+        // already in fire order.
+        s.loc = LocFifo;
+        s.pos = static_cast<uint32_t>(fifo.size());
+        fifo.push_back(Entry{when, seq, slot});
+    } else {
+        s.loc = LocHeap;
+        size_t i = heap.size();
+        heap.push_back(Entry{when, seq, slot});
+        s.pos = static_cast<uint32_t>(i);
+        heapSiftUp(i);
+    }
+    ++pendingCount;
     return id;
 }
 
 void
 EventQueue::deschedule(EventId id)
 {
-    if (id == invalidEventId || !live.erase(id))
+    uint32_t idx = liveSlotOf(id);
+    if (idx == badIndex)
         return; // unknown or already fired: harmless no-op
-    if (cancelled.insert(id).second)
-        ++numCancelled;
+
+    Slot &s = slots[idx];
+    if (s.loc == LocHeap) {
+        heapRemove(s.pos);
+    } else {
+        // FIFO entries die in place (O(1)); the fire loop skips them.
+        // The count stays exact: the event is gone from numPending()
+        // and its slot is free for reuse immediately.
+        fifo[s.pos].slot = badIndex;
+        ++fifoDead;
+    }
+    freeSlot(idx); // destroys the callback
+    --pendingCount;
 }
 
 void
-EventQueue::fireNext()
+EventQueue::heapSiftUp(size_t i)
 {
-    Entry entry = std::move(const_cast<Entry &>(pending.top()));
-    pending.pop();
-    auto it = cancelled.find(entry.id);
-    if (it != cancelled.end()) {
-        cancelled.erase(it);
-        --numCancelled;
-        return;
+    Entry e = heap[i];
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (!before(e, heap[parent]))
+            break;
+        heap[i] = heap[parent];
+        slots[heap[i].slot].pos = static_cast<uint32_t>(i);
+        i = parent;
     }
-    live.erase(entry.id);
-    SPECRT_ASSERT(entry.when >= _curTick, "event queue went backwards");
-    _curTick = entry.when;
+    heap[i] = e;
+    slots[e.slot].pos = static_cast<uint32_t>(i);
+}
+
+void
+EventQueue::heapSiftDown(size_t i)
+{
+    size_t n = heap.size();
+    Entry e = heap[i];
+    while (true) {
+        size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(heap[child + 1], heap[child]))
+            ++child;
+        if (!before(heap[child], e))
+            break;
+        heap[i] = heap[child];
+        slots[heap[i].slot].pos = static_cast<uint32_t>(i);
+        i = child;
+    }
+    heap[i] = e;
+    slots[e.slot].pos = static_cast<uint32_t>(i);
+}
+
+EventQueue::Entry
+EventQueue::heapRemove(size_t i)
+{
+    Entry e = heap[i];
+    size_t last = heap.size() - 1;
+    if (i != last) {
+        heap[i] = heap[last];
+        slots[heap[i].slot].pos = static_cast<uint32_t>(i);
+        heap.pop_back();
+        if (i > 0 && before(heap[i], heap[(i - 1) / 2]))
+            heapSiftUp(i);
+        else
+            heapSiftDown(i);
+    } else {
+        heap.pop_back();
+    }
+    return e;
+}
+
+void
+EventQueue::fifoSkipDead()
+{
+    while (fifoHead < fifo.size() &&
+           fifo[fifoHead].slot == badIndex) {
+        ++fifoHead;
+        --fifoDead;
+    }
+    if (fifoHead == fifo.size() && fifoHead > 0) {
+        fifo.clear(); // keeps capacity: no allocation next round
+        fifoHead = 0;
+    }
+}
+
+void
+EventQueue::fire(const Entry &e)
+{
+    // Move the callback out before freeing the slot: the callback may
+    // itself schedule events, which can reuse (or even reallocate)
+    // the slot table.
+    Slot &s = slots[e.slot];
+    SmallFunction cb = std::move(s.cb);
+    if constexpr (profileEnabled)
+        prof::Registry::instance().recordEvent(s.kind);
+    freeSlot(e.slot);
+    --pendingCount;
     ++_numFired;
-    entry.callback();
+    ++_numFiredTotal;
+    cb();
+}
+
+bool
+EventQueue::fireNext(Tick limit)
+{
+    fifoSkipDead();
+    bool haveFifo = fifoHead < fifo.size();
+    bool haveHeap = !heap.empty();
+    if (!haveFifo && !haveHeap)
+        return false;
+
+    // Global fire order is (when, seq) across both lanes.
+    bool useFifo = haveFifo &&
+                   (!haveHeap || before(fifo[fifoHead], heap[0]));
+    if (useFifo) {
+        if (fifo[fifoHead].when > limit)
+            return false;
+        Entry e = fifo[fifoHead];
+        ++fifoHead;
+        SPECRT_ASSERT(e.when == _curTick,
+                      "FIFO lane event not at current tick");
+        fire(e);
+        return true;
+    }
+
+    if (heap[0].when > limit)
+        return false;
+    Entry e = heapRemove(0);
+    SPECRT_ASSERT(e.when >= _curTick, "event queue went backwards");
+    // Time only advances here, and only with the FIFO lane empty:
+    // a non-empty lane holds (curTick, seq) keys, which win the
+    // comparison above against any later-tick heap top.
+    _curTick = e.when;
+    fire(e);
+    return true;
 }
 
 Tick
 EventQueue::run()
 {
     stopped = false;
-    while (!pending.empty() && !stopped)
-        fireNext();
+    while (!stopped && fireNext(~Tick(0)))
+        ;
     return _curTick;
 }
 
@@ -57,21 +251,24 @@ Tick
 EventQueue::runUntil(Tick limit)
 {
     stopped = false;
-    while (!pending.empty() && !stopped && pending.top().when <= limit)
-        fireNext();
+    while (!stopped && fireNext(limit))
+        ;
     return _curTick;
 }
 
 void
 EventQueue::reset()
 {
-    pending = {};
-    live.clear();
-    cancelled.clear();
-    numCancelled = 0;
+    heap.clear();
+    fifo.clear();
+    fifoHead = 0;
+    fifoDead = 0;
+    slots.clear();
+    freeHead = badIndex;
+    slotsInUse = 0;
+    pendingCount = 0;
     _curTick = 0;
     nextSeq = 0;
-    nextId = 1;
     _numFired = 0;
     stopped = false;
 }

@@ -6,17 +6,34 @@
  * occupancy, barrier releases) is an event scheduled at an absolute
  * Tick. Events scheduled for the same tick fire in schedule order,
  * which keeps the simulation deterministic.
+ *
+ * The engine is built for the schedule/fire/cancel cycle that every
+ * protocol hop takes:
+ *
+ *  - an index-tracked binary heap keyed by (tick, sequence), with a
+ *    slot table mapping EventId -> heap position, so deschedule() is
+ *    a true O(log n) removal (no lazy-deletion ghosts inflating the
+ *    queue and no auxiliary cancel set to leak);
+ *  - a same-tick FIFO fast lane: events scheduled at the current
+ *    tick (the zero-delay hand-offs protocol engines chain on) skip
+ *    the heap entirely;
+ *  - SmallFunction callbacks (small_function.hh), so the steady-state
+ *    schedule/fire/cancel path performs zero heap allocations once
+ *    the engine's arrays have grown to the working-set size.
+ *
+ * EventIds carry a per-slot generation, so cancelling an id whose
+ * event already fired is a harmless no-op even after the slot has
+ * been reused.
  */
 
 #ifndef SPECRT_SIM_EVENT_QUEUE_HH
 #define SPECRT_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/profile.hh"
+#include "sim/small_function.hh"
 #include "sim/types.hh"
 
 namespace specrt
@@ -39,6 +56,7 @@ class EventQueue
 {
   public:
     EventQueue() = default;
+    ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -50,13 +68,15 @@ class EventQueue
      * Schedule @p callback to fire at absolute time @p when.
      * @return a handle usable with deschedule().
      */
-    EventId schedule(Tick when, std::function<void()> callback);
+    EventId schedule(Tick when, SmallFunction callback,
+                     EventKind kind = EventKind::Generic);
 
     /** Schedule @p callback @p delay cycles from now. */
     EventId
-    scheduleIn(Cycles delay, std::function<void()> callback)
+    scheduleIn(Cycles delay, SmallFunction callback,
+               EventKind kind = EventKind::Generic)
     {
-        return schedule(_curTick + delay, std::move(callback));
+        return schedule(_curTick + delay, std::move(callback), kind);
     }
 
     /**
@@ -65,11 +85,11 @@ class EventQueue
      */
     void deschedule(EventId id);
 
-    /** Number of events still pending. */
-    size_t numPending() const { return pending.size() - numCancelled; }
+    /** Number of events still pending (cancelled events excluded). */
+    size_t numPending() const { return pendingCount; }
 
     /** True if no events are pending. */
-    bool empty() const { return numPending() == 0; }
+    bool empty() const { return pendingCount == 0; }
 
     /**
      * Run until the queue drains or stop() is called.
@@ -86,8 +106,11 @@ class EventQueue
     /** Make run()/runUntil() return before firing the next event. */
     void stop() { stopped = true; }
 
-    /** Total number of events ever fired (for stats/tests). */
+    /** Events fired since construction or the last reset(). */
     uint64_t numFired() const { return _numFired; }
+
+    /** Lifetime events fired; survives reset() (telemetry). */
+    uint64_t numFiredTotal() const { return _numFiredTotal; }
 
     /**
      * Reset to an empty queue at tick 0. Pending events are dropped.
@@ -95,38 +118,86 @@ class EventQueue
     void reset();
 
   private:
+    /** Where a live slot's event currently lives. */
+    enum SlotLoc : uint8_t
+    {
+        LocFree,
+        LocHeap,
+        LocFifo,
+    };
+
+    static constexpr uint32_t badIndex = UINT32_MAX;
+
+    /**
+     * Lane entry: a POD ordering key. The callback itself lives in
+     * the slot table so heap sifts shuffle 24-byte keys, not 64-byte
+     * callables (each of whose moves costs an indirect call).
+     */
     struct Entry
     {
         Tick when;
         uint64_t seq;
-        EventId id;
-        std::function<void()> callback;
+        /** Owning slot; badIndex marks a cancelled FIFO entry. */
+        uint32_t slot;
     };
 
-    struct EntryCompare
+    struct Slot
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        /** Stable home of the event's callback until fire/cancel. */
+        SmallFunction cb;
+        /** Generation checked against the id on deschedule(). */
+        uint32_t gen = 1;
+        /** Index into heap[] (LocHeap) or fifo[] (LocFifo). */
+        uint32_t pos = 0;
+        SlotLoc loc = LocFree;
+        EventKind kind = EventKind::Generic;
+        uint32_t nextFree = badIndex;
     };
 
-    /** Pop and fire one event; assumes the queue is non-empty. */
-    void fireNext();
+    static bool
+    before(const Entry &a, const Entry &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> pending;
-    /** Ids currently in the queue and not cancelled. */
-    std::unordered_set<EventId> live;
-    std::unordered_set<EventId> cancelled;
-    size_t numCancelled = 0;
+    uint32_t allocSlot();
+    void freeSlot(uint32_t idx);
 
+    /** Decode an id; returns badIndex unless it names a live slot. */
+    uint32_t liveSlotOf(EventId id) const;
+
+    void heapSiftUp(size_t i);
+    void heapSiftDown(size_t i);
+    /** Remove heap[i], returning its key. */
+    Entry heapRemove(size_t i);
+
+    /** Advance fifoHead past cancelled entries; recycle when empty. */
+    void fifoSkipDead();
+
+    /** Fire the event owned by @p e (already unlinked from its lane). */
+    void fire(const Entry &e);
+
+    /**
+     * One scheduling loop step: fire the globally-next event, or
+     * return false if none exists or its tick exceeds @p limit.
+     */
+    bool fireNext(Tick limit);
+
+    std::vector<Entry> heap;
+    std::vector<Entry> fifo;
+    size_t fifoHead = 0;
+    /** FIFO entries cancelled in place, awaiting skip. */
+    size_t fifoDead = 0;
+
+    std::vector<Slot> slots;
+    uint32_t freeHead = badIndex;
+    size_t slotsInUse = 0;
+
+    size_t pendingCount = 0;
     Tick _curTick = 0;
     uint64_t nextSeq = 0;
-    EventId nextId = 1;
     uint64_t _numFired = 0;
+    uint64_t _numFiredTotal = 0;
     bool stopped = false;
 };
 

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A move-only `void()` callable with a small-buffer optimization.
+ *
+ * The event engine schedules millions of short-lived callbacks whose
+ * captures are a few pointers and integers. std::function heap-
+ * allocates many of those (and libstdc++'s SBO only covers 16 bytes);
+ * SmallFunction stores any nothrow-movable callable up to inlineBytes
+ * directly inside the object, so the common schedule/fire cycle does
+ * zero heap allocations. Larger callables fall back to a single heap
+ * allocation, same as std::function.
+ */
+
+#ifndef SPECRT_SIM_SMALL_FUNCTION_HH
+#define SPECRT_SIM_SMALL_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace specrt
+{
+
+class SmallFunction
+{
+  public:
+    /** Inline capacity: sized for captures of a few pointers. */
+    static constexpr size_t inlineBytes = 48;
+
+    SmallFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallFunction(F &&f) // NOLINT: implicit by design
+    {
+        assign(std::forward<F>(f));
+    }
+
+    SmallFunction(SmallFunction &&other) noexcept { moveFrom(other); }
+
+    SmallFunction &
+    operator=(SmallFunction &&other) noexcept
+    {
+        if (this != &other) {
+            clear();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { clear(); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    void operator()() { invoke_(buf); }
+
+    /** Drop the held callable (back to the empty state). */
+    void
+    clear()
+    {
+        if (invoke_) {
+            relocate_(buf, nullptr);
+            invoke_ = nullptr;
+            relocate_ = nullptr;
+        }
+    }
+
+    /** True when the callable lives in the inline buffer (tests). */
+    template <typename F>
+    static constexpr bool
+    storedInline()
+    {
+        return fitsInline<std::decay_t<F>>();
+    }
+
+  private:
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename F>
+    void
+    assign(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+            invoke_ = [](void *p) {
+                (*std::launder(reinterpret_cast<Fn *>(p)))();
+            };
+            // dst == nullptr means "just destroy the source".
+            relocate_ = [](void *src, void *dst) {
+                Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+                if (dst)
+                    ::new (dst) Fn(std::move(*s));
+                s->~Fn();
+            };
+        } else {
+            *reinterpret_cast<Fn **>(static_cast<void *>(buf)) =
+                new Fn(std::forward<F>(f));
+            invoke_ = [](void *p) { (**reinterpret_cast<Fn **>(p))(); };
+            relocate_ = [](void *src, void *dst) {
+                Fn **s = reinterpret_cast<Fn **>(src);
+                if (dst)
+                    *reinterpret_cast<Fn **>(dst) = *s;
+                else
+                    delete *s;
+            };
+        }
+    }
+
+    void
+    moveFrom(SmallFunction &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        relocate_ = other.relocate_;
+        if (invoke_)
+            relocate_(other.buf, buf);
+        other.invoke_ = nullptr;
+        other.relocate_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf[inlineBytes];
+    void (*invoke_)(void *) = nullptr;
+    void (*relocate_)(void *, void *) = nullptr;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SIM_SMALL_FUNCTION_HH

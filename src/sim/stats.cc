@@ -26,6 +26,16 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+StatGroup::snapshot(StatSnapshot &out, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? _name : prefix + "." + _name;
+    for (const StatBase *stat : stats)
+        stat->snapshot(out, full);
+    for (const StatGroup *child : children)
+        child->snapshot(out, full);
+}
+
+void
 StatGroup::resetStats()
 {
     for (StatBase *stat : stats)
@@ -39,6 +49,12 @@ Scalar::print(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << "." << name() << " " << _value
        << " # " << desc() << "\n";
+}
+
+void
+Scalar::snapshot(StatSnapshot &out, const std::string &prefix) const
+{
+    out.emplace_back(prefix + "." + name(), _value);
 }
 
 double
@@ -59,6 +75,14 @@ VectorStat::print(std::ostream &os, const std::string &prefix) const
     }
     os << prefix << "." << name() << ".total " << total()
        << " # " << desc() << "\n";
+}
+
+void
+VectorStat::snapshot(StatSnapshot &out, const std::string &prefix) const
+{
+    // Telemetry keeps the aggregate; per-index values stay a
+    // print()-only affair to keep the JSON records small.
+    out.emplace_back(prefix + "." + name() + ".total", total());
 }
 
 void
@@ -122,6 +146,18 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
     }
     if (overflow)
         os << full << ".overflow " << overflow << "\n";
+}
+
+void
+Distribution::snapshot(StatSnapshot &out,
+                       const std::string &prefix) const
+{
+    std::string full = prefix + "." + name();
+    out.emplace_back(full + ".count",
+                     static_cast<double>(_count));
+    out.emplace_back(full + ".mean", mean());
+    out.emplace_back(full + ".min", min());
+    out.emplace_back(full + ".max", max());
 }
 
 void

@@ -16,12 +16,16 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace specrt
 {
 
 class StatGroup;
+
+/** Flat (dotted-name, value) pairs captured by snapshot(). */
+using StatSnapshot = std::vector<std::pair<std::string, double>>;
 
 /** Base class for all statistics. */
 class StatBase
@@ -39,6 +43,13 @@ class StatBase
     /** Print "name value # desc" line(s). */
     virtual void print(std::ostream &os, const std::string &prefix)
         const = 0;
+
+    /**
+     * Append this stat's value(s) to @p out as (dotted-name, value)
+     * pairs -- the machine-readable twin of print().
+     */
+    virtual void snapshot(StatSnapshot &out,
+                          const std::string &prefix) const = 0;
 
     /** Reset to the initial (zero) state. */
     virtual void reset() = 0;
@@ -69,6 +80,13 @@ class StatGroup
     /** Dump this group and all children. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /**
+     * Capture every stat in this group and all children as flat
+     * (dotted-name, value) pairs (benchmark telemetry).
+     */
+    void snapshot(StatSnapshot &out,
+                  const std::string &prefix = "") const;
+
     /** Reset all stats in this group and all children. */
     void resetStats();
 
@@ -94,6 +112,8 @@ class Scalar : public StatBase
 
     void print(std::ostream &os, const std::string &prefix)
         const override;
+    void snapshot(StatSnapshot &out,
+                  const std::string &prefix) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -118,6 +138,8 @@ class VectorStat : public StatBase
 
     void print(std::ostream &os, const std::string &prefix)
         const override;
+    void snapshot(StatSnapshot &out,
+                  const std::string &prefix) const override;
     void reset() override;
 
   private:
@@ -145,6 +167,8 @@ class Distribution : public StatBase
 
     void print(std::ostream &os, const std::string &prefix)
         const override;
+    void snapshot(StatSnapshot &out,
+                  const std::string &prefix) const override;
     void reset() override;
 
   private:
