@@ -10,6 +10,8 @@
 
 #include "core/loop_exec.hh"
 #include "sim/config.hh"
+#include "sim/trace.hh"
+#include "sim/trace_export.hh"
 
 #ifndef SPECRT_GIT_SHA
 #define SPECRT_GIT_SHA "unknown"
@@ -145,6 +147,7 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
 {
     const char *envOut = std::getenv("SPECRT_BENCH_OUT");
     std::string outPath = envOut ? envOut : "BENCH_results.json";
+    std::string tracePath;
     bool writeJson = true;
 
     for (int i = 1; i < argc; ++i) {
@@ -155,9 +158,15 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
             writeJson = false;
         } else if (arg == "--out" && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            tracePath = arg.substr(std::strlen("--trace-out="));
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            tracePath = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--quick] [--no-json] "
-                        "[--out <path>]\n",
+                        "[--out <path>] [--trace-out <path>]\n"
+                        "  --trace-out  record the protocol trace and "
+                        "write Chrome/Perfetto JSON to <path>\n",
                         argv[0]);
             return 0;
         } else {
@@ -167,9 +176,27 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
         }
     }
 
+    if (!tracePath.empty())
+        trace::TraceBuffer::instance().enable();
+
     auto t0 = std::chrono::steady_clock::now();
     int rc = body();
     auto t1 = std::chrono::steady_clock::now();
+
+    if (!tracePath.empty()) {
+        if (trace::exportChromeTraceFile(trace::TraceBuffer::instance(),
+                                         tracePath)) {
+            std::printf("[trace] wrote %" PRIu64 " records to %s\n",
+                        trace::TraceBuffer::instance().recorded(),
+                        tracePath.c_str());
+        } else {
+            std::fprintf(stderr, "%s: failed to write trace to %s\n",
+                         name, tracePath.c_str());
+            if (rc == 0)
+                rc = 1;
+        }
+    }
+
     double wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     double wallS = wallMs / 1e3;

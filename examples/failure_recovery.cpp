@@ -6,6 +6,11 @@
  * the checkpoint, and re-execute serially -- and compare with the
  * software scheme, which only learns of the failure after the whole
  * loop, the merge, and the analysis have run.
+ *
+ * Run with SPECRT_TRACE=abort_trace.json to also capture the
+ * protocol trace of the abort (Chrome/Perfetto trace-event JSON; see
+ * EXPERIMENTS.md, "Tracing a speculative abort"). The reconstructed
+ * abort cause prints below when tracing is on.
  */
 
 #include <cstdio>
@@ -70,6 +75,8 @@ main()
     report("HW speculation", hw);
     std::printf("    abort reason: %s (node %d)\n",
                 hw.hwFailure.reason.c_str(), hw.hwFailure.node);
+    if (hw.hwFailure.cause.valid)
+        std::printf("    %s\n", hw.hwFailure.cause.str().c_str());
 
     xc.mode = ExecMode::SW;
     RunResult sw = spec.run(loop, xc);

@@ -3,12 +3,43 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace specrt
 {
 
 namespace
 {
+
+/** Emit an executor-level marker record (no-op when tracing is off). */
+void
+traceMark(trace::TraceOp op, Tick tick, const char *label,
+          uint64_t a = 0)
+{
+    if (!trace::enabled())
+        return;
+    trace::TraceRecord r;
+    r.tick = tick;
+    r.op = op;
+    r.a = a;
+    r.label = label;
+    trace::TraceBuffer::instance().emit(r);
+}
+
+/**
+ * Open a new loop track: every executor run gets a fresh loop id so
+ * records from consecutive runs (degradation retries, epochs of a
+ * sweep) stay distinguishable in the exported trace.
+ */
+void
+beginTraceLoop(Tick tick, const char *mode, uint64_t iters)
+{
+    if (!trace::enabled())
+        return;
+    static uint32_t nextLoopId = 0;
+    trace::TraceBuffer::instance().setLoop(++nextLoopId);
+    traceMark(trace::TraceOp::LoopBegin, tick, mode, iters);
+}
 
 /** Hands each processor exactly one pseudo-iteration [p+1, p+2). */
 class OneShotSource : public WorkSource
@@ -867,6 +898,14 @@ RunResult
 LoopExecutor::run()
 {
     setup();
+    // Protocol tracing: the config knob wins, the environment
+    // (SPECRT_TRACE) can switch it on for any driver that never
+    // touches cfg.trace. Neither affects modeled timing.
+    trace::applyConfig(cfg.trace);
+    trace::maybeEnableFromEnv();
+    beginTraceLoop(dsm->eventQueue().curTick(), execModeName(xc.mode),
+                   numIters());
+
     RunResult res;
     res.mode = xc.mode;
     aggScratch = BreakdownAgg{};
@@ -878,6 +917,8 @@ LoopExecutor::run()
         res.phases.zeroOut = runZeroOutPhase();
     if (is_sw || is_hw) {
         res.phases.backup = runBackupPhase(false);
+        traceMark(trace::TraceOp::Checkpoint,
+                  dsm->eventQueue().curTick(), "backup of shared arrays");
         if (res.phases.backup > 0)
             dsm->resetMachine(true); // commit backup; cold caches for
                                      // the loop, as the paper does
@@ -904,6 +945,8 @@ LoopExecutor::run()
         res.totalTicks = res.phases.total();
         res.agg = aggScratch;
         res.eventsFired = dsm->eventQueue().numFiredTotal();
+        traceMark(trace::TraceOp::LoopEnd, dsm->eventQueue().curTick(),
+                  "infra abort");
         return res;
     }
 
@@ -953,9 +996,17 @@ LoopExecutor::run()
 
     res.passed = !failed;
     if (failed) {
+        if (is_sw)
+            traceMark(trace::TraceOp::Abort,
+                      dsm->eventQueue().curTick(),
+                      "software LRPD test failed");
         res.phases.restore = runBackupPhase(true);
         res.phases.serial = runSerialPhase();
     } else {
+        if (is_sw || is_hw)
+            traceMark(trace::TraceOp::Commit,
+                      dsm->eventQueue().curTick(),
+                      "speculative state committed");
         if (is_sw || is_hw)
             res.phases.copyOut = runCopyOutPhase();
         if (xc.mode != ExecMode::Serial)
@@ -972,6 +1023,8 @@ LoopExecutor::run()
     res.totalTicks = res.phases.total();
     res.agg = aggScratch;
     res.eventsFired = dsm->eventQueue().numFiredTotal();
+    traceMark(trace::TraceOp::LoopEnd, dsm->eventQueue().curTick(),
+              res.passed ? "passed" : "failed");
     if (xc.keepTrace)
         res.trace = std::move(trace);
     return res;

@@ -3,9 +3,30 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace specrt
 {
+
+namespace
+{
+
+/** Record one cache event (fill/evict/inval) for the trace ring. */
+void
+traceCache(trace::TraceOp op, Tick tick, NodeId node, Addr line,
+           const char *label, uint8_t sub = 0)
+{
+    trace::TraceRecord r;
+    r.tick = tick;
+    r.op = op;
+    r.sub = sub;
+    r.node = node;
+    r.addr = line;
+    r.label = label;
+    trace::TraceBuffer::instance().emit(r);
+}
+
+} // namespace
 
 CacheCtrl::CacheCtrl(NodeId node_, EventQueue &eq_, Network &net_,
                      AddrMap &mem_, const MachineConfig &config)
@@ -285,11 +306,20 @@ CacheCtrl::fillLine(const Msg &reply, LineState state, bool is_write)
     bool displaced =
         cache.fill(reply.lineAddr, state, reply.data.data(), &victim);
     if (displaced) {
-        if (victim.state == LineState::Dirty)
+        if (victim.state == LineState::Dirty) {
             evictDirty(victim);
-        else if (spec)
-            spec->onInval(victim.addr);
+        } else {
+            if (trace::enabled())
+                traceCache(trace::TraceOp::CacheInval, eq.curTick(),
+                           node, victim.addr, "displaced");
+            if (spec)
+                spec->onInval(victim.addr);
+        }
     }
+    if (trace::enabled())
+        traceCache(trace::TraceOp::CacheFill, eq.curTick(), node,
+                   reply.lineAddr, lineStateName(state),
+                   static_cast<uint8_t>(state));
     if (spec)
         spec->onFill(reply.lineAddr, reply.specBits, reply.elemAddr,
                      is_write, reply.iter);
@@ -299,6 +329,9 @@ void
 CacheCtrl::evictDirty(const CacheLine &victim)
 {
     ++writebacks;
+    if (trace::enabled())
+        traceCache(trace::TraceOp::CacheEvict, eq.curTick(), node,
+                   victim.addr, "writeback");
     std::vector<uint32_t> bits;
     if (spec) {
         bits = spec->onDirtyOut(victim.addr);
@@ -433,6 +466,9 @@ CacheCtrl::onInval(const Msg &msg)
         cl = nullptr;
     }
     if (cl) {
+        if (trace::enabled())
+            traceCache(trace::TraceOp::CacheInval, eq.curTick(), node,
+                       msg.lineAddr, "inval");
         if (spec)
             spec->onInval(msg.lineAddr);
         cache.invalidate(msg.lineAddr);

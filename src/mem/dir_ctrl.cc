@@ -1,9 +1,33 @@
 #include "mem/dir_ctrl.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace specrt
 {
+
+namespace
+{
+
+/** Record a directory-entry state change (old -> new). */
+void
+traceDirState(Tick tick, NodeId home, Addr line, DirState from,
+              DirState to)
+{
+    if (from == to)
+        return;
+    trace::TraceRecord r;
+    r.tick = tick;
+    r.op = trace::TraceOp::DirState;
+    r.node = home;
+    r.addr = line;
+    r.a = static_cast<uint64_t>(from);
+    r.b = static_cast<uint64_t>(to);
+    r.label = dirStateName(to);
+    trace::TraceBuffer::instance().emit(r);
+}
+
+} // namespace
 
 DirCtrl::DirCtrl(NodeId node_, EventQueue &eq_, Network &net_,
                  AddrMap &mem_, const MachineConfig &config)
@@ -179,6 +203,9 @@ DirCtrl::processBase(const Msg &req)
     if (req.type == MsgType::ReadReq) {
         SPECRT_ASSERT(e.state != DirState::Dirty,
                       "processBase(read) on Dirty line");
+        if (trace::enabled())
+            traceDirState(eq.curTick(), node, line, e.state,
+                          DirState::Shared);
         e.state = DirState::Shared;
         e.addSharer(req.src);
         e.owner = invalidNode;
@@ -209,6 +236,9 @@ DirCtrl::processBase(const Msg &req)
         return; // grant when the last InvalAck arrives
     }
 
+    if (trace::enabled())
+        traceDirState(eq.curTick(), node, line, e.state,
+                      DirState::Dirty);
     e.state = DirState::Dirty;
     e.owner = req.src;
     e.sharers = 0;
@@ -230,6 +260,9 @@ DirCtrl::processWriteback(const Msg &msg)
                       static_cast<uint32_t>(msg.data.size()));
         if (spec && !msg.specBits.empty())
             spec->onDirtyBits(msg.src, line, msg.specBits);
+        if (trace::enabled())
+            traceDirState(eq.curTick(), node, line, e.state,
+                          DirState::Uncached);
         e.state = DirState::Uncached;
         e.owner = invalidNode;
         e.sharers = 0;
@@ -280,6 +313,9 @@ DirCtrl::onShareWb(const Msg &msg)
     }
 
     DirEntry &e = dir.entry(msg.lineAddr);
+    if (trace::enabled())
+        traceDirState(eq.curTick(), node, msg.lineAddr, e.state,
+                      DirState::Shared);
     e.state = DirState::Shared;
     e.sharers = uint64_t(1) << txn.req.src;
     if (msg.ownerRetains)
@@ -307,6 +343,9 @@ DirCtrl::onOwnXfer(const Msg &msg)
     }
 
     DirEntry &e = dir.entry(msg.lineAddr);
+    if (trace::enabled())
+        traceDirState(eq.curTick(), node, msg.lineAddr, e.state,
+                      DirState::Dirty);
     e.state = DirState::Dirty;
     e.owner = txn.req.src;
     e.sharers = 0;
@@ -334,6 +373,9 @@ DirCtrl::onInvalAck(const Msg &msg)
     // All sharers gone: grant ownership. The memory read overlapped
     // with the invalidations, so the reply goes out immediately.
     DirEntry &e = dir.entry(msg.lineAddr);
+    if (trace::enabled())
+        traceDirState(eq.curTick(), node, msg.lineAddr, e.state,
+                      DirState::Dirty);
     e.state = DirState::Dirty;
     e.owner = txn.req.src;
     e.sharers = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace specrt
 {
@@ -15,6 +16,45 @@ channelKey(NodeId src, NodeId dst)
 {
     return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
            static_cast<uint32_t>(dst);
+}
+
+/** Trace one send attempt; returns the flow id for its deliveries. */
+uint64_t
+traceSend(const Msg &msg, Tick tick)
+{
+    auto &buf = trace::TraceBuffer::instance();
+    uint64_t flow = buf.nextFlow();
+    trace::TraceRecord r;
+    r.tick = tick;
+    r.op = trace::TraceOp::MsgSend;
+    r.sub = static_cast<uint8_t>(msg.type);
+    r.node = msg.src;
+    r.peer = msg.dst;
+    r.iter = msg.iter;
+    r.addr = msg.elemAddr != invalidAddr ? msg.elemAddr : msg.lineAddr;
+    r.a = msg.lineAddr;
+    r.b = flow;
+    r.label = msgTypeName(msg.type);
+    buf.emit(r);
+    return flow;
+}
+
+/** Trace one delivery of the send recorded under @p flow. */
+void
+traceRecv(const Msg &msg, Tick tick, uint64_t flow)
+{
+    trace::TraceRecord r;
+    r.tick = tick;
+    r.op = trace::TraceOp::MsgRecv;
+    r.sub = static_cast<uint8_t>(msg.type);
+    r.node = msg.dst;
+    r.peer = msg.src;
+    r.iter = msg.iter;
+    r.addr = msg.elemAddr != invalidAddr ? msg.elemAddr : msg.lineAddr;
+    r.a = msg.lineAddr;
+    r.b = flow;
+    r.label = msgTypeName(msg.type);
+    trace::TraceBuffer::instance().emit(r);
 }
 
 } // namespace
@@ -66,6 +106,10 @@ Network::transmit(Msg msg, Cycles extra_delay, int attempt)
     ++msgs;
     msgsByType[static_cast<size_t>(msg.type)] += 1;
 
+    uint64_t flow = 0;
+    if (trace::enabled())
+        flow = traceSend(msg, eq.curTick());
+
     Cycles delay = extra_delay;
     if (msg.src != msg.dst) {
         delay += hopLatency;
@@ -96,12 +140,13 @@ Network::transmit(Msg msg, Cycles extra_delay, int attempt)
     }
 
     if (fd.duplicate)
-        deliver(msg, delay, fd.jitter);
-    deliver(msg, delay, fd.jitter);
+        deliver(msg, delay, fd.jitter, flow);
+    deliver(msg, delay, fd.jitter, flow);
 }
 
 void
-Network::deliver(const Msg &msg, Cycles delay, Cycles jitter)
+Network::deliver(const Msg &msg, Cycles delay, Cycles jitter,
+                 uint64_t flow)
 {
     bool to_dir = msgToHome(msg.type) || msg.type == MsgType::ShareWb ||
                   msg.type == MsgType::OwnXfer ||
@@ -113,6 +158,14 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter)
                   msgTypeName(msg.type), msg.dst);
 
     if (!plan || !plan->armed()) {
+        if (trace::enabled()) {
+            eq.scheduleIn(delay, [this, &h, m = msg, flow]() {
+                if (trace::enabled())
+                    traceRecv(m, eq.curTick(), flow);
+                h(m);
+            });
+            return;
+        }
         // Fault-free fast path: identical timing to the plain network.
         eq.scheduleIn(delay, [&h, m = msg]() { h(m); });
         return;
@@ -124,7 +177,11 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter)
     Tick &floor = channelFloor[channelKey(msg.src, msg.dst)];
     when = std::max(when, floor);
     floor = when;
-    eq.schedule(when, [&h, m = msg]() { h(m); });
+    eq.schedule(when, [this, &h, m = msg, flow]() {
+        if (trace::enabled())
+            traceRecv(m, eq.curTick(), flow);
+        h(m);
+    });
 }
 
 void

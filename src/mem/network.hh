@@ -84,8 +84,13 @@ class Network : public StatGroup
   private:
     /** One transmission attempt (attempt > 0 for retransmissions). */
     void transmit(Msg msg, Cycles extra_delay, int attempt);
-    /** Deliver one copy at base delay + @p jitter, FIFO-clamped. */
-    void deliver(const Msg &msg, Cycles delay, Cycles jitter);
+    /**
+     * Deliver one copy at base delay + @p jitter, FIFO-clamped.
+     * @p flow is the trace flow id tying this delivery back to its
+     * MsgSend record (0 = tracing off at send time).
+     */
+    void deliver(const Msg &msg, Cycles delay, Cycles jitter,
+                 uint64_t flow);
     /** Schedule a backoff retransmission of a dropped signal. */
     void scheduleRetransmit(Msg msg, int attempt);
 

@@ -1,9 +1,27 @@
 #include "runtime/processor.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace specrt
 {
+
+namespace
+{
+
+/** Record an iteration boundary on @p node's track. */
+void
+traceIter(trace::TraceOp op, Tick tick, NodeId node, IterNum iter)
+{
+    trace::TraceRecord r;
+    r.tick = tick;
+    r.op = op;
+    r.node = node;
+    r.iter = iter;
+    trace::TraceBuffer::instance().emit(r);
+}
+
+} // namespace
 
 Processor::Processor(NodeId node_, EventQueue &eq_, CacheCtrl &cache_,
                      const MachineConfig &config)
@@ -95,6 +113,9 @@ Processor::beginIteration()
 {
     if (!active)
         return;
+    if (trace::enabled())
+        traceIter(trace::TraceOp::IterBegin, eq.curTick(), node,
+                  curIter);
     prog.clear();
     gen(curIter, prog);
     pc = 0;
@@ -108,6 +129,9 @@ Processor::finishIteration()
 {
     if (!active)
         return;
+    if (trace::enabled())
+        traceIter(trace::TraceOp::IterEnd, eq.curTick(), node,
+                  curIter);
     iters += 1;
     IterNum finished = curIter;
     (void)finished;

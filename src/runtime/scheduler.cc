@@ -3,9 +3,32 @@
 #include <memory>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace specrt
 {
+
+namespace
+{
+
+/** Record a work grant of iterations [lo, hi) to processor @p p. */
+void
+traceGrant(NodeId p, Tick now, IterNum lo, IterNum hi,
+           const char *policy)
+{
+    if (!trace::enabled())
+        return;
+    trace::TraceRecord r;
+    r.tick = now;
+    r.op = trace::TraceOp::Grant;
+    r.node = p;
+    r.iter = lo;
+    r.a = static_cast<uint64_t>(hi);
+    r.label = policy;
+    trace::TraceBuffer::instance().emit(r);
+}
+
+} // namespace
 
 const char *
 schedPolicyName(SchedPolicy p)
@@ -36,7 +59,7 @@ StaticChunkSource::chunkOf(NodeId p) const
 }
 
 WorkSource::Grant
-StaticChunkSource::next(NodeId p, Tick)
+StaticChunkSource::next(NodeId p, Tick now)
 {
     SPECRT_ASSERT(p >= 0 && p < numProcs, "bad proc %d", p);
     if (handedOut[p])
@@ -45,6 +68,7 @@ StaticChunkSource::next(NodeId p, Tick)
     auto [lo, hi] = chunkOf(p);
     if (lo >= hi)
         return {true, 0, 0, 0};
+    traceGrant(p, now, lo, hi, "static");
     return {false, lo, hi, 0};
 }
 
@@ -57,7 +81,7 @@ BlockCyclicSource::BlockCyclicSource(IterNum num_iters, int num_procs,
 }
 
 WorkSource::Grant
-BlockCyclicSource::next(NodeId p, Tick)
+BlockCyclicSource::next(NodeId p, Tick now)
 {
     SPECRT_ASSERT(p >= 0 && p < numProcs, "bad proc %d", p);
     IterNum ordinal = nextBlock[p] * numProcs + p;
@@ -66,6 +90,7 @@ BlockCyclicSource::next(NodeId p, Tick)
         return {true, 0, 0, 0};
     ++nextBlock[p];
     IterNum hi = std::min<IterNum>(lo + blockIters, numIters + 1);
+    traceGrant(p, now, lo, hi, "block-cyclic");
     return {false, lo, hi, 0};
 }
 
@@ -78,7 +103,7 @@ DynamicSource::DynamicSource(IterNum num_iters, IterNum block_iters,
 }
 
 WorkSource::Grant
-DynamicSource::next(NodeId, Tick now)
+DynamicSource::next(NodeId p, Tick now)
 {
     if (nextIter > numIters)
         return {true, 0, 0, 0};
@@ -91,6 +116,7 @@ DynamicSource::next(NodeId, Tick now)
     IterNum lo = nextIter;
     IterNum hi = std::min<IterNum>(lo + blockIters, numIters + 1);
     nextIter = hi;
+    traceGrant(p, now, lo, hi, "dynamic");
     return {false, lo, hi, delay};
 }
 

@@ -1,5 +1,6 @@
 #include "sim/config.hh"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -17,6 +18,29 @@ isPow2(uint64_t v)
 }
 
 } // namespace
+
+TraceConfig
+TraceConfig::fromEnv()
+{
+    TraceConfig tc;
+    const char *v = std::getenv("SPECRT_TRACE");
+    if (!v || !*v || std::string(v) == "0")
+        return tc;
+    tc.enabled = true;
+    if (std::string(v) != "1")
+        tc.outPath = v;
+    if (const char *out = std::getenv("SPECRT_TRACE_OUT"))
+        tc.outPath = out;
+    if (const char *cap = std::getenv("SPECRT_TRACE_CAPACITY")) {
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(cap, &end, 10);
+        if (end && *end == '\0' && n > 0)
+            tc.capacityRecords = static_cast<size_t>(n);
+        else
+            warn("ignoring bad SPECRT_TRACE_CAPACITY '%s'", cap);
+    }
+    return tc;
+}
 
 void
 MachineConfig::validate() const

@@ -121,6 +121,28 @@ struct FaultConfig
     }
 };
 
+/**
+ * Protocol-trace knobs (sim/trace.hh). Host-side observability
+ * only: tracing never changes modeled timing, so this struct is
+ * deliberately excluded from MachineConfig::fingerprint().
+ */
+struct TraceConfig
+{
+    /** Record protocol events into the trace ring. */
+    bool enabled = false;
+    /** Where to write the Chrome/Perfetto JSON ("" = don't). */
+    std::string outPath;
+    /** Ring capacity in records (0 = TraceBuffer::defaultCapacity). */
+    size_t capacityRecords = 0;
+
+    /**
+     * Parse SPECRT_TRACE (unset/"0" = off; "1" = on; any other
+     * value = on, writing to that path), SPECRT_TRACE_OUT and
+     * SPECRT_TRACE_CAPACITY.
+     */
+    static TraceConfig fromEnv();
+};
+
 /** Full machine description. */
 struct MachineConfig
 {
@@ -152,6 +174,13 @@ struct MachineConfig
 
     /** Fault injection + watchdog (off by default). */
     FaultConfig fault;
+
+    /**
+     * Protocol tracing (off by default). Observability-only: not
+     * part of fingerprint(), because it cannot change modeled
+     * timing.
+     */
+    TraceConfig trace;
 
     /** Checks that the configuration is self-consistent (fatal()s). */
     void validate() const;

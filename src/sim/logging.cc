@@ -15,6 +15,30 @@ LogSink userSink;
 bool throwOnFatal = false;
 std::mutex logMutex;
 
+#ifndef NDEBUG
+/**
+ * Reentrancy detector (debug builds). The simulator is
+ * single-threaded (see logging.hh), so `inEmit` needs no atomicity:
+ * it is only ever observed set by the same thread re-entering
+ * through a misbehaving sink. That path would otherwise deadlock on
+ * the non-recursive logMutex, so report directly to stderr -- going
+ * through SPECRT_ASSERT/panic() would recurse into emit() again --
+ * and abort.
+ */
+bool inEmit = false;
+
+void
+reentrancyAbort(const char *what)
+{
+    std::fprintf(stderr,
+                 "panic: %s during log emission -- LogSinks must not "
+                 "log or swap sinks (see the threading contract in "
+                 "sim/logging.hh)\n",
+                 what);
+    std::abort();
+}
+#endif
+
 std::string
 vformat(const char *fmt, va_list args)
 {
@@ -32,7 +56,18 @@ vformat(const char *fmt, va_list args)
 void
 emit(LogLevel level, const std::string &msg)
 {
+#ifndef NDEBUG
+    if (inEmit)
+        reentrancyAbort("log call from a LogSink");
+#endif
     std::lock_guard<std::mutex> guard(logMutex);
+#ifndef NDEBUG
+    struct Flag
+    {
+        Flag() { inEmit = true; }
+        ~Flag() { inEmit = false; }
+    } flag; // exception-safe: a throwing sink must not wedge the flag
+#endif
     if (userSink) {
         userSink(level, msg);
     } else {
@@ -57,6 +92,10 @@ logLevelName(LogLevel level)
 LogSink
 setLogSink(LogSink sink)
 {
+#ifndef NDEBUG
+    if (inEmit)
+        reentrancyAbort("setLogSink()");
+#endif
     std::lock_guard<std::mutex> guard(logMutex);
     LogSink old = userSink;
     userSink = std::move(sink);

@@ -10,6 +10,22 @@
  *
  * All take printf-style format strings. A LogSink can be installed to
  * capture messages in tests instead of writing to stderr.
+ *
+ * Threading contract: the simulator is SINGLE-THREADED. The logging
+ * layer follows that contract rather than defending against misuse:
+ *
+ *  - setLogSink() must not be called while a message is being
+ *    emitted. In an event-driven simulator that can only happen by
+ *    reentrancy -- a sink that itself calls warn()/inform()/
+ *    setLogSink(), or a sink that runs simulator code which logs.
+ *    Such a swap would mutate the std::function mid-invocation.
+ *  - a sink must not log. The internal mutex (which exists to keep
+ *    *host-side* tooling like multi-threaded test runners from
+ *    interleaving bytes, not to make sinks swappable mid-flight) is
+ *    non-recursive, so a logging sink deadlocks in release builds.
+ *
+ * Debug builds (NDEBUG unset) detect both forms of reentrancy and
+ * abort with a diagnostic instead of deadlocking.
  */
 
 #ifndef SPECRT_SIM_LOGGING_HH

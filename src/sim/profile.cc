@@ -15,6 +15,7 @@ eventKindName(EventKind k)
       case EventKind::Directory: return "directory";
       case EventKind::Processor: return "processor";
       case EventKind::Sched: return "sched";
+      case EventKind::Spec: return "spec";
       default: return "?";
     }
 }

@@ -37,6 +37,7 @@ enum class EventKind : uint8_t
     Directory,
     Processor,
     Sched,
+    Spec,
     NumKinds,
 };
 

@@ -1,0 +1,256 @@
+#include "sim/trace_export.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace specrt
+{
+namespace trace
+{
+
+namespace
+{
+
+/**
+ * Synthetic pid for records with no node (loop begin/end,
+ * checkpoints, executor-level aborts). Keeps machine-scope events on
+ * their own track instead of polluting node 0.
+ */
+constexpr int machinePid = 9999;
+
+/** Lanes (tids) within each node's track. */
+constexpr int tidIter = 0;
+constexpr int tidMsg = 1;
+constexpr int tidProto = 2;
+
+int
+pidOf(const TraceRecord &r)
+{
+    return r.node == invalidNode ? machinePid
+                                 : static_cast<int>(r.node);
+}
+
+std::string
+esc(const char *s)
+{
+    std::string out;
+    if (!s)
+        return out;
+    for (; *s; ++s) {
+        char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** One trace event object; `extra` is raw JSON appended verbatim. */
+void
+event(std::ostringstream &os, bool &first, const std::string &name,
+      const char *ph, uint64_t ts, int pid, int tid,
+      const std::string &extra = "")
+{
+    os << (first ? "\n" : ",\n") << "  {\"name\": \"" << name
+       << "\", \"ph\": \"" << ph << "\", \"ts\": " << ts
+       << ", \"pid\": " << pid << ", \"tid\": " << tid;
+    if (!extra.empty())
+        os << ", " << extra;
+    os << "}";
+    first = false;
+}
+
+std::string
+argsCommon(const TraceRecord &r)
+{
+    std::ostringstream os;
+    os << "\"args\": {\"loop\": " << r.loop << ", \"iter\": " << r.iter;
+    if (r.addr != invalidAddr)
+        os << ", \"elem\": \"0x" << std::hex << r.addr << std::dec
+           << "\"";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const TraceBuffer &buf)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\": [";
+    bool first = true;
+
+    // Metadata: name the per-node processes and their lanes, plus
+    // the machine-scope track.
+    std::set<int> pids;
+    for (size_t i = 0; i < buf.size(); ++i)
+        pids.insert(pidOf(buf.at(i)));
+    for (int pid : pids) {
+        std::ostringstream name;
+        if (pid == machinePid)
+            name << "machine";
+        else
+            name << "node " << pid;
+        event(os, first, "process_name", "M", 0, pid, 0,
+              "\"args\": {\"name\": \"" + name.str() + "\"}");
+        event(os, first, "thread_name", "M", 0, pid, tidIter,
+              "\"args\": {\"name\": \"iterations\"}");
+        if (pid != machinePid) {
+            event(os, first, "thread_name", "M", 0, pid, tidMsg,
+                  "\"args\": {\"name\": \"messages\"}");
+            event(os, first, "thread_name", "M", 0, pid, tidProto,
+                  "\"args\": {\"name\": \"protocol\"}");
+        }
+    }
+
+    for (size_t i = 0; i < buf.size(); ++i) {
+        const TraceRecord &r = buf.at(i);
+        int pid = pidOf(r);
+        const char *cat = eventKindName(opCategory(r.op));
+        std::ostringstream nm;
+
+        switch (r.op) {
+          case TraceOp::IterBegin:
+          case TraceOp::IterEnd:
+            nm << "iter " << r.iter;
+            event(os, first, nm.str(),
+                  r.op == TraceOp::IterBegin ? "B" : "E", r.tick, pid,
+                  tidIter, argsCommon(r) + "}");
+            break;
+
+          case TraceOp::LoopBegin:
+          case TraceOp::LoopEnd:
+            nm << "loop " << r.loop << " ("
+               << esc(r.label ? r.label : "?") << ")";
+            event(os, first, nm.str(),
+                  r.op == TraceOp::LoopBegin ? "B" : "E", r.tick, pid,
+                  tidIter, argsCommon(r) + "}");
+            break;
+
+          case TraceOp::MsgSend:
+          case TraceOp::MsgRecv: {
+            nm << esc(r.label ? r.label : "msg");
+            // A dur-1 slice on the endpoint's message lane...
+            std::ostringstream extra;
+            extra << "\"dur\": 1, \"cat\": \"" << cat << "\", "
+                  << argsCommon(r) << ", \"peer\": " << r.peer
+                  << ", \"flow\": " << r.b << "}";
+            event(os, first, nm.str(), "X", r.tick, pid, tidMsg,
+                  extra.str());
+            // ...plus a flow arrow endpoint keyed by the flow id.
+            std::ostringstream fl;
+            fl << "\"cat\": \"" << cat << "\", \"id\": " << r.b;
+            if (r.op == TraceOp::MsgRecv)
+                fl << ", \"bp\": \"e\"";
+            event(os, first, nm.str(),
+                  r.op == TraceOp::MsgSend ? "s" : "f", r.tick, pid,
+                  tidMsg, fl.str());
+            break;
+          }
+
+          case TraceOp::Abort: {
+            nm << "ABORT: " << esc(r.label ? r.label : "?");
+            std::ostringstream extra;
+            extra << "\"s\": \"g\", \"cat\": \"" << cat << "\", "
+                  << argsCommon(r) << ", \"node\": " << r.node << "}";
+            event(os, first, nm.str(), "i", r.tick, pid, tidProto,
+                  extra.str());
+            break;
+          }
+
+          default: {
+            // Protocol-state instants: cache/dir transitions,
+            // spec-bit and time-stamp updates, grants, checkpoints,
+            // commits.
+            nm << traceOpName(r.op);
+            if (r.label)
+                nm << " " << esc(r.label);
+            std::ostringstream extra;
+            extra << "\"s\": \"t\", \"cat\": \"" << cat << "\", "
+                  << argsCommon(r) << ", \"old\": " << r.a
+                  << ", \"new\": " << r.b << "}";
+            int tid = pid == machinePid ? tidIter : tidProto;
+            event(os, first, nm.str(), "i", r.tick, pid, tid,
+                  extra.str());
+            break;
+          }
+        }
+    }
+
+    os << "\n],\n\"displayTimeUnit\": \"ns\",\n"
+       << "\"otherData\": {\"recorded\": " << buf.recorded()
+       << ", \"dropped\": " << buf.dropped() << "}}\n";
+    return os.str();
+}
+
+bool
+exportChromeTraceFile(const TraceBuffer &buf, const std::string &path)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        return false;
+    os << chromeTraceJson(buf);
+    return static_cast<bool>(os);
+}
+
+std::string
+textSummary(const TraceBuffer &buf)
+{
+    uint64_t perOp[numTraceOps] = {};
+    std::set<NodeId> nodes;
+    Tick lo = maxTick, hi = 0;
+    std::ostringstream aborts;
+
+    for (size_t i = 0; i < buf.size(); ++i) {
+        const TraceRecord &r = buf.at(i);
+        ++perOp[static_cast<size_t>(r.op)];
+        if (r.node != invalidNode)
+            nodes.insert(r.node);
+        if (r.tick < lo)
+            lo = r.tick;
+        if (r.tick > hi)
+            hi = r.tick;
+        if (r.op == TraceOp::Abort) {
+            aborts << "  tick " << r.tick << " node " << r.node
+                   << " loop " << r.loop << " iter " << r.iter
+                   << ": " << (r.label ? r.label : "?") << "\n";
+        }
+    }
+
+    std::ostringstream os;
+    os << "trace summary: " << buf.size() << " records retained, "
+       << buf.recorded() << " recorded, " << buf.dropped()
+       << " dropped";
+    if (buf.size())
+        os << ", ticks [" << lo << ", " << hi << "], "
+           << nodes.size() << " nodes";
+    os << "\n";
+    for (size_t i = 0; i < numTraceOps; ++i) {
+        if (!perOp[i])
+            continue;
+        TraceOp op = static_cast<TraceOp>(i);
+        os << "  " << traceOpName(op) << " ("
+           << eventKindName(opCategory(op)) << "): " << perOp[i]
+           << "\n";
+    }
+    std::string ab = aborts.str();
+    if (!ab.empty())
+        os << "aborts:\n" << ab;
+    return os.str();
+}
+
+} // namespace trace
+} // namespace specrt

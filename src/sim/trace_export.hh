@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Exporters for the sim-time trace ring (sim/trace.hh):
+ *
+ *  - Chrome/Perfetto trace-event JSON: one process ("track") per
+ *    node, iterations as B/E slices, messages as dur-1 slices tied
+ *    together by s/f flow arrows, protocol state changes as instant
+ *    events, aborts as global instants carrying the abort cause.
+ *    Load the file in https://ui.perfetto.dev or chrome://tracing.
+ *  - a compact text summary (per-op counts, drop accounting, and
+ *    the abort records), for terminals and CI logs.
+ *
+ * Timestamps are raw sim ticks; the viewer renders them as
+ * microseconds, which only changes the axis label.
+ */
+
+#ifndef SPECRT_SIM_TRACE_EXPORT_HH
+#define SPECRT_SIM_TRACE_EXPORT_HH
+
+#include <string>
+
+namespace specrt
+{
+namespace trace
+{
+
+class TraceBuffer;
+
+/** The whole ring as a Chrome trace-event JSON document. */
+std::string chromeTraceJson(const TraceBuffer &buf);
+
+/** Write chromeTraceJson(@p buf) to @p path. @return success. */
+bool exportChromeTraceFile(const TraceBuffer &buf,
+                           const std::string &path);
+
+/** Compact human-readable summary of the ring's contents. */
+std::string textSummary(const TraceBuffer &buf);
+
+} // namespace trace
+} // namespace specrt
+
+#endif // SPECRT_SIM_TRACE_EXPORT_HH

@@ -1,13 +1,68 @@
 #include "spec/nonpriv.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace specrt
 {
 
+namespace
+{
+
+// Trace instrumentation: each transition function declares one
+// tracer on entry; at exit the tracer records the packed before/after
+// bits against the ambient trace context (set by spec_unit) when
+// they differ. Costs one enabled() load when tracing is off.
+
+struct TraceTagBits
+{
+    TraceTagBits(const NPTagBits &t_, bool write_)
+        : t(t_), write(write_), on(trace::enabled())
+    {
+        if (on)
+            before = npPackTag(t, trace::ctx().node);
+    }
+
+    ~TraceTagBits()
+    {
+        if (on)
+            trace::specBits(write, before,
+                            npPackTag(t, trace::ctx().node));
+    }
+
+    const NPTagBits &t;
+    bool write;
+    bool on;
+    uint32_t before = 0;
+};
+
+struct TraceDirBits
+{
+    TraceDirBits(const NPDirBits &d_, bool write_)
+        : d(d_), write(write_), on(trace::enabled())
+    {
+        if (on)
+            before = npPackDir(d);
+    }
+
+    ~TraceDirBits()
+    {
+        if (on)
+            trace::specBits(write, before, npPackDir(d));
+    }
+
+    const NPDirBits &d;
+    bool write;
+    bool on;
+    uint32_t before = 0;
+};
+
+} // namespace
+
 NPCacheResult
 npCacheRead(NPTagBits &t, bool line_dirty)
 {
+    TraceTagBits tr(t, false);
     NPCacheResult r;
     if (t.first == TagFirst::Other && t.noShr) {
         r.fail = true;
@@ -27,6 +82,7 @@ npCacheRead(NPTagBits &t, bool line_dirty)
 NPCacheResult
 npCacheWriteDirty(NPTagBits &t)
 {
+    TraceTagBits tr(t, true);
     NPCacheResult r;
     if (t.first == TagFirst::Other || t.rOnly) {
         r.fail = true;
@@ -44,6 +100,7 @@ npCacheWriteDirty(NPTagBits &t)
 NPCacheResult
 npCacheLocalApply(NPTagBits &t, bool is_write)
 {
+    TraceTagBits tr(t, is_write);
     NPCacheResult r;
     if (is_write) {
         if (t.first == TagFirst::Other || t.rOnly) {
@@ -71,6 +128,7 @@ npCacheLocalApply(NPTagBits &t, bool is_write)
 NPCacheResult
 npCacheFirstUpdateFail(NPTagBits &t)
 {
+    TraceTagBits tr(t, false);
     NPCacheResult r;
     if (t.first == TagFirst::Own && t.noShr) {
         // This processor read and then wrote the element before
@@ -87,6 +145,7 @@ npCacheFirstUpdateFail(NPTagBits &t)
 NPDirResult
 npDirRead(NPDirBits &d, NodeId requester)
 {
+    TraceDirBits tr(d, false);
     NPDirResult r;
     if (d.first != requester && d.first != invalidNode && d.noShr) {
         r.fail = true;
@@ -104,6 +163,7 @@ npDirRead(NPDirBits &d, NodeId requester)
 NPDirResult
 npDirWrite(NPDirBits &d, NodeId requester)
 {
+    TraceDirBits tr(d, true);
     NPDirResult r;
     if ((d.first != requester && d.first != invalidNode) || d.rOnly) {
         r.fail = true;
@@ -119,6 +179,7 @@ npDirWrite(NPDirBits &d, NodeId requester)
 NPDirResult
 npDirFirstUpdate(NPDirBits &d, NodeId sender)
 {
+    TraceDirBits tr(d, false);
     NPDirResult r;
     if (d.noShr) {
         if (d.first == sender)
@@ -142,6 +203,7 @@ npDirFirstUpdate(NPDirBits &d, NodeId sender)
 NPDirResult
 npDirROnlyUpdate(NPDirBits &d, NodeId sender)
 {
+    TraceDirBits tr(d, false);
     NPDirResult r;
     if (d.noShr) {
         if (d.first == sender)
@@ -180,6 +242,7 @@ NPDirResult
 npDirMergeDirty(NPDirBits &d, NodeId sender, uint32_t wire)
 {
     (void)sender; // identity travels inside the wire encoding
+    TraceDirBits tr(d, true);
     NPDirResult r;
     NPWire w = npUnpack(wire);
 

@@ -1,9 +1,23 @@
 #include "spec/priv.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace specrt
 {
+
+namespace
+{
+
+/** Record a time-stamp move (no-op when tracing is off). */
+inline void
+traceTs(trace::TsStamp which, IterNum old_v, IterNum new_v)
+{
+    if (trace::enabled())
+        trace::timeStamp(which, old_v, new_v);
+}
+
+} // namespace
 
 PrivCacheResult
 privCacheRead(PrivTagBits &t, IterNum iter)
@@ -34,6 +48,7 @@ privCacheWrite(PrivTagBits &t, IterNum iter)
 void
 privPDirReadFirstSig(PrivPrivDirBits &d, IterNum iter)
 {
+    traceTs(trace::TsStamp::PMaxR1st, d.pMaxR1st, iter);
     d.pMaxR1st = iter;
 }
 
@@ -48,6 +63,7 @@ privPDirRead(PrivPrivDirBits &d, IterNum iter, bool line_untouched)
     }
     if (d.pMaxR1st < iter && d.pMaxW < iter) {
         r.readFirst = true;
+        traceTs(trace::TsStamp::PMaxR1st, d.pMaxR1st, iter);
         d.pMaxR1st = iter;
     }
     return r;
@@ -59,9 +75,11 @@ privPDirFirstWriteSig(PrivPrivDirBits &d, IterNum iter)
     PrivPDirResult r;
     if (d.pMaxW == 0) {
         // First write to the element in the whole loop.
+        traceTs(trace::TsStamp::PMaxW, d.pMaxW, iter);
         d.pMaxW = iter;
         r.firstWrite = true;
     } else if (d.pMaxW < iter) {
+        traceTs(trace::TsStamp::PMaxW, d.pMaxW, iter);
         d.pMaxW = iter;
     }
     return r;
@@ -77,21 +95,27 @@ privPDirWrite(PrivPrivDirBits &d, IterNum iter, bool line_untouched)
             return r;
         }
         r.firstWrite = true;
+        traceTs(trace::TsStamp::PMaxW, d.pMaxW, iter);
         d.pMaxW = iter;
         return r;
     }
-    if (d.pMaxW < iter)
+    if (d.pMaxW < iter) {
+        traceTs(trace::TsStamp::PMaxW, d.pMaxW, iter);
         d.pMaxW = iter;
+    }
     return r;
 }
 
 void
 privPDirReadInDone(PrivPrivDirBits &d, IterNum iter, bool for_write)
 {
-    if (for_write)
+    if (for_write) {
+        traceTs(trace::TsStamp::PMaxW, d.pMaxW, iter);
         d.pMaxW = iter;
-    else
+    } else {
+        traceTs(trace::TsStamp::PMaxR1st, d.pMaxR1st, iter);
         d.pMaxR1st = iter;
+    }
 }
 
 PrivSDirResult
@@ -104,8 +128,10 @@ privSDirReadFirst(PrivSharedDirBits &d, IterNum iter)
                    "(flow dependence)";
         return r;
     }
-    if (iter > d.maxR1st)
+    if (iter > d.maxR1st) {
+        traceTs(trace::TsStamp::MaxR1st, d.maxR1st, iter);
         d.maxR1st = iter;
+    }
     return r;
 }
 
@@ -119,8 +145,10 @@ privSDirFirstWrite(PrivSharedDirBits &d, IterNum iter)
                    "(flow dependence)";
         return r;
     }
-    if (iter < d.minW)
+    if (iter < d.minW) {
+        traceTs(trace::TsStamp::MinW, d.minW, iter);
         d.minW = iter;
+    }
     return r;
 }
 

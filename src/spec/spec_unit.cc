@@ -45,6 +45,7 @@ SpecCacheUnit::onLoadHit(Addr addr, LineState state, IterNum iter)
     Addr line = sys.lineOf(addr);
     uint32_t elems = sys.lineBytes() / range->elemBytes;
     size_t idx = (addr - line) / range->elemBytes;
+    trace::ScopedCtx tctx(sys.now(), node, addr, iter);
 
     if (range->type == TestType::NonPriv) {
         NPTagBits &bits = npLine(line, elems)[idx];
@@ -102,6 +103,7 @@ SpecCacheUnit::onStoreDirtyHit(Addr addr, IterNum iter)
     Addr line = sys.lineOf(addr);
     uint32_t elems = sys.lineBytes() / range->elemBytes;
     size_t idx = (addr - line) / range->elemBytes;
+    trace::ScopedCtx tctx(sys.now(), node, addr, iter);
 
     if (range->type == TestType::NonPriv) {
         NPTagBits &bits = npLine(line, elems)[idx];
@@ -142,6 +144,7 @@ SpecCacheUnit::onFill(Addr line_addr, const std::vector<uint32_t> &bits,
 
     uint32_t elems = sys.lineBytes() / range->elemBytes;
     size_t idx = (elem_addr - line_addr) / range->elemBytes;
+    trace::ScopedCtx tctx(sys.now(), node, elem_addr, iter);
 
     if (range->type == TestType::NonPriv) {
         SPECRT_ASSERT(bits.size() == elems,
@@ -230,6 +233,7 @@ SpecCacheUnit::onMsg(const Msg &msg)
     const TestRange *range = sys.table().lookup(msg.elemAddr);
     SPECRT_ASSERT(range, "FirstUpdateFail outside any test range");
     size_t idx = (msg.elemAddr - msg.lineAddr) / range->elemBytes;
+    trace::ScopedCtx tctx(sys.now(), node, msg.elemAddr, msg.iter);
     NPCacheResult res = npCacheFirstUpdateFail(it->second[idx]);
     if (res.fail)
         sys.fail(node, msg.elemAddr, res.reason);
@@ -325,6 +329,7 @@ SpecDirUnit::onReadReq(const Msg &req)
     const TestRange *range = sys.table().lookup(req.elemAddr);
     if (!range)
         return SpecDirAction::Proceed;
+    trace::ScopedCtx tctx(sys.now(), req.src, req.elemAddr, req.iter);
 
     if (range->type == TestType::NonPriv) {
         NPDirResult res = npDirRead(np[req.elemAddr], req.src);
@@ -355,6 +360,7 @@ SpecDirUnit::onWriteReq(const Msg &req)
     const TestRange *range = sys.table().lookup(req.elemAddr);
     if (!range)
         return SpecDirAction::Proceed;
+    trace::ScopedCtx tctx(sys.now(), req.src, req.elemAddr, req.iter);
 
     if (range->type == TestType::NonPriv) {
         NPDirResult res = npDirWrite(np[req.elemAddr], req.src);
@@ -427,6 +433,7 @@ SpecDirUnit::onDirtyBits(NodeId from, Addr line_addr,
     SPECRT_ASSERT(bits.size() == elems, "dirty bits size mismatch");
     for (uint32_t i = 0; i < elems; ++i) {
         Addr elem = line_addr + i * range->elemBytes;
+        trace::ScopedCtx tctx(sys.now(), from, elem, 0);
         NPDirResult res = npDirMergeDirty(np[elem], from, bits[i]);
         if (res.fail) {
             sys.fail(from, elem, res.reason);
@@ -451,6 +458,8 @@ SpecDirUnit::onMsg(const Msg &msg)
 
         sys.mem().writeLine(pending.privLine, msg.data.data(),
                             static_cast<uint32_t>(msg.data.size()));
+        trace::ScopedCtx tctx(sys.now(), node, pending.privElem,
+                              msg.iter);
         privPDirReadInDone(pp[pending.privElem], msg.iter,
                            msg.forWrite);
         sys.dirCtrl(node).resumeDeferred(pending.privLine);
@@ -459,6 +468,7 @@ SpecDirUnit::onMsg(const Msg &msg)
 
     const TestRange *range = sys.table().lookup(msg.elemAddr);
     SPECRT_ASSERT(range, "spec dir message outside any test range");
+    trace::ScopedCtx tctx(sys.now(), msg.src, msg.elemAddr, msg.iter);
 
     switch (msg.type) {
       case MsgType::FirstUpdate: {
@@ -630,6 +640,26 @@ SpecSystem::fail(NodeId node, Addr elem, const char *reason)
     _failure.tick = dsm.eventQueue().curTick();
     _failure.reason = reason ? reason : "unspecified";
     ++failures;
+
+    if (trace::enabled()) {
+        // The handler that tripped the detector published the access
+        // context (spec ScopedCtx) before running the test logic.
+        _failure.iter = trace::ctx().iter;
+        auto &buf = trace::TraceBuffer::instance();
+        _failure.cause = trace::attributeAbort(
+            buf, elem, node, _failure.iter, reason, _failure.tick);
+        trace::TraceRecord r;
+        r.tick = _failure.tick;
+        r.op = trace::TraceOp::Abort;
+        r.node = node;
+        r.iter = _failure.iter;
+        r.addr = elem;
+        r.label = reason; // detector reasons are string literals
+        buf.emit(r);
+        warn("speculation abort attributed:\n%s",
+             _failure.cause.str().c_str());
+    }
+
     if (abortHook)
         abortHook();
 }

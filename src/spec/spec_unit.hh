@@ -21,6 +21,7 @@
 
 #include "mem/dsm.hh"
 #include "mem/spec_iface.hh"
+#include "sim/trace.hh"
 #include "spec/access_bits.hh"
 #include "spec/nonpriv.hh"
 #include "spec/priv.hh"
@@ -159,7 +160,15 @@ struct SpecFailure
     NodeId node = invalidNode;
     Addr elemAddr = invalidAddr;
     Tick tick = 0;
+    /** Iteration of the failing access (0 when unknown). */
+    IterNum iter = 0;
     std::string reason;
+    /**
+     * Reconstructed abort cause: the conflicting access pair and the
+     * violated §3.2/§3.3 rule. Only populated (cause.valid) when
+     * protocol tracing was enabled at failure time.
+     */
+    trace::AbortCause cause;
 };
 
 /** The whole speculation hardware of one machine. */
@@ -210,6 +219,7 @@ class SpecSystem : public StatGroup
     AddrMap &mem() { return dsm.memory(); }
     const MachineConfig &cfg() const { return dsm.config(); }
     DirCtrl &dirCtrl(NodeId n) { return dsm.dirCtrl(n); }
+    Tick now() const { return dsm.eventQueue().curTick(); }
     uint32_t lineBytes() const { return dsm.config().l2.lineBytes; }
     Addr lineOf(Addr a) const
     {

@@ -122,6 +122,37 @@ TEST(Logging, SinkInstallReturnsPrevious)
     EXPECT_EQ(b[0], "to b");
 }
 
+#ifndef NDEBUG
+// Debug builds detect a LogSink that logs (or swaps sinks) during
+// emission and abort with a diagnostic instead of deadlocking on the
+// non-recursive log mutex. See the threading contract in logging.hh.
+TEST(LoggingDeathTest, SinkThatLogsAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            setLogSink([](LogLevel, const std::string &) {
+                warn("a sink must not log");
+            });
+            warn("outer");
+        },
+        "during log emission");
+}
+
+TEST(LoggingDeathTest, SinkThatSwapsSinksAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            setLogSink([](LogLevel, const std::string &) {
+                setLogSink(nullptr);
+            });
+            warn("outer");
+        },
+        "during log emission");
+}
+#endif
+
 TEST(Logging, LevelNames)
 {
     EXPECT_STREQ(logLevelName(LogLevel::Inform), "info");

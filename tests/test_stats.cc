@@ -86,6 +86,64 @@ TEST(Stats, GroupDumpContainsNamesAndDescs)
     EXPECT_NE(out.find("root.child.b 9 # stat b"), std::string::npos);
 }
 
+TEST(Stats, SnapshotEmptyDistribution)
+{
+    StatGroup g("g");
+    Distribution d(&g, "d", "a dist", 0, 10, 1);
+    StatSnapshot snap;
+    g.snapshot(snap);
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap[0].first, "g.d.count");
+    EXPECT_EQ(snap[0].second, 0.0);
+    EXPECT_EQ(snap[1].first, "g.d.mean");
+    EXPECT_EQ(snap[1].second, 0.0); // 0/0 must not leak a NaN
+    EXPECT_EQ(snap[2].first, "g.d.min");
+    EXPECT_EQ(snap[2].second, 0.0);
+    EXPECT_EQ(snap[3].first, "g.d.max");
+    EXPECT_EQ(snap[3].second, 0.0);
+}
+
+TEST(Stats, SnapshotVectorDottedTotal)
+{
+    StatGroup root("root");
+    StatGroup child("child");
+    root.addChild(&child);
+    VectorStat v(&child, "v", "a vector", 3);
+    v[0] = 1;
+    v[2] = 4;
+    StatSnapshot snap;
+    root.snapshot(snap);
+    // Only the aggregate is snapshotted, under the full dotted path.
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].first, "root.child.v.total");
+    EXPECT_EQ(snap[0].second, 5.0);
+}
+
+TEST(Stats, VectorPrintKeepsPerIndexValues)
+{
+    StatGroup g("g");
+    VectorStat v(&g, "v", "a vector", 2);
+    v[1] = 3;
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("g.v[0] 0"), std::string::npos);
+    EXPECT_NE(out.find("g.v[1] 3"), std::string::npos);
+    EXPECT_NE(out.find("g.v.total 3"), std::string::npos);
+}
+
+TEST(Stats, SnapshotWithExplicitPrefix)
+{
+    StatGroup g("g");
+    Scalar s(&g, "s", "a scalar");
+    s = 2;
+    StatSnapshot snap;
+    g.snapshot(snap, "top");
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].first, "top.g.s");
+    EXPECT_EQ(snap[0].second, 2.0);
+}
+
 TEST(Stats, GroupResetRecurses)
 {
     StatGroup root("root");
