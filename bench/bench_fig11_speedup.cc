@@ -27,10 +27,28 @@ SPECRT_BENCH_MAIN(fig11_speedup)
               "paper(I/S/H)", "note"},
              w);
 
+    // The four loops are independent simulations: fan them out
+    // through the campaign runner. With the default --jobs 1 this
+    // runs inline (identical to the old sequential sweep, so the
+    // perf gate's ticks/s is undisturbed); with --jobs N the loops
+    // run concurrently and the telemetry shards merge in loop order.
+    std::vector<PaperLoop> loops = paperLoops();
+    std::vector<ScenarioComparison> comps(loops.size());
+    auto outcomes = runJobs(loops.size(),
+                            [&](size_t id, SimContext &) {
+                                comps[id] = runAll(loops[id]);
+                            });
+    if (!campaign::allOk(outcomes)) {
+        std::fprintf(stderr, "fig11: %s\n",
+                     campaign::describeFailures(outcomes).c_str());
+        return 1;
+    }
+
     double sw_sum = 0, hw_sum = 0, ideal_sum = 0;
     int n16 = 0;
-    for (const PaperLoop &loop : paperLoops()) {
-        ScenarioComparison c = runAll(loop);
+    for (size_t i = 0; i < loops.size(); ++i) {
+        const PaperLoop &loop = loops[i];
+        const ScenarioComparison &c = comps[i];
         double si = c.idealSpeedup();
         double ss = c.swSpeedup();
         double sh = c.hwSpeedup();

@@ -25,6 +25,19 @@ namespace
 
 bool quickMode = false;
 
+/** Resolved --jobs value (0 until benchMain parses flags). */
+unsigned jobsCount = 1;
+
+/** This thread's shard inside a ScopedTelemetry scope. */
+thread_local Telemetry *tlsTelemetry = nullptr;
+
+Telemetry &
+processTelemetry()
+{
+    static Telemetry t;
+    return t;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -109,8 +122,43 @@ quick()
 Telemetry &
 telemetry()
 {
-    static Telemetry t;
-    return t;
+    return tlsTelemetry ? *tlsTelemetry : processTelemetry();
+}
+
+ScopedTelemetry::ScopedTelemetry(Telemetry &shard) : prev(tlsTelemetry)
+{
+    tlsTelemetry = &shard;
+}
+
+ScopedTelemetry::~ScopedTelemetry()
+{
+    tlsTelemetry = prev;
+}
+
+unsigned
+jobs()
+{
+    return jobsCount ? jobsCount : campaign::defaultJobs();
+}
+
+std::vector<campaign::JobOutcome>
+runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
+{
+    std::vector<Telemetry> shards(n);
+    campaign::Options opts;
+    opts.jobs = jobs();
+    opts.baseSeed = base_seed;
+    std::vector<campaign::JobOutcome> outcomes = campaign::run(
+        n,
+        [&](size_t id, SimContext &ctx) {
+            ScopedTelemetry scoped(shards[id]);
+            fn(id, ctx);
+        },
+        opts);
+    Telemetry &t = processTelemetry();
+    for (const Telemetry &shard : shards) // job-id order: deterministic
+        t.merge(shard);
+    return outcomes;
 }
 
 void
@@ -142,6 +190,19 @@ Telemetry::snapshotStats(const StatGroup &g)
     g.snapshot(stats);
 }
 
+void
+Telemetry::merge(const Telemetry &shard)
+{
+    simTicks += shard.simTicks;
+    eventsFired += shard.eventsFired;
+    runs += shard.runs;
+    infraFailedRuns += shard.infraFailedRuns;
+    for (const auto &kv : shard.metrics)
+        metric(kv.first, kv.second);
+    if (!shard.stats.empty())
+        stats = shard.stats;
+}
+
 int
 benchMain(int argc, char **argv, const char *name, int (*body)())
 {
@@ -162,11 +223,27 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
             tracePath = arg.substr(std::strlen("--trace-out="));
         } else if (arg == "--trace-out" && i + 1 < argc) {
             tracePath = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0 ||
+                   (arg == "--jobs" && i + 1 < argc)) {
+            const char *val = arg == "--jobs"
+                                  ? argv[++i]
+                                  : arg.c_str() + std::strlen("--jobs=");
+            char *end = nullptr;
+            long v = std::strtol(val, &end, 10);
+            if (!end || *end != '\0' || v < 0) {
+                std::fprintf(stderr, "%s: bad --jobs value '%s'\n",
+                             argv[0], val);
+                return 2;
+            }
+            jobsCount = static_cast<unsigned>(v);
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--quick] [--no-json] "
-                        "[--out <path>] [--trace-out <path>]\n"
+                        "[--out <path>] [--trace-out <path>] "
+                        "[--jobs <n>]\n"
                         "  --trace-out  record the protocol trace and "
-                        "write Chrome/Perfetto JSON to <path>\n",
+                        "write Chrome/Perfetto JSON to <path>\n"
+                        "  --jobs       campaign worker threads "
+                        "(0 = all host cores; default 1)\n",
                         argv[0]);
             return 0;
         } else {
@@ -177,17 +254,16 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
     }
 
     if (!tracePath.empty())
-        trace::TraceBuffer::instance().enable();
+        trace::buffer().enable();
 
     auto t0 = std::chrono::steady_clock::now();
     int rc = body();
     auto t1 = std::chrono::steady_clock::now();
 
     if (!tracePath.empty()) {
-        if (trace::exportChromeTraceFile(trace::TraceBuffer::instance(),
-                                         tracePath)) {
+        if (trace::exportChromeTraceFile(trace::buffer(), tracePath)) {
             std::printf("[trace] wrote %" PRIu64 " records to %s\n",
-                        trace::TraceBuffer::instance().recorded(),
+                        trace::buffer().recorded(),
                         tracePath.c_str());
         } else {
             std::fprintf(stderr, "%s: failed to write trace to %s\n",

@@ -16,6 +16,16 @@
  *   --out <path>  telemetry file (default $SPECRT_BENCH_OUT or
  *                 ./BENCH_results.json)
  *   --no-json     skip writing telemetry
+ *   --jobs <n>    campaign worker threads for benches that fan out
+ *                 through bench::runJobs() (0 = all host cores;
+ *                 default 1 so the perf gate's ticks/s keeps
+ *                 measuring a single simulator instance)
+ *
+ * Concurrency: telemetry() is the PROCESS accumulator on the main
+ * thread, but campaign jobs run on worker threads -- there it
+ * resolves to the job's own shard (installed by ScopedTelemetry), and
+ * runJobs() merges the shards into the process accumulator in job-id
+ * order, so the JSON record is identical whatever --jobs was.
  */
 
 #ifndef SPECRT_BENCH_TELEMETRY_HH
@@ -26,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/campaign.hh"
 #include "sim/stats.hh"
 
 namespace specrt
@@ -47,7 +58,7 @@ quickPick(T full, T q)
     return quick() ? q : full;
 }
 
-/** Per-process accumulator behind the JSON record. */
+/** Accumulator behind the JSON record (process-wide or per-job). */
 class Telemetry
 {
   public:
@@ -60,6 +71,14 @@ class Telemetry
     /** Capture @p g's counters (replaces the previous snapshot). */
     void snapshotStats(const StatGroup &g);
 
+    /**
+     * Fold a per-job shard into this accumulator: counters sum,
+     * shard metrics overwrite same-keyed ones, a non-empty shard
+     * stats snapshot replaces the current one ("last machine" --
+     * with shards merged in job-id order, the highest job id wins).
+     */
+    void merge(const Telemetry &shard);
+
     uint64_t simTicks = 0;
     uint64_t eventsFired = 0;
     uint64_t runs = 0;
@@ -69,8 +88,42 @@ class Telemetry
     StatSnapshot stats;
 };
 
-/** The process-wide telemetry accumulator. */
+/**
+ * The calling thread's telemetry accumulator: the process-wide one
+ * normally, the job's shard inside a ScopedTelemetry scope (bench
+ * bodies and harness helpers call this and work unchanged under
+ * runJobs()).
+ */
 Telemetry &telemetry();
+
+/** RAII redirect of this thread's telemetry() to @p shard. */
+class ScopedTelemetry
+{
+  public:
+    explicit ScopedTelemetry(Telemetry &shard);
+    ~ScopedTelemetry();
+
+    ScopedTelemetry(const ScopedTelemetry &) = delete;
+    ScopedTelemetry &operator=(const ScopedTelemetry &) = delete;
+
+  private:
+    Telemetry *prev;
+};
+
+/** Campaign worker threads resolved from --jobs / SPECRT_JOBS (>= 1). */
+unsigned jobs();
+
+/**
+ * Fan jobs 0..n-1 across jobs() workers via campaign::run. Each job
+ * gets a private Telemetry shard (telemetry() resolves to it inside
+ * the job); shards are merged into the process accumulator in job-id
+ * order after all jobs finish, so the JSON record does not depend on
+ * --jobs. Job failures are reported in the returned outcomes, not
+ * thrown.
+ */
+std::vector<campaign::JobOutcome> runJobs(size_t n,
+                                          const campaign::JobFn &fn,
+                                          uint64_t base_seed = 0);
 
 /**
  * Entry point shared by all bench binaries: parses the telemetry

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Run a simulation campaign: a set of bench binaries, each fanning
+# its independent simulations across -j worker threads through the
+# campaign runner (sim/campaign.hh). Telemetry from every bench is
+# appended to one JSON file, shard merge order fixed by job id, so
+# the output is byte-stable for a given (build, seed set, -j).
+#
+# usage: scripts/run_campaign.sh [-j N] [-o out.json] [-q] [-B dir] [bench...]
+#
+#   -j N      worker threads per bench (0 = all host cores;
+#             default: $SPECRT_JOBS if set, else all host cores)
+#   -o PATH   telemetry output (default: campaign_results.json)
+#   -q        pass --quick to every bench (CI-smoke sizes)
+#   -B DIR    build directory (default: build)
+#   bench...  bench names without the bench_ prefix (default: all
+#             except micro_host, which is a google-benchmark CLI)
+#
+# Exits non-zero if any bench fails; the rest still run so one bad
+# configuration doesn't hide the others' results.
+
+set -u
+
+jobs="${SPECRT_JOBS:-0}"
+out="campaign_results.json"
+quick=""
+builddir="build"
+
+while getopts "j:o:qB:h" opt; do
+    case "$opt" in
+        j) jobs="$OPTARG" ;;
+        o) out="$OPTARG" ;;
+        q) quick="--quick" ;;
+        B) builddir="$OPTARG" ;;
+        h|*) sed -n '2,20p' "$0"; exit 0 ;;
+    esac
+done
+shift $((OPTIND - 1))
+
+benchdir="$builddir/bench"
+if [ ! -d "$benchdir" ]; then
+    echo "error: $benchdir not found (build first, or pass -B)" >&2
+    exit 2
+fi
+
+benches=()
+if [ "$#" -gt 0 ]; then
+    for name in "$@"; do
+        benches+=("$benchdir/bench_$name")
+    done
+else
+    for b in "$benchdir"/bench_*; do
+        case "$b" in
+            *bench_micro_host) continue ;;
+        esac
+        benches+=("$b")
+    done
+fi
+
+rm -f "$out"
+rc=0
+for b in "${benches[@]}"; do
+    if [ ! -x "$b" ]; then
+        echo "error: $b not found or not executable" >&2
+        rc=1
+        continue
+    fi
+    echo "=== $(basename "$b") (--jobs $jobs) ==="
+    "$b" $quick --jobs "$jobs" --out "$out" || rc=1
+done
+
+echo
+echo "campaign telemetry: $out"
+exit "$rc"

@@ -23,7 +23,7 @@ traceMark(trace::TraceOp op, Tick tick, const char *label,
     r.op = op;
     r.a = a;
     r.label = label;
-    trace::TraceBuffer::instance().emit(r);
+    trace::buffer().emit(r);
 }
 
 /**
@@ -36,8 +36,7 @@ beginTraceLoop(Tick tick, const char *mode, uint64_t iters)
 {
     if (!trace::enabled())
         return;
-    static uint32_t nextLoopId = 0;
-    trace::TraceBuffer::instance().setLoop(++nextLoopId);
+    trace::buffer().setLoop(trace::nextLoopId());
     traceMark(trace::TraceOp::LoopBegin, tick, mode, iters);
 }
 

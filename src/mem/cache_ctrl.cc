@@ -23,7 +23,7 @@ traceCache(trace::TraceOp op, Tick tick, NodeId node, Addr line,
     r.node = node;
     r.addr = line;
     r.label = label;
-    trace::TraceBuffer::instance().emit(r);
+    trace::buffer().emit(r);
 }
 
 } // namespace

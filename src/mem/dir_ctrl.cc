@@ -24,7 +24,7 @@ traceDirState(Tick tick, NodeId home, Addr line, DirState from,
     r.a = static_cast<uint64_t>(from);
     r.b = static_cast<uint64_t>(to);
     r.label = dirStateName(to);
-    trace::TraceBuffer::instance().emit(r);
+    trace::buffer().emit(r);
 }
 
 } // namespace

@@ -22,7 +22,7 @@ channelKey(NodeId src, NodeId dst)
 uint64_t
 traceSend(const Msg &msg, Tick tick)
 {
-    auto &buf = trace::TraceBuffer::instance();
+    auto &buf = trace::buffer();
     uint64_t flow = buf.nextFlow();
     trace::TraceRecord r;
     r.tick = tick;
@@ -54,7 +54,7 @@ traceRecv(const Msg &msg, Tick tick, uint64_t flow)
     r.a = msg.lineAddr;
     r.b = flow;
     r.label = msgTypeName(msg.type);
-    trace::TraceBuffer::instance().emit(r);
+    trace::buffer().emit(r);
 }
 
 } // namespace

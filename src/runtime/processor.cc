@@ -18,7 +18,7 @@ traceIter(trace::TraceOp op, Tick tick, NodeId node, IterNum iter)
     r.op = op;
     r.node = node;
     r.iter = iter;
-    trace::TraceBuffer::instance().emit(r);
+    trace::buffer().emit(r);
 }
 
 } // namespace

@@ -25,7 +25,7 @@ traceGrant(NodeId p, Tick now, IterNum lo, IterNum hi,
     r.iter = lo;
     r.a = static_cast<uint64_t>(hi);
     r.label = policy;
-    trace::TraceBuffer::instance().emit(r);
+    trace::buffer().emit(r);
 }
 
 } // namespace

@@ -1,0 +1,189 @@
+#include "sim/campaign.hh"
+
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/sim_context.hh"
+
+namespace specrt
+{
+namespace campaign
+{
+
+namespace
+{
+
+/**
+ * A worker's deque of pending job ids. Dealt round-robin before the
+ * workers start; the owner pops from the front, thieves steal from
+ * the back (classic Chase-Lev orientation, with a plain mutex -- job
+ * granularity is whole simulations, so contention is negligible).
+ */
+struct WorkDeque
+{
+    std::mutex mtx;
+    std::deque<size_t> jobs;
+
+    bool
+    popFront(size_t &id)
+    {
+        std::lock_guard<std::mutex> guard(mtx);
+        if (jobs.empty())
+            return false;
+        id = jobs.front();
+        jobs.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(size_t &id)
+    {
+        std::lock_guard<std::mutex> guard(mtx);
+        if (jobs.empty())
+            return false;
+        id = jobs.back();
+        jobs.pop_back();
+        return true;
+    }
+};
+
+void
+runOneJob(size_t id, unsigned worker, const JobFn &fn,
+          const Options &opts, JobOutcome &out)
+{
+    out.id = id;
+    out.worker = worker;
+    SimContext ctx(jobSeed(opts.baseSeed, id));
+    ScopedSimContext active(ctx);
+    if (opts.trapFatal)
+        ctx.logThrowOnFatal = true;
+    if (!opts.trapFatal) {
+        fn(id, ctx);
+        out.ok = true;
+        return;
+    }
+    try {
+        fn(id, ctx);
+        out.ok = true;
+    } catch (const FatalError &e) {
+        out.error = e.message.empty() ? std::string("fatal error")
+                                      : e.message;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+}
+
+void
+workerLoop(unsigned me, std::vector<WorkDeque> &deques, const JobFn &fn,
+           const Options &opts, std::vector<JobOutcome> &outcomes)
+{
+    const unsigned nw = static_cast<unsigned>(deques.size());
+    size_t id;
+    for (;;) {
+        if (deques[me].popFront(id)) {
+            runOneJob(id, me, fn, opts, outcomes[id]);
+            continue;
+        }
+        // Own deque dry: steal. Jobs never spawn jobs, so once every
+        // deque is empty no new work can appear and we may exit.
+        bool stole = false;
+        for (unsigned k = 1; k < nw && !stole; ++k)
+            stole = deques[(me + k) % nw].stealBack(id);
+        if (!stole)
+            return;
+        runOneJob(id, me, fn, opts, outcomes[id]);
+    }
+}
+
+} // namespace
+
+bool
+allOk(const std::vector<JobOutcome> &outcomes)
+{
+    for (const JobOutcome &o : outcomes) {
+        if (!o.ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+describeFailures(const std::vector<JobOutcome> &outcomes)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const JobOutcome &o : outcomes) {
+        if (o.ok)
+            continue;
+        if (!first)
+            os << "; ";
+        first = false;
+        os << "job " << o.id << ": " << o.error;
+    }
+    return os.str();
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("SPECRT_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn("ignoring SPECRT_JOBS='%s' (want a positive integer)", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+uint64_t
+jobSeed(uint64_t base_seed, size_t id)
+{
+    return deriveSeed(base_seed, "job:" + std::to_string(id));
+}
+
+std::vector<JobOutcome>
+run(size_t n, const JobFn &fn, const Options &opts)
+{
+    std::vector<JobOutcome> outcomes(n);
+    if (n == 0)
+        return outcomes;
+
+    unsigned jobs = opts.jobs ? opts.jobs : defaultJobs();
+    if (jobs > n)
+        jobs = static_cast<unsigned>(n);
+
+    if (jobs == 1) {
+        // Inline, but through the same per-job context machinery as
+        // the parallel path so results are identical.
+        for (size_t id = 0; id < n; ++id)
+            runOneJob(id, 0, fn, opts, outcomes[id]);
+        return outcomes;
+    }
+
+    std::vector<WorkDeque> deques(jobs);
+    for (size_t id = 0; id < n; ++id)
+        deques[id % jobs].jobs.push_back(id);
+
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+        workers.emplace_back([&, w] {
+            workerLoop(w, deques, fn, opts, outcomes);
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+    return outcomes;
+}
+
+} // namespace campaign
+} // namespace specrt

@@ -5,27 +5,32 @@
 #include <mutex>
 #include <vector>
 
+#include "sim/sim_context.hh"
+
 namespace specrt
 {
 
 namespace
 {
 
-LogSink userSink;
-bool throwOnFatal = false;
-std::mutex logMutex;
+/**
+ * Serializes only the default-stderr path: per-context sinks are
+ * single-threaded by the SimContext contract and touch nothing
+ * shared, but two contexts without sinks both write to the one
+ * stderr, and their lines must not interleave mid-message.
+ */
+std::mutex stderrMutex;
 
 #ifndef NDEBUG
 /**
- * Reentrancy detector (debug builds). The simulator is
- * single-threaded (see logging.hh), so `inEmit` needs no atomicity:
+ * Reentrancy detector (debug builds). Each simulator instance is
+ * single-threaded (see logging.hh), so a thread-local flag suffices:
  * it is only ever observed set by the same thread re-entering
- * through a misbehaving sink. That path would otherwise deadlock on
- * the non-recursive logMutex, so report directly to stderr -- going
+ * through a misbehaving sink. Report directly to stderr -- going
  * through SPECRT_ASSERT/panic() would recurse into emit() again --
  * and abort.
  */
-bool inEmit = false;
+thread_local bool inEmit = false;
 
 void
 reentrancyAbort(const char *what)
@@ -60,7 +65,6 @@ emit(LogLevel level, const std::string &msg)
     if (inEmit)
         reentrancyAbort("log call from a LogSink");
 #endif
-    std::lock_guard<std::mutex> guard(logMutex);
 #ifndef NDEBUG
     struct Flag
     {
@@ -68,9 +72,11 @@ emit(LogLevel level, const std::string &msg)
         ~Flag() { inEmit = false; }
     } flag; // exception-safe: a throwing sink must not wedge the flag
 #endif
-    if (userSink) {
-        userSink(level, msg);
+    SimContext &ctx = SimContext::current();
+    if (ctx.logSink) {
+        ctx.logSink(level, msg);
     } else {
+        std::lock_guard<std::mutex> guard(stderrMutex);
         std::fprintf(stderr, "%s: %s\n", logLevelName(level), msg.c_str());
     }
 }
@@ -96,16 +102,16 @@ setLogSink(LogSink sink)
     if (inEmit)
         reentrancyAbort("setLogSink()");
 #endif
-    std::lock_guard<std::mutex> guard(logMutex);
-    LogSink old = userSink;
-    userSink = std::move(sink);
+    SimContext &ctx = SimContext::current();
+    LogSink old = std::move(ctx.logSink);
+    ctx.logSink = std::move(sink);
     return old;
 }
 
 void
 setLogThrowOnFatal(bool throw_on_fatal)
 {
-    throwOnFatal = throw_on_fatal;
+    SimContext::current().logThrowOnFatal = throw_on_fatal;
 }
 
 void
@@ -119,7 +125,7 @@ assertFail(const char *cond, const char *file, int line,
     std::string full = "assertion '" + std::string(cond) + "' failed at " +
                        file + ":" + std::to_string(line) + ": " + msg;
     emit(LogLevel::Panic, full);
-    if (throwOnFatal)
+    if (SimContext::current().logThrowOnFatal)
         throw FatalError{LogLevel::Panic, full};
     std::abort();
 }
@@ -132,7 +138,7 @@ panic(const char *fmt, ...)
     std::string msg = vformat(fmt, args);
     va_end(args);
     emit(LogLevel::Panic, msg);
-    if (throwOnFatal)
+    if (SimContext::current().logThrowOnFatal)
         throw FatalError{LogLevel::Panic, msg};
     std::abort();
 }
@@ -145,7 +151,7 @@ fatal(const char *fmt, ...)
     std::string msg = vformat(fmt, args);
     va_end(args);
     emit(LogLevel::Fatal, msg);
-    if (throwOnFatal)
+    if (SimContext::current().logThrowOnFatal)
         throw FatalError{LogLevel::Fatal, msg};
     std::exit(1);
 }

@@ -11,21 +11,28 @@
  * All take printf-style format strings. A LogSink can be installed to
  * capture messages in tests instead of writing to stderr.
  *
- * Threading contract: the simulator is SINGLE-THREADED. The logging
- * layer follows that contract rather than defending against misuse:
+ * The sink and the throw-on-fatal flag are INSTANCE-SCOPED: they
+ * live in the current SimContext (sim/sim_context.hh), so concurrent
+ * simulator instances on different host threads each have their own
+ * sink and never observe each other's messages. Contexts without a
+ * sink share stderr; a process-wide mutex keeps those lines from
+ * interleaving mid-message.
+ *
+ * Threading contract: each simulator instance is SINGLE-THREADED,
+ * and its context must only be active on one host thread at a time.
+ * The logging layer follows that contract rather than defending
+ * against misuse:
  *
  *  - setLogSink() must not be called while a message is being
  *    emitted. In an event-driven simulator that can only happen by
  *    reentrancy -- a sink that itself calls warn()/inform()/
  *    setLogSink(), or a sink that runs simulator code which logs.
  *    Such a swap would mutate the std::function mid-invocation.
- *  - a sink must not log. The internal mutex (which exists to keep
- *    *host-side* tooling like multi-threaded test runners from
- *    interleaving bytes, not to make sinks swappable mid-flight) is
- *    non-recursive, so a logging sink deadlocks in release builds.
+ *  - a sink must not log: emit() is not reentrant, and the sink
+ *    would observe a half-delivered message.
  *
  * Debug builds (NDEBUG unset) detect both forms of reentrancy and
- * abort with a diagnostic instead of deadlocking.
+ * abort with a diagnostic.
  */
 
 #ifndef SPECRT_SIM_LOGGING_HH
@@ -57,14 +64,17 @@ const char *logLevelName(LogLevel level);
 using LogSink = std::function<void(LogLevel, const std::string &)>;
 
 /**
- * Install a log sink, returning the previous one. Passing a null
- * function restores the default (stderr) sink.
+ * Install a log sink on the CURRENT SimContext, returning the
+ * previous one. Passing a null function restores the default
+ * (stderr) sink.
  */
 LogSink setLogSink(LogSink sink);
 
 /**
- * Whether fatal()/panic() throw FatalError instead of terminating the
- * process. Tests enable this to assert on failure paths.
+ * Whether fatal()/panic() on the CURRENT SimContext throw FatalError
+ * instead of terminating the process. Tests enable this to assert on
+ * failure paths; the campaign runner enables it per job so one
+ * failing job cannot kill the whole campaign.
  */
 void setLogThrowOnFatal(bool throw_on_fatal);
 

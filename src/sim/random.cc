@@ -77,4 +77,16 @@ Rng::nextDouble()
     return (next() >> 11) * 0x1.0p-53;
 }
 
+uint64_t
+deriveSeed(uint64_t base, const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ULL; // FNV-1a prime
+    }
+    uint64_t x = base ^ h;
+    return splitmix64(x);
+}
+
 } // namespace specrt

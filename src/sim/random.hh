@@ -11,6 +11,7 @@
 #define SPECRT_SIM_RANDOM_HH
 
 #include <cstdint>
+#include <string>
 
 namespace specrt
 {
@@ -42,6 +43,14 @@ class Rng
   private:
     uint64_t s[4];
 };
+
+/**
+ * Derive an independent stream seed from a base seed and a stream
+ * name (FNV-1a over the name folded into the base through
+ * splitmix64). The same (base, name) pair always yields the same
+ * seed; distinct names decorrelate even for adjacent base seeds.
+ */
+uint64_t deriveSeed(uint64_t base, const std::string &name);
 
 } // namespace specrt
 

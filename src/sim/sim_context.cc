@@ -1,0 +1,90 @@
+#include "sim/sim_context.hh"
+
+#include <cstdio>
+#include <mutex>
+
+#include "sim/trace_export.hh"
+
+namespace specrt
+{
+
+namespace
+{
+
+/**
+ * The active context of this host thread. Null until current() is
+ * first called or a ScopedSimContext activates an instance; lazily
+ * points at the thread's own default context otherwise.
+ */
+thread_local SimContext *tlsCurrent = nullptr;
+
+SimContext &
+threadDefault()
+{
+    static thread_local SimContext ctx;
+    return ctx;
+}
+
+} // namespace
+
+SimContext::~SimContext()
+{
+    if (!traceExportOnDestroy || traceOutPath.empty() ||
+        traceBuf.recorded() == 0)
+        return;
+    // One exporter at a time: several env-traced contexts may die
+    // concurrently (campaign jobs), and the file must never hold an
+    // interleaving of two exports. The mutex has static storage, so
+    // it outlives every thread-local context, including the main
+    // thread's default one.
+    static std::mutex exportMutex;
+    std::lock_guard<std::mutex> lock(exportMutex);
+    if (trace::exportChromeTraceFile(traceBuf, traceOutPath)) {
+        std::fprintf(stderr, "[trace] wrote %zu records to %s\n",
+                     traceBuf.size(), traceOutPath.c_str());
+    } else {
+        std::fprintf(stderr, "[trace] failed to write %s\n",
+                     traceOutPath.c_str());
+    }
+}
+
+SimContext &
+SimContext::current()
+{
+    if (!tlsCurrent)
+        tlsCurrent = &threadDefault();
+    return *tlsCurrent;
+}
+
+Rng &
+SimContext::rng(const std::string &name)
+{
+    auto it = rngs.find(name);
+    if (it == rngs.end()) {
+        it = rngs.emplace(name, Rng(deriveSeed(baseSeed, name)))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+SimContext::reseed(uint64_t seed)
+{
+    baseSeed = seed;
+    for (auto &[name, stream] : rngs)
+        stream.reseed(deriveSeed(baseSeed, name));
+}
+
+ScopedSimContext::ScopedSimContext(SimContext &ctx) : prev(tlsCurrent)
+{
+    tlsCurrent = &ctx;
+    trace::refreshEnabled();
+}
+
+ScopedSimContext::~ScopedSimContext()
+{
+    tlsCurrent = prev;
+    trace::refreshEnabled();
+}
+
+} // namespace specrt

@@ -1,12 +1,12 @@
 #include "sim/trace.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
 #include "sim/config.hh"
 #include "sim/logging.hh"
+#include "sim/sim_context.hh"
 #include "sim/trace_export.hh"
 
 namespace specrt
@@ -14,7 +14,25 @@ namespace specrt
 namespace trace
 {
 
-bool gTraceOn = false;
+thread_local bool tlsTraceOn = false;
+
+TraceBuffer &
+buffer()
+{
+    return SimContext::current().traceBuffer();
+}
+
+void
+refreshEnabled()
+{
+    tlsTraceOn = SimContext::current().traceBuffer().isOn();
+}
+
+uint32_t
+nextLoopId()
+{
+    return ++SimContext::current().traceNextLoopId;
+}
 
 const char *
 traceOpName(TraceOp op)
@@ -83,13 +101,6 @@ tsStampName(TsStamp s)
     }
 }
 
-TraceBuffer &
-TraceBuffer::instance()
-{
-    static TraceBuffer b;
-    return b;
-}
-
 void
 TraceBuffer::enable(size_t cap)
 {
@@ -101,13 +112,15 @@ TraceBuffer::enable(size_t cap)
         wrapped = false;
         total = 0;
     }
-    gTraceOn = true;
+    on = true;
+    refreshEnabled();
 }
 
 void
 TraceBuffer::disable()
 {
-    gTraceOn = false;
+    on = false;
+    refreshEnabled();
 }
 
 void
@@ -142,7 +155,7 @@ TraceBuffer::at(size_t i) const
 void
 TraceBuffer::emit(const TraceRecord &r)
 {
-    if (!gTraceOn || ring.empty())
+    if (!on || ring.empty())
         return;
     TraceRecord &slot = ring[head];
     slot = r;
@@ -157,8 +170,7 @@ TraceBuffer::emit(const TraceRecord &r)
 Ctx &
 ctx()
 {
-    static Ctx c;
-    return c;
+    return SimContext::current().traceCtx;
 }
 
 void
@@ -177,7 +189,7 @@ specBits(bool is_write, uint32_t old_packed, uint32_t new_packed)
     r.a = old_packed;
     r.b = new_packed;
     r.label = is_write ? "write" : "read";
-    TraceBuffer::instance().emit(r);
+    buffer().emit(r);
 }
 
 void
@@ -196,7 +208,7 @@ timeStamp(TsStamp which, IterNum old_v, IterNum new_v)
     r.a = static_cast<uint64_t>(old_v);
     r.b = static_cast<uint64_t>(new_v);
     r.label = tsStampName(which);
-    TraceBuffer::instance().emit(r);
+    buffer().emit(r);
 }
 
 // --- abort-cause attribution ------------------------------------------
@@ -343,17 +355,10 @@ AbortCause::str() const
 
 // --- config / env wiring ----------------------------------------------
 
-namespace
-{
-
-std::string gOutPath;
-
-} // namespace
-
 const std::string &
 outPath()
 {
-    return gOutPath;
+    return SimContext::current().traceOutPath;
 }
 
 void
@@ -361,36 +366,23 @@ applyConfig(const TraceConfig &tc)
 {
     if (!tc.enabled)
         return;
-    TraceBuffer::instance().enable(tc.capacityRecords
-                                       ? tc.capacityRecords
-                                       : TraceBuffer::defaultCapacity);
+    SimContext &ctx = SimContext::current();
+    ctx.traceBuffer().enable(tc.capacityRecords
+                                 ? tc.capacityRecords
+                                 : TraceBuffer::defaultCapacity);
     if (!tc.outPath.empty())
-        gOutPath = tc.outPath;
+        ctx.traceOutPath = tc.outPath;
 }
 
 namespace
 {
 
-/**
- * Registered only when the environment switches tracing on: CI
- * re-runs failing tests with SPECRT_TRACE set and harvests the file
- * without the test knowing anything about tracing.
- */
-void
-writeTraceAtExit()
+/** The environment, parsed once per process (thread-safe). */
+const TraceConfig &
+envTraceConfig()
 {
-    if (gOutPath.empty())
-        return;
-    const TraceBuffer &buf = TraceBuffer::instance();
-    if (buf.recorded() == 0)
-        return;
-    if (exportChromeTraceFile(buf, gOutPath)) {
-        std::fprintf(stderr, "[trace] wrote %zu records to %s\n",
-                     buf.size(), gOutPath.c_str());
-    } else {
-        std::fprintf(stderr, "[trace] failed to write %s\n",
-                     gOutPath.c_str());
-    }
+    static const TraceConfig tc = TraceConfig::fromEnv();
+    return tc;
 }
 
 } // namespace
@@ -398,19 +390,22 @@ writeTraceAtExit()
 bool
 maybeEnableFromEnv()
 {
-    static bool checked = false;
-    static bool fromEnv = false;
-    if (!checked) {
-        checked = true;
-        TraceConfig tc = TraceConfig::fromEnv();
+    SimContext &ctx = SimContext::current();
+    if (!ctx.traceEnvChecked) {
+        ctx.traceEnvChecked = true;
+        const TraceConfig &tc = envTraceConfig();
         if (tc.enabled) {
             applyConfig(tc);
-            fromEnv = true;
-            if (!gOutPath.empty())
-                std::atexit(writeTraceAtExit);
+            // The export happens when the context dies (not via
+            // atexit -- thread-locals are destroyed first): CI
+            // re-runs failing tests with SPECRT_TRACE set and
+            // harvests the file without the test knowing anything
+            // about tracing.
+            if (!ctx.traceOutPath.empty())
+                ctx.traceExportOnDestroy = true;
         }
     }
-    return fromEnv || enabled();
+    return enabled();
 }
 
 } // namespace trace

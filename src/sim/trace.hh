@@ -9,16 +9,20 @@
  * Design rules:
  *
  *  - the disabled path is free: every instrumentation site guards
- *    with `if (trace::enabled())`, which is a single global bool
- *    load. Nothing is allocated until tracing is switched on.
+ *    with `if (trace::enabled())`, which is a single thread-local
+ *    bool load. Nothing is allocated until tracing is switched on.
  *  - records are PODs in a fixed-capacity ring; when the ring is
  *    full the oldest records are overwritten (and counted as
  *    dropped). Tracing never unbounds memory.
  *  - string payloads are static-lifetime `const char *` labels
  *    (message-type names, state names, rule texts), so records stay
  *    trivially copyable and the hot path never builds std::strings.
- *  - the simulator is single-threaded (see logging.hh for the
- *    contract); the buffer does no locking.
+ *  - each simulator instance is single-threaded (see logging.hh for
+ *    the contract); the buffer does no locking. The ring, the
+ *    ambient attribution context, and the output path all live in
+ *    the instance's SimContext (sim/sim_context.hh), so concurrent
+ *    simulator instances on different host threads trace
+ *    independently.
  *
  * On a speculation abort, attributeAbort() walks the ring backwards
  * and synthesizes an AbortCause: the failing element, the two
@@ -119,16 +123,20 @@ struct TraceRecord
 };
 
 /**
- * Fixed-capacity ring of trace records. Process-wide singleton, like
- * prof::Registry: the simulator models one machine per process and
- * runs single-threaded.
+ * Fixed-capacity ring of trace records. One per SimContext: each
+ * simulator instance records into its own ring, so concurrent
+ * instances on different host threads never share trace state. Use
+ * trace::buffer() for the current instance's ring.
  */
 class TraceBuffer
 {
   public:
     static constexpr size_t defaultCapacity = 1u << 18;
 
-    static TraceBuffer &instance();
+    TraceBuffer() = default;
+
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
 
     /** Switch tracing on with room for @p capacity records. */
     void enable(size_t capacity = defaultCapacity);
@@ -136,6 +144,9 @@ class TraceBuffer
     void disable();
     /** Drop all records (capacity and enablement unchanged). */
     void clear();
+
+    /** This ring is recording. */
+    bool isOn() const { return on; }
 
     /** Records currently retained (<= capacity). */
     size_t size() const;
@@ -159,25 +170,43 @@ class TraceBuffer
     uint32_t loop() const { return curLoop; }
 
   private:
-    TraceBuffer() = default;
-
     std::vector<TraceRecord> ring;
     size_t head = 0;     ///< next slot to write
     bool wrapped = false;
+    bool on = false;
     uint64_t total = 0;
     uint64_t flowCounter = 0;
     uint32_t curLoop = 0;
 };
 
-/** The global on/off latch behind enabled(); do not touch directly. */
-extern bool gTraceOn;
+/** The current SimContext's trace ring. */
+TraceBuffer &buffer();
 
-/** True when tracing is recording (the hot-path guard). */
+/**
+ * Per-host-thread mirror of "is the current context's ring
+ * recording"; the hot-path guard behind enabled(). Maintained by
+ * enable()/disable() and context activation -- do not touch
+ * directly.
+ */
+extern thread_local bool tlsTraceOn;
+
+/** True when the current context is tracing (the hot-path guard). */
 inline bool
 enabled()
 {
-    return gTraceOn;
+    return tlsTraceOn;
 }
+
+/** Recompute tlsTraceOn from the current context (internal). */
+void refreshEnabled();
+
+/**
+ * Fresh loop id for the current context. Every executor run gets
+ * one, so records of consecutive runs (degradation retries, sweep
+ * epochs) stay distinguishable in the exported trace while two
+ * contexts' ids stay independent (campaign determinism).
+ */
+uint32_t nextLoopId();
 
 // --- ambient context --------------------------------------------------
 //
@@ -185,8 +214,9 @@ enabled()
 // have no machine handles, yet their bit flips are exactly what abort
 // attribution needs. The speculation units publish (tick, node,
 // element, iteration) here before invoking them; the pure logic
-// records transitions against this context. Single-threaded by the
-// same contract as the rest of the simulator.
+// records transitions against this context. It lives in the
+// SimContext, so each instance (single-threaded by the same contract
+// as the rest of the simulator) has its own.
 
 struct Ctx
 {
@@ -281,20 +311,23 @@ AbortCause attributeAbort(const TraceBuffer &buf, Addr elem,
                           const char *reason, Tick tick);
 
 /**
- * Apply a TraceConfig (sim/config.hh): enable the ring when asked
- * and remember the output path for atExitPath(). Idempotent.
+ * Apply a TraceConfig (sim/config.hh) to the current context:
+ * enable its ring when asked and remember the output path for the
+ * at-exit export. Idempotent.
  */
 void applyConfig(const TraceConfig &tc);
 
 /**
  * Enable tracing from SPECRT_TRACE / SPECRT_TRACE_OUT /
- * SPECRT_TRACE_CAPACITY if set (checked once per process). Called by
- * the executor so any driver -- tests included -- honors the
+ * SPECRT_TRACE_CAPACITY if set (checked once per context; the
+ * environment itself is parsed once per process). Called by the
+ * executor so any driver -- tests included -- honors the
  * environment. @return true when tracing is on afterwards.
  */
 bool maybeEnableFromEnv();
 
-/** Output path requested via config/env ("" = none). */
+/** Output path requested via config/env for the current context
+ *  ("" = none). */
 const std::string &outPath();
 
 } // namespace trace

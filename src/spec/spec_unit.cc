@@ -645,7 +645,7 @@ SpecSystem::fail(NodeId node, Addr elem, const char *reason)
         // The handler that tripped the detector published the access
         // context (spec ScopedCtx) before running the test logic.
         _failure.iter = trace::ctx().iter;
-        auto &buf = trace::TraceBuffer::instance();
+        auto &buf = trace::buffer();
         _failure.cause = trace::attributeAbort(
             buf, elem, node, _failure.iter, reason, _failure.tick);
         trace::TraceRecord r;

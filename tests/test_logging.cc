@@ -3,16 +3,21 @@
  * Failure-path tests for the logging layer: fatal()/panic()/
  * SPECRT_ASSERT must raise FatalError under throw-on-fatal (so the
  * suite can assert on error paths without dying), warn() must not
- * throw, and an installed LogSink must capture everything.
+ * throw, and an installed LogSink must capture everything. Also the
+ * instance-scoping contract: sink and throw-flag live in the current
+ * SimContext, so scoped contexts and other host threads never share
+ * them.
  */
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/sim_context.hh"
 
 using namespace specrt;
 
@@ -160,3 +165,102 @@ TEST(Logging, LevelNames)
     EXPECT_STREQ(logLevelName(LogLevel::Fatal), "fatal");
     EXPECT_STREQ(logLevelName(LogLevel::Panic), "panic");
 }
+
+// --- instance scoping (sim/sim_context.hh) ----------------------------
+
+TEST(LoggingContexts, SinkAndThrowFlagFollowTheActiveContext)
+{
+    std::vector<std::string> outer_msgs, inner_msgs;
+    LogSink orig = setLogSink([&outer_msgs](LogLevel,
+                                            const std::string &m) {
+        outer_msgs.push_back(m);
+    });
+    setLogThrowOnFatal(true);
+
+    SimContext inner;
+    {
+        ScopedSimContext active(inner);
+        // The inner context starts pristine: no sink, no throw flag.
+        EXPECT_FALSE(SimContext::current().logSink);
+        EXPECT_FALSE(SimContext::current().logThrowOnFatal);
+        setLogSink([&inner_msgs](LogLevel, const std::string &m) {
+            inner_msgs.push_back(m);
+        });
+        warn("from inner");
+    }
+    warn("from outer");
+
+    ASSERT_EQ(inner_msgs.size(), 1u);
+    EXPECT_EQ(inner_msgs[0], "from inner");
+    ASSERT_EQ(outer_msgs.size(), 1u);
+    EXPECT_EQ(outer_msgs[0], "from outer");
+    EXPECT_TRUE(SimContext::current().logThrowOnFatal);
+
+    setLogThrowOnFatal(false);
+    setLogSink(orig);
+}
+
+TEST(LoggingContexts, FatalInAScopedContextThrowsOnlyThere)
+{
+    SimContext trapping;
+    trapping.logThrowOnFatal = true;
+    bool threw = false;
+    {
+        ScopedSimContext active(trapping);
+        setLogSink([](LogLevel, const std::string &) {});
+        try {
+            fatal("contained failure");
+        } catch (const FatalError &e) {
+            threw = true;
+            EXPECT_NE(e.message.find("contained failure"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_TRUE(threw);
+    // The surrounding context's flag is untouched (a fatal() here
+    // would terminate the test, so just inspect the flag).
+    EXPECT_FALSE(SimContext::current().logThrowOnFatal);
+}
+
+TEST(LoggingContexts, ThreadsGetTheirOwnDefaultContext)
+{
+    // A sink installed on this thread's context must be invisible to
+    // a fresh host thread, whose default context logs to stderr
+    // (captured here via its own sink).
+    std::vector<std::string> mine, theirs;
+    LogSink orig = setLogSink(
+        [&mine](LogLevel, const std::string &m) { mine.push_back(m); });
+
+    std::thread other([&theirs] {
+        EXPECT_FALSE(SimContext::current().logSink);
+        setLogSink([&theirs](LogLevel, const std::string &m) {
+            theirs.push_back(m);
+        });
+        warn("other thread");
+    });
+    other.join();
+    warn("main thread");
+
+    setLogSink(orig);
+    ASSERT_EQ(mine.size(), 1u);
+    EXPECT_EQ(mine[0], "main thread");
+    ASSERT_EQ(theirs.size(), 1u);
+    EXPECT_EQ(theirs[0], "other thread");
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, ReentrantSinkInAScopedContextAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            SimContext ctx;
+            ScopedSimContext active(ctx);
+            setLogSink([](LogLevel, const std::string &) {
+                warn("sinks must not log, per-context or not");
+            });
+            warn("outer");
+        },
+        "during log emission");
+}
+#endif

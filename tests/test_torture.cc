@@ -7,9 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "core/loop_exec.hh"
 #include "runtime/processor.hh"
 #include "runtime/scheduler.hh"
+#include "sim/campaign.hh"
+#include "sim/sim_context.hh"
 #include "workloads/microloops.hh"
 
 using namespace specrt;
@@ -188,45 +194,69 @@ TEST(Torture, FiftySeededFaultSchedulesMatchSerial)
     // machinery must always converge to the fault-free serial answer
     // with the invariant checker silent. When a schedule defeats the
     // retry budget anyway, the ladder degrades instead of dying.
-    for (uint64_t s = 0; s < 50; ++s) {
-        RandomLoopParams rp{48, 64, 3, 0.7, 64,
-                            (s % 2) ? TestType::Priv
-                                    : TestType::NonPriv,
-                            1000 + s};
-        RandomLoop loop(rp);
-        MachineConfig cfg;
-        cfg.numProcs = 4;
+    //
+    // The fifty schedules fan out through the campaign runner -- each
+    // seed is one isolated job on a pool of workers. Jobs report
+    // divergence as strings (no gtest off the main thread).
+    const size_t seeds = 50;
+    std::vector<std::string> errors(seeds);
+    campaign::Options opts;
+    opts.jobs = 4;
+    auto outcomes = campaign::run(
+        seeds,
+        [&](size_t s, SimContext &) {
+            std::ostringstream err;
+            RandomLoopParams rp{48, 64, 3, 0.7, 64,
+                                (s % 2) ? TestType::Priv
+                                        : TestType::NonPriv,
+                                1000 + s};
+            RandomLoop loop(rp);
+            MachineConfig cfg;
+            cfg.numProcs = 4;
 
-        ExecConfig sxc;
-        sxc.mode = ExecMode::Serial;
-        LoopExecutor se(cfg, loop, sxc);
-        se.run();
+            ExecConfig sxc;
+            sxc.mode = ExecMode::Serial;
+            LoopExecutor se(cfg, loop, sxc);
+            se.run();
 
-        cfg.fault.seed = s;
-        cfg.fault.dropProb = 0.02;
-        cfg.fault.dupProb = 0.05;
-        cfg.fault.jitterProb = 0.2;
-        cfg.fault.jitterMaxCycles = 150;
-        cfg.fault.watchdogTimeout = 3000;
-        cfg.fault.watchdogMaxRetries = 6;
+            cfg.fault.seed = s;
+            cfg.fault.dropProb = 0.02;
+            cfg.fault.dupProb = 0.05;
+            cfg.fault.jitterProb = 0.2;
+            cfg.fault.jitterMaxCycles = 150;
+            cfg.fault.watchdogTimeout = 3000;
+            cfg.fault.watchdogMaxRetries = 6;
 
-        ExecConfig xc;
-        xc.mode = ExecMode::HW;
-        xc.checkInvariants = true;
-        LadderOutcome out = runWithDegradation(cfg, loop, xc);
-        ASSERT_FALSE(out.result.infraFailed)
-            << "seed " << s << ": " << out.result.infraReason;
-        ASSERT_EQ(out.result.invariantViolations, 0u) << "seed " << s;
+            ExecConfig xc;
+            xc.mode = ExecMode::HW;
+            xc.checkInvariants = true;
+            LadderOutcome out = runWithDegradation(cfg, loop, xc);
+            if (out.result.infraFailed)
+                err << "seed " << s << " infra failure: "
+                    << out.result.infraReason << "\n";
+            if (out.result.invariantViolations != 0)
+                err << "seed " << s << ": "
+                    << out.result.invariantViolations
+                    << " invariant violations\n";
 
-        const Region *sa = se.sharedRegion(0);
-        const Region *ha = out.exec->sharedRegion(0);
-        for (uint64_t e = 0; e < sa->numElems(); ++e) {
-            ASSERT_EQ(
-                out.exec->machine().memory().read(ha->elemAddr(e), 4),
-                se.machine().memory().read(sa->elemAddr(e), 4))
-                << "seed " << s << " elem " << e;
-        }
-    }
+            const Region *sa = se.sharedRegion(0);
+            const Region *ha = out.exec->sharedRegion(0);
+            for (uint64_t e = 0; e < sa->numElems(); ++e) {
+                uint64_t got = out.exec->machine().memory().read(
+                    ha->elemAddr(e), 4);
+                uint64_t want =
+                    se.machine().memory().read(sa->elemAddr(e), 4);
+                if (got != want)
+                    err << "seed " << s << " elem " << e << ": got "
+                        << got << " want " << want << "\n";
+            }
+            errors[s] = err.str();
+        },
+        opts);
+    ASSERT_TRUE(campaign::allOk(outcomes))
+        << campaign::describeFailures(outcomes);
+    for (size_t s = 0; s < seeds; ++s)
+        EXPECT_TRUE(errors[s].empty()) << errors[s];
 }
 
 TEST(Torture, WideMachineStillCoherent)

@@ -20,6 +20,7 @@
 #include "core/loop_exec.hh"
 #include "sim/config.hh"
 #include "sim/profile.hh"
+#include "sim/sim_context.hh"
 #include "sim/trace.hh"
 #include "sim/trace_export.hh"
 #include "workloads/microloops.hh"
@@ -30,8 +31,8 @@ namespace
 {
 
 /**
- * Each test owns the process-wide ring: start disabled and empty,
- * leave it disabled and empty.
+ * Each test owns this thread's current-context ring: start disabled
+ * and empty, leave it disabled and empty.
  */
 class TraceTest : public ::testing::Test
 {
@@ -39,15 +40,15 @@ class TraceTest : public ::testing::Test
     void
     SetUp() override
     {
-        trace::TraceBuffer::instance().disable();
-        trace::TraceBuffer::instance().clear();
+        trace::buffer().disable();
+        trace::buffer().clear();
     }
 
     void
     TearDown() override
     {
-        trace::TraceBuffer::instance().disable();
-        trace::TraceBuffer::instance().clear();
+        trace::buffer().disable();
+        trace::buffer().clear();
     }
 };
 
@@ -219,7 +220,7 @@ TEST(TraceNames, EveryOpHasANameAndAnEventKindCategory)
 TEST_F(TraceTest, DisabledByDefaultAndEmitIsANoOp)
 {
     EXPECT_FALSE(trace::enabled());
-    trace::TraceBuffer &b = trace::TraceBuffer::instance();
+    trace::TraceBuffer &b = trace::buffer();
     b.emit(rec(1, trace::TraceOp::IterBegin, 0, 1));
     EXPECT_EQ(b.size(), 0u);
     EXPECT_EQ(b.recorded(), 0u);
@@ -227,7 +228,7 @@ TEST_F(TraceTest, DisabledByDefaultAndEmitIsANoOp)
 
 TEST_F(TraceTest, EmitKeepsOrderAndStampsLoopId)
 {
-    trace::TraceBuffer &b = trace::TraceBuffer::instance();
+    trace::TraceBuffer &b = trace::buffer();
     b.enable(8);
     b.setLoop(7);
     b.emit(rec(10, trace::TraceOp::IterBegin, 0, 1));
@@ -241,7 +242,7 @@ TEST_F(TraceTest, EmitKeepsOrderAndStampsLoopId)
 
 TEST_F(TraceTest, RingWrapsOverwritingOldestAndCountsDrops)
 {
-    trace::TraceBuffer &b = trace::TraceBuffer::instance();
+    trace::TraceBuffer &b = trace::buffer();
     b.enable(4);
     for (Tick t = 1; t <= 10; ++t)
         b.emit(rec(t, trace::TraceOp::IterBegin, 0, 1));
@@ -255,7 +256,7 @@ TEST_F(TraceTest, RingWrapsOverwritingOldestAndCountsDrops)
 
 TEST_F(TraceTest, ScopedCtxPublishesAndRestores)
 {
-    trace::TraceBuffer::instance().enable(8);
+    trace::buffer().enable(8);
     trace::ctx() = {1, 2, 3, 4};
     {
         trace::ScopedCtx s(10, 5, 0x40, 9);
@@ -268,7 +269,7 @@ TEST_F(TraceTest, ScopedCtxPublishesAndRestores)
 
 TEST_F(TraceTest, BitAndStampHelpersSkipNoChange)
 {
-    trace::TraceBuffer &b = trace::TraceBuffer::instance();
+    trace::TraceBuffer &b = trace::buffer();
     b.enable(8);
     trace::ScopedCtx s(10, 1, 0x40, 3);
     trace::specBits(false, 0x5, 0x5);       // unchanged: no record
@@ -338,7 +339,7 @@ TEST(TraceRules, EveryDetectorReasonIsMapped)
 
 TEST_F(TraceTest, AttributeAbortFindsTheConflictingPair)
 {
-    trace::TraceBuffer &b = trace::TraceBuffer::instance();
+    trace::TraceBuffer &b = trace::buffer();
     b.enable(16);
     const Addr elem = 0x80;
     // Node 0 iter 2 wrote the element...
@@ -373,7 +374,7 @@ TEST_F(TraceTest, AttributeAbortFindsTheConflictingPair)
 
 TEST_F(TraceTest, AttributeAbortSurvivesAnEmptyRing)
 {
-    trace::TraceBuffer &b = trace::TraceBuffer::instance();
+    trace::TraceBuffer &b = trace::buffer();
     b.enable(4);
     trace::AbortCause c =
         trace::attributeAbort(b, 0x40, 2, 7, "write raced", 99);
@@ -430,7 +431,7 @@ TEST(TraceConfigTest, TraceKnobDoesNotChangeTheConfigFingerprint)
 
 TEST_F(TraceTest, ChromeTraceJsonIsParseableAndCarriesTheEvents)
 {
-    trace::TraceBuffer &b = trace::TraceBuffer::instance();
+    trace::TraceBuffer &b = trace::buffer();
     b.enable(32);
     b.setLoop(1);
     b.emit(rec(5, trace::TraceOp::LoopBegin, invalidNode, 0,
@@ -469,7 +470,7 @@ TEST_F(TraceTest, ChromeTraceJsonIsParseableAndCarriesTheEvents)
 
 TEST_F(TraceTest, ExportFileRoundTrips)
 {
-    trace::TraceBuffer &b = trace::TraceBuffer::instance();
+    trace::TraceBuffer &b = trace::buffer();
     b.enable(8);
     b.emit(rec(1, trace::TraceOp::IterBegin, 0, 1));
     std::string path =
@@ -518,7 +519,7 @@ TEST_F(TraceTest, HwAbortComesBackFullyAttributed)
     EXPECT_EQ(c.earlier.addr, c.elemAddr);
 
     // The ring holds the synthesized Abort record...
-    trace::TraceBuffer &b = trace::TraceBuffer::instance();
+    trace::TraceBuffer &b = trace::buffer();
     bool have_abort = false;
     bool have_grant = false;
     bool have_msg = false;
@@ -549,5 +550,135 @@ TEST_F(TraceTest, DisabledRunRecordsNothing)
     RunResult res = exec.run();
     ASSERT_TRUE(res.hwFailure.failed);
     EXPECT_FALSE(res.hwFailure.cause.valid);
-    EXPECT_EQ(trace::TraceBuffer::instance().recorded(), 0u);
+    EXPECT_EQ(trace::buffer().recorded(), 0u);
+}
+
+// --- ring edge cases --------------------------------------------------
+
+TEST_F(TraceTest, WrapAtExactCapacityIsNotADrop)
+{
+    trace::TraceBuffer &b = trace::buffer();
+    b.enable(4);
+    for (Tick t = 1; t <= 4; ++t)
+        b.emit(rec(t, trace::TraceOp::IterBegin, 0, 1));
+    // Exactly full: the head wrapped to slot 0 but nothing was lost.
+    EXPECT_EQ(b.size(), 4u);
+    EXPECT_EQ(b.recorded(), 4u);
+    EXPECT_EQ(b.dropped(), 0u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(b.at(i).tick, 1u + i);
+    // One more now overwrites the oldest.
+    b.emit(rec(5, trace::TraceOp::IterBegin, 0, 1));
+    EXPECT_EQ(b.size(), 4u);
+    EXPECT_EQ(b.dropped(), 1u);
+    EXPECT_EQ(b.at(0).tick, 2u);
+    EXPECT_EQ(b.at(3).tick, 5u);
+}
+
+TEST_F(TraceTest, CapacityZeroIsCoercedToOne)
+{
+    trace::TraceBuffer &b = trace::buffer();
+    b.enable(0);
+    EXPECT_EQ(b.capacity(), 1u);
+    EXPECT_TRUE(b.isOn());
+    b.emit(rec(1, trace::TraceOp::IterBegin, 0, 1));
+    EXPECT_EQ(b.size(), 1u);
+}
+
+TEST_F(TraceTest, CapacityOneRetainsOnlyTheNewestRecord)
+{
+    trace::TraceBuffer &b = trace::buffer();
+    b.enable(1);
+    for (Tick t = 1; t <= 5; ++t)
+        b.emit(rec(t, trace::TraceOp::IterBegin, 0, 1));
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b.at(0).tick, 5u);
+    EXPECT_EQ(b.recorded(), 5u);
+    EXPECT_EQ(b.dropped(), 4u);
+}
+
+TEST_F(TraceTest, AttributeAbortSurvivesOverwrittenCausingRecord)
+{
+    trace::TraceBuffer &b = trace::buffer();
+    b.enable(4);
+    const Addr elem = 0x80;
+    // The conflicting earlier write...
+    auto w = rec(1, trace::TraceOp::SpecBit, 0, 2, elem, "write");
+    w.sub = 1;
+    b.emit(w);
+    // ...is pushed out of the ring by unrelated traffic.
+    for (Tick t = 2; t <= 6; ++t)
+        b.emit(rec(t, trace::TraceOp::SpecBit, 1, 3, 0x90, "read"));
+    // The failing read is recent enough to survive.
+    b.emit(rec(7, trace::TraceOp::SpecBit, 1, 5, elem, "read"));
+
+    trace::AbortCause c = trace::attributeAbort(
+        b, elem, 1, 5, "read of element written by another processor",
+        7);
+    ASSERT_TRUE(c.valid);
+    EXPECT_TRUE(c.haveFailing);
+    EXPECT_FALSE(c.haveEarlier);
+    EXPECT_NE(c.str().find("not in the trace ring"),
+              std::string::npos);
+}
+
+// --- instance scoping -------------------------------------------------
+
+TEST_F(TraceTest, StandaloneBuffersAreIndependent)
+{
+    trace::TraceBuffer b1;
+    trace::TraceBuffer b2;
+    b1.enable(4);
+    b2.enable(4);
+    b1.emit(rec(1, trace::TraceOp::IterBegin, 0, 1));
+    EXPECT_EQ(b1.size(), 1u);
+    EXPECT_EQ(b2.size(), 0u);
+    // Enabling a standalone ring does not switch the hot-path guard
+    // on: that tracks the CURRENT CONTEXT's ring only.
+    EXPECT_FALSE(trace::enabled());
+}
+
+TEST_F(TraceTest, ScopedSimContextSwitchesTheCurrentRing)
+{
+    trace::TraceBuffer &outer = trace::buffer();
+    outer.enable(8);
+    EXPECT_TRUE(trace::enabled());
+
+    SimContext inner;
+    {
+        ScopedSimContext active(inner);
+        // The inner context's ring is off and empty; the guard must
+        // have followed the context switch.
+        EXPECT_FALSE(trace::enabled());
+        EXPECT_EQ(&trace::buffer(), &inner.traceBuffer());
+        trace::buffer().enable(4);
+        EXPECT_TRUE(trace::enabled());
+        trace::buffer().emit(rec(1, trace::TraceOp::IterBegin, 0, 1));
+        EXPECT_EQ(trace::buffer().size(), 1u);
+    }
+    // Back outside: the outer ring, still enabled, still empty.
+    EXPECT_TRUE(trace::enabled());
+    EXPECT_EQ(&trace::buffer(), &outer);
+    EXPECT_EQ(outer.size(), 0u);
+    EXPECT_EQ(inner.traceBuffer().size(), 1u);
+}
+
+TEST_F(TraceTest, LoopIdsArePerContext)
+{
+    SimContext a;
+    SimContext b;
+    uint32_t a1, a2, b1;
+    {
+        ScopedSimContext active(a);
+        a1 = trace::nextLoopId();
+        a2 = trace::nextLoopId();
+    }
+    {
+        ScopedSimContext active(b);
+        b1 = trace::nextLoopId();
+    }
+    EXPECT_EQ(a2, a1 + 1);
+    // A fresh context starts its ids over: two campaign jobs built
+    // from the same seed must stamp identical loop ids.
+    EXPECT_EQ(b1, a1);
 }
