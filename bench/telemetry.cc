@@ -10,6 +10,7 @@
 
 #include "core/loop_exec.hh"
 #include "sim/config.hh"
+#include "sim/timeline.hh"
 #include "sim/trace.hh"
 #include "sim/trace_export.hh"
 
@@ -145,6 +146,14 @@ std::vector<campaign::JobOutcome>
 runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
 {
     std::vector<Telemetry> shards(n);
+    // With the process timeline on (--timeline-out), every job
+    // samples into its own context's timeline at the same interval;
+    // the shards are captured per job and merged below in job-id
+    // order, so the merged timeline does not depend on --jobs.
+    timeline::Timeline &procTl = timeline::current();
+    bool tlOn = procTl.isOn();
+    Tick tlInterval = procTl.interval();
+    std::vector<timeline::Timeline> tlShards(tlOn ? n : 0);
     campaign::Options opts;
     opts.jobs = jobs();
     opts.baseSeed = base_seed;
@@ -152,12 +161,18 @@ runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
         n,
         [&](size_t id, SimContext &ctx) {
             ScopedTelemetry scoped(shards[id]);
+            if (tlOn)
+                timeline::current().enable(tlInterval);
             fn(id, ctx);
+            if (tlOn)
+                tlShards[id] = timeline::current();
         },
         opts);
     Telemetry &t = processTelemetry();
     for (const Telemetry &shard : shards) // job-id order: deterministic
         t.merge(shard);
+    for (const timeline::Timeline &shard : tlShards)
+        procTl.merge(shard);
     return outcomes;
 }
 
@@ -209,6 +224,7 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
     const char *envOut = std::getenv("SPECRT_BENCH_OUT");
     std::string outPath = envOut ? envOut : "BENCH_results.json";
     std::string tracePath;
+    std::string timelinePath;
     bool writeJson = true;
 
     for (int i = 1; i < argc; ++i) {
@@ -223,6 +239,10 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
             tracePath = arg.substr(std::strlen("--trace-out="));
         } else if (arg == "--trace-out" && i + 1 < argc) {
             tracePath = argv[++i];
+        } else if (arg.rfind("--timeline-out=", 0) == 0) {
+            timelinePath = arg.substr(std::strlen("--timeline-out="));
+        } else if (arg == "--timeline-out" && i + 1 < argc) {
+            timelinePath = argv[++i];
         } else if (arg.rfind("--jobs=", 0) == 0 ||
                    (arg == "--jobs" && i + 1 < argc)) {
             const char *val = arg == "--jobs"
@@ -239,9 +259,13 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--quick] [--no-json] "
                         "[--out <path>] [--trace-out <path>] "
-                        "[--jobs <n>]\n"
+                        "[--timeline-out <path>] [--jobs <n>]\n"
                         "  --trace-out  record the protocol trace and "
                         "write Chrome/Perfetto JSON to <path>\n"
+                        "  --timeline-out  sample the metric timeline "
+                        "and write its CSV to <path> (with "
+                        "--trace-out, counter tracks land in the "
+                        "trace JSON too)\n"
                         "  --jobs       campaign worker threads "
                         "(0 = all host cores; default 1)\n",
                         argv[0]);
@@ -255,19 +279,43 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
 
     if (!tracePath.empty())
         trace::buffer().enable();
+    if (!timelinePath.empty())
+        timeline::current().enable();
 
     auto t0 = std::chrono::steady_clock::now();
     int rc = body();
     auto t1 = std::chrono::steady_clock::now();
 
+    const timeline::Timeline &tl = timeline::current();
     if (!tracePath.empty()) {
-        if (trace::exportChromeTraceFile(trace::buffer(), tracePath)) {
+        const timeline::Timeline *tlp =
+            tl.numSamples() ? &tl : nullptr;
+        if (trace::exportChromeTraceFile(trace::buffer(), tracePath,
+                                         tlp)) {
             std::printf("[trace] wrote %" PRIu64 " records to %s\n",
                         trace::buffer().recorded(),
                         tracePath.c_str());
         } else {
             std::fprintf(stderr, "%s: failed to write trace to %s\n",
                          name, tracePath.c_str());
+            if (rc == 0)
+                rc = 1;
+        }
+    }
+
+    if (!timelinePath.empty()) {
+        std::ofstream os(timelinePath, std::ios::trunc);
+        if (os)
+            os << tl.csv();
+        if (os) {
+            std::printf("[timeline] wrote %zu samples x %zu series "
+                        "to %s\n",
+                        tl.numSamples(), tl.numSeries(),
+                        timelinePath.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "%s: failed to write timeline to %s\n",
+                         name, timelinePath.c_str());
             if (rc == 0)
                 rc = 1;
         }
@@ -308,6 +356,15 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
         << "    \"events_per_sec\": " << jsonNumber(eps) << ",\n"
         << "    \"runs\": " << t.runs << ",\n"
         << "    \"infra_failed_runs\": " << t.infraFailedRuns << ",\n";
+    if (!timelinePath.empty()) {
+        // Timeline-derived keys; the perf gate treats unknown keys
+        // as informational (scripts/check_bench_regression.py).
+        rec << "    \"timeline_samples\": " << tl.numSamples()
+            << ",\n"
+            << "    \"timeline_series\": " << tl.numSeries() << ",\n"
+            << "    \"timeline_out\": \"" << jsonEscape(timelinePath)
+            << "\",\n";
+    }
     rec << "    \"metrics\": {";
     for (size_t i = 0; i < t.metrics.size(); ++i) {
         rec << (i ? ", " : "") << "\"" << jsonEscape(t.metrics[i].first)

@@ -20,6 +20,15 @@
  *                 through bench::runJobs() (0 = all host cores;
  *                 default 1 so the perf gate's ticks/s keeps
  *                 measuring a single simulator instance)
+ *   --timeline-out <path>  enable the metric timeline
+ *                 (sim/timeline.hh) and write its CSV to <path>;
+ *                 with --trace-out, the sampled series also land in
+ *                 the trace JSON as Perfetto counter tracks. Jobs
+ *                 fanned out via runJobs() sample into per-job
+ *                 timelines merged in job-id order, so the CSV is
+ *                 identical whatever --jobs was. Adds
+ *                 timeline_samples / timeline_series keys to the
+ *                 JSON record.
  *
  * Concurrency: telemetry() is the PROCESS accumulator on the main
  * thread, but campaign jobs run on worker threads -- there it

@@ -35,9 +35,25 @@ instead of comparing.
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+
+# Record keys the gate interprets. Anything else (e.g. the
+# timeline_samples / timeline_series / timeline_out keys written by
+# --timeline-out runs) is informational: noted, never a failure, and
+# never carried into the baseline by --rebase.
+KNOWN_RECORD_KEYS = {
+    "schema", "bench", "quick", "git_sha", "config_fingerprint",
+    "exit_code", "wall_ms", "sim_ticks", "events_fired",
+    "ticks_per_sec", "events_per_sec", "runs", "infra_failed_runs",
+    "metrics", "stats",
+}
+
+
+def unknown_keys(rec):
+    return sorted(k for k in rec if k not in KNOWN_RECORD_KEYS)
 
 
 def load(path):
@@ -72,40 +88,31 @@ def rebase(results, baseline_path):
             "events_per_sec": rec.get("events_per_sec", 0),
         }
         # Carry headline speedup metrics as explicit minimum gates.
-        for key, val in sorted(rec.get("metrics", {}).items()):
-            if key.endswith("_speedup"):
+        # Timeline-derived metrics are observability output, not
+        # performance claims; they never become gates.
+        metrics = rec.get("metrics", {})
+        if not isinstance(metrics, dict):
+            metrics = {}
+        for key, val in sorted(metrics.items()):
+            if key.endswith("_speedup") and \
+                    not key.startswith("timeline_"):
                 entry[f"min_{key}"] = round(val * 0.8, 3)
         base.append(entry)
     baseline_path.write_text(json.dumps(base, indent=2) + "\n")
     print(f"baseline rewritten: {baseline_path} ({len(base)} benches)")
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--results", default=str(REPO / "BENCH_results.json"))
-    ap.add_argument("--baseline", default=str(REPO / "bench" / "baseline.json"))
-    ap.add_argument("--tolerance", type=float, default=0.75,
-                    help="allowed fractional drop in ticks/sec "
-                         "(default 0.75: CI runners are noisy)")
-    ap.add_argument("--rebase", action="store_true",
-                    help="rewrite the baseline from current results")
-    args = ap.parse_args()
-
-    results = latest_by_bench(load(args.results))
-    if not results:
-        print("error: no bench records in results file", file=sys.stderr)
-        return 2
-
-    if args.rebase:
-        rebase(results, Path(args.baseline))
-        return 0
-
-    baseline = {b["bench"]: b for b in load(args.baseline)}
-
+def compare(results, baseline, tolerance):
+    """Gate ``results`` against ``baseline``; returns (checked,
+    failures)."""
     failures = 0
     checked = 0
     for name in sorted(results):
         rec = results[name]
+        extra = unknown_keys(rec)
+        if extra:
+            print(f"note {name}: ignoring unknown record keys: "
+                  + ", ".join(extra))
         if rec.get("exit_code", 0) != 0:
             print(f"FAIL {name}: bench exited nonzero "
                   f"({rec.get('exit_code')})")
@@ -120,7 +127,7 @@ def main():
         cur = rec.get("ticks_per_sec", 0)
         ref = base.get("ticks_per_sec", 0)
         if cur and ref:
-            floor = ref * (1.0 - args.tolerance)
+            floor = ref * (1.0 - tolerance)
             status = "ok  " if cur >= floor else "FAIL"
             print(f"{status} {name}: {cur:.3g} ticks/s "
                   f"(baseline {ref:.3g}, floor {floor:.3g})")
@@ -131,11 +138,14 @@ def main():
             print(f"skip {name}: no simulation rate to compare")
 
         # Explicit minimum gates (e.g. min_sched_fire_speedup).
+        metrics = rec.get("metrics", {})
+        if not isinstance(metrics, dict):
+            metrics = {}
         for key, floor in base.items():
             if not key.startswith("min_"):
                 continue
             metric = key[len("min_"):]
-            val = rec.get("metrics", {}).get(metric)
+            val = metrics.get(metric)
             if val is None:
                 print(f"FAIL {name}: metric {metric} missing")
                 failures += 1
@@ -148,6 +158,81 @@ def main():
             checked += 1
 
     print(f"\n{checked} comparisons, {failures} failures")
+    return checked, failures
+
+
+def selftest():
+    """Verify the gate's record-shape tolerance (run by CI).
+
+    1. Records carrying timeline-derived keys the gate does not know
+       must pass untouched (the keys are noted, never failures).
+    2. A genuine min_ gate violation must still fail in their
+       presence.
+    3. --rebase must not turn timeline-derived metrics into gates.
+    """
+    timeline_rec = {
+        "bench": "smoke",
+        "exit_code": 0,
+        "ticks_per_sec": 100.0,
+        "metrics": {"foo_speedup": 1.0},
+        "timeline_samples": 5,
+        "timeline_series": 3,
+        "timeline_out": "timeline.csv",
+    }
+    assert unknown_keys(timeline_rec) == \
+        ["timeline_out", "timeline_samples", "timeline_series"]
+
+    baseline = {"smoke": {"bench": "smoke", "ticks_per_sec": 100.0,
+                          "min_foo_speedup": 0.8}}
+    _, failures = compare({"smoke": timeline_rec}, baseline, 0.75)
+    assert failures == 0, "unknown timeline keys must not fail the gate"
+
+    slow = dict(timeline_rec, metrics={"foo_speedup": 0.5})
+    _, failures = compare({"smoke": slow}, baseline, 0.75)
+    assert failures == 1, "a real metric floor violation must still fail"
+
+    rec = dict(timeline_rec,
+               metrics={"foo_speedup": 1.0,
+                        "timeline_sample_speedup": 9.0})
+    with tempfile.TemporaryDirectory() as td:
+        out = Path(td) / "baseline.json"
+        rebase({"smoke": rec}, out)
+        rebased = {b["bench"]: b for b in json.loads(out.read_text())}
+    assert "min_foo_speedup" in rebased["smoke"]
+    assert "min_timeline_sample_speedup" not in rebased["smoke"], \
+        "rebase must not gate timeline-derived metrics"
+
+    print("selftest: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results", default=str(REPO / "BENCH_results.json"))
+    ap.add_argument("--baseline", default=str(REPO / "bench" / "baseline.json"))
+    ap.add_argument("--tolerance", type=float, default=0.75,
+                    help="allowed fractional drop in ticks/sec "
+                         "(default 0.75: CI runners are noisy)")
+    ap.add_argument("--rebase", action="store_true",
+                    help="rewrite the baseline from current results")
+    ap.add_argument("--selftest", action="store_true",
+                    help="check the gate's own record-shape tolerance")
+    args = ap.parse_args()
+
+    if args.selftest:
+        return selftest()
+
+    results = latest_by_bench(load(args.results))
+    if not results:
+        print("error: no bench records in results file", file=sys.stderr)
+        return 2
+
+    if args.rebase:
+        rebase(results, Path(args.baseline))
+        return 0
+
+    baseline = {b["bench"]: b for b in load(args.baseline)}
+    _, failures = compare(results, baseline, args.tolerance)
     return 1 if failures else 0
 
 

@@ -487,6 +487,7 @@ LoopExecutor::runLoopPhase()
                                      ++done;
                                  });
         }
+        armSampler();
         eq.run();
 
         if (infraAborted) {
@@ -523,6 +524,7 @@ LoopExecutor::runLoopPhase()
             eq.schedule(std::max(eq.curTick(),
                                  end + cfg.barrierCycles),
                         []() {});
+            armSampler();
             eq.run();
         }
     }
@@ -555,6 +557,7 @@ LoopExecutor::runProgramPhase(
             ++done;
         });
     }
+    armSampler();
     eq.run();
     SPECRT_ASSERT(done == n_procs, "program phase wedged");
 
@@ -887,10 +890,61 @@ LoopExecutor::runSerialPhase()
     procs[0]->setBindings(&bindings[0]);
     procs[0]->startPhase(&source, gen, false,
                          [&finished](NodeId) { finished = true; });
+    armSampler();
     eq.run();
     SPECRT_ASSERT(finished, "serial phase wedged");
     accumulate(aggScratch);
     return eq.curTick() - start;
+}
+
+void
+LoopExecutor::initSampler()
+{
+    if (!timeline::enabled())
+        return;
+    tlSampler =
+        std::make_unique<timeline::RunSampler>(dsm->eventQueue());
+
+    // Live gauges: instantaneous machine state at each sampling
+    // point. The lambdas capture raw pointers into the executor's
+    // machine, which outlives the sampler (member order).
+    Network *net = &dsm->network();
+    tlSampler->addGauge("net.in_flight", [net]() {
+        return static_cast<double>(net->numInFlight());
+    });
+    DsmSystem *d = dsm.get();
+    int n = d->numProcs();
+    tlSampler->addGauge("dir.active_txns", [d, n]() {
+        size_t sum = 0;
+        for (int i = 0; i < n; ++i)
+            sum += d->dirCtrl(i).numActiveTxns();
+        return static_cast<double>(sum);
+    });
+    tlSampler->addGauge("dir.queued_reqs", [d, n]() {
+        size_t sum = 0;
+        for (int i = 0; i < n; ++i)
+            sum += d->dirCtrl(i).numQueuedReqs();
+        return static_cast<double>(sum);
+    });
+    tlSampler->addGauge("dir.max_queue", [d, n]() {
+        size_t mx = 0;
+        for (int i = 0; i < n; ++i)
+            mx = std::max(mx, d->dirCtrl(i).numQueuedReqs());
+        return static_cast<double>(mx);
+    });
+    auto *pv = &procs;
+    tlSampler->addGauge("spec.outstanding_iters", [pv]() {
+        uint64_t sum = 0;
+        for (const auto &p : *pv)
+            sum += p->outstandingIters();
+        return static_cast<double>(sum);
+    });
+
+    // Per-interval deltas of the machine's stat tree (network,
+    // caches, directories) and, in HW mode, the spec hardware's.
+    tlSampler->addStatDelta(*dsm);
+    if (spec)
+        tlSampler->addStatDelta(*spec);
 }
 
 RunResult
@@ -899,9 +953,13 @@ LoopExecutor::run()
     setup();
     // Protocol tracing: the config knob wins, the environment
     // (SPECRT_TRACE) can switch it on for any driver that never
-    // touches cfg.trace. Neither affects modeled timing.
+    // touches cfg.trace. Neither affects modeled timing. The metric
+    // timeline follows the same contract (SPECRT_TIMELINE).
     trace::applyConfig(cfg.trace);
     trace::maybeEnableFromEnv();
+    timeline::applyConfig(cfg.timeline);
+    timeline::maybeEnableFromEnv();
+    initSampler();
     beginTraceLoop(dsm->eventQueue().curTick(), execModeName(xc.mode),
                    numIters());
 
@@ -940,6 +998,7 @@ LoopExecutor::run()
         res.passed = false;
         if (is_hw)
             spec->disarm();
+        finishSampler();
         dsm->resetMachine(false);
         res.totalTicks = res.phases.total();
         res.agg = aggScratch;
@@ -1014,6 +1073,9 @@ LoopExecutor::run()
 
     if (checker)
         res.invariantViolations += checker->checkAll();
+
+    // Final sample before the commit reset wipes the gauges' state.
+    finishSampler();
 
     // Commit all cached state so the backing store holds the final
     // values (verification reads them there).

@@ -35,6 +35,7 @@
 #include "runtime/processor.hh"
 #include "runtime/scheduler.hh"
 #include "runtime/workload.hh"
+#include "sim/timeline.hh"
 #include "spec/spec_unit.hh"
 
 namespace specrt
@@ -230,6 +231,21 @@ class LoopExecutor : public TraceSink
     void accumulate(BreakdownAgg &agg);
     void resetProcStats();
 
+    /** Create the timeline sampler (no-op when the timeline is off). */
+    void initSampler();
+    /** Re-arm the sampler before an event-queue drain leg. */
+    void armSampler()
+    {
+        if (tlSampler)
+            tlSampler->arm();
+    }
+    /** Final sample + stop sampling (idempotent). */
+    void finishSampler()
+    {
+        if (tlSampler)
+            tlSampler->finish();
+    }
+
     IterNum numIters() const;
     int activeProcs() const;
 
@@ -241,6 +257,11 @@ class LoopExecutor : public TraceSink
     std::unique_ptr<SpecSystem> spec;
     std::unique_ptr<InvariantChecker> checker;
     std::vector<std::unique_ptr<Processor>> procs;
+    /**
+     * Declared after the machine members: its gauges read them, and
+     * its destructor (final sample) must run before they go away.
+     */
+    std::unique_ptr<timeline::RunSampler> tlSampler;
 
     std::vector<ArraySetup> setups;
     /** Loop-phase bindings, one table per proc. */

@@ -1,6 +1,7 @@
 #include "mem/dir_ctrl.hh"
 
 #include "sim/logging.hh"
+#include "sim/timeline.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -25,6 +26,13 @@ traceDirState(Tick tick, NodeId home, Addr line, DirState from,
     r.b = static_cast<uint64_t>(to);
     r.label = dirStateName(to);
     trace::buffer().emit(r);
+}
+
+/** Contention heatmap key: the element when known, else the line. */
+Addr
+heatElem(const Msg &msg)
+{
+    return msg.elemAddr != invalidAddr ? msg.elemAddr : msg.lineAddr;
 }
 
 } // namespace
@@ -93,6 +101,11 @@ DirCtrl::handle(const Msg &msg)
 void
 DirCtrl::enqueue(const Msg &msg)
 {
+    // A request arriving while its line has an active transaction is
+    // exactly the home-node serialization the paper worries about --
+    // that is the contention the heatmap's "queued" axis counts.
+    if (active.count(msg.lineAddr))
+        timeline::dirQueued(node, heatElem(msg));
     waiting[msg.lineAddr].push_back(msg);
     tryStart(msg.lineAddr);
 }
@@ -129,6 +142,7 @@ DirCtrl::claimController()
 void
 DirCtrl::process(const Msg &msg)
 {
+    timeline::dirAccess(node, heatElem(msg));
     switch (msg.type) {
       case MsgType::ReadReq:
       case MsgType::WriteReq: {

@@ -157,9 +157,11 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter,
     SPECRT_ASSERT(h, "no handler for %s at node %d",
                   msgTypeName(msg.type), msg.dst);
 
+    ++inFlight;
     if (!plan || !plan->armed()) {
         if (trace::enabled()) {
             eq.scheduleIn(delay, [this, &h, m = msg, flow]() {
+                --inFlight;
                 if (trace::enabled())
                     traceRecv(m, eq.curTick(), flow);
                 h(m);
@@ -167,7 +169,10 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter,
             return;
         }
         // Fault-free fast path: identical timing to the plain network.
-        eq.scheduleIn(delay, [&h, m = msg]() { h(m); });
+        eq.scheduleIn(delay, [this, &h, m = msg]() {
+            --inFlight;
+            h(m);
+        });
         return;
     }
 
@@ -178,6 +183,7 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter,
     when = std::max(when, floor);
     floor = when;
     eq.schedule(when, [this, &h, m = msg, flow]() {
+        --inFlight;
         if (trace::enabled())
             traceRecv(m, eq.curTick(), flow);
         h(m);
@@ -203,6 +209,9 @@ Network::reset()
 {
     channelFloor.clear();
     pendingRetransmits = 0;
+    // The event-queue reset that accompanies a machine reset dropped
+    // every scheduled delivery.
+    inFlight = 0;
 }
 
 } // namespace specrt

@@ -80,6 +80,8 @@ class Network : public StatGroup
     uint64_t numMsgs() const { return static_cast<uint64_t>(msgs.value()); }
     /** Signal retransmissions still scheduled (quiesce check). */
     size_t numPendingRetransmits() const { return pendingRetransmits; }
+    /** Deliveries scheduled but not yet handed over (timeline gauge). */
+    size_t numInFlight() const { return inFlight; }
 
   private:
     /** One transmission attempt (attempt > 0 for retransmissions). */
@@ -105,6 +107,8 @@ class Network : public StatGroup
     /** Latest scheduled delivery tick per (src,dst) channel. */
     std::unordered_map<uint64_t, Tick> channelFloor;
     size_t pendingRetransmits = 0;
+    /** Scheduled deliveries not yet handed to their endpoint. */
+    size_t inFlight = 0;
 
     uint64_t hops = 0;
     Scalar msgs;

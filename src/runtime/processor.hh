@@ -121,6 +121,17 @@ class Processor : public StatGroup
     /** Directly add sync time (barrier waits, added by executor). */
     void addSyncCycles(double cycles) { sync += cycles; }
 
+    /**
+     * Speculative iterations claimed but not yet finished (timeline
+     * gauge): the rest of the current chunk while a phase is active.
+     */
+    uint64_t outstandingIters() const
+    {
+        return active && chunkHi > curIter
+                   ? static_cast<uint64_t>(chunkHi - curIter)
+                   : 0;
+    }
+
     void resetPhaseStats();
 
   private:

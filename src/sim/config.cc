@@ -42,6 +42,29 @@ TraceConfig::fromEnv()
     return tc;
 }
 
+TimelineConfig
+TimelineConfig::fromEnv()
+{
+    TimelineConfig tc;
+    const char *v = std::getenv("SPECRT_TIMELINE");
+    if (!v || !*v || std::string(v) == "0")
+        return tc;
+    tc.enabled = true;
+    if (std::string(v) != "1")
+        tc.outPath = v;
+    if (const char *out = std::getenv("SPECRT_TIMELINE_OUT"))
+        tc.outPath = out;
+    if (const char *iv = std::getenv("SPECRT_TIMELINE_INTERVAL")) {
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(iv, &end, 10);
+        if (end && *end == '\0' && n > 0)
+            tc.intervalTicks = static_cast<Tick>(n);
+        else
+            warn("ignoring bad SPECRT_TIMELINE_INTERVAL '%s'", iv);
+    }
+    return tc;
+}
+
 void
 MachineConfig::validate() const
 {

@@ -143,6 +143,29 @@ struct TraceConfig
     static TraceConfig fromEnv();
 };
 
+/**
+ * Time-series metrics knobs (sim/timeline.hh). Host-side
+ * observability only, like tracing: sampling never changes modeled
+ * timing, so this struct is excluded from
+ * MachineConfig::fingerprint().
+ */
+struct TimelineConfig
+{
+    /** Sample registered stats and gauges periodically. */
+    bool enabled = false;
+    /** Where to write the timeline CSV ("" = don't). */
+    std::string outPath;
+    /** Sampling period (0 = Timeline::defaultIntervalTicks). */
+    Tick intervalTicks = 0;
+
+    /**
+     * Parse SPECRT_TIMELINE (unset/"0" = off; "1" = on; any other
+     * value = on, writing the CSV to that path),
+     * SPECRT_TIMELINE_OUT and SPECRT_TIMELINE_INTERVAL.
+     */
+    static TimelineConfig fromEnv();
+};
+
 /** Full machine description. */
 struct MachineConfig
 {
@@ -181,6 +204,12 @@ struct MachineConfig
      * timing.
      */
     TraceConfig trace;
+
+    /**
+     * Periodic metric sampling (off by default). Observability-only
+     * like tracing: not part of fingerprint().
+     */
+    TimelineConfig timeline;
 
     /** Checks that the configuration is self-consistent (fatal()s). */
     void validate() const;

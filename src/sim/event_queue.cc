@@ -65,6 +65,20 @@ EventQueue::liveSlotOf(EventId id) const
 EventId
 EventQueue::schedule(Tick when, SmallFunction callback, EventKind kind)
 {
+    return scheduleImpl(when, std::move(callback), kind, false);
+}
+
+EventId
+EventQueue::scheduleDaemon(Tick when, SmallFunction callback,
+                           EventKind kind)
+{
+    return scheduleImpl(when, std::move(callback), kind, true);
+}
+
+EventId
+EventQueue::scheduleImpl(Tick when, SmallFunction callback,
+                         EventKind kind, bool daemon)
+{
     SPECRT_ASSERT(when >= _curTick,
                   "scheduling in the past: when=%llu cur=%llu",
                   (unsigned long long)when,
@@ -75,6 +89,9 @@ EventQueue::schedule(Tick when, SmallFunction callback, EventKind kind)
     EventId id = (static_cast<uint64_t>(slot) + 1) << 32 | s.gen;
     s.cb = std::move(callback);
     s.kind = kind;
+    s.daemon = daemon;
+    if (daemon)
+        ++daemonCount;
 
     if (when == _curTick) {
         // Fast lane: same-tick events (zero-delay protocol hand-offs)
@@ -112,6 +129,8 @@ EventQueue::deschedule(EventId id)
         fifo[s.pos].slot = badIndex;
         ++fifoDead;
     }
+    if (s.daemon)
+        --daemonCount;
     freeSlot(idx); // destroys the callback
     --pendingCount;
 }
@@ -196,6 +215,8 @@ EventQueue::fire(const Entry &e)
     SmallFunction cb = std::move(s.cb);
     if constexpr (profileEnabled)
         prof::Registry::instance().recordEvent(s.kind);
+    if (s.daemon)
+        --daemonCount;
     freeSlot(e.slot);
     --pendingCount;
     ++_numFired;
@@ -206,6 +227,12 @@ EventQueue::fire(const Entry &e)
 bool
 EventQueue::fireNext(Tick limit)
 {
+    // Only daemon events left: the queue is drained. They stay
+    // pending (and unfired) so time never advances past the last
+    // piece of real work.
+    if (pendingCount == daemonCount)
+        return false;
+
     fifoSkipDead();
     bool haveFifo = fifoHead < fifo.size();
     bool haveHeap = !heap.empty();
@@ -267,6 +294,7 @@ EventQueue::reset()
     freeHead = badIndex;
     slotsInUse = 0;
     pendingCount = 0;
+    daemonCount = 0;
     _curTick = 0;
     nextSeq = 0;
     _numFired = 0;

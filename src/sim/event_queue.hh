@@ -24,6 +24,11 @@
  * EventIds carry a per-slot generation, so cancelling an id whose
  * event already fired is a harmless no-op even after the slot has
  * been reused.
+ *
+ * Daemon events (scheduleDaemon) are for observers such as the
+ * metric-timeline sampler: they fire in order alongside real events
+ * but never keep the queue alive -- a drain stops, leaving them
+ * pending, once only daemons remain.
  */
 
 #ifndef SPECRT_SIM_EVENT_QUEUE_HH
@@ -80,6 +85,30 @@ class EventQueue
     }
 
     /**
+     * Schedule a daemon event: it fires in (when, seq) order like
+     * any other event while non-daemon work is pending, but it never
+     * keeps the queue alive -- run()/runUntil() return, without
+     * firing it, once only daemon events remain, and it stays
+     * pending for the next run() leg (or until reset() drops it).
+     *
+     * This is for observers like the timeline sampler: a periodic
+     * event that must not extend a drain past the real work, which
+     * would advance curTick beyond the last modeled event and
+     * perturb measured phase durations.
+     */
+    EventId scheduleDaemon(Tick when, SmallFunction callback,
+                           EventKind kind = EventKind::Generic);
+
+    /** Schedule a daemon event @p delay cycles from now. */
+    EventId
+    scheduleDaemonIn(Cycles delay, SmallFunction callback,
+                     EventKind kind = EventKind::Generic)
+    {
+        return scheduleDaemon(_curTick + delay, std::move(callback),
+                              kind);
+    }
+
+    /**
      * Cancel a pending event. Cancelling an already-fired or unknown
      * event is a harmless no-op.
      */
@@ -88,8 +117,14 @@ class EventQueue
     /** Number of events still pending (cancelled events excluded). */
     size_t numPending() const { return pendingCount; }
 
+    /** Pending daemon events (a subset of numPending()). */
+    size_t numDaemon() const { return daemonCount; }
+
     /** True if no events are pending. */
     bool empty() const { return pendingCount == 0; }
+
+    /** True if only daemon events (if any) remain: run() returns. */
+    bool drained() const { return pendingCount == daemonCount; }
 
     /**
      * Run until the queue drains or stop() is called.
@@ -151,6 +186,8 @@ class EventQueue
         uint32_t pos = 0;
         SlotLoc loc = LocFree;
         EventKind kind = EventKind::Generic;
+        /** Daemon events never keep the queue alive. */
+        bool daemon = false;
         uint32_t nextFree = badIndex;
     };
 
@@ -159,6 +196,9 @@ class EventQueue
     {
         return a.when != b.when ? a.when < b.when : a.seq < b.seq;
     }
+
+    EventId scheduleImpl(Tick when, SmallFunction callback,
+                         EventKind kind, bool daemon);
 
     uint32_t allocSlot();
     void freeSlot(uint32_t idx);
@@ -194,6 +234,7 @@ class EventQueue
     size_t slotsInUse = 0;
 
     size_t pendingCount = 0;
+    size_t daemonCount = 0;
     Tick _curTick = 0;
     uint64_t nextSeq = 0;
     uint64_t _numFired = 0;

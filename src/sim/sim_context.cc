@@ -29,22 +29,48 @@ threadDefault()
 
 SimContext::~SimContext()
 {
-    if (!traceExportOnDestroy || traceOutPath.empty() ||
-        traceBuf.recorded() == 0)
+    bool wantTrace = traceExportOnDestroy && !traceOutPath.empty() &&
+                     traceBuf.recorded() != 0;
+    bool wantTimeline = timelineExportOnDestroy &&
+                        !timelineOutPath.empty() &&
+                        timelineTl.numSamples() != 0;
+    if (!wantTrace && !wantTimeline)
         return;
     // One exporter at a time: several env-traced contexts may die
-    // concurrently (campaign jobs), and the file must never hold an
+    // concurrently (campaign jobs), and the files must never hold an
     // interleaving of two exports. The mutex has static storage, so
     // it outlives every thread-local context, including the main
     // thread's default one.
     static std::mutex exportMutex;
     std::lock_guard<std::mutex> lock(exportMutex);
-    if (trace::exportChromeTraceFile(traceBuf, traceOutPath)) {
-        std::fprintf(stderr, "[trace] wrote %zu records to %s\n",
-                     traceBuf.size(), traceOutPath.c_str());
-    } else {
-        std::fprintf(stderr, "[trace] failed to write %s\n",
-                     traceOutPath.c_str());
+    if (wantTrace) {
+        // An env-traced context also folds its timeline counters
+        // into the trace JSON, so one file shows both.
+        const timeline::Timeline *tl =
+            timelineTl.numSamples() ? &timelineTl : nullptr;
+        if (trace::exportChromeTraceFile(traceBuf, traceOutPath,
+                                         tl)) {
+            std::fprintf(stderr, "[trace] wrote %zu records to %s\n",
+                         traceBuf.size(), traceOutPath.c_str());
+        } else {
+            std::fprintf(stderr, "[trace] failed to write %s\n",
+                         traceOutPath.c_str());
+        }
+    }
+    if (wantTimeline) {
+        std::FILE *f = std::fopen(timelineOutPath.c_str(), "w");
+        if (f) {
+            std::string csv = timelineTl.csv();
+            std::fwrite(csv.data(), 1, csv.size(), f);
+            std::fclose(f);
+            std::fprintf(stderr,
+                         "[timeline] wrote %zu samples to %s\n",
+                         timelineTl.numSamples(),
+                         timelineOutPath.c_str());
+        } else {
+            std::fprintf(stderr, "[timeline] failed to write %s\n",
+                         timelineOutPath.c_str());
+        }
     }
 }
 
@@ -79,12 +105,14 @@ ScopedSimContext::ScopedSimContext(SimContext &ctx) : prev(tlsCurrent)
 {
     tlsCurrent = &ctx;
     trace::refreshEnabled();
+    timeline::refreshEnabled();
 }
 
 ScopedSimContext::~ScopedSimContext()
 {
     tlsCurrent = prev;
     trace::refreshEnabled();
+    timeline::refreshEnabled();
 }
 
 } // namespace specrt

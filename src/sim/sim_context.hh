@@ -42,6 +42,7 @@
 
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "sim/timeline.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -102,6 +103,25 @@ class SimContext
      */
     bool traceExportOnDestroy = false;
 
+    // --- metric timeline (accessed by sim/timeline.cc) ----------------
+
+    timeline::Timeline &timelineData() { return timelineTl; }
+    const timeline::Timeline &timelineData() const
+    {
+        return timelineTl;
+    }
+
+    /** Where to write the timeline CSV ("" = nowhere). */
+    std::string timelineOutPath;
+    /** SPECRT_TIMELINE has been applied to this context already. */
+    bool timelineEnvChecked = false;
+    /**
+     * Write the CSV to timelineOutPath when this context dies; set
+     * only by the SPECRT_TIMELINE env path (same contract as
+     * traceExportOnDestroy).
+     */
+    bool timelineExportOnDestroy = false;
+
     // --- deterministic randomness -------------------------------------
 
     /** Base seed the named streams derive from. */
@@ -120,6 +140,7 @@ class SimContext
 
   private:
     trace::TraceBuffer traceBuf;
+    timeline::Timeline timelineTl;
     std::map<std::string, Rng> rngs;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <iomanip>
+#include <set>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -28,11 +30,33 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
 void
 StatGroup::snapshot(StatSnapshot &out, const std::string &prefix) const
 {
+#ifndef NDEBUG
+    size_t first = out.size();
+#endif
+    snapshotInto(out, prefix);
+#ifndef NDEBUG
+    // Duplicate dotted names (two same-named children, say) would
+    // silently shadow each other in every keyed consumer; check the
+    // range this call appended.
+    std::set<std::string> seen;
+    for (size_t i = first; i < out.size(); ++i) {
+        SPECRT_ASSERT(seen.insert(out[i].first).second,
+                      "duplicate stat name '%s' in snapshot of "
+                      "group '%s'",
+                      out[i].first.c_str(), _name.c_str());
+    }
+#endif
+}
+
+void
+StatGroup::snapshotInto(StatSnapshot &out,
+                        const std::string &prefix) const
+{
     std::string full = prefix.empty() ? _name : prefix + "." + _name;
     for (const StatBase *stat : stats)
         stat->snapshot(out, full);
     for (const StatGroup *child : children)
-        child->snapshot(out, full);
+        child->snapshotInto(out, full);
 }
 
 void
@@ -158,6 +182,23 @@ Distribution::snapshot(StatSnapshot &out,
     out.emplace_back(full + ".mean", mean());
     out.emplace_back(full + ".min", min());
     out.emplace_back(full + ".max", max());
+    // Out-of-range mass and the populated buckets, mirroring
+    // print(): underflow/overflow are always present (consumers key
+    // on them), buckets only when non-zero (keeps records small).
+    out.emplace_back(full + ".underflow",
+                     static_cast<double>(underflow));
+    out.emplace_back(full + ".overflow",
+                     static_cast<double>(overflow));
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (!buckets[i])
+            continue;
+        double b_lo = lo + i * bucketSize;
+        std::ostringstream key;
+        key << full << ".bucket[" << b_lo << ","
+            << (b_lo + bucketSize) << ")";
+        out.emplace_back(key.str(),
+                         static_cast<double>(buckets[i]));
+    }
 }
 
 void

@@ -82,7 +82,10 @@ class StatGroup
 
     /**
      * Capture every stat in this group and all children as flat
-     * (dotted-name, value) pairs (benchmark telemetry).
+     * (dotted-name, value) pairs (benchmark telemetry). Dotted names
+     * must be unique across the whole subtree -- duplicates would
+     * silently shadow each other in every keyed consumer (telemetry
+     * JSON, timeline deltas) -- so debug builds assert on collisions.
      */
     void snapshot(StatSnapshot &out,
                   const std::string &prefix = "") const;
@@ -91,6 +94,9 @@ class StatGroup
     void resetStats();
 
   private:
+    void snapshotInto(StatSnapshot &out,
+                      const std::string &prefix) const;
+
     std::string _name;
     std::vector<StatBase *> stats;
     std::vector<StatGroup *> children;

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "sim/timeline.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -23,6 +24,9 @@ namespace
  * their own track instead of polluting node 0.
  */
 constexpr int machinePid = 9999;
+
+/** Synthetic pid for the timeline's counter tracks. */
+constexpr int counterPid = 9998;
 
 /** Lanes (tids) within each node's track. */
 constexpr int tidIter = 0;
@@ -86,8 +90,40 @@ argsCommon(const TraceRecord &r)
 
 } // namespace
 
+namespace
+{
+
+/**
+ * The timeline's sampled series as Perfetto counter tracks: one "C"
+ * event per (series, sample row), all on a synthetic "metrics"
+ * process. Same tick timebase as the trace events, so counters and
+ * protocol activity line up in the viewer.
+ */
+void
+counterTracks(std::ostringstream &os, bool &first,
+              const timeline::Timeline &tl)
+{
+    if (tl.numSamples() == 0)
+        return;
+    event(os, first, "process_name", "M", 0, counterPid, 0,
+          "\"args\": {\"name\": \"metrics\"}");
+    const std::vector<Tick> &ticks = tl.sampleTicks();
+    const std::vector<uint32_t> &runs = tl.sampleRuns();
+    for (const timeline::Timeline::Series &s : tl.allSeries()) {
+        for (size_t row = 0; row < ticks.size(); ++row) {
+            std::ostringstream extra;
+            extra << "\"args\": {\"value\": " << s.values[row]
+                  << ", \"run\": " << runs[row] << "}";
+            event(os, first, esc(s.name.c_str()), "C", ticks[row],
+                  counterPid, 0, extra.str());
+        }
+    }
+}
+
+} // namespace
+
 std::string
-chromeTraceJson(const TraceBuffer &buf)
+chromeTraceJson(const TraceBuffer &buf, const timeline::Timeline *tl)
 {
     std::ostringstream os;
     os << "{\"traceEvents\": [";
@@ -190,6 +226,9 @@ chromeTraceJson(const TraceBuffer &buf)
         }
     }
 
+    if (tl)
+        counterTracks(os, first, *tl);
+
     os << "\n],\n\"displayTimeUnit\": \"ns\",\n"
        << "\"otherData\": {\"recorded\": " << buf.recorded()
        << ", \"dropped\": " << buf.dropped() << "}}\n";
@@ -197,17 +236,18 @@ chromeTraceJson(const TraceBuffer &buf)
 }
 
 bool
-exportChromeTraceFile(const TraceBuffer &buf, const std::string &path)
+exportChromeTraceFile(const TraceBuffer &buf, const std::string &path,
+                      const timeline::Timeline *tl)
 {
     std::ofstream os(path, std::ios::trunc);
     if (!os)
         return false;
-    os << chromeTraceJson(buf);
+    os << chromeTraceJson(buf, tl);
     return static_cast<bool>(os);
 }
 
 std::string
-textSummary(const TraceBuffer &buf)
+textSummary(const TraceBuffer &buf, const timeline::Timeline *tl)
 {
     uint64_t perOp[numTraceOps] = {};
     std::set<NodeId> nodes;
@@ -249,6 +289,11 @@ textSummary(const TraceBuffer &buf)
     std::string ab = aborts.str();
     if (!ab.empty())
         os << "aborts:\n" << ab;
+    if (tl) {
+        std::string hot = tl->hotSummary();
+        if (!hot.empty())
+            os << hot;
+    }
     return os.str();
 }
 

@@ -10,6 +10,13 @@
  *  - a compact text summary (per-op counts, drop accounting, and
  *    the abort records), for terminals and CI logs.
  *
+ * Each exporter optionally folds in a metric timeline
+ * (sim/timeline.hh): sampled series become Perfetto counter tracks
+ * ("ph": "C") on a synthetic "metrics" process sharing the trace's
+ * tick timebase, so counters and protocol events line up in one UI;
+ * the text summary gains the hot-element / hot-home-node contention
+ * report next to the abort records.
+ *
  * Timestamps are raw sim ticks; the viewer renders them as
  * microseconds, which only changes the axis label.
  */
@@ -21,20 +28,32 @@
 
 namespace specrt
 {
+
+namespace timeline
+{
+class Timeline;
+}
+
 namespace trace
 {
 
 class TraceBuffer;
 
-/** The whole ring as a Chrome trace-event JSON document. */
-std::string chromeTraceJson(const TraceBuffer &buf);
+/**
+ * The whole ring as a Chrome trace-event JSON document; @p tl (may
+ * be null) adds its series as counter tracks on the same timebase.
+ */
+std::string chromeTraceJson(const TraceBuffer &buf,
+                            const timeline::Timeline *tl = nullptr);
 
-/** Write chromeTraceJson(@p buf) to @p path. @return success. */
+/** Write chromeTraceJson(@p buf, @p tl) to @p path. @return success. */
 bool exportChromeTraceFile(const TraceBuffer &buf,
-                           const std::string &path);
+                           const std::string &path,
+                           const timeline::Timeline *tl = nullptr);
 
 /** Compact human-readable summary of the ring's contents. */
-std::string textSummary(const TraceBuffer &buf);
+std::string textSummary(const TraceBuffer &buf,
+                        const timeline::Timeline *tl = nullptr);
 
 } // namespace trace
 } // namespace specrt

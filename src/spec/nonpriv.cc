@@ -1,6 +1,7 @@
 #include "spec/nonpriv.hh"
 
 #include "sim/logging.hh"
+#include "sim/timeline.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -12,48 +13,63 @@ namespace
 // Trace instrumentation: each transition function declares one
 // tracer on entry; at exit the tracer records the packed before/after
 // bits against the ambient trace context (set by spec_unit) when
-// they differ. Costs one enabled() load when tracing is off.
+// they differ. The metric timeline counts the same transitions (its
+// "spec.transitions" series) independently of tracing. Costs two
+// enabled() loads when both are off.
 
 struct TraceTagBits
 {
     TraceTagBits(const NPTagBits &t_, bool write_)
-        : t(t_), write(write_), on(trace::enabled())
+        : t(t_), write(write_), on(trace::enabled()),
+          tlOn(timeline::enabled())
     {
-        if (on)
+        if (on || tlOn)
             before = npPackTag(t, trace::ctx().node);
     }
 
     ~TraceTagBits()
     {
+        if (!on && !tlOn)
+            return;
+        uint32_t after = npPackTag(t, trace::ctx().node);
+        if (tlOn && after != before)
+            timeline::specTransition();
         if (on)
-            trace::specBits(write, before,
-                            npPackTag(t, trace::ctx().node));
+            trace::specBits(write, before, after);
     }
 
     const NPTagBits &t;
     bool write;
     bool on;
+    bool tlOn;
     uint32_t before = 0;
 };
 
 struct TraceDirBits
 {
     TraceDirBits(const NPDirBits &d_, bool write_)
-        : d(d_), write(write_), on(trace::enabled())
+        : d(d_), write(write_), on(trace::enabled()),
+          tlOn(timeline::enabled())
     {
-        if (on)
+        if (on || tlOn)
             before = npPackDir(d);
     }
 
     ~TraceDirBits()
     {
+        if (!on && !tlOn)
+            return;
+        uint32_t after = npPackDir(d);
+        if (tlOn && after != before)
+            timeline::specTransition();
         if (on)
-            trace::specBits(write, before, npPackDir(d));
+            trace::specBits(write, before, after);
     }
 
     const NPDirBits &d;
     bool write;
     bool on;
+    bool tlOn;
     uint32_t before = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "spec/priv.hh"
 
 #include "sim/logging.hh"
+#include "sim/timeline.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -13,6 +14,8 @@ namespace
 inline void
 traceTs(trace::TsStamp which, IterNum old_v, IterNum new_v)
 {
+    if (old_v != new_v)
+        timeline::specTransition();
     if (trace::enabled())
         trace::timeStamp(which, old_v, new_v);
 }

@@ -1,6 +1,7 @@
 #include "spec/spec_unit.hh"
 
 #include "sim/logging.hh"
+#include "sim/timeline.hh"
 
 namespace specrt
 {
@@ -641,6 +642,10 @@ SpecSystem::fail(NodeId node, Addr elem, const char *reason)
     _failure.reason = reason ? reason : "unspecified";
     ++failures;
 
+    // The failing element's home directory is where its transactions
+    // serialized; mark the conflict on the contention heatmap.
+    timeline::dirConflict(dsm.memory().homeOf(elem), elem);
+
     if (trace::enabled()) {
         // The handler that tripped the detector published the access
         // context (spec ScopedCtx) before running the test logic.
@@ -656,8 +661,14 @@ SpecSystem::fail(NodeId node, Addr elem, const char *reason)
         r.addr = elem;
         r.label = reason; // detector reasons are string literals
         buf.emit(r);
-        warn("speculation abort attributed:\n%s",
-             _failure.cause.str().c_str());
+        // With the timeline on, the attribution report also names
+        // the hot home nodes / elements seen so far.
+        std::string hot = timeline::enabled()
+                              ? timeline::current().hotSummary()
+                              : std::string();
+        warn("speculation abort attributed:\n%s%s%s",
+             _failure.cause.str().c_str(), hot.empty() ? "" : "\n",
+             hot.c_str());
     }
 
     if (abortHook)

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * A tiny in-test JSON syntax checker shared by the exporter tests
+ * (test_trace.cc, test_timeline.cc).
+ *
+ * Just enough of a recursive-descent parser to assert an exporter
+ * emits well-formed JSON: the acceptance bar is "Perfetto loads it",
+ * and Perfetto's first step is a strict JSON parse. Header-only and
+ * test-only -- production code must not include this.
+ */
+
+#ifndef SPECRT_TESTS_SUPPORT_JSON_CHECKER_HH
+#define SPECRT_TESTS_SUPPORT_JSON_CHECKER_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace specrt::test_support
+{
+
+struct JsonParser
+{
+    const std::string &s;
+    size_t i = 0;
+
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    void skipWs()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\n' ||
+                                s[i] == '\t' || s[i] == '\r'))
+            ++i;
+    }
+
+    bool eat(char c)
+    {
+        skipWs();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseString()
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != '"')
+            return false;
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                ++i;
+                if (i >= s.size())
+                    return false;
+            }
+            ++i;
+        }
+        return i < s.size() && s[i++] == '"';
+    }
+
+    bool parseNumber()
+    {
+        skipWs();
+        size_t start = i;
+        if (i < s.size() && (s[i] == '-' || s[i] == '+'))
+            ++i;
+        while (i < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                s[i] == '-' || s[i] == '+'))
+            ++i;
+        return i > start;
+    }
+
+    bool parseValue()
+    {
+        skipWs();
+        if (i >= s.size())
+            return false;
+        char c = s[i];
+        if (c == '{') {
+            ++i;
+            if (eat('}'))
+                return true;
+            do {
+                if (!parseString() || !eat(':') || !parseValue())
+                    return false;
+            } while (eat(','));
+            return eat('}');
+        }
+        if (c == '[') {
+            ++i;
+            if (eat(']'))
+                return true;
+            do {
+                if (!parseValue())
+                    return false;
+            } while (eat(','));
+            return eat(']');
+        }
+        if (c == '"')
+            return parseString();
+        if (s.compare(i, 4, "true") == 0) { i += 4; return true; }
+        if (s.compare(i, 5, "false") == 0) { i += 5; return true; }
+        if (s.compare(i, 4, "null") == 0) { i += 4; return true; }
+        return parseNumber();
+    }
+
+    bool parseDocument()
+    {
+        if (!parseValue())
+            return false;
+        skipWs();
+        return i == s.size();
+    }
+};
+
+inline bool
+validJson(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+} // namespace specrt::test_support
+
+#endif // SPECRT_TESTS_SUPPORT_JSON_CHECKER_HH

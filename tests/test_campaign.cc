@@ -3,8 +3,8 @@
  * Tests for the simulation-campaign runner (sim/campaign.hh) and the
  * instance scoping underneath it (sim/sim_context.hh): work-stealing
  * completeness, per-job failure trapping, serial-vs-parallel
- * determinism of stats and trace output, per-context RNG streams, and
- * log-sink isolation across concurrent contexts.
+ * determinism of stats, trace, and timeline output, per-context RNG
+ * streams, and log-sink isolation across concurrent contexts.
  *
  * Rule observed throughout: no gtest assertions inside campaign jobs
  * (they run on worker threads); jobs record into id-indexed slots and
@@ -25,6 +25,7 @@
 #include "sim/campaign.hh"
 #include "sim/logging.hh"
 #include "sim/sim_context.hh"
+#include "sim/timeline.hh"
 #include "sim/trace.hh"
 #include "sim/trace_export.hh"
 #include "workloads/microloops.hh"
@@ -177,16 +178,18 @@ namespace
 
 /**
  * One campaign job for the determinism test: run a seeded random
- * workload under HW speculation with this context's trace ring on,
- * and render everything observable -- verdict, final memory, the
- * machine's full stats snapshot, and the trace summary -- into one
- * string. Any dependence on worker identity or scheduling order
- * shows up as a byte difference between campaign configurations.
+ * workload under HW speculation with this context's trace ring and
+ * metric timeline on, and render everything observable -- verdict,
+ * final memory, the machine's full stats snapshot, the trace
+ * summary, and the timeline CSV + hot summary -- into one string.
+ * Any dependence on worker identity or scheduling order shows up as
+ * a byte difference between campaign configurations.
  */
 std::string
 determinismJob(size_t id)
 {
     trace::buffer().enable(1u << 12);
+    timeline::current().enable(200);
     RandomLoopParams rp{24, 48, 3, 0.5, 48,
                         (id % 2) ? TestType::Priv : TestType::NonPriv,
                         2000 + id};
@@ -212,6 +215,8 @@ determinismJob(size_t id)
         os << "  " << kv.first << " = " << std::setprecision(17)
            << kv.second << "\n";
     os << "trace:\n" << trace::textSummary(trace::buffer());
+    os << "timeline:\n" << timeline::current().csv();
+    os << timeline::current().hotSummary();
     return os.str();
 }
 

@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <functional>
 #include <new>
 #include <random>
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/small_function.hh"
@@ -164,6 +166,106 @@ TEST(EventQueue, ResetDropsEverything)
     EXPECT_EQ(eq.curTick(), 0u);
     eq.run();
     EXPECT_EQ(fired, 0);
+}
+
+// --- daemon events ----------------------------------------------------
+
+TEST(EventQueue, DaemonAloneDoesNotRunAndDoesNotAdvanceTime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleDaemon(50, [&]() { ++fired; });
+    EXPECT_EQ(eq.numPending(), 1u);
+    EXPECT_EQ(eq.numDaemon(), 1u);
+    EXPECT_TRUE(eq.drained());
+    // run() must return immediately: only daemons remain. The event
+    // stays pending for a later leg.
+    EXPECT_EQ(eq.run(), 0u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.numPending(), 1u);
+}
+
+TEST(EventQueue, DaemonFiresInOrderWhileRealWorkIsPending)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&]() { order.push_back(10); });
+    eq.scheduleDaemon(5, [&]() { order.push_back(5); });
+    eq.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 5);
+    EXPECT_EQ(order[1], 10);
+    EXPECT_EQ(eq.curTick(), 10u);
+    EXPECT_EQ(eq.numDaemon(), 0u);
+}
+
+TEST(EventQueue, DaemonBeyondLastRealEventStaysPendingAcrossLegs)
+{
+    EventQueue eq;
+    int samples = 0;
+    eq.schedule(10, []() {});
+    eq.scheduleDaemon(50, [&]() { ++samples; });
+    // First leg: real work ends at 10; the daemon at 50 must not
+    // drag the drain (and curTick) out to 50.
+    EXPECT_EQ(eq.run(), 10u);
+    EXPECT_EQ(samples, 0);
+    EXPECT_EQ(eq.numDaemon(), 1u);
+    // Second leg reaches past the daemon's tick: now it fires.
+    eq.schedule(100, []() {});
+    EXPECT_EQ(eq.run(), 100u);
+    EXPECT_EQ(samples, 1);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DaemonRearmingItselfCannotWedgeTheDrain)
+{
+    EventQueue eq;
+    int samples = 0;
+    // A periodic daemon that always re-arms -- the timeline
+    // sampler's shape. Without daemon semantics this loop would
+    // never drain.
+    std::function<void()> rearm = [&]() {
+        ++samples;
+        eq.scheduleDaemonIn(10, [&]() { rearm(); });
+    };
+    eq.scheduleDaemonIn(10, [&]() { rearm(); });
+    for (Tick t = 1; t <= 100; ++t)
+        eq.schedule(t, []() {});
+    eq.run();
+    // Fired at 10, 20, ..., 90 while real events were pending. The
+    // tick-100 re-arm was scheduled after the tick-100 real event
+    // (higher seq), so once that real event fires only the daemon
+    // remains and the drain stops without firing it.
+    EXPECT_EQ(samples, 9);
+    EXPECT_EQ(eq.curTick(), 100u);
+    EXPECT_EQ(eq.numPending(), 1u);
+    EXPECT_EQ(eq.numDaemon(), 1u);
+}
+
+TEST(EventQueue, DescheduleAndResetKeepDaemonCountsExact)
+{
+    EventQueue eq;
+    EventId id = eq.scheduleDaemon(50, []() {});
+    eq.schedule(10, []() {});
+    eq.deschedule(id);
+    EXPECT_EQ(eq.numDaemon(), 0u);
+    EXPECT_EQ(eq.numPending(), 1u);
+    eq.scheduleDaemon(60, []() {});
+    eq.reset();
+    EXPECT_EQ(eq.numDaemon(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunUntilLeavesLoneDaemonsPendingToo)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleDaemon(5, [&]() { ++fired; });
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.numDaemon(), 1u);
 }
 
 TEST(EventQueue, CountsFiredEvents)

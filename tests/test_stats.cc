@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 
 using namespace specrt;
@@ -92,7 +94,9 @@ TEST(Stats, SnapshotEmptyDistribution)
     Distribution d(&g, "d", "a dist", 0, 10, 1);
     StatSnapshot snap;
     g.snapshot(snap);
-    ASSERT_EQ(snap.size(), 4u);
+    // Moments plus the always-present out-of-range mass; no bucket
+    // keys while every bucket is still zero.
+    ASSERT_EQ(snap.size(), 6u);
     EXPECT_EQ(snap[0].first, "g.d.count");
     EXPECT_EQ(snap[0].second, 0.0);
     EXPECT_EQ(snap[1].first, "g.d.mean");
@@ -101,7 +105,106 @@ TEST(Stats, SnapshotEmptyDistribution)
     EXPECT_EQ(snap[2].second, 0.0);
     EXPECT_EQ(snap[3].first, "g.d.max");
     EXPECT_EQ(snap[3].second, 0.0);
+    EXPECT_EQ(snap[4].first, "g.d.underflow");
+    EXPECT_EQ(snap[4].second, 0.0);
+    EXPECT_EQ(snap[5].first, "g.d.overflow");
+    EXPECT_EQ(snap[5].second, 0.0);
 }
+
+TEST(Stats, SnapshotDistributionBucketsAndOutOfRangeMass)
+{
+    StatGroup g("g");
+    Distribution d(&g, "d", "a dist", 10, 20, 5);
+    d.sample(5);  // underflow
+    d.sample(25); // overflow
+    d.sample(25); // overflow
+    d.sample(12); // bucket [10,15)
+    d.sample(17); // bucket [15,20)
+    d.sample(17); // bucket [15,20)
+
+    auto lookup = [](const StatSnapshot &snap, const std::string &key,
+                     double &out) {
+        for (const auto &kv : snap) {
+            if (kv.first == key) {
+                out = kv.second;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    StatSnapshot snap;
+    g.snapshot(snap);
+    double v = -1;
+    ASSERT_TRUE(lookup(snap, "g.d.underflow", v));
+    EXPECT_EQ(v, 1.0);
+    ASSERT_TRUE(lookup(snap, "g.d.overflow", v));
+    EXPECT_EQ(v, 2.0);
+    ASSERT_TRUE(lookup(snap, "g.d.bucket[10,15)", v));
+    EXPECT_EQ(v, 1.0);
+    ASSERT_TRUE(lookup(snap, "g.d.bucket[15,20)", v));
+    EXPECT_EQ(v, 2.0);
+    // In-range mass + out-of-range mass must account for every
+    // sample (the .count key holds the total).
+    ASSERT_TRUE(lookup(snap, "g.d.count", v));
+    EXPECT_EQ(v, 6.0);
+
+    // Keys come and go with the data: after a reset the bucket
+    // sub-keys disappear again while underflow/overflow stay (at
+    // zero), so delta consumers must match by name, not position.
+    d.reset();
+    StatSnapshot after;
+    g.snapshot(after);
+    ASSERT_EQ(after.size(), 6u);
+    EXPECT_FALSE(lookup(after, "g.d.bucket[10,15)", v));
+    ASSERT_TRUE(lookup(after, "g.d.underflow", v));
+    EXPECT_EQ(v, 0.0);
+    ASSERT_TRUE(lookup(after, "g.d.overflow", v));
+    EXPECT_EQ(v, 0.0);
+}
+
+#ifndef NDEBUG
+TEST(Stats, SnapshotDuplicateDottedNameAsserts)
+{
+    // Two same-named children each holding a same-named scalar
+    // produce two "root.twin.s" entries -- a silent aliasing bug for
+    // every by-name consumer (telemetry JSON, timeline deltas), so
+    // debug builds must trip the snapshot's duplicate check.
+    StatGroup root("root");
+    StatGroup twin_a("twin");
+    StatGroup twin_b("twin");
+    root.addChild(&twin_a);
+    root.addChild(&twin_b);
+    Scalar sa(&twin_a, "s", "");
+    Scalar sb(&twin_b, "s", "");
+
+    setLogThrowOnFatal(true);
+    StatSnapshot snap;
+    EXPECT_THROW(root.snapshot(snap), FatalError);
+    setLogThrowOnFatal(false);
+}
+
+TEST(Stats, SnapshotUniqueNamesDoNotTripTheDuplicateCheck)
+{
+    // Same leaf name under differently named parents is fine: the
+    // dotted paths differ.
+    StatGroup root("root");
+    StatGroup a("a");
+    StatGroup b("b");
+    root.addChild(&a);
+    root.addChild(&b);
+    Scalar sa(&a, "s", "");
+    Scalar sb(&b, "s", "");
+
+    setLogThrowOnFatal(true);
+    StatSnapshot snap;
+    EXPECT_NO_THROW(root.snapshot(snap));
+    setLogThrowOnFatal(false);
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].first, "root.a.s");
+    EXPECT_EQ(snap[1].first, "root.b.s");
+}
+#endif // !NDEBUG
 
 TEST(Stats, SnapshotVectorDottedTotal)
 {

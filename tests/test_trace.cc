@@ -23,6 +23,7 @@
 #include "sim/sim_context.hh"
 #include "sim/trace.hh"
 #include "sim/trace_export.hh"
+#include "support/json_checker.hh"
 #include "workloads/microloops.hh"
 
 using namespace specrt;
@@ -66,115 +67,7 @@ rec(Tick tick, trace::TraceOp op, NodeId node, IterNum iter,
     return r;
 }
 
-// --- a tiny JSON syntax checker ---------------------------------------
-//
-// Just enough of a recursive-descent parser to assert the exporter
-// emits well-formed JSON (the acceptance bar is "Perfetto loads it",
-// and Perfetto's first step is a strict JSON parse).
-
-struct JsonParser
-{
-    const std::string &s;
-    size_t i = 0;
-
-    explicit JsonParser(const std::string &text) : s(text) {}
-
-    void skipWs()
-    {
-        while (i < s.size() && (s[i] == ' ' || s[i] == '\n' ||
-                                s[i] == '\t' || s[i] == '\r'))
-            ++i;
-    }
-
-    bool eat(char c)
-    {
-        skipWs();
-        if (i < s.size() && s[i] == c) {
-            ++i;
-            return true;
-        }
-        return false;
-    }
-
-    bool parseString()
-    {
-        skipWs();
-        if (i >= s.size() || s[i] != '"')
-            return false;
-        ++i;
-        while (i < s.size() && s[i] != '"') {
-            if (s[i] == '\\') {
-                ++i;
-                if (i >= s.size())
-                    return false;
-            }
-            ++i;
-        }
-        return i < s.size() && s[i++] == '"';
-    }
-
-    bool parseNumber()
-    {
-        skipWs();
-        size_t start = i;
-        if (i < s.size() && (s[i] == '-' || s[i] == '+'))
-            ++i;
-        while (i < s.size() &&
-               (std::isdigit(static_cast<unsigned char>(s[i])) ||
-                s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
-                s[i] == '-' || s[i] == '+'))
-            ++i;
-        return i > start;
-    }
-
-    bool parseValue()
-    {
-        skipWs();
-        if (i >= s.size())
-            return false;
-        char c = s[i];
-        if (c == '{') {
-            ++i;
-            if (eat('}'))
-                return true;
-            do {
-                if (!parseString() || !eat(':') || !parseValue())
-                    return false;
-            } while (eat(','));
-            return eat('}');
-        }
-        if (c == '[') {
-            ++i;
-            if (eat(']'))
-                return true;
-            do {
-                if (!parseValue())
-                    return false;
-            } while (eat(','));
-            return eat(']');
-        }
-        if (c == '"')
-            return parseString();
-        if (s.compare(i, 4, "true") == 0) { i += 4; return true; }
-        if (s.compare(i, 5, "false") == 0) { i += 5; return true; }
-        if (s.compare(i, 4, "null") == 0) { i += 4; return true; }
-        return parseNumber();
-    }
-
-    bool parseDocument()
-    {
-        if (!parseValue())
-            return false;
-        skipWs();
-        return i == s.size();
-    }
-};
-
-bool
-validJson(const std::string &text)
-{
-    return JsonParser(text).parseDocument();
-}
+using test_support::validJson;
 
 } // namespace
 
