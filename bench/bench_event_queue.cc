@@ -104,6 +104,23 @@ class LegacyEventQueue
     Id nextId = 1;
 };
 
+/**
+ * Always-default controller: what the explorer's replay costs once
+ * the stack is exhausted. The engine only consults it at same-tick
+ * collision points, so the delta vs.\ the uncontrolled run isolates
+ * the controlled fire path; the uncontrolled run itself (the gated
+ * sched_fire_speedup metric) demonstrates that merely compiling the
+ * hook in costs nothing when no controller is installed.
+ */
+struct Pick0Controller : ScheduleController
+{
+    size_t
+    pick(const EventChoice *, size_t) override
+    {
+        return 0;
+    }
+};
+
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
 {
@@ -197,6 +214,16 @@ SPECRT_BENCH_MAIN(event_queue)
     double nSt = sameTickWorkload(nq, rounds / 4 + 1, 100, 9, sink);
     double lSt = sameTickWorkload(lq, rounds / 4 + 1, 100, 9, sink);
 
+    // Same workload with a pick-0 ScheduleController installed: the
+    // price of the explorer's controlled fire path when it IS active
+    // (the absent-controller numbers above gate the default path).
+    Pick0Controller p0;
+    EventQueue cq;
+    schedFireWorkload(cq, 10, perRound, sink);
+    cq.setScheduleController(&p0);
+    double cSf = schedFireWorkload(cq, rounds, perRound, sink);
+    cq.setScheduleController(nullptr);
+
     std::vector<int> w = {16, 14, 14, 10};
     printRow({"workload", "new Mev/s", "seed Mev/s", "speedup"}, w);
     auto row = [&](const char *name, double n, double l) {
@@ -206,8 +233,11 @@ SPECRT_BENCH_MAIN(event_queue)
     row("schedule+fire", nSf, lSf);
     row("cancel-heavy", nCa, lCa);
     row("same-tick chain", nSt, lSt);
+    row("ctl'd (pick-0)", cSf, lSf);
 
     telemetry().metric("sched_fire_new_meps", nSf / 1e6);
+    telemetry().metric("sched_fire_controlled_meps", cSf / 1e6);
+    telemetry().metric("controlled_fire_relative", cSf / nSf);
     telemetry().metric("sched_fire_legacy_meps", lSf / 1e6);
     telemetry().metric("sched_fire_speedup", nSf / lSf);
     telemetry().metric("cancel_heavy_speedup", nCa / lCa);

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Model-check the coherence + speculation protocol: enumerate
+ * message interleavings of small configurations with the bounded
+ * explorer (verify/explorer.hh), assert the protocol invariants
+ * after every network delivery and the paper's verdict semantics at
+ * the end of every schedule, and shrink + serialize any violation as
+ * a replayable schedule file.
+ *
+ *   model_check                      # the full grid (CI verify job)
+ *   model_check --scenario micro-2node
+ *   model_check --demo-bug           # seeded bug: find, shrink, save
+ *   model_check --replay-schedule f  # re-execute a saved schedule
+ *   model_check --out DIR            # where schedule files land
+ *   model_check --jobs N             # parallel subtree workers
+ *
+ * Scenarios:
+ *   micro-2node   2 nodes, 1 element, conflicting stores; EXHAUSTIVE
+ *                 (every reachable interleaving), per-delivery
+ *                 invariant sweeps + serializability at the end.
+ *   micro-3node   3 nodes, 1 element; budgeted sweep fanned across
+ *                 the campaign worker pool by choice prefix.
+ *   fig3-*        the real HW machine (2 procs) on the paper's
+ *                 Fig. 3 archetypes; verdict must be schedule-
+ *                 independent (budgeted).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/loop_exec.hh"
+#include "mem/directory.hh"
+#include "mem/dsm.hh"
+#include "mem/invariants.hh"
+#include "sim/sim_context.hh"
+#include "verify/explorer.hh"
+#include "workloads/microloops.hh"
+
+using namespace specrt;
+using verify::explore;
+using verify::exploreParallel;
+using verify::ExploreOptions;
+using verify::ExploreResult;
+using verify::RunVerdict;
+using verify::ScheduleFile;
+
+namespace
+{
+
+/**
+ * N nodes contending on one element homed at node 0: every node but
+ * the last stores a distinct value, the last node loads. Properties:
+ * the drain terminates quiescent, per-delivery and final invariant
+ * sweeps are clean, and the final value is one of the stores
+ * (serializability).
+ */
+RunVerdict
+runMicro(int nodes)
+{
+    MachineConfig cfg;
+    cfg.numProcs = nodes;
+    DsmSystem dsm(cfg);
+    int id = dsm.memory().alloc("A", 4, 4, Placement::Fixed, 0);
+    Addr a = dsm.memory().region(id).elemAddr(0);
+    dsm.memory().write(a, 4, 7);
+
+    InvariantChecker chk(dsm);
+    size_t viols = 0;
+    std::string first;
+    chk.setHandler([&](const ProtocolViolation &v) {
+        if (!viols++)
+            first = v.str();
+    });
+    dsm.eventQueue().setPostFireHook([&](Tick, EventKind k) {
+        if (k == EventKind::Network)
+            chk.checkAll(InvariantChecker::Granularity::Delivery);
+    });
+
+    bool loaded = false;
+    uint64_t lv = 0;
+    for (NodeId n = 0; n < nodes; ++n)
+        dsm.cacheCtrl(n).store(a, 4, 100 + static_cast<uint64_t>(n),
+                               n + 1);
+    dsm.cacheCtrl(nodes - 1).load(a, 4, 1, [&](uint64_t v) {
+        lv = v;
+        loaded = true;
+    });
+    dsm.eventQueue().run();
+
+    bool quiesced = dsm.quiescent();
+    chk.checkAll(InvariantChecker::Granularity::Quiesce);
+    dsm.resetMachine(true);
+    uint64_t fin = dsm.memory().read(a, 4);
+
+    RunVerdict v;
+    std::string err;
+    if (!loaded)
+        err += "load never completed; ";
+    if (!quiesced)
+        err += "not quiescent after drain; ";
+    bool fin_ok = false;
+    for (NodeId n = 0; n < nodes; ++n)
+        fin_ok |= fin == 100 + static_cast<uint64_t>(n);
+    if (!fin_ok)
+        err += "final value " + std::to_string(fin) +
+               " is no serialization of the stores; ";
+    if (viols)
+        err += std::to_string(viols) +
+               " invariant violation(s), first: " + first;
+    v.report = err;
+    v.ok = err.empty();
+    return v;
+}
+
+/** One HW-machine run of a Fig. 3 archetype (2 procs, 4 iters). */
+RunVerdict
+runFig3(Fig3Kind kind, bool expect_pass)
+{
+    Fig3Loop loop(kind, 4);
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    xc.sched = SchedPolicy::StaticChunk;
+    xc.checkInvariants = true;
+    xc.invariantGranularity = InvariantChecker::Granularity::Delivery;
+    LoopExecutor exec(cfg, loop, xc);
+    RunResult res = exec.run();
+
+    RunVerdict v;
+    std::string err;
+    if (res.passed != expect_pass)
+        err += "verdict flipped under reordering (got " +
+               std::to_string(res.passed) + ", expected " +
+               std::to_string(expect_pass) + "); ";
+    if (res.invariantViolations)
+        err += std::to_string(res.invariantViolations) +
+               " invariant violation(s); ";
+    if (res.infraFailed)
+        err += "infra failure: " + res.infraReason;
+    v.report = err;
+    v.ok = err.empty();
+    return v;
+}
+
+/**
+ * The seeded-bug demo: a deliberate test-only corruption reachable
+ * only off the default schedule, so the explorer has something to
+ * find, shrink, and serialize (EXPERIMENTS.md walkthrough; CI checks
+ * the artifact replays).
+ */
+RunVerdict
+runSeededBug()
+{
+    auto *rc = dynamic_cast<verify::ReplayController *>(
+        SimContext::current().scheduleController);
+    bool reordered = false;
+    if (rc) {
+        rc->onDecision = [&reordered](const EventChoice *, size_t,
+                                      size_t take) {
+            if (take != 0)
+                reordered = true;
+        };
+    }
+
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    DsmSystem dsm(cfg);
+    int id = dsm.memory().alloc("A", 4, 4, Placement::Fixed, 0);
+    Addr a = dsm.memory().region(id).elemAddr(0);
+    dsm.memory().write(a, 4, 7);
+    InvariantChecker chk(dsm);
+    size_t viols = 0;
+    std::string first;
+    chk.setHandler([&](const ProtocolViolation &v) {
+        if (!viols++)
+            first = v.str();
+    });
+    dsm.cacheCtrl(0).store(a, 4, 11, 1);
+    dsm.cacheCtrl(1).store(a, 4, 22, 2);
+    dsm.eventQueue().run();
+    if (reordered) {
+        // The "bug": home forgets who caches the line.
+        Addr line = dsm.cacheCtrl(0).cacheArray().lineAlign(a);
+        DirEntry &e = dsm.dirCtrl(0).directory().entry(line);
+        e.state = DirState::Uncached;
+        e.sharers = 0;
+        e.owner = invalidNode;
+    }
+    chk.checkAll(InvariantChecker::Granularity::Quiesce);
+
+    RunVerdict v;
+    if (viols) {
+        v.ok = false;
+        v.report = first;
+    }
+    return v;
+}
+
+struct Scenario
+{
+    const char *name;
+    verify::RunFn run;
+    ExploreOptions opts;
+    bool exhaustive; ///< budgetExhausted counts as a failure
+};
+
+std::vector<Scenario>
+grid()
+{
+    std::vector<Scenario> s;
+    {
+        ExploreOptions o;
+        o.maxRuns = 200000; // runaway backstop, not a budget
+        s.push_back({"micro-2node", [] { return runMicro(2); }, o,
+                     true});
+    }
+    {
+        ExploreOptions o;
+        o.maxDepth = 6;
+        o.maxBranch = 3;
+        o.maxRuns = 2000;
+        s.push_back({"micro-3node", [] { return runMicro(3); }, o,
+                     false});
+    }
+    auto fig3 = [](Fig3Kind k, bool pass) {
+        return [k, pass] { return runFig3(k, pass); };
+    };
+    ExploreOptions fo;
+    fo.maxDepth = 3;
+    fo.maxRuns = 24;
+    s.push_back({"fig3-readin", fig3(Fig3Kind::ReadInNeeded, true),
+                 fo, false});
+    s.push_back({"fig3-writefirst", fig3(Fig3Kind::WriteFirst, true),
+                 fo, false});
+    s.push_back({"fig3-flowdep", fig3(Fig3Kind::FlowDep, false), fo,
+                 false});
+    return s;
+}
+
+const verify::RunFn *
+findRun(const std::vector<Scenario> &s, const std::string &name,
+        verify::RunFn &bug_storage)
+{
+    if (name == "seeded-bug") {
+        bug_storage = runSeededBug;
+        return &bug_storage;
+    }
+    for (const Scenario &sc : s)
+        if (name == sc.name)
+            return &sc.run;
+    return nullptr;
+}
+
+/** Explore one scenario; write a schedule file on violation. */
+bool
+runScenario(const Scenario &sc, const std::string &out_dir,
+            size_t jobs)
+{
+    std::printf("%-16s ", sc.name);
+    std::fflush(stdout);
+    ExploreResult res;
+    if (jobs > 1) {
+        campaign::Options copts;
+        copts.jobs = jobs;
+        res = exploreParallel(sc.run, sc.opts, 1, copts);
+    } else {
+        res = explore(sc.run, sc.opts);
+    }
+    bool ok = !res.violated && !(sc.exhaustive && res.budgetExhausted);
+    std::printf("%s  %s\n", ok ? "OK  " : "FAIL",
+                res.summary().c_str());
+    if (res.violated) {
+        ScheduleFile f;
+        f.meta["scenario"] = sc.name;
+        f.meta["report"] = res.report.substr(0, 200);
+        f.choices = res.witness;
+        std::string path = out_dir + "/" + sc.name + ".schedule";
+        f.save(path);
+        std::printf("  witness (%zu choices) -> %s\n",
+                    res.witness.size(), path.c_str());
+    }
+    return ok;
+}
+
+int
+replaySchedule(const std::string &path)
+{
+    ScheduleFile f = ScheduleFile::load(path);
+    auto it = f.meta.find("scenario");
+    if (it == f.meta.end()) {
+        std::fprintf(stderr, "%s: no scenario in metadata\n",
+                     path.c_str());
+        return 1;
+    }
+    std::vector<Scenario> s = grid();
+    verify::RunFn bug;
+    const verify::RunFn *run = findRun(s, it->second, bug);
+    if (!run) {
+        std::fprintf(stderr, "unknown scenario '%s'\n",
+                     it->second.c_str());
+        return 1;
+    }
+    std::printf("replaying %s (%zu choices) ...\n",
+                it->second.c_str(), f.choices.size());
+    RunVerdict v = verify::replay(*run, f.choices);
+    std::printf("%s%s%s\n", v.ok ? "OK: schedule is clean" : "FAIL: ",
+                v.report.c_str(), v.ok ? "" : " (reproduced)");
+    return v.ok ? 0 : 2;
+}
+
+int
+demoBug(const std::string &out_dir)
+{
+    std::printf("hunting the seeded directory-corruption bug ...\n");
+    ExploreOptions o;
+    o.maxRuns = 200000;
+    ExploreResult res = explore(runSeededBug, o);
+    if (!res.violated) {
+        std::printf("not found (%s) -- the seeded bug should always "
+                    "be reachable\n",
+                    res.summary().c_str());
+        return 1;
+    }
+    std::printf("found after %zu runs: %s\n", res.runs,
+                res.report.c_str());
+    std::printf("raw witness: %zu choices, shrunk: %zu\n",
+                res.rawWitness.size(), res.witness.size());
+    ScheduleFile f;
+    f.meta["scenario"] = "seeded-bug";
+    f.meta["report"] = res.report.substr(0, 200);
+    f.choices = res.witness;
+    std::string path = out_dir + "/seeded-bug.schedule";
+    f.save(path);
+    std::printf("schedule -> %s (replay with --replay-schedule)\n",
+                path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_dir = ".";
+    std::string replay_path;
+    std::string only;
+    size_t jobs = 1;
+    bool demo = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--replay-schedule")
+            replay_path = value();
+        else if (arg == "--out")
+            out_dir = value();
+        else if (arg == "--scenario")
+            only = value();
+        else if (arg == "--jobs")
+            jobs = static_cast<size_t>(std::stoul(value()));
+        else if (arg == "--demo-bug")
+            demo = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: model_check [--scenario NAME] "
+                         "[--jobs N] [--out DIR] [--demo-bug] "
+                         "[--replay-schedule FILE]\n");
+            return arg == "--help" || arg == "-h" ? 0 : 1;
+        }
+    }
+
+    if (!replay_path.empty())
+        return replaySchedule(replay_path);
+    if (demo)
+        return demoBug(out_dir);
+
+    std::vector<Scenario> s = grid();
+    bool all_ok = true;
+    for (const Scenario &sc : s) {
+        if (!only.empty() && only != sc.name)
+            continue;
+        // Only the budgeted 3-node sweep is big enough to be worth
+        // fanning out.
+        size_t j = std::strcmp(sc.name, "micro-3node") == 0 ? jobs : 1;
+        all_ok &= runScenario(sc, out_dir, j);
+    }
+    std::printf("%s\n", all_ok ? "model check: all scenarios clean"
+                               : "model check: VIOLATIONS FOUND");
+    return all_ok ? 0 : 2;
+}

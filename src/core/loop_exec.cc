@@ -327,11 +327,23 @@ LoopExecutor::setup()
         spec = std::make_unique<SpecSystem>(*dsm);
 
     checker.reset();
+    deliveryChecksActive = false;
+    deliveryViolations = 0;
     if (xc.checkInvariants) {
         checker = std::make_unique<InvariantChecker>(*dsm);
         if (spec)
             checker->setSpecSystem(spec.get());
         checker->newRun();
+        if (xc.invariantGranularity ==
+            InvariantChecker::Granularity::Delivery) {
+            dsm->eventQueue().setPostFireHook(
+                [this](Tick, EventKind k) {
+                    if (deliveryChecksActive &&
+                        k == EventKind::Network)
+                        deliveryViolations += checker->checkAll(
+                            InvariantChecker::Granularity::Delivery);
+                });
+        }
     }
 
     infraAborted = false;
@@ -416,6 +428,15 @@ LoopExecutor::runLoopPhase()
     Tick phase_start = eq.curTick();
     int n_procs = activeProcs();
     resetProcStats();
+
+    struct DeliveryCheckGuard
+    {
+        bool *flag;
+        ~DeliveryCheckGuard() { *flag = false; }
+    } delivery_guard{&deliveryChecksActive};
+    deliveryChecksActive =
+        checker && xc.invariantGranularity ==
+                       InvariantChecker::Granularity::Delivery;
 
     SchedPolicy pol = xc.sched;
     if (xc.mode == ExecMode::Serial)
@@ -996,6 +1017,7 @@ LoopExecutor::run()
         res.infraFailed = true;
         res.infraReason = infraAbortReason;
         res.passed = false;
+        res.invariantViolations += deliveryViolations;
         if (is_hw)
             spec->disarm();
         finishSampler();
@@ -1073,6 +1095,7 @@ LoopExecutor::run()
 
     if (checker)
         res.invariantViolations += checker->checkAll();
+    res.invariantViolations += deliveryViolations;
 
     // Final sample before the commit reset wipes the gauges' state.
     finishSampler();

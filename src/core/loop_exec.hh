@@ -82,6 +82,14 @@ struct ExecConfig
      * run's quiesce points and count violations into the result.
      */
     bool checkInvariants = false;
+    /**
+     * With checkInvariants: also run the Delivery-granularity passes
+     * after every network delivery of the loop phase (the explorer
+     * turns this on so every reachable state is checked). Expensive;
+     * off by default.
+     */
+    InvariantChecker::Granularity invariantGranularity =
+        InvariantChecker::Granularity::Quiesce;
     /** Trace every array, not just those under test (profiling for
      *  the test advisor). */
     bool traceAllArrays = false;
@@ -276,6 +284,10 @@ class LoopExecutor : public TraceSink
     bool specAborted = false;
     bool infraAborted = false;
     std::string infraAbortReason;
+    /** Per-delivery invariant checks run only inside the loop phase
+     *  (utility phases quiesce between programs anyway). */
+    bool deliveryChecksActive = false;
+    uint64_t deliveryViolations = 0;
 };
 
 /** Retry/degradation budget of runWithDegradation. */

@@ -603,6 +603,26 @@ CacheCtrl::quiescent() const
            parkedFwds.empty() && blockedLoads.empty();
 }
 
+bool
+CacheCtrl::lineBusy(Addr line) const
+{
+    if (loadTxn && loadTxn->line == line)
+        return true;
+    if (storeTxnActive && storeTxnLine == line)
+        return true;
+    if (wbBuf.count(line) || parkedFwds.count(line))
+        return true;
+    for (const WbEntry &e : wb) {
+        if (lineOf(e.addr) == line)
+            return true;
+    }
+    for (const BlockedLoad &bl : blockedLoads) {
+        if (lineOf(bl.addr) == line)
+            return true;
+    }
+    return false;
+}
+
 void
 CacheCtrl::reset(bool commit_dirty)
 {

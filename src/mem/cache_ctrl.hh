@@ -90,6 +90,15 @@ class CacheCtrl : public StatGroup
     /** True when no load/store/writeback activity is in flight. */
     bool quiescent() const;
 
+    /**
+     * True when this controller has any in-flight activity touching
+     * @p line: an outstanding load/store transaction, a buffered
+     * write to it, a buffered writeback, or a parked forward. The
+     * per-delivery invariant checker skips such lines -- their cache
+     * tags and home state legitimately disagree mid-transaction.
+     */
+    bool lineBusy(Addr line) const;
+
     NodeCache &cacheArray() { return cache; }
     NodeId nodeId() const { return node; }
 

@@ -68,6 +68,20 @@ class DirCtrl : public StatGroup
 
     /** In-flight serialized transactions (quiesce check). */
     size_t numActiveTxns() const { return active.size(); }
+
+    /**
+     * True when @p line has an active transaction or queued requests
+     * at this home (per-delivery invariant checker: cache tags and
+     * directory state legitimately diverge mid-transaction).
+     */
+    bool
+    lineBusy(Addr line) const
+    {
+        if (active.count(line))
+            return true;
+        auto it = waiting.find(line);
+        return it != waiting.end() && !it->second.empty();
+    }
     /** Requests queued behind an active transaction. */
     size_t
     numQueuedReqs() const

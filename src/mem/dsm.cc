@@ -1,6 +1,7 @@
 #include "mem/dsm.hh"
 
 #include "sim/logging.hh"
+#include "sim/sim_context.hh"
 
 namespace specrt
 {
@@ -12,6 +13,14 @@ DsmSystem::DsmSystem(const MachineConfig &config)
     if (cfg.numProcs > 64)
         fatal("DsmSystem supports at most 64 nodes (full-map "
               "directory presence bits)");
+
+    // Schedule exploration: a controller parked in the ambient
+    // SimContext takes effect on every machine built under it, so
+    // the explorer can steer runs whose machine is constructed deep
+    // inside a driver (LoopExecutor::run() builds its own DsmSystem).
+    if (ScheduleController *sc =
+            SimContext::current().scheduleController)
+        eq.setScheduleController(sc);
 
     faults = std::make_unique<FaultPlan>(cfg.fault);
     addChild(faults.get());

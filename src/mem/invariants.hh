@@ -61,6 +61,24 @@ class InvariantChecker : public StatGroup
   public:
     using Handler = std::function<void(const ProtocolViolation &)>;
 
+    /**
+     * How much in-flight activity the checked state may contain.
+     *
+     * Quiesce (the default) asserts the full set and is only valid
+     * after a drain. Delivery is safe after any single message
+     * delivery: lines with an active transaction at their home or
+     * any in-flight cache activity are skipped (their tags and
+     * directory state legitimately diverge mid-transaction), the
+     * cache-tag-vs-home spec-bit cross-check is skipped (tag updates
+     * are deferred until lines leave the cache), and the quiescence
+     * pass is skipped entirely.
+     */
+    enum class Granularity
+    {
+        Quiesce,
+        Delivery,
+    };
+
     explicit InvariantChecker(DsmSystem &dsm);
 
     /** Attach the speculation hardware (enables spec-bit passes). */
@@ -76,14 +94,15 @@ class InvariantChecker : public StatGroup
     void newRun();
 
     /**
-     * Run every pass. @return number of violations found this call.
+     * Run every pass valid at @p g. @return number of violations
+     * found this call.
      */
-    size_t checkAll();
+    size_t checkAll(Granularity g = Granularity::Quiesce);
 
     /** Cache tags vs.\ directory state (+ Shared data vs memory). */
-    size_t checkCoherence();
+    size_t checkCoherence(Granularity g = Granularity::Quiesce);
     /** Spec access-bit consistency and monotonicity (needs spec). */
-    size_t checkSpecBits();
+    size_t checkSpecBits(Granularity g = Granularity::Quiesce);
     /** Nothing in flight (call only after a drain). */
     size_t checkQuiesced();
 
@@ -98,6 +117,9 @@ class InvariantChecker : public StatGroup
 
   private:
     void report(const char *invariant, std::string detail);
+
+    /** Any controller (home or any cache) mid-transaction on @p line. */
+    bool lineInFlight(Addr line) const;
 
     DsmSystem &dsm;
     const SpecSystem *spec = nullptr;

@@ -71,7 +71,9 @@ Network::Network(EventQueue &eq_, const MachineConfig &config)
                   "dropped signals retransmitted by the NI"),
       msgsLost(this, "msgs_lost",
                "signals lost after exhausting retransmissions"),
-      msgsByType(this, "msgs_by_type", "messages per MsgType", 32)
+      msgsByType(this, "msgs_by_type", "messages per MsgType", 32),
+      retriesByType(this, "retries_by_type",
+                    "NI retransmissions per MsgType", 32)
 {
 }
 
@@ -158,21 +160,28 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter,
                   msgTypeName(msg.type), msg.dst);
 
     ++inFlight;
+    auto actor = static_cast<uint16_t>(msg.dst);
     if (!plan || !plan->armed()) {
         if (trace::enabled()) {
-            eq.scheduleIn(delay, [this, &h, m = msg, flow]() {
-                --inFlight;
-                if (trace::enabled())
-                    traceRecv(m, eq.curTick(), flow);
-                h(m);
-            });
+            eq.scheduleIn(
+                delay,
+                [this, &h, m = msg, flow]() {
+                    --inFlight;
+                    if (trace::enabled())
+                        traceRecv(m, eq.curTick(), flow);
+                    h(m);
+                },
+                EventKind::Network, actor);
             return;
         }
         // Fault-free fast path: identical timing to the plain network.
-        eq.scheduleIn(delay, [this, &h, m = msg]() {
-            --inFlight;
-            h(m);
-        });
+        eq.scheduleIn(
+            delay,
+            [this, &h, m = msg]() {
+                --inFlight;
+                h(m);
+            },
+            EventKind::Network, actor);
         return;
     }
 
@@ -182,12 +191,15 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter,
     Tick &floor = channelFloor[channelKey(msg.src, msg.dst)];
     when = std::max(when, floor);
     floor = when;
-    eq.schedule(when, [this, &h, m = msg, flow]() {
-        --inFlight;
-        if (trace::enabled())
-            traceRecv(m, eq.curTick(), flow);
-        h(m);
-    });
+    eq.schedule(
+        when,
+        [this, &h, m = msg, flow]() {
+            --inFlight;
+            if (trace::enabled())
+                traceRecv(m, eq.curTick(), flow);
+            h(m);
+        },
+        EventKind::Network, actor);
 }
 
 void
@@ -197,11 +209,16 @@ Network::scheduleRetransmit(Msg msg, int attempt)
     int shift = std::min(attempt - 1, 16);
     Cycles backoff = fc.watchdogTimeout << shift;
     ++pendingRetransmits;
-    eq.scheduleIn(backoff, [this, m = std::move(msg), attempt]() mutable {
-        --pendingRetransmits;
-        ++msgsRetried;
-        transmit(std::move(m), 0, attempt);
-    });
+    auto dst = static_cast<uint16_t>(msg.dst);
+    eq.scheduleIn(
+        backoff,
+        [this, m = std::move(msg), attempt]() mutable {
+            --pendingRetransmits;
+            ++msgsRetried;
+            retriesByType[static_cast<size_t>(m.type)] += 1;
+            transmit(std::move(m), 0, attempt);
+        },
+        EventKind::Network, dst);
 }
 
 void

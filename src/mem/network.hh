@@ -120,6 +120,12 @@ class Network : public StatGroup
 
     /** Per-message-type counters (index by MsgType value). */
     VectorStat msgsByType;
+    /**
+     * NI retransmissions per message class (index by MsgType value):
+     * which kinds of dropped signal the fault watchdog actually had
+     * to recover. Sums to msgsRetried.
+     */
+    VectorStat retriesByType;
 };
 
 } // namespace specrt

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace specrt
@@ -63,21 +65,23 @@ EventQueue::liveSlotOf(EventId id) const
 }
 
 EventId
-EventQueue::schedule(Tick when, SmallFunction callback, EventKind kind)
+EventQueue::schedule(Tick when, SmallFunction callback, EventKind kind,
+                     uint16_t actor)
 {
-    return scheduleImpl(when, std::move(callback), kind, false);
+    return scheduleImpl(when, std::move(callback), kind, actor, false);
 }
 
 EventId
 EventQueue::scheduleDaemon(Tick when, SmallFunction callback,
                            EventKind kind)
 {
-    return scheduleImpl(when, std::move(callback), kind, true);
+    return scheduleImpl(when, std::move(callback), kind, unknownActor,
+                        true);
 }
 
 EventId
 EventQueue::scheduleImpl(Tick when, SmallFunction callback,
-                         EventKind kind, bool daemon)
+                         EventKind kind, uint16_t actor, bool daemon)
 {
     SPECRT_ASSERT(when >= _curTick,
                   "scheduling in the past: when=%llu cur=%llu",
@@ -90,6 +94,7 @@ EventQueue::scheduleImpl(Tick when, SmallFunction callback,
     s.cb = std::move(callback);
     s.kind = kind;
     s.daemon = daemon;
+    s.actor = actor;
     if (daemon)
         ++daemonCount;
 
@@ -213,8 +218,9 @@ EventQueue::fire(const Entry &e)
     // the slot table.
     Slot &s = slots[e.slot];
     SmallFunction cb = std::move(s.cb);
+    EventKind kind = s.kind;
     if constexpr (profileEnabled)
-        prof::Registry::instance().recordEvent(s.kind);
+        prof::Registry::instance().recordEvent(kind);
     if (s.daemon)
         --daemonCount;
     freeSlot(e.slot);
@@ -222,11 +228,16 @@ EventQueue::fire(const Entry &e)
     ++_numFired;
     ++_numFiredTotal;
     cb();
+    if (postFireHook)
+        postFireHook(_curTick, kind);
 }
 
 bool
 EventQueue::fireNext(Tick limit)
 {
+    if (controller)
+        return fireNextControlled(limit);
+
     // Only daemon events left: the queue is drained. They stay
     // pending (and unfired) so time never advances past the last
     // piece of real work.
@@ -261,6 +272,90 @@ EventQueue::fireNext(Tick limit)
     // a non-empty lane holds (curTick, seq) keys, which win the
     // comparison above against any later-tick heap top.
     _curTick = e.when;
+    fire(e);
+    return true;
+}
+
+bool
+EventQueue::fireNextControlled(Tick limit)
+{
+    if (pendingCount == daemonCount)
+        return false;
+
+    fifoSkipDead();
+    bool haveFifo = fifoHead < fifo.size();
+    bool haveHeap = !heap.empty();
+    if (!haveFifo && !haveHeap)
+        return false;
+
+    // The minimum pending tick. Live FIFO entries always carry
+    // curTick, so with the lane non-empty the minimum is curTick and
+    // any heap entries at curTick join the candidate set.
+    Tick min_when = haveFifo ? fifo[fifoHead].when : heap[0].when;
+    if (haveFifo && haveHeap && heap[0].when < min_when)
+        min_when = heap[0].when;
+    if (min_when > limit)
+        return false;
+
+    // Gather every ready event at min_when from both lanes, then
+    // order by seq: candidate 0 is exactly what the uncontrolled
+    // path would fire.
+    candScratch.clear();
+    if (haveFifo) {
+        for (size_t p = fifoHead; p < fifo.size(); ++p) {
+            if (fifo[p].slot != badIndex)
+                candScratch.push_back(
+                    {fifo[p].seq, static_cast<uint32_t>(p), false});
+        }
+    }
+    if (haveHeap) {
+        for (size_t i = 0; i < heap.size(); ++i) {
+            if (heap[i].when == min_when)
+                candScratch.push_back(
+                    {heap[i].seq, static_cast<uint32_t>(i), true});
+        }
+    }
+    SPECRT_ASSERT(!candScratch.empty(), "controlled fire lost the "
+                  "ready set");
+    std::sort(candScratch.begin(), candScratch.end(),
+              [](const Cand &a, const Cand &b) { return a.seq < b.seq; });
+
+    size_t choice = 0;
+    if (candScratch.size() > 1) {
+        choiceScratch.clear();
+        for (const Cand &c : candScratch) {
+            const Entry &e = c.inHeap ? heap[c.idx] : fifo[c.idx];
+            const Slot &s = slots[e.slot];
+            choiceScratch.push_back(
+                {e.when, s.kind, s.actor, s.daemon});
+        }
+        choice = controller->pick(choiceScratch.data(),
+                                  choiceScratch.size());
+        if (choice >= candScratch.size())
+            choice = candScratch.size() - 1;
+    }
+
+    const Cand &c = candScratch[choice];
+    Entry e;
+    if (c.inHeap) {
+        e = heapRemove(c.idx);
+        SPECRT_ASSERT(e.when >= _curTick, "event queue went backwards");
+        // Advancing to e.when is safe: a live FIFO entry would have
+        // forced min_when == curTick, making e.when == curTick too.
+        _curTick = e.when;
+    } else {
+        e = fifo[c.idx];
+        SPECRT_ASSERT(e.when == _curTick,
+                      "FIFO lane event not at current tick");
+        if (c.idx == fifoHead) {
+            ++fifoHead;
+        } else {
+            // Out-of-order pick: retire the entry in place, exactly
+            // like a cancellation; the skip loop reclaims it.
+            fifo[c.idx].slot = badIndex;
+            ++fifoDead;
+        }
+    }
     fire(e);
     return true;
 }

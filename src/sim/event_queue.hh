@@ -35,6 +35,7 @@
 #define SPECRT_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/profile.hh"
@@ -49,6 +50,50 @@ using EventId = uint64_t;
 
 /** Sentinel for "no event". */
 constexpr EventId invalidEventId = 0;
+
+/** Scheduling-site actor tag value meaning "site did not say". */
+constexpr uint16_t unknownActor = 0xFFFF;
+
+/**
+ * One ready event offered to a ScheduleController: everything the
+ * engine knows about it without touching the callback.
+ */
+struct EventChoice
+{
+    Tick when;
+    EventKind kind;
+    /**
+     * Actor tag given at the scheduling site (e.g.\ the destination
+     * node of a network delivery); unknownActor when the site did
+     * not tag the event.
+     */
+    uint16_t actor;
+    bool daemon;
+};
+
+/**
+ * Hook controlling which of several same-tick ready events fires
+ * next (verify/explorer.hh drives this to enumerate interleavings).
+ *
+ * When installed, every point at which two or more events are ready
+ * at the minimum pending tick becomes a decision point: the engine
+ * gathers the candidates in default (when, seq) order and asks the
+ * controller. Returning 0 always reproduces the uncontrolled
+ * schedule exactly, so a controller that constantly answers 0 is a
+ * no-op (modulo its own observation). pick() is not called for
+ * forced moves (a single ready event).
+ */
+class ScheduleController
+{
+  public:
+    virtual ~ScheduleController() = default;
+
+    /**
+     * @param choices the @p n >= 2 ready events, default order.
+     * @return index of the event to fire; clamped to [0, n).
+     */
+    virtual size_t pick(const EventChoice *choices, size_t n) = 0;
+};
 
 /**
  * A single-threaded discrete-event queue.
@@ -70,18 +115,24 @@ class EventQueue
     Tick curTick() const { return _curTick; }
 
     /**
-     * Schedule @p callback to fire at absolute time @p when.
+     * Schedule @p callback to fire at absolute time @p when. The
+     * optional @p actor tag names the model entity the event acts on
+     * (e.g.\ the destination node of a message delivery); it is only
+     * observed by ScheduleControllers.
      * @return a handle usable with deschedule().
      */
     EventId schedule(Tick when, SmallFunction callback,
-                     EventKind kind = EventKind::Generic);
+                     EventKind kind = EventKind::Generic,
+                     uint16_t actor = unknownActor);
 
     /** Schedule @p callback @p delay cycles from now. */
     EventId
     scheduleIn(Cycles delay, SmallFunction callback,
-               EventKind kind = EventKind::Generic)
+               EventKind kind = EventKind::Generic,
+               uint16_t actor = unknownActor)
     {
-        return schedule(_curTick + delay, std::move(callback), kind);
+        return schedule(_curTick + delay, std::move(callback), kind,
+                        actor);
     }
 
     /**
@@ -149,8 +200,34 @@ class EventQueue
 
     /**
      * Reset to an empty queue at tick 0. Pending events are dropped.
+     * The schedule controller and post-fire hook survive: they
+     * observe a whole run, which may span several reset legs
+     * (machine resets between phases).
      */
     void reset();
+
+    /**
+     * Install (or with nullptr remove) the controller consulted at
+     * same-tick decision points. Exploration-only: when absent (the
+     * default) the fire path is the plain deterministic one.
+     */
+    void setScheduleController(ScheduleController *c)
+    {
+        controller = c;
+    }
+    ScheduleController *scheduleController() const { return controller; }
+
+    /**
+     * Install a hook called after every fired event's callback
+     * returns (per-delivery invariant checking). Empty function
+     * removes it. The hook must not mutate the queue's schedule
+     * beyond what ordinary callbacks may do (scheduling is fine;
+     * it runs at a point where the fired event is fully retired).
+     */
+    void setPostFireHook(std::function<void(Tick, EventKind)> h)
+    {
+        postFireHook = std::move(h);
+    }
 
   private:
     /** Where a live slot's event currently lives. */
@@ -188,6 +265,8 @@ class EventQueue
         EventKind kind = EventKind::Generic;
         /** Daemon events never keep the queue alive. */
         bool daemon = false;
+        /** Scheduling-site actor tag (ScheduleController only). */
+        uint16_t actor = unknownActor;
         uint32_t nextFree = badIndex;
     };
 
@@ -198,7 +277,7 @@ class EventQueue
     }
 
     EventId scheduleImpl(Tick when, SmallFunction callback,
-                         EventKind kind, bool daemon);
+                         EventKind kind, uint16_t actor, bool daemon);
 
     uint32_t allocSlot();
     void freeSlot(uint32_t idx);
@@ -223,6 +302,14 @@ class EventQueue
      */
     bool fireNext(Tick limit);
 
+    /**
+     * The controlled variant of fireNext(): gather every ready event
+     * at the minimum pending tick from both lanes and let the
+     * controller pick which fires. Out of line and cold -- the plain
+     * path pays one predicted-not-taken branch for its existence.
+     */
+    bool fireNextControlled(Tick limit);
+
     std::vector<Entry> heap;
     std::vector<Entry> fifo;
     size_t fifoHead = 0;
@@ -240,6 +327,19 @@ class EventQueue
     uint64_t _numFired = 0;
     uint64_t _numFiredTotal = 0;
     bool stopped = false;
+
+    ScheduleController *controller = nullptr;
+    std::function<void(Tick, EventKind)> postFireHook;
+
+    /** Candidate-gathering scratch of the controlled path. */
+    struct Cand
+    {
+        uint64_t seq;
+        uint32_t idx;
+        bool inHeap;
+    };
+    std::vector<Cand> candScratch;
+    std::vector<EventChoice> choiceScratch;
 };
 
 } // namespace specrt

@@ -48,6 +48,8 @@
 namespace specrt
 {
 
+class ScheduleController;
+
 class SimContext
 {
   public:
@@ -121,6 +123,18 @@ class SimContext
      * traceExportOnDestroy).
      */
     bool timelineExportOnDestroy = false;
+
+    // --- schedule exploration (read by mem/dsm.cc) --------------------
+
+    /**
+     * Controller every DsmSystem constructed under this context
+     * installs into its event queue (sim/event_queue.hh). The
+     * explorer (verify/explorer.hh) sets this around a run so the
+     * machine built deep inside LoopExecutor::run() comes up
+     * controlled; null (the default) means the plain deterministic
+     * schedule. Not owned.
+     */
+    ScheduleController *scheduleController = nullptr;
 
     // --- deterministic randomness -------------------------------------
 

@@ -1,0 +1,387 @@
+#include "verify/explorer.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/sim_context.hh"
+
+namespace specrt
+{
+namespace verify
+{
+
+size_t
+ReplayController::pick(const EventChoice *choices, size_t n)
+{
+    size_t i = log.size();
+    size_t take = 0;
+    if (i < prefix.size())
+        take = std::min(prefix[i], n - 1);
+    log.push_back(
+        {take, n, std::vector<EventChoice>(choices, choices + n)});
+    if (onDecision)
+        onDecision(choices, n, take);
+    return take;
+}
+
+ScopedScheduleController::ScopedScheduleController(ScheduleController *c)
+    : prev(SimContext::current().scheduleController)
+{
+    SimContext::current().scheduleController = c;
+}
+
+ScopedScheduleController::~ScopedScheduleController()
+{
+    SimContext::current().scheduleController = prev;
+}
+
+bool
+networkActorIndependence(const EventChoice &a, const EventChoice &b)
+{
+    return a.kind == EventKind::Network && b.kind == EventKind::Network &&
+           a.actor != unknownActor && b.actor != unknownActor &&
+           a.actor != b.actor;
+}
+
+std::string
+ExploreResult::summary() const
+{
+    std::ostringstream os;
+    os << "runs=" << runs << " decisions=" << decisions
+       << " max_depth=" << maxDepthSeen << " pruned=" << pruned;
+    if (budgetExhausted)
+        os << " (budget exhausted)";
+    if (violated) {
+        os << " VIOLATED witness=[";
+        for (size_t i = 0; i < witness.size(); ++i)
+            os << (i ? "," : "") << witness[i];
+        os << "] " << report;
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Execute one schedule, folding coverage counters into @p res. */
+RunVerdict
+runSchedule(const RunFn &run, const std::vector<size_t> &choices,
+            ExploreResult &res, std::vector<Decision> *decisions_out)
+{
+    ReplayController rc(choices);
+    ScopedScheduleController scope(&rc);
+    RunVerdict v = run();
+    ++res.runs;
+    res.decisions += rc.numDecisions();
+    res.maxDepthSeen = std::max(res.maxDepthSeen, rc.numDecisions());
+    if (decisions_out)
+        *decisions_out = rc.decisions();
+    return v;
+}
+
+std::vector<size_t>
+takenOf(const std::vector<Decision> &decs)
+{
+    std::vector<size_t> taken;
+    taken.reserve(decs.size());
+    for (const Decision &d : decs)
+        taken.push_back(d.taken);
+    // Positions beyond the stack default to branch 0, so trailing
+    // zeros carry no information.
+    while (!taken.empty() && taken.back() == 0)
+        taken.pop_back();
+    return taken;
+}
+
+/**
+ * Minimize a failing choice stack: shortest failing prefix first
+ * (everything beyond a prefix defaults to 0), then each surviving
+ * choice lowered toward the default. Every candidate is re-executed;
+ * the runs count toward @p res. The simulator is deterministic given
+ * a stack, so the result is a stable 1-minimal witness.
+ */
+std::vector<size_t>
+shrinkWitness(const RunFn &run, std::vector<size_t> cur,
+              ExploreResult &res)
+{
+    auto fails = [&](const std::vector<size_t> &c) {
+        return !runSchedule(run, c, res, nullptr).ok;
+    };
+
+    for (size_t len = 0; len < cur.size(); ++len) {
+        std::vector<size_t> t(cur.begin(),
+                              cur.begin() + static_cast<long>(len));
+        if (fails(t)) {
+            cur = std::move(t);
+            break;
+        }
+    }
+
+    for (size_t i = 0; i < cur.size(); ++i) {
+        while (cur[i] > 0) {
+            std::vector<size_t> t = cur;
+            --t[i];
+            if (!fails(t))
+                break;
+            cur = std::move(t);
+        }
+    }
+
+    while (!cur.empty() && cur.back() == 0)
+        cur.pop_back();
+    return cur;
+}
+
+void
+recordViolation(const RunFn &run, const std::vector<Decision> &decs,
+                const std::string &report, ExploreResult &res)
+{
+    res.violated = true;
+    res.rawWitness = takenOf(decs);
+    res.report = report;
+    res.witness = shrinkWitness(run, res.rawWitness, res);
+}
+
+/**
+ * Advance @p i's branch past @p from, skipping (and counting)
+ * siblings that commute with an earlier-explored one. @return the
+ * branch to take, or @p limit when the point is spent.
+ *
+ * Pruning soundness rests on the relation being a true
+ * commutativity; skipping b because it commutes with a sibling j < b
+ * assumes the interleavings below b are covered below j (and, when j
+ * was itself pruned, transitively below j's coverer).
+ */
+size_t
+nextBranch(const Decision &d, size_t from, size_t limit,
+           const ExploreOptions &opts, ExploreResult &res)
+{
+    size_t b = from;
+    while (b < limit && opts.independent) {
+        bool prune = false;
+        for (size_t j = 0; j < b && !prune; ++j)
+            prune = opts.independent(d.options[j], d.options[b]);
+        if (!prune)
+            break;
+        ++res.pruned;
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+ExploreResult
+explore(const RunFn &run, const ExploreOptions &opts)
+{
+    ExploreResult res;
+    std::vector<size_t> stack = opts.lockedPrefix;
+    const size_t locked = opts.lockedPrefix.size();
+
+    while (true) {
+        std::vector<Decision> decs;
+        RunVerdict v = runSchedule(run, stack, res, &decs);
+        if (!v.ok) {
+            recordViolation(run, decs, v.report, res);
+            return res;
+        }
+
+        // Depth-first: increment the deepest incrementable point.
+        bool advanced = false;
+        for (size_t i = decs.size(); i-- > locked;) {
+            if (opts.maxDepth && i >= opts.maxDepth)
+                continue;
+            size_t limit = decs[i].degree;
+            if (opts.maxBranch)
+                limit = std::min(limit, opts.maxBranch);
+            size_t b = nextBranch(decs[i], decs[i].taken + 1, limit,
+                                  opts, res);
+            if (b >= limit)
+                continue;
+            stack.resize(i);
+            for (size_t k = 0; k < i; ++k)
+                stack[k] = decs[k].taken;
+            stack.push_back(b);
+            advanced = true;
+            break;
+        }
+        if (!advanced)
+            return res; // tree (as bounded) exhausted
+
+        if (opts.maxRuns && res.runs >= opts.maxRuns) {
+            res.budgetExhausted = true;
+            return res;
+        }
+    }
+}
+
+RunVerdict
+replay(const RunFn &run, const std::vector<size_t> &choices)
+{
+    ReplayController rc(choices);
+    ScopedScheduleController scope(&rc);
+    return run();
+}
+
+ExploreResult
+exploreParallel(const RunFn &run, const ExploreOptions &opts,
+                size_t partition_depth, const campaign::Options &copts)
+{
+    ExploreResult agg;
+
+    // Breadth-first prefix expansion: each probe run discovers the
+    // branch degree at its frontier position (and checks the
+    // property on the way).
+    std::vector<std::vector<size_t>> frontier = {opts.lockedPrefix};
+    for (size_t level = 0; level < partition_depth; ++level) {
+        std::vector<std::vector<size_t>> next;
+        for (const std::vector<size_t> &p : frontier) {
+            std::vector<Decision> decs;
+            RunVerdict v = runSchedule(run, p, agg, &decs);
+            if (!v.ok) {
+                recordViolation(run, decs, v.report, agg);
+                return agg;
+            }
+            size_t pos = p.size();
+            if (decs.size() <= pos)
+                continue; // the probe was the subtree's only schedule
+            size_t limit = decs[pos].degree;
+            if (opts.maxBranch)
+                limit = std::min(limit, opts.maxBranch);
+            if (opts.maxDepth && pos >= opts.maxDepth)
+                limit = 1;
+            for (size_t b = 0; b < limit;
+                 b = nextBranch(decs[pos], b + 1, limit, opts, agg)) {
+                std::vector<size_t> q = p;
+                q.push_back(b);
+                next.push_back(std::move(q));
+            }
+        }
+        frontier = std::move(next);
+        if (frontier.empty())
+            return agg; // every subtree fit inside a probe
+    }
+
+    // One campaign job per prefix-locked subtree. Budgets (maxRuns)
+    // apply per job. Shards merge in job-id order, so the outcome is
+    // independent of worker scheduling.
+    std::vector<ExploreResult> shard(frontier.size());
+    campaign::JobFn fn = [&](size_t id, SimContext &) {
+        ExploreOptions o = opts;
+        o.lockedPrefix = frontier[id];
+        shard[id] = explore(run, o);
+    };
+    auto outcomes = campaign::run(frontier.size(), fn, copts);
+
+    for (size_t id = 0; id < frontier.size(); ++id) {
+        const ExploreResult &s = shard[id];
+        agg.runs += s.runs;
+        agg.decisions += s.decisions;
+        agg.maxDepthSeen = std::max(agg.maxDepthSeen, s.maxDepthSeen);
+        agg.pruned += s.pruned;
+        agg.budgetExhausted |= s.budgetExhausted;
+        if (!agg.violated && s.violated) {
+            agg.violated = true;
+            agg.rawWitness = s.rawWitness;
+            agg.witness = s.witness;
+            agg.report = s.report;
+        }
+        if (!agg.violated && !outcomes[id].ok) {
+            agg.violated = true;
+            agg.report = "job " + std::to_string(id) +
+                         " died: " + outcomes[id].error;
+        }
+    }
+    return agg;
+}
+
+// --- schedule files ----------------------------------------------------
+
+std::string
+ScheduleFile::serialize() const
+{
+    std::ostringstream os;
+    os << "specrt-schedule v1\n";
+    for (const auto &[k, v] : meta) {
+        SPECRT_ASSERT(k.find_first_of(" \n") == std::string::npos,
+                      "schedule meta key '%s' contains whitespace",
+                      k.c_str());
+        SPECRT_ASSERT(v.find('\n') == std::string::npos,
+                      "schedule meta value for '%s' contains a newline",
+                      k.c_str());
+        os << "meta " << k << " " << v << "\n";
+    }
+    for (size_t c : choices)
+        os << "choice " << c << "\n";
+    return os.str();
+}
+
+ScheduleFile
+ScheduleFile::parse(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) || line != "specrt-schedule v1")
+        panic("not a specrt schedule file (bad header '%s')",
+              line.c_str());
+
+    ScheduleFile f;
+    size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kw;
+        ls >> kw;
+        if (kw == "meta") {
+            std::string key;
+            ls >> key;
+            std::string value;
+            std::getline(ls, value);
+            if (!value.empty() && value[0] == ' ')
+                value.erase(0, 1);
+            if (key.empty())
+                panic("schedule file line %zu: meta without a key",
+                      lineno);
+            f.meta[key] = value;
+        } else if (kw == "choice") {
+            long long c = -1;
+            ls >> c;
+            if (c < 0)
+                panic("schedule file line %zu: bad choice", lineno);
+            f.choices.push_back(static_cast<size_t>(c));
+        } else {
+            panic("schedule file line %zu: unknown keyword '%s'",
+                  lineno, kw.c_str());
+        }
+    }
+    return f;
+}
+
+void
+ScheduleFile::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        panic("cannot write schedule file %s", path.c_str());
+    os << serialize();
+    if (!os)
+        panic("write to schedule file %s failed", path.c_str());
+}
+
+ScheduleFile
+ScheduleFile::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        panic("cannot read schedule file %s", path.c_str());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace verify
+} // namespace specrt

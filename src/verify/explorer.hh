@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Bounded state-space explorer for the coherence + speculation
+ * protocol (the other half of the verification subsystem; see
+ * verify/hb_oracle.hh for the happens-before checker).
+ *
+ * The simulator is deterministic: same-tick events fire in schedule
+ * order. That determinism is what makes runs reproducible -- and
+ * what hides every interleaving but one. The explorer drives the
+ * engine's ScheduleController hook (sim/event_queue.hh) to
+ * systematically enumerate the others: at each point where two or
+ * more events are ready at the minimum pending tick, the controller
+ * picks which fires, so a run is fully described by its CHOICE STACK
+ * -- the branch index taken at each decision point, with 0 (the
+ * default engine order) assumed beyond the stack's end.
+ *
+ * Exploration is stateless (CHESS-style): each schedule is a
+ * complete re-execution from a fresh machine under a
+ * ReplayController primed with the choice stack. After a run, the
+ * recorded branch degrees tell the DFS which stack to try next (the
+ * deepest incrementable position, depth-first). Budgets bound the
+ * walk -- maxDepth stops branching below a prefix length, maxBranch
+ * caps the alternatives tried per point, maxRuns caps total
+ * schedules -- and an optional independence relation prunes
+ * commuting siblings (sleep-set style).
+ *
+ * A failing schedule is shrunk -- shortest failing prefix, then each
+ * choice lowered toward the default -- and can be serialized as a
+ * schedule file for replay (examples/model_check --replay-schedule).
+ *
+ * Parallel exploration partitions the tree by choice prefix and fans
+ * the subtrees across the campaign work-stealing pool: each prefix
+ * becomes one campaign job exploring with that prefix locked, so
+ * results are deterministic in job-id order.
+ */
+
+#ifndef SPECRT_VERIFY_EXPLORER_HH
+#define SPECRT_VERIFY_EXPLORER_HH
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+#include "sim/event_queue.hh"
+
+namespace specrt
+{
+namespace verify
+{
+
+/** One decision point as observed during a run. */
+struct Decision
+{
+    /** Branch fired (index into the engine's default-order list). */
+    size_t taken;
+    /** Candidates that were ready. */
+    size_t degree;
+    /** The candidates themselves (for independence pruning). */
+    std::vector<EventChoice> options;
+};
+
+/**
+ * The ScheduleController of one exploration run: replays a choice
+ * prefix, answers 0 (the engine's default order) beyond it, and
+ * records every decision point it is asked about.
+ */
+class ReplayController : public ScheduleController
+{
+  public:
+    explicit ReplayController(std::vector<size_t> prefix_ = {})
+        : prefix(std::move(prefix_))
+    {}
+
+    size_t pick(const EventChoice *choices, size_t n) override;
+
+    const std::vector<Decision> &decisions() const { return log; }
+    size_t numDecisions() const { return log.size(); }
+
+    /**
+     * Observer fired at each decision (after the pick): the
+     * candidate list, its size, and the branch taken. Tests use it
+     * to seed schedule-dependent bugs; it must not touch the queue.
+     */
+    std::function<void(const EventChoice *, size_t, size_t)> onDecision;
+
+  private:
+    std::vector<size_t> prefix;
+    std::vector<Decision> log;
+};
+
+/**
+ * RAII: installs @p c as SimContext::current().scheduleController
+ * for the scope, so every DsmSystem constructed inside comes up
+ * controlled. Restores the previous controller (usually null) on
+ * destruction. Scopes nest.
+ */
+class ScopedScheduleController
+{
+  public:
+    explicit ScopedScheduleController(ScheduleController *c);
+    ~ScopedScheduleController();
+
+    ScopedScheduleController(const ScopedScheduleController &) = delete;
+    ScopedScheduleController &
+    operator=(const ScopedScheduleController &) = delete;
+
+  private:
+    ScheduleController *prev;
+};
+
+/** What one run of the system under test concluded. */
+struct RunVerdict
+{
+    bool ok = true;
+    /** Human-readable failure description ("" when ok). */
+    std::string report;
+};
+
+/**
+ * One complete execution of the system under test. Called once per
+ * schedule with the controller already installed in the current
+ * SimContext; it must build a FRESH machine each time (constructing
+ * a DsmSystem under the context picks the controller up) and check
+ * its properties -- invariants in every reachable state, final
+ * verdict vs.\ the oracle. Must be pure re-entrant: exploreParallel
+ * calls it concurrently from campaign workers.
+ */
+using RunFn = std::function<RunVerdict()>;
+
+/** Exploration budgets and pruning. */
+struct ExploreOptions
+{
+    /** Total schedules to execute; 0 = unlimited (exhaustive). */
+    size_t maxRuns = 0;
+    /**
+     * Branch only at the first maxDepth decision points; deeper
+     * points always take the default order. 0 = unlimited.
+     */
+    size_t maxDepth = 0;
+    /** Alternatives tried per decision point; 0 = all. */
+    size_t maxBranch = 0;
+    /**
+     * Commutativity relation for sleep-set style pruning: when
+     * advancing a decision point to a sibling branch whose event is
+     * independent of an already-explored sibling's, the subtree is
+     * skipped (the explored one covers its interleavings). Null (the
+     * default) prunes nothing, which is always sound. Supplying a
+     * relation is sound only if related events truly commute --
+     * firing them in either order reaches the same state -- e.g.\
+     * fault-free network deliveries to distinct destination nodes
+     * (networkActorIndependence).
+     */
+    std::function<bool(const EventChoice &, const EventChoice &)>
+        independent;
+    /**
+     * Choices locked by a parallel partition: positions below
+     * lockedPrefix.size() replay these values and are never
+     * incremented. The DFS explores only the subtree below.
+     */
+    std::vector<size_t> lockedPrefix;
+};
+
+/**
+ * The distinct-destination heuristic: two Network deliveries bound
+ * for different known actor nodes commute in the fault-free
+ * protocol (distinct controllers, channel order per (src,dst) pair
+ * preserved either way). NOT valid under fault injection (a dropped
+ * or duplicated delivery changes global retry state).
+ */
+bool networkActorIndependence(const EventChoice &a,
+                              const EventChoice &b);
+
+/** What an exploration covered and found. */
+struct ExploreResult
+{
+    /** Schedules fully executed. */
+    size_t runs = 0;
+    /** Decision points observed, summed over runs. */
+    size_t decisions = 0;
+    /** Deepest decision stack seen in any run. */
+    size_t maxDepthSeen = 0;
+    /** Subtrees skipped by independence pruning. */
+    size_t pruned = 0;
+    /** Stopped on maxRuns before exhausting the (bounded) tree. */
+    bool budgetExhausted = false;
+
+    /** Some schedule failed the property. */
+    bool violated = false;
+    /** The first failing choice stack, as found (unshrunk). */
+    std::vector<size_t> rawWitness;
+    /** The shrunk failing stack (replay it to reproduce). */
+    std::vector<size_t> witness;
+    /** The failing run's report. */
+    std::string report;
+
+    std::string summary() const;
+};
+
+/**
+ * Depth-first enumeration of schedules of @p run under @p opts,
+ * shrinking the first violation found (exploration stops at it).
+ */
+ExploreResult explore(const RunFn &run, const ExploreOptions &opts = {});
+
+/**
+ * Execute @p run once under the schedule @p choices (replay). The
+ * verdict is the run's own; the returned controller log is not kept.
+ */
+RunVerdict replay(const RunFn &run, const std::vector<size_t> &choices);
+
+/**
+ * Parallel exploration: expand the choice tree breadth-first to
+ * @p partitionDepth levels (each probe run also checks the
+ * property), then explore the resulting prefix-locked subtrees as
+ * campaign jobs. Results merge deterministically in job-id order;
+ * the merged result equals a serial explore() up to the order in
+ * which a violation (if several subtrees contain one) is attributed.
+ */
+ExploreResult exploreParallel(const RunFn &run, const ExploreOptions &opts,
+                              size_t partitionDepth,
+                              const campaign::Options &copts = {});
+
+// --- schedule files ----------------------------------------------------
+
+/** A serialized schedule: metadata plus the choice stack. */
+struct ScheduleFile
+{
+    /** Free-form metadata (config fingerprint, workload, report). */
+    std::map<std::string, std::string> meta;
+    std::vector<size_t> choices;
+
+    /** Serialize to the textual schedule format. */
+    std::string serialize() const;
+    /** Parse; throws FatalError on malformed input. */
+    static ScheduleFile parse(const std::string &text);
+
+    /** Write to @p path (panics on I/O failure). */
+    void save(const std::string &path) const;
+    /** Read from @p path (panics on I/O failure). */
+    static ScheduleFile load(const std::string &path);
+};
+
+} // namespace verify
+} // namespace specrt
+
+#endif // SPECRT_VERIFY_EXPLORER_HH

@@ -1,0 +1,232 @@
+#include "verify/hb_oracle.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+namespace verify
+{
+
+void
+VectorClock::join(const VectorClock &o)
+{
+    if (o.c.size() > c.size())
+        c.resize(o.c.size(), 0);
+    for (size_t i = 0; i < o.c.size(); ++i)
+        c[i] = std::max(c[i], o.c[i]);
+}
+
+bool
+VectorClock::happensBefore(const VectorClock &o) const
+{
+    bool strict = false;
+    for (size_t i = 0; i < c.size(); ++i) {
+        uint64_t theirs = i < o.c.size() ? o.c[i] : 0;
+        if (c[i] > theirs)
+            return false;
+        if (c[i] < theirs)
+            strict = true;
+    }
+    for (size_t i = c.size(); i < o.c.size(); ++i) {
+        if (o.c[i] > 0)
+            strict = true;
+    }
+    return strict;
+}
+
+std::string
+VectorClock::str() const
+{
+    std::string s = "[";
+    for (size_t i = 0; i < c.size(); ++i) {
+        if (i)
+            s += ",";
+        s += std::to_string(c[i]);
+    }
+    return s + "]";
+}
+
+std::string
+HbRace::str() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "elem %llu: %s@thread %zu (iter %lld) races %s@thread "
+                  "%zu (iter %lld)",
+                  (unsigned long long)elem, writeA ? "write" : "read",
+                  threadA, (long long)iterA, writeB ? "write" : "read",
+                  threadB, (long long)iterB);
+    return buf;
+}
+
+HbOracle::HbOracle(int numProcs, IterNum maxIter)
+    : procs(static_cast<size_t>(numProcs)),
+      iters(static_cast<size_t>(maxIter)),
+      procClocks(procs, VectorClock(procs)),
+      iterClocks(iters, VectorClock(iters)),
+      syncClock(procs),
+      iterSyncClock(iters)
+{
+    SPECRT_ASSERT(numProcs > 0, "HbOracle needs at least one processor");
+    SPECRT_ASSERT(maxIter > 0, "HbOracle needs at least one iteration");
+}
+
+void
+HbOracle::onAccess(const AccessEvent &e)
+{
+    SPECRT_ASSERT(e.proc >= 0 && static_cast<size_t>(e.proc) < procs,
+                  "access by unknown proc %d", e.proc);
+    SPECRT_ASSERT(e.iter >= 1 && static_cast<size_t>(e.iter) <= iters,
+                  "access in out-of-range iter %lld", (long long)e.iter);
+
+    size_t p = static_cast<size_t>(e.proc);
+    size_t it = static_cast<size_t>(e.iter - 1);
+
+    if (chained && e.iter > lastChainIter) {
+        // Serial-order release->acquire: the new iteration starts
+        // after everything the previous one did.
+        if (lastChainIter >= 1)
+            iterClocks[it].join(
+                iterClocks[static_cast<size_t>(lastChainIter - 1)]);
+        lastChainIter = e.iter;
+    }
+
+    procClocks[p].tick(p);
+    iterClocks[it].tick(it);
+
+    // An exposed read: the iteration's first access to this element
+    // is a read, so a privatized copy would be initialized by the
+    // read-in from the shared backing store.
+    uint64_t key = e.elem * (static_cast<uint64_t>(iters) + 1) +
+                   static_cast<uint64_t>(it);
+    auto [fit, inserted] = firstIsWrite.emplace(key, e.isWrite);
+    bool exposed = !e.isWrite && (inserted || !fit->second);
+
+    byElem[e.elem].push_back({procClocks[p], iterClocks[it], e.proc,
+                              e.iter, e.isWrite, exposed});
+}
+
+void
+HbOracle::onBarrier()
+{
+    VectorClock all(procs);
+    for (const VectorClock &c : procClocks)
+        all.join(c);
+    for (VectorClock &c : procClocks)
+        c.join(all);
+    syncClock.join(all);
+
+    VectorClock allIt(iters);
+    for (const VectorClock &c : iterClocks)
+        allIt.join(c);
+    for (VectorClock &c : iterClocks)
+        c.join(allIt);
+    iterSyncClock.join(allIt);
+}
+
+void
+HbOracle::commit(NodeId proc)
+{
+    SPECRT_ASSERT(proc >= 0 && static_cast<size_t>(proc) < procs,
+                  "commit by unknown proc %d", proc);
+    syncClock.join(procClocks[static_cast<size_t>(proc)]);
+}
+
+void
+HbOracle::acquire(NodeId proc)
+{
+    SPECRT_ASSERT(proc >= 0 && static_cast<size_t>(proc) < procs,
+                  "acquire by unknown proc %d", proc);
+    procClocks[static_cast<size_t>(proc)].join(syncClock);
+}
+
+void
+HbOracle::onMessage(NodeId src, NodeId dst)
+{
+    SPECRT_ASSERT(src >= 0 && static_cast<size_t>(src) < procs &&
+                  dst >= 0 && static_cast<size_t>(dst) < procs,
+                  "message edge %d -> %d out of range", src, dst);
+    procClocks[static_cast<size_t>(dst)].join(
+        procClocks[static_cast<size_t>(src)]);
+}
+
+void
+HbOracle::sequentialEdges()
+{
+    SPECRT_ASSERT(byElem.empty(),
+                  "sequentialEdges() must precede the first access");
+    chained = true;
+}
+
+HbReport
+HbOracle::analyze() const
+{
+    HbReport rep;
+
+    for (const auto &[elem, accs] : byElem) {
+        bool npRaced = false;
+        bool pRaced = false;
+        for (size_t i = 0; i < accs.size() && !(npRaced && pRaced);
+             ++i) {
+            for (size_t j = i + 1;
+                 j < accs.size() && !(npRaced && pRaced); ++j) {
+                const Access &a = accs[i];
+                const Access &b = accs[j];
+
+                // Non-privatization family: cross-processor pair
+                // with a write, concurrent under the proc clocks.
+                if (!npRaced && a.proc != b.proc &&
+                    (a.isWrite || b.isWrite) &&
+                    a.procClock.concurrentWith(b.procClock)) {
+                    npRaced = true;
+                    rep.nonPrivRaces.push_back(
+                        {elem, static_cast<size_t>(a.proc),
+                         static_cast<size_t>(b.proc), a.iter, b.iter,
+                         a.isWrite, b.isWrite});
+                }
+
+                // Privatization family: a write and a later
+                // iteration's exposed read, concurrent under the
+                // iteration clocks (the read-in would observe the
+                // unordered write's element).
+                if (!pRaced && a.iter != b.iter) {
+                    const Access &w =
+                        a.iter < b.iter ? a : b; // earlier iteration
+                    const Access &r = a.iter < b.iter ? b : a;
+                    if (w.isWrite && r.exposedRead &&
+                        w.iterClock.concurrentWith(r.iterClock)) {
+                        pRaced = true;
+                        rep.privRaces.push_back(
+                            {elem, static_cast<size_t>(w.iter - 1),
+                             static_cast<size_t>(r.iter - 1), w.iter,
+                             r.iter, true, false});
+                    }
+                }
+            }
+        }
+        rep.nonPrivOk = rep.nonPrivOk && !npRaced;
+        rep.privOk = rep.privOk && !pRaced;
+    }
+
+    return rep;
+}
+
+HbReport
+HbOracle::analyzeTrace(const std::vector<AccessEvent> &trace,
+                       int numProcs, IterNum maxIter)
+{
+    HbOracle hb(numProcs, maxIter);
+    for (const AccessEvent &e : trace)
+        hb.onAccess(e);
+    // The exit barrier orders everything after the loop; it cannot
+    // retroactively order the in-loop accesses against each other,
+    // so it does not mask any race.
+    hb.onBarrier();
+    return hb.analyze();
+}
+
+} // namespace verify
+} // namespace specrt

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Vector-clock happens-before oracle (the sixth checker of the
+ * differential suite).
+ *
+ * Where spec/oracle.hh answers "must the paper's test pass?" by
+ * direct definition, this oracle answers the same question through a
+ * DRD-style happens-before analysis: every access is stamped with a
+ * vector clock, clocks are joined only on explicit synchronization
+ * edges (barriers, checkpoint/commit, messages), and a verdict is
+ * derived from the races that remain.
+ *
+ * Two clock families capture the paper's two tests:
+ *
+ *  - per-PROCESSOR clocks model the non-privatization execution of
+ *    section 3.2: a doall loop has no cross-processor edges between
+ *    the entry and exit barriers, so any cross-processor pair of
+ *    accesses to one element with at least one write is a data race
+ *    on the shared array. An element races iff it is neither
+ *    read-only nor single-processor -- exactly the hardware test.
+ *
+ *  - per-ITERATION clocks model the privatized execution of section
+ *    3.3: each iteration runs against its own copy, so the only
+ *    shared-state conflict left is a FLOW race -- iteration w writes
+ *    the element, a later unordered iteration r > w performs an
+ *    exposed (first-access) read that the read-in serves from the
+ *    stale backing copy. An element flow-races iff it has a write in
+ *    some iteration w and an exposed read in some unordered r > w --
+ *    exactly MaxR1st > MinW.
+ *
+ * The equivalences above hold for the free (barrier-less) schedule
+ * the speculative hardware assumes; sequentialEdges() restores the
+ * serial-order edges and makes every race disappear, which is the
+ * unit-testable sanity anchor.
+ */
+
+#ifndef SPECRT_VERIFY_HB_ORACLE_HH
+#define SPECRT_VERIFY_HB_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+#include "spec/oracle.hh"
+
+namespace specrt
+{
+namespace verify
+{
+
+/** A classic vector clock over a fixed number of threads. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+    explicit VectorClock(size_t n) : c(n, 0) {}
+
+    size_t size() const { return c.size(); }
+    uint64_t operator[](size_t i) const { return c[i]; }
+
+    /** Advance thread @p i's own component. */
+    void tick(size_t i) { ++c[i]; }
+
+    /** Component-wise max (receive/acquire edge). */
+    void join(const VectorClock &o);
+
+    /**
+     * True when every component of *this is <= @p o's and at least
+     * one is strictly smaller (strict happens-before).
+     */
+    bool happensBefore(const VectorClock &o) const;
+
+    /** Distinct and neither happens-before the other. */
+    bool
+    concurrentWith(const VectorClock &o) const
+    {
+        return !(*this == o) && !happensBefore(o) &&
+               !o.happensBefore(*this);
+    }
+
+    bool operator==(const VectorClock &o) const { return c == o.c; }
+
+    std::string str() const;
+
+  private:
+    std::vector<uint64_t> c;
+};
+
+/** One detected happens-before race on an array element. */
+struct HbRace
+{
+    uint64_t elem;
+    /** Threads of the racing pair: processors (non-priv family) or
+     *  0-based iteration indices (priv family). */
+    size_t threadA;
+    size_t threadB;
+    IterNum iterA;
+    IterNum iterB;
+    bool writeA;
+    bool writeB;
+
+    std::string str() const;
+};
+
+/** Full analysis result. */
+struct HbReport
+{
+    /** No cross-processor race on any element (section 3.2 passes). */
+    bool nonPrivOk = true;
+    /** No cross-iteration flow race (section 3.3 passes). */
+    bool privOk = true;
+    std::vector<HbRace> nonPrivRaces;
+    std::vector<HbRace> privRaces;
+};
+
+/**
+ * The happens-before oracle. Feed it the placed access trace (proc
+ * fields meaningful, per-iteration program order as for Oracle) plus
+ * any synchronization edges, then call analyze().
+ */
+class HbOracle
+{
+  public:
+    /**
+     * @p numProcs processors; @p maxIter the highest 1-based
+     * iteration number that may appear (defines the iteration-clock
+     * dimension).
+     */
+    HbOracle(int numProcs, IterNum maxIter);
+
+    /** Record one access (stamps both clock families). */
+    void onAccess(const AccessEvent &e);
+
+    /**
+     * All-to-all barrier: joins every processor clock and every
+     * iteration clock through a single sync point, ordering all
+     * earlier accesses before all later ones.
+     */
+    void onBarrier();
+
+    /**
+     * Checkpoint/commit edge: processor @p proc publishes its work
+     * (release into the global sync clock). A later acquire() by any
+     * processor orders it after every published commit.
+     */
+    void commit(NodeId proc);
+    /** Acquire edge: @p proc joins everything published so far. */
+    void acquire(NodeId proc);
+
+    /**
+     * Point-to-point message edge @p src -> @p dst (e.g. a read-in
+     * reply or an ownership transfer): dst's clock joins src's.
+     */
+    void onMessage(NodeId src, NodeId dst);
+
+    /**
+     * Chain iteration i -> i+1 for all i (serial execution order).
+     * With these edges no iteration pair is concurrent, so analyze()
+     * must report privOk (the serial anchor of the equivalence
+     * tests). Call before feeding accesses; accesses must then be
+     * fed in serial (iteration-major) order so each chain edge is a
+     * real release->acquire through the clocks.
+     */
+    void sequentialEdges();
+
+    /** Run the race analysis over everything recorded so far. */
+    HbReport analyze() const;
+
+    /**
+     * One-shot helper: analyze a placed trace under the free doall
+     * schedule (entry/exit barriers only -- the schedule the
+     * speculative hardware checks). Equivalent, by construction, to
+     * Oracle::nonPrivParallel / Oracle::privParallel on the same
+     * trace; the differential suite asserts exactly that.
+     */
+    static HbReport analyzeTrace(const std::vector<AccessEvent> &trace,
+                                 int numProcs, IterNum maxIter);
+
+  private:
+    struct Access
+    {
+        VectorClock procClock;
+        VectorClock iterClock;
+        NodeId proc;
+        IterNum iter;
+        bool isWrite;
+        /** First access of its iteration to this element was a read
+         *  (the read-in would expose the backing copy). */
+        bool exposedRead;
+    };
+
+    size_t procs;
+    size_t iters;
+
+    std::vector<VectorClock> procClocks;
+    std::vector<VectorClock> iterClocks;
+    /** Release target of commit(); source of acquire(). */
+    VectorClock syncClock;
+    /** Iteration-family release clock for onBarrier(). */
+    VectorClock iterSyncClock;
+
+    /** Accesses grouped per element index. */
+    std::unordered_map<uint64_t, std::vector<Access>> byElem;
+    /** elem*(iters+1)+iter0 keys whose first access was a write. */
+    std::unordered_map<uint64_t, bool> firstIsWrite;
+    bool chained = false;
+    /** Highest iteration chained so far (sequentialEdges mode). */
+    IterNum lastChainIter = 0;
+};
+
+} // namespace verify
+} // namespace specrt
+
+#endif // SPECRT_VERIFY_HB_ORACLE_HH

@@ -74,3 +74,90 @@ TEST(DenseSnapshot, CaptureRestoreDiff)
     EXPECT_EQ(snap.diffBytes(mem), 0u);
     EXPECT_EQ(mem.read(r.elemAddr(10), 4), 10u);
 }
+
+TEST(SparseCheckpoint, RestoreWithZeroDirtyElementsIsANoOp)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    AddrMap mem(cfg);
+    const Region &r =
+        mem.region(mem.alloc("A", 64, 4, Placement::Fixed, 0));
+    for (uint64_t e = 0; e < 16; ++e)
+        mem.write(r.elemAddr(e), 4, e + 1);
+
+    // A run that never wrote anything leaves an empty checkpoint;
+    // restoring it must touch nothing.
+    SparseCheckpoint cp(4);
+    ASSERT_EQ(cp.numSaved(), 0u);
+    cp.restore(mem);
+    for (uint64_t e = 0; e < 16; ++e)
+        EXPECT_EQ(mem.read(r.elemAddr(e), 4), e + 1);
+
+    DenseSnapshot snap(mem, r);
+    snap.restore(mem); // equally untouched
+    EXPECT_EQ(snap.diffBytes(mem), 0u);
+}
+
+TEST(SparseCheckpoint, DoubleRestoreIsIdempotentAndNotConsuming)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    AddrMap mem(cfg);
+    const Region &r =
+        mem.region(mem.alloc("A", 64, 4, Placement::Fixed, 0));
+    mem.write(r.elemAddr(0), 4, 10);
+    mem.write(r.elemAddr(1), 4, 20);
+
+    SparseCheckpoint cp(4);
+    cp.saveIfFirst(r.elemAddr(0), 10);
+    cp.saveIfFirst(r.elemAddr(1), 20);
+    mem.write(r.elemAddr(0), 4, 77);
+    mem.write(r.elemAddr(1), 4, 88);
+
+    cp.restore(mem);
+    cp.restore(mem); // back-to-back: same result, no crash
+    EXPECT_EQ(mem.read(r.elemAddr(0), 4), 10u);
+    EXPECT_EQ(mem.read(r.elemAddr(1), 4), 20u);
+
+    // The checkpoint is not consumed by restore: a second abort (new
+    // pollution after the first restore) is recoverable too.
+    mem.write(r.elemAddr(1), 4, 99);
+    cp.restore(mem);
+    EXPECT_EQ(mem.read(r.elemAddr(1), 4), 20u);
+    EXPECT_EQ(cp.numSaved(), 2u);
+}
+
+TEST(DenseSnapshot, RestoreAfterPartialCommitUndoesTheCommit)
+{
+    // An aborted speculative run may already have copied some
+    // privatized results out into the shared array (the abort can
+    // arrive mid copy-out). The backup restore must undo those
+    // partial commits along with ordinary speculative pollution.
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    AddrMap mem(cfg);
+    const Region &shared =
+        mem.region(mem.alloc("A", 64, 4, Placement::Fixed, 0));
+    const Region &priv =
+        mem.region(mem.alloc("A_priv", 64, 4, Placement::Fixed, 1));
+    for (uint64_t e = 0; e < 16; ++e)
+        mem.write(shared.elemAddr(e), 4, e + 1);
+
+    DenseSnapshot backup(mem, shared);
+
+    // Speculative run computes into the private copy...
+    for (uint64_t e = 0; e < 16; ++e)
+        mem.write(priv.elemAddr(e), 4, 1000 + e);
+    // ...and a partial copy-out commits only elements [0, 8) before
+    // the failure is detected.
+    for (uint64_t e = 0; e < 8; ++e)
+        mem.write(shared.elemAddr(e), 4,
+                  mem.read(priv.elemAddr(e), 4));
+    ASSERT_GT(backup.diffBytes(mem), 0u);
+
+    backup.restore(mem);
+    EXPECT_EQ(backup.diffBytes(mem), 0u);
+    for (uint64_t e = 0; e < 16; ++e)
+        EXPECT_EQ(mem.read(shared.elemAddr(e), 4), e + 1)
+            << "element " << e;
+}

@@ -477,3 +477,120 @@ TEST(SmallFunction, InlineAndHeapStorage)
     EXPECT_FALSE(static_cast<bool>(f));
     EXPECT_TRUE(static_cast<bool>(h));
 }
+
+namespace
+{
+
+/** Controller scripting fixed picks; records what it was offered. */
+struct ScriptedController : ScheduleController
+{
+    std::vector<size_t> script;
+    size_t next = 0;
+    std::vector<std::vector<EventChoice>> offered;
+
+    size_t
+    pick(const EventChoice *choices, size_t n) override
+    {
+        offered.emplace_back(choices, choices + n);
+        return next < script.size() ? script[next++] : 0;
+    }
+};
+
+} // namespace
+
+TEST(ScheduleControllerHook, NotConsultedForForcedMoves)
+{
+    // Distinct ticks: always exactly one ready event, never a
+    // decision point.
+    EventQueue q;
+    ScriptedController c;
+    q.setScheduleController(&c);
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(c.offered.empty());
+}
+
+TEST(ScheduleControllerHook, PickReordersSameTickEvents)
+{
+    EventQueue q;
+    ScriptedController c;
+    c.script = {2};
+    q.setScheduleController(&c);
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(0); }, EventKind::Cache, 4);
+    q.schedule(10, [&] { order.push_back(1); }, EventKind::Network, 5);
+    q.schedule(10, [&] { order.push_back(2); }, EventKind::Sched);
+    q.run();
+    // Pick 2 first; the rest follow in default order.
+    EXPECT_EQ(order, (std::vector<int>{2, 0, 1}));
+    ASSERT_EQ(c.offered.size(), 2u);
+    // Candidates carry the scheduling-site tags, default order.
+    ASSERT_EQ(c.offered[0].size(), 3u);
+    EXPECT_EQ(c.offered[0][0].kind, EventKind::Cache);
+    EXPECT_EQ(c.offered[0][0].actor, 4u);
+    EXPECT_EQ(c.offered[0][1].kind, EventKind::Network);
+    EXPECT_EQ(c.offered[0][1].actor, 5u);
+    EXPECT_EQ(c.offered[0][2].kind, EventKind::Sched);
+    EXPECT_EQ(c.offered[0][2].actor, unknownActor);
+}
+
+TEST(ScheduleControllerHook, OutOfRangePickIsClamped)
+{
+    EventQueue q;
+    ScriptedController c;
+    c.script = {99};
+    q.setScheduleController(&c);
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(0); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.run();
+    // Clamped to the last candidate.
+    EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(ScheduleControllerHook, ControllerSurvivesReset)
+{
+    EventQueue q;
+    ScriptedController c;
+    q.setScheduleController(&c);
+    q.schedule(10, [] {});
+    q.reset();
+    EXPECT_EQ(q.scheduleController(), &c);
+    q.schedule(5, [] {});
+    q.schedule(5, [] {});
+    q.run();
+    EXPECT_EQ(c.offered.size(), 1u);
+}
+
+TEST(PostFireHook, FiresPerEventWithTickAndKind)
+{
+    EventQueue q;
+    std::vector<std::pair<Tick, EventKind>> fired;
+    q.setPostFireHook(
+        [&](Tick t, EventKind k) { fired.emplace_back(t, k); });
+    q.schedule(10, [] {}, EventKind::Network, 1);
+    q.schedule(20, [] {}, EventKind::Cache, 0);
+    q.run();
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], (std::pair<Tick, EventKind>{10,
+                                                    EventKind::Network}));
+    EXPECT_EQ(fired[1],
+              (std::pair<Tick, EventKind>{20, EventKind::Cache}));
+}
+
+TEST(PostFireHook, RunsAfterTheCallbackAndOnControlledPath)
+{
+    EventQueue q;
+    ScriptedController c;
+    q.setScheduleController(&c);
+    std::vector<int> seq;
+    q.setPostFireHook([&](Tick, EventKind) { seq.push_back(-1); });
+    q.schedule(10, [&] { seq.push_back(0); });
+    q.schedule(10, [&] { seq.push_back(1); });
+    q.run();
+    // callback, hook, callback, hook -- on the controlled path too.
+    EXPECT_EQ(seq, (std::vector<int>{0, -1, 1, -1}));
+}

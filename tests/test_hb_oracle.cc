@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit and equivalence tests for the vector-clock happens-before
+ * oracle (verify/hb_oracle.hh): clock algebra, edge semantics
+ * (barrier, commit/acquire, message, serial chaining), and the
+ * fuzzed equivalence of its two race verdicts with the definitional
+ * oracle (spec/oracle.hh) on placed random-loop traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/scheduler.hh"
+#include "spec/oracle.hh"
+#include "verify/hb_oracle.hh"
+#include "workloads/microloops.hh"
+
+using namespace specrt;
+using verify::HbOracle;
+using verify::HbReport;
+using verify::VectorClock;
+
+namespace
+{
+
+AccessEvent
+ev(NodeId proc, IterNum iter, uint64_t elem, bool write)
+{
+    return {proc, iter, elem, write, 0, false};
+}
+
+/** The loop's full trace with static-chunk processor placement. */
+std::vector<AccessEvent>
+staticPlacedTrace(const RandomLoop &loop, IterNum iters, int procs)
+{
+    StaticChunkSource chunks(iters, procs);
+    std::vector<NodeId> owner(iters + 1, 0);
+    for (NodeId p = 0; p < procs; ++p) {
+        auto [lo, hi] = chunks.chunkOf(p);
+        for (IterNum i = lo; i < hi; ++i)
+            owner[i] = p;
+    }
+    std::vector<AccessEvent> placed = loop.expectedTrace();
+    for (AccessEvent &e : placed)
+        e.proc = owner[e.iter];
+    return placed;
+}
+
+} // namespace
+
+TEST(VectorClockTest, OrderingAndJoin)
+{
+    VectorClock a(3), b(3);
+    EXPECT_FALSE(a.happensBefore(b)); // equal clocks: not strict
+    EXPECT_FALSE(a.concurrentWith(b));
+
+    a.tick(0); // a = [1,0,0]
+    EXPECT_TRUE(b.happensBefore(a));
+    EXPECT_FALSE(a.happensBefore(b));
+
+    b.tick(1); // b = [0,1,0]
+    EXPECT_TRUE(a.concurrentWith(b));
+
+    b.join(a); // b = [1,1,0]
+    EXPECT_TRUE(a.happensBefore(b));
+    EXPECT_FALSE(a.concurrentWith(b));
+    EXPECT_EQ(b[0], 1u);
+    EXPECT_EQ(b[1], 1u);
+    EXPECT_EQ(a.str(), "[1,0,0]");
+}
+
+TEST(HbOracleTest, CrossProcessorWriteRaces)
+{
+    HbOracle hb(2, 2);
+    hb.onAccess(ev(0, 1, 7, true));
+    hb.onAccess(ev(1, 2, 7, false));
+    HbReport r = hb.analyze();
+    EXPECT_FALSE(r.nonPrivOk);
+    ASSERT_EQ(r.nonPrivRaces.size(), 1u);
+    EXPECT_EQ(r.nonPrivRaces[0].elem, 7u);
+    EXPECT_FALSE(r.nonPrivRaces[0].str().empty());
+}
+
+TEST(HbOracleTest, ReadOnlySharingIsNotARace)
+{
+    HbOracle hb(2, 2);
+    hb.onAccess(ev(0, 1, 3, false));
+    hb.onAccess(ev(1, 2, 3, false));
+    HbReport r = hb.analyze();
+    EXPECT_TRUE(r.nonPrivOk);
+    EXPECT_TRUE(r.privOk);
+}
+
+TEST(HbOracleTest, SingleProcessorNeverRacesNonPriv)
+{
+    HbOracle hb(2, 3);
+    hb.onAccess(ev(0, 1, 5, true));
+    hb.onAccess(ev(0, 2, 5, true));
+    hb.onAccess(ev(0, 3, 5, false));
+    EXPECT_TRUE(hb.analyze().nonPrivOk);
+}
+
+TEST(HbOracleTest, MessageEdgeOrdersTheRaceAway)
+{
+    // Same accesses as CrossProcessorWriteRaces, but a point-to-point
+    // edge between them (e.g. an ownership transfer) orders them.
+    HbOracle hb(2, 2);
+    hb.onAccess(ev(0, 1, 7, true));
+    hb.onMessage(0, 1);
+    hb.onAccess(ev(1, 2, 7, false));
+    EXPECT_TRUE(hb.analyze().nonPrivOk);
+}
+
+TEST(HbOracleTest, CommitAcquirePairOrdersTheRaceAway)
+{
+    HbOracle hb(2, 2);
+    hb.onAccess(ev(0, 1, 7, true));
+    hb.commit(0);
+    hb.acquire(1);
+    hb.onAccess(ev(1, 2, 7, false));
+    EXPECT_TRUE(hb.analyze().nonPrivOk);
+}
+
+TEST(HbOracleTest, BarrierOrdersEverything)
+{
+    HbOracle hb(2, 2);
+    hb.onAccess(ev(0, 1, 7, true));
+    hb.onBarrier();
+    hb.onAccess(ev(1, 2, 7, true));
+    HbReport r = hb.analyze();
+    EXPECT_TRUE(r.nonPrivOk);
+    EXPECT_TRUE(r.privOk);
+}
+
+TEST(HbOracleTest, ExposedReadAfterUnorderedWriteFlowRaces)
+{
+    // Iteration 1 writes elem 4; iteration 3's first access reads
+    // it: under privatization the read-in exposes the stale copy.
+    HbOracle hb(2, 3);
+    hb.onAccess(ev(0, 1, 4, true));
+    hb.onAccess(ev(1, 3, 4, false));
+    HbReport r = hb.analyze();
+    EXPECT_FALSE(r.privOk);
+    ASSERT_EQ(r.privRaces.size(), 1u);
+    EXPECT_EQ(r.privRaces[0].iterA, 1);
+    EXPECT_EQ(r.privRaces[0].iterB, 3);
+}
+
+TEST(HbOracleTest, WriteFirstIterationsDoNotFlowRace)
+{
+    // Each iteration writes before reading: privatization holds even
+    // though non-privatization fails.
+    HbOracle hb(2, 2);
+    hb.onAccess(ev(0, 1, 4, true));
+    hb.onAccess(ev(0, 1, 4, false));
+    hb.onAccess(ev(1, 2, 4, true));
+    hb.onAccess(ev(1, 2, 4, false));
+    HbReport r = hb.analyze();
+    EXPECT_TRUE(r.privOk);
+    EXPECT_FALSE(r.nonPrivOk);
+}
+
+TEST(HbOracleTest, EarlierReadThanWriteIsAntiDepNotFlowRace)
+{
+    // Read-first in iter 1, write in iter 3: MaxR1st (1) <= MinW (3),
+    // the paper's test passes; privatization covers the anti-dep.
+    HbOracle hb(2, 3);
+    hb.onAccess(ev(0, 1, 9, false));
+    hb.onAccess(ev(1, 3, 9, true));
+    EXPECT_TRUE(hb.analyze().privOk);
+}
+
+TEST(HbOracleTest, SequentialEdgesEraseAllRaces)
+{
+    // The serial anchor: with iteration chaining, the same pattern
+    // that flow-races in parallel is fully ordered.
+    HbOracle hb(1, 3);
+    hb.sequentialEdges();
+    hb.onAccess(ev(0, 1, 4, true));
+    hb.onAccess(ev(0, 3, 4, false));
+    HbReport r = hb.analyze();
+    EXPECT_TRUE(r.privOk);
+    EXPECT_TRUE(r.nonPrivOk);
+}
+
+TEST(HbOracleTest, AnalyzeTraceMatchesOracleOnFig3Archetypes)
+{
+    // The paper's Fig. 3 single-element archetypes pin the verdict
+    // boundaries: read-in-needed passes priv, write-first passes
+    // priv, flow-dep fails it. Two processors, iterations 1-4 on
+    // proc 0 and 5-8 on proc 1.
+    const IterNum n = 8;
+    auto place = [](IterNum i) {
+        return static_cast<NodeId>(i <= 4 ? 0 : 1);
+    };
+    struct Archetype
+    {
+        const char *name;
+        std::vector<AccessEvent> trace;
+    };
+    std::vector<Archetype> cases(3);
+    cases[0].name = "read-in-needed";
+    for (IterNum i = 1; i <= n; ++i) {
+        if (i <= 3) {
+            cases[0].trace.push_back(ev(place(i), i, 0, false));
+        } else {
+            cases[0].trace.push_back(ev(place(i), i, 0, true));
+            cases[0].trace.push_back(ev(place(i), i, 0, false));
+        }
+    }
+    cases[1].name = "write-first";
+    for (IterNum i = 1; i <= n; ++i) {
+        cases[1].trace.push_back(ev(place(i), i, 0, true));
+        cases[1].trace.push_back(ev(place(i), i, 0, false));
+    }
+    cases[2].name = "flow-dep";
+    for (IterNum i = 1; i <= n; ++i) {
+        cases[2].trace.push_back(ev(place(i), i, 0, false));
+        cases[2].trace.push_back(ev(place(i), i, 0, true));
+    }
+
+    for (const Archetype &c : cases) {
+        HbReport hb = HbOracle::analyzeTrace(c.trace, 2, n);
+        EXPECT_EQ(hb.privOk, Oracle::privParallel(c.trace)) << c.name;
+        EXPECT_EQ(hb.nonPrivOk, Oracle::nonPrivParallel(c.trace))
+            << c.name;
+    }
+    EXPECT_TRUE(HbOracle::analyzeTrace(cases[0].trace, 2, n).privOk);
+    EXPECT_TRUE(HbOracle::analyzeTrace(cases[1].trace, 2, n).privOk);
+    EXPECT_FALSE(HbOracle::analyzeTrace(cases[2].trace, 2, n).privOk);
+}
+
+TEST(HbOracleTest, FuzzEquivalenceWithDefinitionalOracle)
+{
+    // 160 random loops across processor counts and write densities:
+    // both verdicts must equal the definitional oracle's on every
+    // placed trace, and both outcomes of each verdict must occur.
+    size_t priv_fail = 0, nonpriv_fail = 0;
+    for (uint64_t seed = 1; seed <= 160; ++seed) {
+        int procs = 2 << (seed % 3);
+        RandomLoopParams rp;
+        rp.iters = 6 + static_cast<IterNum>(seed % 20);
+        rp.elems = 4u << (seed % 3);
+        rp.accesses = 2 + static_cast<int>(seed % 3);
+        rp.writeProb = 0.125 * static_cast<double>(seed % 8);
+        rp.window = rp.elems;
+        rp.test = TestType::Priv;
+        rp.seed = seed * 77;
+        RandomLoop loop(rp);
+
+        auto placed = staticPlacedTrace(loop, rp.iters, procs);
+        HbReport hb = HbOracle::analyzeTrace(placed, procs, rp.iters);
+
+        bool priv_ok = Oracle::privParallel(loop.expectedTrace());
+        bool nonpriv_ok = Oracle::nonPrivParallel(placed);
+        ASSERT_EQ(hb.privOk, priv_ok) << "seed " << seed;
+        ASSERT_EQ(hb.nonPrivOk, nonpriv_ok) << "seed " << seed;
+        priv_fail += !priv_ok;
+        nonpriv_fail += !nonpriv_ok;
+
+        // A failing verdict must come with at least one concrete race.
+        if (!priv_ok) {
+            ASSERT_FALSE(hb.privRaces.empty()) << "seed " << seed;
+        }
+        if (!nonpriv_ok) {
+            ASSERT_FALSE(hb.nonPrivRaces.empty()) << "seed " << seed;
+        }
+    }
+    EXPECT_GT(priv_fail, 0u);
+    EXPECT_LT(priv_fail, 160u);
+    EXPECT_GT(nonpriv_fail, 0u);
+    EXPECT_LT(nonpriv_fail, 160u);
+}

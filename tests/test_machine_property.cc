@@ -29,6 +29,7 @@
 #include "spec/oracle.hh"
 #include "spec/priv.hh"
 #include "spec/priv_compact.hh"
+#include "verify/hb_oracle.hh"
 #include "workloads/microloops.hh"
 
 using namespace specrt;
@@ -221,19 +222,22 @@ TEST(MachineProperty, SwVerdictMatchesLrpdOracleUnderStaticChunk)
     }
 }
 
-// --- five-way differential suite (campaign-driven) --------------------
+// --- six-way differential suite (campaign-driven) ---------------------
 //
-// One generated loop pattern, five independent checkers:
+// One generated loop pattern, six independent checkers:
 //
 //   1. serial execution        -- the state oracle (final contents);
 //   2. priv HW machine (§3.3)  -- full protocol, time-stamp state;
 //   3. priv_compact pure logic (§4.1) -- 3-bit state, driven below;
 //   4. software LRPD with read-in (§2.2.3), iteration-wise;
-//   5. non-priv HW machine (§3.2) -- the same loop downgraded.
+//   5. non-priv HW machine (§3.2) -- the same loop downgraded;
+//   6. vector-clock happens-before oracle (verify/hb_oracle.hh) --
+//      DRD-style race analysis of the placed trace.
 //
 // Agreement means: checkers 2-4 all equal Oracle::privParallel on the
 // loop's access pattern; checker 5 equals Oracle::nonPrivParallel on
-// the statically placed trace; and every machine run's final memory
+// the statically placed trace; checker 6's two race verdicts equal
+// both; and every machine run's final memory
 // equals checker 1's. Cases fan out through the campaign runner --
 // one job per generated case, parameters drawn from the job context's
 // seeded RNG streams, errors reported through JobOutcome-adjacent
@@ -380,12 +384,30 @@ runDifferentialCase(SimContext &ctx, size_t id)
     if (arrayContents(np, 0) != want)
         err << ctx_str() << "non-priv HW final state != serial\n";
 
+    // 6. Happens-before oracle: vector clocks over the placed trace
+    // under the free doall schedule. Its flow-race verdict must
+    // equal the privatization oracle and its data-race verdict the
+    // non-privatization one.
+    verify::HbReport hb =
+        verify::HbOracle::analyzeTrace(placed, procs, rp.iters);
+    if (hb.privOk != priv_ok)
+        err << ctx_str() << "HB oracle priv verdict " << hb.privOk
+            << " != oracle " << priv_ok << "\n";
+    if (hb.nonPrivOk != nonpriv_ok)
+        err << ctx_str() << "HB oracle non-priv verdict "
+            << hb.nonPrivOk << " != oracle " << nonpriv_ok << "\n";
+    if (!hb.privOk && hb.privRaces.empty())
+        err << ctx_str() << "HB oracle failed priv without a race\n";
+    if (!hb.nonPrivOk && hb.nonPrivRaces.empty())
+        err << ctx_str()
+            << "HB oracle failed non-priv without a race\n";
+
     return err.str();
 }
 
 } // namespace
 
-TEST(MachineDifferential, FiveCheckersAgreeOn200GeneratedCases)
+TEST(MachineDifferential, SixCheckersAgreeOn200GeneratedCases)
 {
     const size_t cases = 200;
     std::vector<std::string> errors(cases);

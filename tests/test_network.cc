@@ -110,3 +110,65 @@ TEST(Network, CountsHopsAndMsgs)
     EXPECT_EQ(f.net->numMsgs(), 3u);
     EXPECT_EQ(f.net->numHops(), 2u);
 }
+
+TEST(Network, RetriesAreCountedPerMessageClass)
+{
+    Fixture f;
+    FaultConfig fc;
+    fc.seed = 3;
+    fc.dropProb = 1.0; // every eligible transmission is lost
+    fc.watchdogTimeout = 100;
+    FaultPlan plan(fc);
+    f.net->setFaultPlan(&plan);
+    size_t lost = 0;
+    f.net->setLostHook([&](const Msg &, const char *) { ++lost; });
+
+    plan.arm();
+    f.net->send(f.mk(MsgType::FirstUpdate, 0, 1));
+    f.net->send(f.mk(MsgType::CopyOutSig, 2, 1));
+    f.eq.run();
+    plan.disarm();
+
+    // Each dropped signal is retransmitted watchdogMaxRetries times
+    // (every attempt drops too), then declared lost -- and every
+    // retry lands in its class's bucket.
+    auto retries = static_cast<double>(fc.watchdogMaxRetries);
+    EXPECT_EQ(
+        f.net->retriesByType[static_cast<size_t>(MsgType::FirstUpdate)],
+        retries);
+    EXPECT_EQ(
+        f.net->retriesByType[static_cast<size_t>(MsgType::CopyOutSig)],
+        retries);
+    EXPECT_EQ(
+        f.net->retriesByType[static_cast<size_t>(MsgType::ReadReply)],
+        0.0);
+    EXPECT_EQ(f.net->retriesByType.total(),
+              f.net->msgsRetried.value());
+    EXPECT_EQ(lost, 2u);
+    EXPECT_EQ(f.net->msgsLost.value(), 2.0);
+    EXPECT_EQ(f.net->numPendingRetransmits(), 0u);
+}
+
+TEST(Network, JitterNeverReordersAChannel)
+{
+    Fixture f;
+    FaultConfig fc;
+    fc.seed = 11;
+    fc.jitterProb = 0.8;
+    fc.jitterMaxCycles = 50;
+    FaultPlan plan(fc);
+    f.net->setFaultPlan(&plan);
+
+    plan.arm();
+    for (int i = 0; i < 30; ++i) {
+        Msg m = f.mk(MsgType::ReadReply, 0, 1);
+        m.iter = i;
+        f.net->send(std::move(m));
+    }
+    f.eq.run();
+    plan.disarm();
+
+    ASSERT_EQ(f.cacheRx.size(), 30u);
+    for (int i = 0; i < 30; ++i)
+        EXPECT_EQ(f.cacheRx[i].iter, i);
+}
