@@ -102,11 +102,15 @@ def rebase(results, baseline_path):
     print(f"baseline rewritten: {baseline_path} ({len(base)} benches)")
 
 
-def compare(results, baseline, tolerance):
+def compare(results, baseline, tolerance, rows=None):
     """Gate ``results`` against ``baseline``; returns (checked,
-    failures)."""
+    failures). When ``rows`` is a list, one entry per comparison is
+    appended for the markdown summary: (status, bench, quantity,
+    current, baseline, floor)."""
     failures = 0
     checked = 0
+    if rows is None:
+        rows = []
     for name in sorted(results):
         rec = results[name]
         extra = unknown_keys(rec)
@@ -116,12 +120,16 @@ def compare(results, baseline, tolerance):
         if rec.get("exit_code", 0) != 0:
             print(f"FAIL {name}: bench exited nonzero "
                   f"({rec.get('exit_code')})")
+            rows.append(("FAIL", name, "exit_code",
+                         rec.get("exit_code"), 0, 0))
             failures += 1
             continue
         base = baseline.get(name)
         if base is None:
             print(f"skip {name}: no baseline entry "
                   "(run --rebase to add it)")
+            rows.append(("skip", name, "ticks_per_sec",
+                         rec.get("ticks_per_sec", 0), None, None))
             continue
 
         cur = rec.get("ticks_per_sec", 0)
@@ -131,6 +139,8 @@ def compare(results, baseline, tolerance):
             status = "ok  " if cur >= floor else "FAIL"
             print(f"{status} {name}: {cur:.3g} ticks/s "
                   f"(baseline {ref:.3g}, floor {floor:.3g})")
+            rows.append((status.strip(), name, "ticks_per_sec",
+                         cur, ref, floor))
             if cur < floor:
                 failures += 1
             checked += 1
@@ -148,17 +158,59 @@ def compare(results, baseline, tolerance):
             val = metrics.get(metric)
             if val is None:
                 print(f"FAIL {name}: metric {metric} missing")
+                rows.append(("FAIL", name, metric, None, None,
+                             floor))
                 failures += 1
                 continue
             status = "ok  " if val >= floor else "FAIL"
             print(f"{status} {name}: {metric} = {val:.3f} "
                   f"(floor {floor})")
+            rows.append((status.strip(), name, metric, val, None,
+                         floor))
             if val < floor:
                 failures += 1
             checked += 1
 
     print(f"\n{checked} comparisons, {failures} failures")
     return checked, failures
+
+
+def write_summary(rows, failures, path):
+    """Render the comparison rows as a GitHub-flavored markdown table
+    (meant for $GITHUB_STEP_SUMMARY)."""
+
+    def num(v):
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    def delta(cur, ref):
+        if not isinstance(cur, (int, float)) or not ref:
+            return "-"
+        return f"{(cur / ref - 1) * 100:+.1f}%"
+
+    lines = [
+        "### Perf gate: baseline vs current",
+        "",
+        "| status | bench | quantity | current | baseline | floor "
+        "| vs baseline |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    icon = {"ok": "✅", "FAIL": "❌", "skip": "➖"}
+    for status, bench, quantity, cur, ref, floor in rows:
+        lines.append(
+            f"| {icon.get(status, status)} {status} | {bench} "
+            f"| {quantity} | {num(cur)} | {num(ref)} | {num(floor)} "
+            f"| {delta(cur, ref)} |")
+    lines.append("")
+    lines.append(f"**{len(rows)} comparisons, {failures} "
+                 f"failure(s).**")
+    lines.append("")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+    print(f"summary table appended to {path}")
 
 
 def selftest():
@@ -202,6 +254,19 @@ def selftest():
     assert "min_timeline_sample_speedup" not in rebased["smoke"], \
         "rebase must not gate timeline-derived metrics"
 
+    # 4. --summary must render every comparison row, pass and fail
+    #    alike, as a markdown table.
+    rows = []
+    _, failures = compare({"smoke": slow}, baseline, 0.75, rows)
+    with tempfile.TemporaryDirectory() as td:
+        out = Path(td) / "summary.md"
+        write_summary(rows, failures, out)
+        text = out.read_text()
+    assert "| status | bench |" in text, "summary lost its header"
+    assert "ticks_per_sec" in text and "foo_speedup" in text, \
+        "summary must carry one row per comparison"
+    assert "1 failure(s)" in text, "summary must report the verdict"
+
     print("selftest: OK")
     return 0
 
@@ -217,6 +282,10 @@ def main():
                     help="rewrite the baseline from current results")
     ap.add_argument("--selftest", action="store_true",
                     help="check the gate's own record-shape tolerance")
+    ap.add_argument("--summary", metavar="PATH",
+                    help="append a markdown baseline-vs-current diff "
+                         "table to PATH (use $GITHUB_STEP_SUMMARY "
+                         "in CI)")
     args = ap.parse_args()
 
     if args.selftest:
@@ -232,7 +301,10 @@ def main():
         return 0
 
     baseline = {b["bench"]: b for b in load(args.baseline)}
-    _, failures = compare(results, baseline, args.tolerance)
+    rows = []
+    _, failures = compare(results, baseline, args.tolerance, rows)
+    if args.summary:
+        write_summary(rows, failures, args.summary)
     return 1 if failures else 0
 
 

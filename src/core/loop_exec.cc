@@ -556,7 +556,7 @@ LoopExecutor::runLoopPhase()
 
 Tick
 LoopExecutor::runProgramPhase(
-    const ProgramSet &programs,
+    ProgramSet &programs,
     const std::vector<std::vector<ArrayBinding>> &bindings)
 {
     EventQueue &eq = dsm->eventQueue();
@@ -565,8 +565,10 @@ LoopExecutor::runProgramPhase(
     resetProcStats();
 
     OneShotSource source(n_procs);
+    // Each pseudo-iteration is granted exactly once (OneShotSource),
+    // so the program can be moved out instead of copied.
     Processor::IterGen gen = [&programs](IterNum i, IterProgram &out) {
-        out = programs.at(static_cast<size_t>(i - 1));
+        out = std::move(programs.at(static_cast<size_t>(i - 1)));
     };
 
     int done = 0;

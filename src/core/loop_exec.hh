@@ -220,8 +220,11 @@ class LoopExecutor : public TraceSink
     void buildLoopBindings();
     void loadTranslationTable();
 
-    /** Run a utility phase where proc p executes programs[p]. */
-    Tick runProgramPhase(const ProgramSet &programs,
+    /** Run a utility phase where proc p executes programs[p].
+     *  Consumes the programs (moved into the processors: utility
+     *  programs run to hundreds of kilobytes of ops, and each is
+     *  executed exactly once). */
+    Tick runProgramPhase(ProgramSet &programs,
                          const std::vector<std::vector<ArrayBinding>>
                              &bindings);
 

@@ -32,12 +32,14 @@ AddrMap::alloc(const std::string &name, uint64_t bytes,
     r.base = nextBase;
     r.bytes = bytes;
     r.elemBytes = elem_bytes;
+    r.elems = bytes / elem_bytes;
     r.placement = placement;
     r.node = node;
     nextBase += rounded;
 
     regions.push_back(r);
     backing.emplace_back(rounded, 0);
+    bases.push_back(r.base);
     return static_cast<int>(regions.size()) - 1;
 }
 
@@ -46,20 +48,32 @@ AddrMap::clear()
 {
     regions.clear();
     backing.clear();
+    bases.clear();
+    mru = 0;
     nextBase = _pageBytes;
+}
+
+int
+AddrMap::lookup(Addr addr) const
+{
+    if (mru < regions.size() && regions[mru].contains(addr))
+        return static_cast<int>(mru);
+    // Regions are allocated in ascending address order.
+    auto it = std::upper_bound(bases.begin(), bases.end(), addr);
+    if (it == bases.begin())
+        return -1;
+    size_t idx = static_cast<size_t>(it - bases.begin()) - 1;
+    if (!regions[idx].contains(addr))
+        return -1;
+    mru = static_cast<uint32_t>(idx);
+    return static_cast<int>(idx);
 }
 
 const Region *
 AddrMap::find(Addr addr) const
 {
-    // Regions are allocated in ascending address order.
-    auto it = std::upper_bound(
-        regions.begin(), regions.end(), addr,
-        [](Addr a, const Region &r) { return a < r.base; });
-    if (it == regions.begin())
-        return nullptr;
-    --it;
-    return it->contains(addr) ? &*it : nullptr;
+    int idx = lookup(addr);
+    return idx < 0 ? nullptr : &regions[idx];
 }
 
 NodeId
@@ -84,18 +98,13 @@ AddrMap::backingPtr(Addr addr, uint32_t span)
 const uint8_t *
 AddrMap::backingPtr(Addr addr, uint32_t span) const
 {
-    auto it = std::upper_bound(
-        regions.begin(), regions.end(), addr,
-        [](Addr a, const Region &r) { return a < r.base; });
-    SPECRT_ASSERT(it != regions.begin(), "access to unmapped addr %#llx",
+    int idx = lookup(addr);
+    SPECRT_ASSERT(idx >= 0, "access to unmapped addr %#llx",
                   (unsigned long long)addr);
-    --it;
-    SPECRT_ASSERT(it->contains(addr), "access to unmapped addr %#llx",
-                  (unsigned long long)addr);
-    size_t idx = static_cast<size_t>(it - regions.begin());
-    uint64_t off = addr - it->base;
+    const Region &r = regions[idx];
+    uint64_t off = addr - r.base;
     SPECRT_ASSERT(off + span <= backing[idx].size(),
-                  "access past end of region '%s'", it->name.c_str());
+                  "access past end of region '%s'", r.name.c_str());
     return backing[idx].data() + off;
 }
 

@@ -45,7 +45,11 @@ struct Region
     /** Home node for Fixed placement; first node for RoundRobin. */
     NodeId node = 0;
 
-    uint64_t numElems() const { return bytes / elemBytes; }
+    /** bytes / elemBytes, cached: the bounds check in the processor's
+     *  address resolution runs once per simulated memory op. */
+    uint64_t elems = 0;
+
+    uint64_t numElems() const { return elems; }
     Addr elemAddr(uint64_t i) const { return base + i * elemBytes; }
 
     bool
@@ -123,9 +127,18 @@ class AddrMap
     uint8_t *backingPtr(Addr addr, uint32_t span);
     const uint8_t *backingPtr(Addr addr, uint32_t span) const;
 
+    /** Index of the region containing @p addr, or -1. */
+    int lookup(Addr addr) const;
+
     // Deques keep Region pointers stable across alloc() calls.
     std::deque<Region> regions;
     std::deque<std::vector<uint8_t>> backing;
+    /** regions[i].base, in a flat array: the translation hot path
+     *  binary-searches this instead of chasing deque iterators. */
+    std::vector<Addr> bases;
+    /** Last region hit; accesses are bursty (loops sweep arrays), so
+     *  checking it first skips the search almost every time. */
+    mutable uint32_t mru = 0;
 
     uint32_t _pageBytes;
     int _numProcs;

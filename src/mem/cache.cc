@@ -21,30 +21,31 @@ lineStateName(LineState s)
 NodeCache::NodeCache(const MachineConfig &config)
     : _lineBytes(config.l2.lineBytes)
 {
-    l2.resize(config.l2.numLines());
-    for (CacheLine &line : l2)
-        line.data.resize(_lineBytes, 0);
-    l1Tags.assign(config.l1.numLines(), invalidAddr);
-}
-
-CacheLine *
-NodeCache::findLine(Addr a)
-{
-    CacheLine &slot = l2Slot(a);
-    return (slot.valid() && slot.addr == lineAlign(a)) ? &slot : nullptr;
-}
-
-const CacheLine *
-NodeCache::findLine(Addr a) const
-{
-    const CacheLine &slot = l2Slot(a);
-    return (slot.valid() && slot.addr == lineAlign(a)) ? &slot : nullptr;
+    // Geometry is power-of-two (config.validate()); indexing relies
+    // on it.
+    SPECRT_ASSERT((_lineBytes & (_lineBytes - 1)) == 0,
+                  "line size %u not a power of two", _lineBytes);
+    _lineShift = 0;
+    while ((1u << _lineShift) < _lineBytes)
+        ++_lineShift;
+    uint64_t l2Lines = config.l2.numLines();
+    uint64_t l1Lines = config.l1.numLines();
+    SPECRT_ASSERT((l2Lines & (l2Lines - 1)) == 0 &&
+                  (l1Lines & (l1Lines - 1)) == 0,
+                  "cache line counts not powers of two");
+    _l2Mask = l2Lines - 1;
+    _l1Mask = l1Lines - 1;
+    // Line data stays empty until fill(): invalid lines are never
+    // read, and skipping the zero-fill makes machine construction
+    // (hundreds of caches per campaign) cheap.
+    l2.resize(l2Lines);
+    l1Tags.assign(l1Lines, invalidAddr);
 }
 
 bool
 NodeCache::l1Hit(Addr a) const
 {
-    return l1Tags[l1Index(a)] == lineAlign(a) && findLine(a) != nullptr;
+    return l1TagHit(a) && findLine(a) != nullptr;
 }
 
 void
@@ -78,7 +79,7 @@ NodeCache::fill(Addr line_addr, LineState state, const uint8_t *data,
 
     slot.addr = line_addr;
     slot.state = state;
-    std::memcpy(slot.data.data(), data, _lineBytes);
+    slot.data.assign(data, _lineBytes);
     l1Fill(line_addr);
     return displaced;
 }
@@ -111,9 +112,7 @@ NodeCache::readWord(Addr a, uint32_t size) const
     const CacheLine *line = findLine(a);
     SPECRT_ASSERT(line, "readWord on absent line %#llx",
                   (unsigned long long)a);
-    uint64_t value = 0;
-    std::memcpy(&value, line->data.data() + (a - line->addr), size);
-    return value;
+    return readWordIn(*line, a, size);
 }
 
 void

@@ -13,9 +13,11 @@
 #define SPECRT_MEM_CACHE_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/small_vec.hh"
 #include "sim/types.hh"
 
 namespace specrt
@@ -31,12 +33,17 @@ enum class LineState : uint8_t
 
 const char *lineStateName(LineState s);
 
-/** One L2 line: coherence state + real data bytes. */
+/**
+ * One L2 line: coherence state + real data bytes. The data payload
+ * lives inline for the default 64-byte lines (a machine builds tens
+ * of thousands of lines per run; per-line heap vectors dominated
+ * construction cost).
+ */
 struct CacheLine
 {
     Addr addr = invalidAddr;      ///< line-aligned address
     LineState state = LineState::Invalid;
-    std::vector<uint8_t> data;
+    SmallVec<uint8_t, 64> data;
 
     bool valid() const { return state != LineState::Invalid; }
 };
@@ -54,28 +61,52 @@ class NodeCache
 
     Addr lineAlign(Addr a) const { return a & ~Addr(_lineBytes - 1); }
 
-    /** L2 set index for an address. */
-    uint64_t l2Index(Addr a) const
-    {
-        return (lineAlign(a) / _lineBytes) % l2.size();
-    }
+    /**
+     * L2 set index for an address. Geometry is power-of-two
+     * (config.validate() enforces it), so indexing is shift+mask --
+     * these sit on the per-access hot path, where the division the
+     * obvious formula implies is measurable.
+     */
+    uint64_t l2Index(Addr a) const { return (a >> _lineShift) & _l2Mask; }
 
     /** L1 set index for an address. */
-    uint64_t l1Index(Addr a) const
-    {
-        return (lineAlign(a) / _lineBytes) % l1Tags.size();
-    }
+    uint64_t l1Index(Addr a) const { return (a >> _lineShift) & _l1Mask; }
 
     /** The L2 line currently occupying the set of @p a (any tag). */
     CacheLine &l2Slot(Addr a) { return l2[l2Index(a)]; }
     const CacheLine &l2Slot(Addr a) const { return l2[l2Index(a)]; }
 
-    /** The L2 line holding @p a, or nullptr if not present. */
-    CacheLine *findLine(Addr a);
-    const CacheLine *findLine(Addr a) const;
+    /** The L2 line holding @p a, or nullptr if not present.
+     *  Header-inline: this is the single hottest memory-system call
+     *  (once per load/store/invalidate/fill). */
+    CacheLine *
+    findLine(Addr a)
+    {
+        CacheLine &slot = l2Slot(a);
+        return (slot.valid() && slot.addr == lineAlign(a)) ? &slot
+                                                           : nullptr;
+    }
+    const CacheLine *
+    findLine(Addr a) const
+    {
+        const CacheLine &slot = l2Slot(a);
+        return (slot.valid() && slot.addr == lineAlign(a)) ? &slot
+                                                           : nullptr;
+    }
 
     /** True if @p a hits in the L1 filter (implies L2 presence). */
     bool l1Hit(Addr a) const;
+
+    /**
+     * True if the L1 filter holds @p a's tag (no L2 presence check).
+     * For callers that already resolved the L2 line and want to
+     * avoid a second lookup: l1Hit(a) == l1TagHit(a) && findLine(a).
+     */
+    bool
+    l1TagHit(Addr a) const
+    {
+        return l1Tags[l1Index(a)] == lineAlign(a);
+    }
 
     /** Install @p a in the L1 filter (possibly displacing a tag). */
     void l1Fill(Addr a);
@@ -109,8 +140,27 @@ class NodeCache
     /** Write a word into a present line (caller manages state). */
     void writeWord(Addr a, uint32_t size, uint64_t value);
 
+    /** Read a word out of an already-resolved line. */
+    static uint64_t
+    readWordIn(const CacheLine &line, Addr a, uint32_t size)
+    {
+        uint64_t value = 0;
+        std::memcpy(&value, line.data.data() + (a - line.addr), size);
+        return value;
+    }
+
+    /** Write a word into an already-resolved line. */
+    static void
+    writeWordIn(CacheLine &line, Addr a, uint32_t size, uint64_t value)
+    {
+        std::memcpy(line.data.data() + (a - line.addr), &value, size);
+    }
+
   private:
     uint32_t _lineBytes;
+    uint32_t _lineShift;
+    uint64_t _l2Mask;
+    uint64_t _l1Mask;
     std::vector<CacheLine> l2;
     /** L1 filter: line-aligned address or invalidAddr, per set. */
     std::vector<Addr> l1Tags;

@@ -73,24 +73,25 @@ CacheCtrl::load(Addr addr, uint32_t size, IterNum iter, LoadDone done)
         return;
     }
 
-    if (cache.l1Hit(addr)) {
-        ++l1Hits;
-        if (spec)
-            spec->onLoadHit(addr, cache.findLine(addr)->state, iter);
-        uint64_t value = cache.readWord(addr, size);
-        eq.scheduleIn(cfg.lat.l1Hit,
-                      [done = std::move(done), value]() { done(value); });
-        return;
-    }
-
+    // One L2 lookup serves both hit levels (findLine dominates the
+    // hit path otherwise: l1Hit, the spec probe, and readWord each
+    // redid it).
     if (const CacheLine *cl = cache.findLine(addr)) {
-        ++l2Hits;
-        cache.l1Fill(addr);
+        bool inL1 = cache.l1TagHit(addr);
+        if (inL1) {
+            ++l1Hits;
+        } else {
+            ++l2Hits;
+            cache.l1Fill(addr);
+        }
         if (spec)
             spec->onLoadHit(addr, cl->state, iter);
-        uint64_t value = cache.readWord(addr, size);
-        eq.scheduleIn(cfg.lat.l1Hit + cfg.lat.l2Access,
-                      [done = std::move(done), value]() { done(value); });
+        uint64_t value = NodeCache::readWordIn(*cl, addr, size);
+        Cycles lat = inL1 ? cfg.lat.l1Hit
+                          : cfg.lat.l1Hit + cfg.lat.l2Access;
+        eq.scheduleIn(lat, [done = std::move(done), value]() mutable {
+            done(value);
+        });
         return;
     }
 
@@ -166,7 +167,7 @@ CacheCtrl::drainHead()
     CacheLine *cl = cache.findLine(head.addr);
     if (cl && cl->state == LineState::Dirty) {
         ++storeHits;
-        cache.writeWord(head.addr, head.size, head.value);
+        NodeCache::writeWordIn(*cl, head.addr, head.size, head.value);
         cache.l1Fill(head.addr);
         if (spec)
             spec->onStoreDirtyHit(head.addr, head.iter);
@@ -332,19 +333,22 @@ CacheCtrl::evictDirty(const CacheLine &victim)
     if (trace::enabled())
         traceCache(trace::TraceOp::CacheEvict, eq.curTick(), node,
                    victim.addr, "writeback");
-    std::vector<uint32_t> bits;
+    MsgBits bits;
     if (spec) {
         bits = spec->onDirtyOut(victim.addr);
         spec->onInval(victim.addr);
     }
-    wbBuf[victim.addr].push_back({victim.data, bits});
+    WbBufEntry buffered;
+    buffered.data.assign(victim.data);
+    buffered.bits = bits;
+    wbBuf[victim.addr].push_back(std::move(buffered));
 
     Msg wbm;
     wbm.type = MsgType::Writeback;
     wbm.src = node;
     wbm.dst = homeOf(victim.addr);
     wbm.lineAddr = victim.addr;
-    wbm.data = victim.data;
+    wbm.data.assign(victim.data);
     wbm.specBits = std::move(bits);
     net.send(std::move(wbm));
 }
@@ -512,12 +516,12 @@ CacheCtrl::serveFwd(const Msg &msg)
     CacheLine *cl = cache.findLine(msg.lineAddr);
     bool read = msg.type == MsgType::ReadFwd;
 
-    std::vector<uint8_t> data;
-    std::vector<uint32_t> bits;
+    MsgData data;
+    MsgBits bits;
     bool retains = false;
 
     if (cl && cl->state == LineState::Dirty) {
-        data = cl->data;
+        data.assign(cl->data);
         if (spec)
             bits = spec->combineBits(msg.lineAddr,
                                      spec->onDirtyOut(msg.lineAddr),

@@ -27,6 +27,7 @@
 #include "mem/spec_iface.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/small_function.hh"
 #include "sim/stats.hh"
 
 namespace specrt
@@ -36,7 +37,15 @@ namespace specrt
 class CacheCtrl : public StatGroup
 {
   public:
-    using LoadDone = std::function<void(uint64_t)>;
+    /**
+     * Load-completion callback. A small-buffer type: the processor's
+     * completion captures ~20 bytes, which overflows std::function's
+     * 16-byte SBO and cost one heap allocation per load. The 40-byte
+     * inline buffer keeps sizeof(LoadDone) at 56, so the hit path's
+     * continuation (LoadDone + loaded value = 64 bytes) still fits
+     * inside the event queue's 80-byte SmallFunction buffer.
+     */
+    using LoadDone = SmallCallback<void(uint64_t), 40>;
     using Notice = std::function<void()>;
     /** Fired when a transaction exhausts its watchdog retries. */
     using LostHook = std::function<void(NodeId, Addr, const char *)>;
@@ -128,8 +137,8 @@ class CacheCtrl : public StatGroup
 
     struct WbBufEntry
     {
-        std::vector<uint8_t> data;
-        std::vector<uint32_t> bits;
+        MsgData data;
+        MsgBits bits;
     };
 
     struct BlockedLoad

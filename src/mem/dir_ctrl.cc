@@ -41,6 +41,7 @@ DirCtrl::DirCtrl(NodeId node_, EventQueue &eq_, Network &net_,
                  AddrMap &mem_, const MachineConfig &config)
     : StatGroup("dir" + std::to_string(node_)),
       node(node_), eq(eq_), net(net_), mem(mem_), cfg(config),
+      dir(config.l2.lineBytes),
       txns(this, "txns", "transactions processed"),
       fwds(this, "fwds", "owner forwards sent"),
       invalsSent(this, "invals", "invalidations sent"),
@@ -98,37 +99,79 @@ DirCtrl::handle(const Msg &msg)
     enqueue(msg);
 }
 
+DirCtrl::Txn *
+DirCtrl::findActive(Addr line)
+{
+    for (Txn &t : active) {
+        if (t.line == line)
+            return &t;
+    }
+    return nullptr;
+}
+
+const DirCtrl::Txn *
+DirCtrl::findActive(Addr line) const
+{
+    for (const Txn &t : active) {
+        if (t.line == line)
+            return &t;
+    }
+    return nullptr;
+}
+
 void
 DirCtrl::enqueue(const Msg &msg)
 {
     // A request arriving while its line has an active transaction is
     // exactly the home-node serialization the paper worries about --
     // that is the contention the heatmap's "queued" axis counts.
-    if (active.count(msg.lineAddr))
+    if (findActive(msg.lineAddr)) {
         timeline::dirQueued(node, heatElem(msg));
-    waiting[msg.lineAddr].push_back(msg);
-    tryStart(msg.lineAddr);
+        waiting.push_back(msg);
+        return;
+    }
+    beginTxn(msg);
+}
+
+void
+DirCtrl::beginTxn(const Msg &msg)
+{
+    Addr line = msg.lineAddr;
+    active.push_back(Txn{line, msg, 0, false, false});
+
+    Tick start = claimController();
+    queuedCycles += static_cast<double>(start - eq.curTick());
+    // Capture only the line: the request lives in the active set, so
+    // the callback stays within SmallFunction's inline buffer.
+    eq.schedule(start, [this, line]() { runTxn(line); });
 }
 
 void
 DirCtrl::tryStart(Addr line)
 {
-    if (active.count(line))
+    if (findActive(line))
         return;
-    auto it = waiting.find(line);
-    if (it == waiting.end() || it->second.empty())
+    for (size_t i = 0; i < waiting.size(); ++i) {
+        if (waiting[i].lineAddr != line)
+            continue;
+        Msg req = std::move(waiting[i]);
+        waiting.erase(waiting.begin() +
+                      static_cast<ptrdiff_t>(i));
+        beginTxn(req);
         return;
+    }
+}
 
-    Msg req = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty())
-        waiting.erase(it);
-
-    active.emplace(line, Txn{req, 0, false, false});
-
-    Tick start = claimController();
-    queuedCycles += static_cast<double>(start - eq.curTick());
-    eq.schedule(start, [this, req]() { process(req); });
+void
+DirCtrl::runTxn(Addr line)
+{
+    Txn *t = findActive(line);
+    SPECRT_ASSERT(t, "runTxn with no active transaction for %#llx",
+                  (unsigned long long)line);
+    // Stack copy: process() may finish the transaction (erasing the
+    // active slot) or start new ones (moving the vector).
+    Msg req = t->req;
+    process(req);
 }
 
 Tick
@@ -163,8 +206,7 @@ DirCtrl::process(const Msg &msg)
             }
             // Forward to the owner; spec check runs when the owner's
             // bits come home (merge-then-test, as in Fig. 6(b)/(d)).
-            Txn &txn = active.at(msg.lineAddr);
-            txn.awaitingOwner = true;
+            findActive(msg.lineAddr)->awaitingOwner = true;
             Msg fwd;
             fwd.type = msg.type == MsgType::ReadReq ? MsgType::ReadFwd
                                                     : MsgType::WriteFwd;
@@ -192,7 +234,7 @@ DirCtrl::process(const Msg &msg)
                                        ? spec->onReadReq(msg)
                                        : spec->onWriteReq(msg);
             if (action == SpecDirAction::Defer) {
-                active.at(msg.lineAddr).deferred = true;
+                findActive(msg.lineAddr)->deferred = true;
                 return;
             }
         }
@@ -234,8 +276,7 @@ DirCtrl::processBase(const Msg &req)
                           ? (e.sharers & ~(uint64_t(1) << req.src))
                           : 0;
     if (others) {
-        Txn &txn = active.at(line);
-        txn.ackWait = others;
+        findActive(line)->ackWait = others;
         for (NodeId n = 0; others; ++n, others >>= 1) {
             if (!(others & 1))
                 continue;
@@ -309,11 +350,10 @@ DirCtrl::processSpecMsg(const Msg &msg)
 void
 DirCtrl::onShareWb(const Msg &msg)
 {
-    auto it = active.find(msg.lineAddr);
-    SPECRT_ASSERT(it != active.end() && it->second.awaitingOwner,
-                  "stray ShareWb for %#llx",
+    Txn *t = findActive(msg.lineAddr);
+    SPECRT_ASSERT(t && t->awaitingOwner, "stray ShareWb for %#llx",
                   (unsigned long long)msg.lineAddr);
-    Txn &txn = it->second;
+    Txn &txn = *t;
     SPECRT_ASSERT(txn.req.type == MsgType::ReadReq, "ShareWb txn type");
 
     mem.writeLine(msg.lineAddr, msg.data.data(),
@@ -341,11 +381,10 @@ DirCtrl::onShareWb(const Msg &msg)
 void
 DirCtrl::onOwnXfer(const Msg &msg)
 {
-    auto it = active.find(msg.lineAddr);
-    SPECRT_ASSERT(it != active.end() && it->second.awaitingOwner,
-                  "stray OwnXfer for %#llx",
+    Txn *t = findActive(msg.lineAddr);
+    SPECRT_ASSERT(t && t->awaitingOwner, "stray OwnXfer for %#llx",
                   (unsigned long long)msg.lineAddr);
-    Txn &txn = it->second;
+    Txn &txn = *t;
     SPECRT_ASSERT(txn.req.type == MsgType::WriteReq, "OwnXfer txn type");
 
     if (spec) {
@@ -369,9 +408,9 @@ DirCtrl::onOwnXfer(const Msg &msg)
 void
 DirCtrl::onInvalAck(const Msg &msg)
 {
-    auto it = active.find(msg.lineAddr);
+    Txn *t = findActive(msg.lineAddr);
     uint64_t bit = uint64_t(1) << msg.src;
-    if (it == active.end() || !(it->second.ackWait & bit)) {
+    if (!t || !(t->ackWait & bit)) {
         // Duplicate ack (the Inval or the ack itself was duplicated):
         // this node's bit is already clear. The mask dedups it.
         SPECRT_ASSERT(lenient, "stray InvalAck for %#llx",
@@ -379,7 +418,7 @@ DirCtrl::onInvalAck(const Msg &msg)
         ++strayMsgs;
         return;
     }
-    Txn &txn = it->second;
+    Txn &txn = *t;
     txn.ackWait &= ~bit;
     if (txn.ackWait)
         return;
@@ -423,18 +462,24 @@ DirCtrl::replyFromMemory(const Msg &req, bool write, Cycles delay)
 void
 DirCtrl::resumeDeferred(Addr line_addr)
 {
-    auto it = active.find(line_addr);
-    SPECRT_ASSERT(it != active.end() && it->second.deferred,
+    Txn *t = findActive(line_addr);
+    SPECRT_ASSERT(t && t->deferred,
                   "resumeDeferred with no deferred txn");
-    it->second.deferred = false;
-    processBase(it->second.req);
+    t->deferred = false;
+    // Stack copy: processBase may finish the transaction.
+    Msg req = t->req;
+    processBase(req);
 }
 
 void
 DirCtrl::finishTxn(Addr line)
 {
-    SPECRT_ASSERT(active.count(line), "finishTxn with no txn");
-    active.erase(line);
+    Txn *t = findActive(line);
+    SPECRT_ASSERT(t, "finishTxn with no txn");
+    // Order is irrelevant (lookups are keyed): swap-with-back erase.
+    if (t != &active.back())
+        *t = std::move(active.back());
+    active.pop_back();
     ++txns;
     tryStart(line);
 }

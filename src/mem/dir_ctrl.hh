@@ -21,9 +21,8 @@
 #ifndef SPECRT_MEM_DIR_CTRL_HH
 #define SPECRT_MEM_DIR_CTRL_HH
 
-#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/addr_map.hh"
 #include "mem/cache.hh"
@@ -77,24 +76,21 @@ class DirCtrl : public StatGroup
     bool
     lineBusy(Addr line) const
     {
-        if (active.count(line))
+        if (findActive(line))
             return true;
-        auto it = waiting.find(line);
-        return it != waiting.end() && !it->second.empty();
+        for (const Msg &m : waiting) {
+            if (m.lineAddr == line)
+                return true;
+        }
+        return false;
     }
     /** Requests queued behind an active transaction. */
-    size_t
-    numQueuedReqs() const
-    {
-        size_t n = 0;
-        for (const auto &[line, q] : waiting)
-            n += q.size();
-        return n;
-    }
+    size_t numQueuedReqs() const { return waiting.size(); }
 
   private:
     struct Txn
     {
+        Addr line = invalidAddr;
         Msg req;
         /** Per-node bitmask of invalidation acks still outstanding
          *  (a mask, not a count, so duplicate acks dedup cleanly). */
@@ -108,7 +104,12 @@ class DirCtrl : public StatGroup
     static bool startsTxn(MsgType t);
 
     void enqueue(const Msg &msg);
+    /** Open a serialized transaction for @p msg and schedule it. */
+    void beginTxn(const Msg &msg);
+    /** Start the next queued request for @p line, if any. */
     void tryStart(Addr line);
+    /** Scheduled entry point: run the active transaction's request. */
+    void runTxn(Addr line);
     /** Begin processing @p msg (line marked busy). */
     void process(const Msg &msg);
     /** Base protocol action for ReadReq/WriteReq (after spec hook). */
@@ -125,6 +126,9 @@ class DirCtrl : public StatGroup
 
     void finishTxn(Addr line);
 
+    Txn *findActive(Addr line);
+    const Txn *findActive(Addr line) const;
+
     /** Occupancy: processing start time for a new transaction. */
     Tick claimController();
 
@@ -136,8 +140,15 @@ class DirCtrl : public StatGroup
     SpecDirIface *spec = nullptr;
 
     Directory dir;
-    std::unordered_map<Addr, Txn> active;
-    std::unordered_map<Addr, std::deque<Msg>> waiting;
+    /**
+     * In-flight serialized transactions and the requests queued
+     * behind them. Flat vectors, not maps: both sets are tiny (one
+     * txn per contended line, queues bounded by the requesters), so
+     * a linear scan beats hash-node churn, and the capacity is
+     * reused forever -- no allocation per transaction.
+     */
+    std::vector<Txn> active;
+    std::vector<Msg> waiting;
     Tick nextFree = 0;
     /** Duplicates/strays tolerated instead of asserted. */
     bool lenient = false;

@@ -27,6 +27,9 @@ DsmSystem::DsmSystem(const MachineConfig &config)
     net = std::make_unique<Network>(eq, cfg);
     net->setFaultPlan(faults.get());
     addChild(net.get());
+    arenaStats = std::make_unique<ArenaStats>(
+        SimContext::current().msgArena());
+    addChild(arenaStats.get());
 
     caches.reserve(cfg.numProcs);
     dirs.reserve(cfg.numProcs);

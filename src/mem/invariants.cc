@@ -1,6 +1,7 @@
 #include "mem/invariants.hh"
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -142,7 +143,9 @@ InvariantChecker::checkCoherence(Granularity g)
                         static_cast<uint32_t>(h.line->data.size());
                     memData.resize(bytes);
                     dsm.memory().readLine(addr, memData.data(), bytes);
-                    if (memData != h.line->data)
+                    if (bytes != h.line->data.size() ||
+                        std::memcmp(memData.data(),
+                                    h.line->data.data(), bytes) != 0)
                         report("shared-data",
                                where + " (clean) differs from memory");
                 }
@@ -151,10 +154,10 @@ InvariantChecker::checkCoherence(Granularity g)
     }
 
     for (NodeId home = 0; home < procs; ++home) {
-        for (const auto &[addr, e] :
-             dsm.dirCtrl(home).directory().entriesMap()) {
+        dsm.dirCtrl(home).directory().forEach([&](Addr addr,
+                                                  const DirEntry &e) {
             if (midFlight && lineInFlight(addr))
-                continue;
+                return;
             std::string where =
                 "dir entry " + hexAddr(addr) + " at home " +
                 std::to_string(home);
@@ -163,7 +166,7 @@ InvariantChecker::checkCoherence(Granularity g)
                     report("dirty-owner-valid",
                            where + " is Dirty with bad owner " +
                                std::to_string(e.owner));
-                    continue;
+                    return;
                 }
                 if (e.sharers != 0)
                     report("dirty-no-sharers",
@@ -183,7 +186,7 @@ InvariantChecker::checkCoherence(Granularity g)
                            where + " has presence bits beyond the "
                                    "machine size");
             }
-        }
+        });
     }
 
     return foundThisCall;
@@ -200,7 +203,8 @@ InvariantChecker::checkSpecBits(Granularity g)
 
     // Non-privatization bits at each home (authoritative copy).
     for (NodeId home = 0; home < procs; ++home) {
-        for (const auto &[elem, d] : spec->dirUnit(home).npBits()) {
+        spec->dirUnit(home).forEachNp([&](Addr elem,
+                                          const NPDirBits &d) {
             std::string where = "NP bits of elem " + hexAddr(elem);
             if (d.noShr && d.rOnly && !failed)
                 report("np-noshr-ronly",
@@ -223,7 +227,7 @@ InvariantChecker::checkSpecBits(Granularity g)
                            where + " cleared NoShr or ROnly");
             }
             npBase[elem] = {d.first, d.noShr, d.rOnly};
-        }
+        });
     }
 
     // Cache tags vs. the home's bits. Dirty lines are skipped: their
@@ -232,22 +236,20 @@ InvariantChecker::checkSpecBits(Granularity g)
     // Shared tags can lag (an in-flight fill carries bits the home
     // already merged), so this cross-check only holds at quiesce.
     for (NodeId n = 0; g == Granularity::Quiesce && n < procs; ++n) {
-        const auto &tagLines = spec->cacheUnit(n).npTagLines();
         NodeCache &cache = dsm.cacheCtrl(n).cacheArray();
-        for (const auto &[line, bits] : tagLines) {
+        spec->cacheUnit(n).forEachNpLine([&](Addr line,
+                                             const NPTagBits *bits,
+                                             uint32_t elems) {
             const CacheLine *cl = cache.findLine(line);
             if (!cl || cl->state != LineState::Shared)
-                continue;
+                return;
             const Region *r = dsm.memory().find(line);
             if (!r)
-                continue;
+                return;
             NodeId home = dsm.memory().homeOf(line);
-            const auto &dirBits = spec->dirUnit(home).npBits();
-            for (size_t i = 0; i < bits.size(); ++i) {
+            for (uint32_t i = 0; i < elems; ++i) {
                 Addr elem = line + i * r->elemBytes;
-                auto it = dirBits.find(elem);
-                const NPDirBits *d =
-                    it == dirBits.end() ? nullptr : &it->second;
+                const NPDirBits *d = spec->dirUnit(home).findNp(elem);
                 const NPTagBits &t = bits[i];
                 std::string where = "node " + std::to_string(n) +
                                     " tag of elem " + hexAddr(elem);
@@ -268,12 +270,13 @@ InvariantChecker::checkSpecBits(Granularity g)
                     report("np-tag-noshr",
                            where + " has NoShr unknown to the home");
             }
-        }
+        });
     }
 
     // Privatization time stamps (shared-array home side).
     for (NodeId home = 0; home < procs; ++home) {
-        for (const auto &[elem, d] : spec->dirUnit(home).sharedBits()) {
+        spec->dirUnit(home).forEachShared(
+            [&](Addr elem, const PrivSharedDirBits &d) {
             std::string where = "priv stamps of elem " + hexAddr(elem);
             if (d.maxR1st > d.minW && !failed)
                 report("priv-maxr1st-minw",
@@ -291,8 +294,9 @@ InvariantChecker::checkSpecBits(Granularity g)
                            where + ": MinW increased");
             }
             psBase[elem] = {d.maxR1st, d.minW};
-        }
-        for (const auto &[elem, d] : spec->dirUnit(home).privBits()) {
+        });
+        spec->dirUnit(home).forEachPriv(
+            [&](Addr elem, const PrivPrivDirBits &d) {
             auto it = ppBase.find(elem);
             if (it != ppBase.end() &&
                 (d.pMaxR1st < it->second.pMaxR1st ||
@@ -301,7 +305,7 @@ InvariantChecker::checkSpecBits(Granularity g)
                        "private stamps of elem " + hexAddr(elem) +
                            " moved backwards");
             ppBase[elem] = {d.pMaxR1st, d.pMaxW};
-        }
+        });
     }
 
     return foundThisCall;

@@ -14,12 +14,25 @@
 #define SPECRT_MEM_MSG_HH
 
 #include <cstdint>
-#include <vector>
 
+#include "sim/small_vec.hh"
 #include "sim/types.hh"
 
 namespace specrt
 {
+
+/**
+ * Line data payload: inline up to 64 bytes (the default line size),
+ * heap-backed only for exotic configurations with larger lines.
+ */
+using MsgData = SmallVec<uint8_t, 64>;
+
+/**
+ * Speculation-bits payload: one word per element of a line (16 with
+ * 64-byte lines and 4-byte elements), or a single word for
+ * element-granularity signals. Inline in the common case.
+ */
+using MsgBits = SmallVec<uint32_t, 16>;
 
 /** All message kinds in the system. */
 enum class MsgType : uint8_t
@@ -87,10 +100,10 @@ struct Msg
     NodeId requester = invalidNode;
 
     /** Line data for data-carrying messages. */
-    std::vector<uint8_t> data;
+    MsgData data;
 
     /** Opaque per-word speculation state (see spec/access_bits.hh). */
-    std::vector<uint32_t> specBits;
+    MsgBits specBits;
 
     /** Iteration number of the access (privatization algorithm). */
     IterNum iter = 0;

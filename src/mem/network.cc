@@ -1,8 +1,10 @@
 #include "mem/network.hh"
 
 #include <algorithm>
+#include <new>
 
 #include "sim/logging.hh"
+#include "sim/sim_context.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -11,11 +13,41 @@ namespace specrt
 namespace
 {
 
-uint64_t
-channelKey(NodeId src, NodeId dst)
+/**
+ * Move-only RAII handle to an arena-allocated message copy. Scheduled
+ * delivery lambdas capture one of these (24 bytes) instead of a full
+ * Msg (hundreds of bytes), which keeps the whole capture inside
+ * SmallFunction's inline buffer -- zero heap allocations per event.
+ */
+struct PooledMsg
 {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
-           static_cast<uint32_t>(dst);
+    Msg *m = nullptr;
+    Arena *a = nullptr;
+
+    PooledMsg(Msg *m_, Arena *a_) : m(m_), a(a_) {}
+    PooledMsg(PooledMsg &&o) noexcept : m(o.m), a(o.a)
+    {
+        o.m = nullptr;
+    }
+    PooledMsg(const PooledMsg &) = delete;
+    PooledMsg &operator=(const PooledMsg &) = delete;
+    PooledMsg &operator=(PooledMsg &&) = delete;
+    ~PooledMsg()
+    {
+        if (m) {
+            m->~Msg();
+            a->free(m, sizeof(Msg));
+        }
+    }
+
+    const Msg &operator*() const { return *m; }
+};
+
+/** Copy @p msg into @p arena and wrap it in a PooledMsg. */
+PooledMsg
+poolCopy(Arena *arena, const Msg &msg)
+{
+    return PooledMsg(new (arena->alloc(sizeof(Msg))) Msg(msg), arena);
 }
 
 /** Trace one send attempt; returns the flow id for its deliveries. */
@@ -63,6 +95,8 @@ Network::Network(EventQueue &eq_, const MachineConfig &config)
     : StatGroup("network"),
       eq(eq_),
       hopLatency(config.lat.netHop),
+      arena(&SimContext::current().msgArena()),
+      numNodes(config.numProcs),
       cacheHandlers(config.numProcs),
       dirHandlers(config.numProcs),
       msgs(this, "msgs", "total messages sent"),
@@ -165,11 +199,11 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter,
         if (trace::enabled()) {
             eq.scheduleIn(
                 delay,
-                [this, &h, m = msg, flow]() {
+                [this, &h, pm = poolCopy(arena, msg), flow]() {
                     --inFlight;
                     if (trace::enabled())
-                        traceRecv(m, eq.curTick(), flow);
-                    h(m);
+                        traceRecv(*pm, eq.curTick(), flow);
+                    h(*pm);
                 },
                 EventKind::Network, actor);
             return;
@@ -177,9 +211,9 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter,
         // Fault-free fast path: identical timing to the plain network.
         eq.scheduleIn(
             delay,
-            [this, &h, m = msg]() {
+            [this, &h, pm = poolCopy(arena, msg)]() {
                 --inFlight;
-                h(m);
+                h(*pm);
             },
             EventKind::Network, actor);
         return;
@@ -188,16 +222,20 @@ Network::deliver(const Msg &msg, Cycles delay, Cycles jitter,
     // Clamp behind the latest delivery already scheduled on this
     // (src,dst) channel so jitter cannot reorder a channel.
     Tick when = eq.curTick() + delay + jitter;
-    Tick &floor = channelFloor[channelKey(msg.src, msg.dst)];
+    if (channelFloor.empty())
+        channelFloor.resize(static_cast<size_t>(numNodes) * numNodes,
+                            0);
+    Tick &floor = channelFloor[static_cast<size_t>(msg.src) * numNodes +
+                              msg.dst];
     when = std::max(when, floor);
     floor = when;
     eq.schedule(
         when,
-        [this, &h, m = msg, flow]() {
+        [this, &h, pm = poolCopy(arena, msg), flow]() {
             --inFlight;
             if (trace::enabled())
-                traceRecv(m, eq.curTick(), flow);
-            h(m);
+                traceRecv(*pm, eq.curTick(), flow);
+            h(*pm);
         },
         EventKind::Network, actor);
 }
@@ -212,11 +250,11 @@ Network::scheduleRetransmit(Msg msg, int attempt)
     auto dst = static_cast<uint16_t>(msg.dst);
     eq.scheduleIn(
         backoff,
-        [this, m = std::move(msg), attempt]() mutable {
+        [this, pm = poolCopy(arena, msg), attempt]() {
             --pendingRetransmits;
             ++msgsRetried;
-            retriesByType[static_cast<size_t>(m.type)] += 1;
-            transmit(std::move(m), 0, attempt);
+            retriesByType[static_cast<size_t>((*pm).type)] += 1;
+            transmit(*pm, 0, attempt);
         },
         EventKind::Network, dst);
 }
@@ -224,7 +262,7 @@ Network::scheduleRetransmit(Msg msg, int attempt)
 void
 Network::reset()
 {
-    channelFloor.clear();
+    std::fill(channelFloor.begin(), channelFloor.end(), 0);
     pendingRetransmits = 0;
     // The event-queue reset that accompanies a machine reset dropped
     // every scheduled delivery.

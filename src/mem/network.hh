@@ -23,10 +23,10 @@
 #define SPECRT_MEM_NETWORK_HH
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/msg.hh"
+#include "sim/arena.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
@@ -98,14 +98,22 @@ class Network : public StatGroup
 
     EventQueue &eq;
     Cycles hopLatency;
+    /**
+     * The owning SimContext's message arena: every scheduled delivery
+     * owns a pooled copy of its message, so steady-state send/deliver
+     * traffic never touches the general heap.
+     */
+    Arena *arena;
+    int numNodes;
 
     std::vector<Handler> cacheHandlers;
     std::vector<Handler> dirHandlers;
 
     FaultPlan *plan = nullptr;
     LostHook lostHook;
-    /** Latest scheduled delivery tick per (src,dst) channel. */
-    std::unordered_map<uint64_t, Tick> channelFloor;
+    /** Latest scheduled delivery tick per (src,dst) channel, indexed
+     *  src * numNodes + dst (only touched under fault injection). */
+    std::vector<Tick> channelFloor;
     size_t pendingRetransmits = 0;
     /** Scheduled deliveries not yet handed to their endpoint. */
     size_t inFlight = 0;

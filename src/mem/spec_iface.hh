@@ -15,7 +15,6 @@
 #define SPECRT_MEM_SPEC_IFACE_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "mem/cache.hh"
 #include "mem/msg.hh"
@@ -59,15 +58,14 @@ class SpecCacheIface
      * @param is_write  whether that access was a store
      * @param iter      its iteration number
      */
-    virtual void onFill(Addr line_addr,
-                        const std::vector<uint32_t> &bits,
+    virtual void onFill(Addr line_addr, const MsgBits &bits,
                         Addr elem_addr, bool is_write, IterNum iter) = 0;
 
     /**
      * A dirty line is leaving the cache (writeback or forward reply);
      * harvest the tag access bits to ship to the home.
      */
-    virtual std::vector<uint32_t> onDirtyOut(Addr line_addr) = 0;
+    virtual MsgBits onDirtyOut(Addr line_addr) = 0;
 
     /**
      * Combine an owner's harvested tag bits with the home's
@@ -77,9 +75,9 @@ class SpecCacheIface
      * its owner can change the bits). The result is shipped to the
      * requester and back to the home.
      */
-    virtual std::vector<uint32_t>
-    combineBits(Addr line_addr, const std::vector<uint32_t> &owner_bits,
-                const std::vector<uint32_t> &home_bits) = 0;
+    virtual MsgBits combineBits(Addr line_addr,
+                                const MsgBits &owner_bits,
+                                const MsgBits &home_bits) = 0;
 
     /** The line was invalidated; drop its tag bits. */
     virtual void onInval(Addr line_addr) = 0;
@@ -121,9 +119,8 @@ class SpecDirIface
      * @p requester ("copy dir state to tag state for all the words in
      * the line").
      */
-    virtual std::vector<uint32_t> collectFillBits(NodeId requester,
-                                                  Addr line_addr,
-                                                  IterNum iter) = 0;
+    virtual MsgBits collectFillBits(NodeId requester, Addr line_addr,
+                                    IterNum iter) = 0;
 
     /**
      * Dirty-line access bits arriving with a Writeback / ShareWb /
@@ -131,7 +128,7 @@ class SpecDirIface
      * of the dirty line").
      */
     virtual void onDirtyBits(NodeId from, Addr line_addr,
-                             const std::vector<uint32_t> &bits) = 0;
+                             const MsgBits &bits) = 0;
 
     /**
      * Element-granularity spec message addressed to this directory

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace specrt
@@ -161,8 +162,30 @@ opStoreRed(int array_id, IndexOperand index, int src)
     return op;
 }
 
-/** Evaluate an ALU operation (shared by the processor and tests). */
-int64_t evalAlu(AluOp op, int64_t a, int64_t b);
+/** Evaluate an ALU operation (shared by the processor and tests).
+ *  Header-inline: the interpreter runs this once per ALU op. */
+inline int64_t
+evalAlu(AluOp op, int64_t a, int64_t b)
+{
+    switch (op) {
+      case AluOp::Add: return a + b;
+      case AluOp::Sub: return a - b;
+      case AluOp::Mul: return a * b;
+      case AluOp::And: return a & b;
+      case AluOp::Or:  return a | b;
+      case AluOp::Xor: return a ^ b;
+      case AluOp::Min: return a < b ? a : b;
+      case AluOp::Max: return a > b ? a : b;
+      case AluOp::Mod:
+        SPECRT_ASSERT(b != 0, "Mod by zero");
+        return ((a % b) + b) % b;
+      case AluOp::Shr:
+        SPECRT_ASSERT(b >= 0 && b < 64, "bad shift %lld",
+                      (long long)b);
+        return static_cast<int64_t>(static_cast<uint64_t>(a) >> b);
+    }
+    return 0;
+}
 
 /** Disassemble one op (diagnostics). */
 std::string opToString(const Op &op);

@@ -202,16 +202,21 @@ Processor::step()
         return;
     }
 
-    Op op = prog[pc];
+    const Op &op = prog[pc];
     ++pc;
     if (acc > 0) {
-        eq.scheduleIn(acc, [this, op]() {
+        // Capture the op's index, not the op: prog is stable until
+        // beginIteration(), which cannot run while this op is
+        // pending, and the small capture keeps the callback inside
+        // the event slot's inline buffer (no heap allocation).
+        eq.scheduleIn(acc, [this, i = pc - 1]() {
             if (!active)
                 return;
-            if (op.kind == OpKind::Load)
-                issueLoad(op);
+            const Op &o = prog[i];
+            if (o.kind == OpKind::Load)
+                issueLoad(o);
             else
-                issueStore(op, eq.curTick());
+                issueStore(o, eq.curTick());
         });
     } else {
         if (op.kind == OpKind::Load)

@@ -1,0 +1,161 @@
+#include "sim/arena.hh"
+
+#include <mutex>
+
+#include "sim/logging.hh"
+
+namespace specrt
+{
+
+namespace
+{
+
+/**
+ * Retired arenas waiting for the next SimContext. Bounded so a burst
+ * of short-lived contexts cannot hoard slabs forever.
+ */
+constexpr size_t maxPooled = 64;
+std::mutex poolMutex;
+std::vector<std::unique_ptr<Arena>> pool;
+
+} // namespace
+
+Arena::~Arena()
+{
+    for (char *slab : slabs)
+        ::operator delete(slab);
+}
+
+int
+Arena::classOf(size_t bytes)
+{
+    if (bytes > maxClassBytes)
+        return -1;
+    int cls = 0;
+    size_t sz = minClassBytes;
+    while (sz < bytes) {
+        sz <<= 1;
+        ++cls;
+    }
+    return cls;
+}
+
+void *
+Arena::carve(int cls)
+{
+    size_t need = classBytes(cls);
+    if (static_cast<size_t>(slabEnd - slabCur) < need) {
+        char *slab = static_cast<char *>(::operator new(slabBytes));
+        slabs.push_back(slab);
+        slabCur = slab;
+        slabEnd = slab + slabBytes;
+    }
+    void *p = slabCur;
+    slabCur += need;
+    ++_carved;
+    return p;
+}
+
+void *
+Arena::alloc(size_t bytes)
+{
+    int cls = classOf(bytes);
+    if (cls < 0) {
+        ++_oversizeAllocs;
+        ++_allocs;
+        if (live() > _highWater)
+            _highWater = live();
+        _bytesServed += bytes;
+        return ::operator new(bytes);
+    }
+
+    void *p;
+    if (FreeBlock *b = freelists[cls]) {
+        freelists[cls] = b->next;
+        ++_reused;
+        p = b;
+    } else {
+        p = carve(cls);
+    }
+    ++_allocs;
+    if (live() > _highWater)
+        _highWater = live();
+    _bytesServed += classBytes(cls);
+    return p;
+}
+
+void
+Arena::free(void *p, size_t bytes)
+{
+    if (!p)
+        return;
+    ++_frees;
+    int cls = classOf(bytes);
+    if (cls < 0) {
+        ::operator delete(p);
+        return;
+    }
+    auto *b = static_cast<FreeBlock *>(p);
+    b->next = freelists[cls];
+    freelists[cls] = b;
+}
+
+void
+Arena::reset()
+{
+    SPECRT_ASSERT(live() == 0,
+                  "arena reset with %llu blocks outstanding",
+                  (unsigned long long)live());
+    _allocs = 0;
+    _frees = 0;
+    _highWater = 0;
+    _bytesServed = 0;
+    _oversizeAllocs = 0;
+    // Warmth diagnostics survive: they describe the arena, not a job.
+}
+
+std::unique_ptr<Arena>
+Arena::acquire()
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        if (!pool.empty()) {
+            std::unique_ptr<Arena> a = std::move(pool.back());
+            pool.pop_back();
+            return a;
+        }
+    }
+    return std::make_unique<Arena>();
+}
+
+void
+Arena::recycle(std::unique_ptr<Arena> arena)
+{
+    if (!arena || arena->live() != 0)
+        return; // outstanding blocks: safer to let it die
+    arena->reset();
+    std::lock_guard<std::mutex> lock(poolMutex);
+    if (pool.size() < maxPooled)
+        pool.push_back(std::move(arena));
+}
+
+ArenaStats::ArenaStats(const Arena &a)
+    : StatGroup("arena"),
+      allocs(this, "allocs", "pooled message blocks handed out",
+             [&a] { return double(a.allocs()); }),
+      frees(this, "frees", "pooled message blocks returned",
+            [&a] { return double(a.frees()); }),
+      live(this, "live", "pooled blocks outstanding",
+           [&a] { return double(a.live()); }, false),
+      highWater(this, "high_water", "most blocks outstanding at once",
+                [&a] { return double(a.highWater()); }, false),
+      bytesServed(this, "bytes_served",
+                  "payload bytes served (size-class bytes)",
+                  [&a] { return double(a.bytesServed()); }),
+      oversizeAllocs(this, "oversize_allocs",
+                     "requests above the largest size class",
+                     [&a] { return double(a.oversizeAllocs()); })
+{
+}
+
+} // namespace specrt

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * A size-class freelist arena for hot-path protocol objects.
+ *
+ * The network schedules one delivery event per message, and each
+ * event must own a copy of the message until it fires. Allocating
+ * those copies from the general heap costs a malloc/free pair per
+ * delivery -- the dominant allocation source on the protocol hot
+ * path. The arena replaces that with a freelist pop/push: blocks are
+ * carved from large slabs on first use and recycled forever after,
+ * so steady-state message traffic allocates nothing.
+ *
+ * Blocks come in power-of-two size classes (64..4096 bytes); larger
+ * requests fall through to the general heap (counted, never expected
+ * on the hot path). The arena is single-threaded, like everything
+ * else inside one SimContext.
+ *
+ * Lifecycle: each SimContext owns one arena, acquired from a small
+ * process-wide recycle pool (Arena::acquire) and returned to it when
+ * the context dies with no blocks outstanding (Arena::recycle).
+ * Recycling keeps the slabs and freelists warm across campaign jobs;
+ * reset() re-zeroes every *published* counter so a recycled arena's
+ * telemetry never bleeds one job's numbers into the next. Warmth
+ * itself (slab count, carved-vs-reused split) is deliberately NOT
+ * part of the published stats: it depends on which jobs ran earlier
+ * on the same worker thread, which would break the byte-identical
+ * `--jobs 1` vs `--jobs 2` telemetry contract.
+ */
+
+#ifndef SPECRT_SIM_ARENA_HH
+#define SPECRT_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace specrt
+{
+
+class Arena
+{
+  public:
+    static constexpr size_t minClassBytes = 64;
+    static constexpr size_t maxClassBytes = 4096;
+    static constexpr size_t slabBytes = 64 * 1024;
+
+    Arena() = default;
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p bytes, aligned for any object of that size (blocks
+     * are max_align_t-aligned). Requests above maxClassBytes go to
+     * the general heap.
+     */
+    void *alloc(size_t bytes);
+
+    /** Return a block previously obtained with alloc(bytes). */
+    void free(void *p, size_t bytes);
+
+    /**
+     * Zero every published counter for the next job. All blocks must
+     * have been freed. Freelists and slabs stay warm: the next job
+     * reuses them without touching the heap.
+     */
+    void reset();
+
+    // --- published (behavior-driven, deterministic) counters ----------
+
+    /** Blocks handed out (freelist hits + fresh carves). */
+    uint64_t allocs() const { return _allocs; }
+    /** Blocks returned. */
+    uint64_t frees() const { return _frees; }
+    /** Blocks outstanding right now. */
+    uint64_t live() const { return _allocs - _frees; }
+    /** Most blocks outstanding at once. */
+    uint64_t highWater() const { return _highWater; }
+    /** Payload bytes served (size-class bytes, not request bytes). */
+    uint64_t bytesServed() const { return _bytesServed; }
+    /** Requests too large for any class (general heap fallback). */
+    uint64_t oversizeAllocs() const { return _oversizeAllocs; }
+
+    // --- warmth diagnostics (NOT published in machine telemetry) ------
+
+    /** Blocks carved fresh from a slab (cold misses). */
+    uint64_t carved() const { return _carved; }
+    /** Blocks served off a freelist (warm hits). */
+    uint64_t reused() const { return _reused; }
+    /** Slabs backing the freelists. */
+    size_t numSlabs() const { return slabs.size(); }
+
+    // --- process-wide recycle pool ------------------------------------
+
+    /** A warm arena from the pool, or a fresh one. */
+    static std::unique_ptr<Arena> acquire();
+
+    /**
+     * Return an arena to the pool. Only arenas with no outstanding
+     * blocks are recycled; anything else is destroyed.
+     */
+    static void recycle(std::unique_ptr<Arena> arena);
+
+  private:
+    static constexpr int numClasses = 7; // 64,128,...,4096
+
+    static int classOf(size_t bytes);
+    static size_t classBytes(int cls) { return minClassBytes << cls; }
+
+    void *carve(int cls);
+
+    struct FreeBlock
+    {
+        FreeBlock *next;
+    };
+
+    FreeBlock *freelists[numClasses] = {};
+    std::vector<char *> slabs;
+    /** Bump state of the newest slab. */
+    char *slabCur = nullptr;
+    char *slabEnd = nullptr;
+
+    uint64_t _allocs = 0;
+    uint64_t _frees = 0;
+    uint64_t _highWater = 0;
+    uint64_t _bytesServed = 0;
+    uint64_t _oversizeAllocs = 0;
+    uint64_t _carved = 0;
+    uint64_t _reused = 0;
+};
+
+/**
+ * Published arena counters as a "arena" stat group (attach as a
+ * child of a machine's StatGroup for `system.arena.*` telemetry).
+ * Throughput counters report deltas from this group's construction,
+ * so a recycled arena serving several machines in turn never bleeds
+ * one machine's numbers into the next; occupancy gauges (live,
+ * high_water) stay absolute.
+ */
+class ArenaStats : public StatGroup
+{
+  public:
+    explicit ArenaStats(const Arena &arena);
+
+    CallbackStat allocs;
+    CallbackStat frees;
+    CallbackStat live;
+    CallbackStat highWater;
+    CallbackStat bytesServed;
+    CallbackStat oversizeAllocs;
+};
+
+} // namespace specrt
+
+#endif // SPECRT_SIM_ARENA_HH

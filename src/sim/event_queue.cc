@@ -7,6 +7,11 @@
 namespace specrt
 {
 
+EventQueue::EventQueue()
+    : bucketHead(wheelSpan, badIndex), bucketTail(wheelSpan, badIndex)
+{
+}
+
 EventQueue::~EventQueue()
 {
     // Exact-cancel invariant: every live slot corresponds to exactly
@@ -28,10 +33,11 @@ EventQueue::allocSlot()
     uint32_t idx;
     if (freeHead != badIndex) {
         idx = freeHead;
-        freeHead = slots[idx].nextFree;
+        freeHead = slotAt(idx).nextFree;
     } else {
-        idx = static_cast<uint32_t>(slots.size());
-        slots.emplace_back();
+        if ((slotCount >> slotChunkShift) == slotChunks.size())
+            slotChunks.emplace_back(new Slot[slotChunkLen]);
+        idx = slotCount++;
     }
     ++slotsInUse;
     return idx;
@@ -40,8 +46,8 @@ EventQueue::allocSlot()
 void
 EventQueue::freeSlot(uint32_t idx)
 {
-    Slot &s = slots[idx];
-    s.cb.clear(); // no-op if already moved out by fire()
+    Slot &s = slotAt(idx);
+    s.cb.clear(); // no-op if fire() already cleared it
     s.loc = LocFree;
     ++s.gen; // stale ids naming this slot stop matching
     s.nextFree = freeHead;
@@ -55,48 +61,19 @@ EventQueue::liveSlotOf(EventId id) const
     if (id == invalidEventId)
         return badIndex;
     uint64_t hi = id >> 32;
-    if (hi == 0 || hi > slots.size())
+    if (hi == 0 || hi > slotCount)
         return badIndex;
     auto idx = static_cast<uint32_t>(hi - 1);
-    const Slot &s = slots[idx];
+    const Slot &s = slotAt(idx);
     if (s.loc == LocFree || s.gen != static_cast<uint32_t>(id))
         return badIndex;
     return idx;
 }
 
-EventId
-EventQueue::schedule(Tick when, SmallFunction callback, EventKind kind,
-                     uint16_t actor)
+void
+EventQueue::insertEntry(Tick when, uint32_t slot, Slot &s)
 {
-    return scheduleImpl(when, std::move(callback), kind, actor, false);
-}
-
-EventId
-EventQueue::scheduleDaemon(Tick when, SmallFunction callback,
-                           EventKind kind)
-{
-    return scheduleImpl(when, std::move(callback), kind, unknownActor,
-                        true);
-}
-
-EventId
-EventQueue::scheduleImpl(Tick when, SmallFunction callback,
-                         EventKind kind, uint16_t actor, bool daemon)
-{
-    SPECRT_ASSERT(when >= _curTick,
-                  "scheduling in the past: when=%llu cur=%llu",
-                  (unsigned long long)when,
-                  (unsigned long long)_curTick);
-    uint32_t slot = allocSlot();
     uint64_t seq = nextSeq++;
-    Slot &s = slots[slot];
-    EventId id = (static_cast<uint64_t>(slot) + 1) << 32 | s.gen;
-    s.cb = std::move(callback);
-    s.kind = kind;
-    s.daemon = daemon;
-    s.actor = actor;
-    if (daemon)
-        ++daemonCount;
 
     if (when == _curTick) {
         // Fast lane: same-tick events (zero-delay protocol hand-offs)
@@ -106,6 +83,25 @@ EventQueue::scheduleImpl(Tick when, SmallFunction callback,
         s.loc = LocFifo;
         s.pos = static_cast<uint32_t>(fifo.size());
         fifo.push_back(Entry{when, seq, slot});
+    } else if (when - _curTick < wheelSpan) {
+        // Near future: O(1) append to the tick's bucket chain. Live
+        // entries' ticks span less than wheelSpan, so bucket index
+        // and tick are in bijection, and appends arrive in ascending
+        // seq (scheduling order), keeping each chain fire-ordered.
+        s.loc = LocWheel;
+        uint32_t node = allocWheelNode();
+        wpool[node].e = Entry{when, seq, slot};
+        wpool[node].next = badIndex;
+        auto b = static_cast<uint32_t>(when & wheelMask);
+        if (bucketTail[b] == badIndex)
+            bucketHead[b] = node;
+        else
+            wpool[bucketTail[b]].next = node;
+        bucketTail[b] = node;
+        s.pos = node;
+        ++wheelCount;
+        if (when < wheelNext)
+            wheelNext = when;
     } else {
         s.loc = LocHeap;
         size_t i = heap.size();
@@ -114,7 +110,77 @@ EventQueue::scheduleImpl(Tick when, SmallFunction callback,
         heapSiftUp(i);
     }
     ++pendingCount;
-    return id;
+}
+
+uint32_t
+EventQueue::allocWheelNode()
+{
+    if (wheelFree != badIndex) {
+        uint32_t n = wheelFree;
+        wheelFree = wpool[n].next;
+        return n;
+    }
+    wpool.emplace_back();
+    return static_cast<uint32_t>(wpool.size() - 1);
+}
+
+void
+EventQueue::freeWheelNode(uint32_t n)
+{
+    wpool[n].next = wheelFree;
+    wheelFree = n;
+}
+
+void
+EventQueue::popWheelHead(uint32_t b)
+{
+    uint32_t n = bucketHead[b];
+    bucketHead[b] = wpool[n].next;
+    if (bucketHead[b] == badIndex)
+        bucketTail[b] = badIndex;
+    freeWheelNode(n);
+    --wheelCount;
+}
+
+void
+EventQueue::wheelRescan()
+{
+    if (wheelCount == 0) {
+        wheelNext = noWheelTick;
+        return;
+    }
+    // Some bucket is occupied, and every node's tick is within
+    // wheelSpan of here, so a forward scan of at most wheelSpan
+    // buckets finds it. The scan distance equals the actual tick gap
+    // to the next event -- short whenever the queue is busy.
+    for (Tick t = wheelNext + 1;; ++t) {
+        if (bucketHead[t & wheelMask] != badIndex) {
+            wheelNext = t;
+            return;
+        }
+        SPECRT_ASSERT(t - wheelNext < wheelSpan,
+                      "wheel lost its %zu nodes", wheelCount);
+    }
+}
+
+void
+EventQueue::wheelAdvance()
+{
+    while (wheelNext != noWheelTick) {
+        uint32_t b = wheelNext & wheelMask;
+        uint32_t n = bucketHead[b];
+        // Cancelled nodes die in place; reap them at the head.
+        while (n != badIndex && wpool[n].e.slot == badIndex) {
+            popWheelHead(b);
+            n = bucketHead[b];
+        }
+        if (n != badIndex) {
+            SPECRT_ASSERT(wpool[n].e.when == wheelNext,
+                          "wheel bucket tick skew");
+            return;
+        }
+        wheelRescan();
+    }
 }
 
 void
@@ -124,9 +190,12 @@ EventQueue::deschedule(EventId id)
     if (idx == badIndex)
         return; // unknown or already fired: harmless no-op
 
-    Slot &s = slots[idx];
+    Slot &s = slotAt(idx);
     if (s.loc == LocHeap) {
         heapRemove(s.pos);
+    } else if (s.loc == LocWheel) {
+        // Wheel nodes die in place (O(1)); wheelAdvance reaps them.
+        wpool[s.pos].e.slot = badIndex;
     } else {
         // FIFO entries die in place (O(1)); the fire loop skips them.
         // The count stays exact: the event is gone from numPending()
@@ -149,11 +218,11 @@ EventQueue::heapSiftUp(size_t i)
         if (!before(e, heap[parent]))
             break;
         heap[i] = heap[parent];
-        slots[heap[i].slot].pos = static_cast<uint32_t>(i);
+        slotAt(heap[i].slot).pos = static_cast<uint32_t>(i);
         i = parent;
     }
     heap[i] = e;
-    slots[e.slot].pos = static_cast<uint32_t>(i);
+    slotAt(e.slot).pos = static_cast<uint32_t>(i);
 }
 
 void
@@ -170,11 +239,11 @@ EventQueue::heapSiftDown(size_t i)
         if (!before(heap[child], e))
             break;
         heap[i] = heap[child];
-        slots[heap[i].slot].pos = static_cast<uint32_t>(i);
+        slotAt(heap[i].slot).pos = static_cast<uint32_t>(i);
         i = child;
     }
     heap[i] = e;
-    slots[e.slot].pos = static_cast<uint32_t>(i);
+    slotAt(e.slot).pos = static_cast<uint32_t>(i);
 }
 
 EventQueue::Entry
@@ -184,7 +253,7 @@ EventQueue::heapRemove(size_t i)
     size_t last = heap.size() - 1;
     if (i != last) {
         heap[i] = heap[last];
-        slots[heap[i].slot].pos = static_cast<uint32_t>(i);
+        slotAt(heap[i].slot).pos = static_cast<uint32_t>(i);
         heap.pop_back();
         if (i > 0 && before(heap[i], heap[(i - 1) / 2]))
             heapSiftUp(i);
@@ -213,21 +282,26 @@ EventQueue::fifoSkipDead()
 void
 EventQueue::fire(const Entry &e)
 {
-    // Move the callback out before freeing the slot: the callback may
-    // itself schedule events, which can reuse (or even reallocate)
-    // the slot table.
-    Slot &s = slots[e.slot];
-    SmallFunction cb = std::move(s.cb);
+    // The callback runs in place: slots live in stable chunks, so
+    // events the callback schedules may add chunks but never move
+    // this slot, and the slot is only recycled (freeSlot) after the
+    // callback returns. Marking the slot LocFree up front keeps the
+    // old semantics that descheduling the firing event's own id from
+    // inside its callback is a harmless no-op.
+    Slot &s = slotAt(e.slot);
     EventKind kind = s.kind;
     if constexpr (profileEnabled)
         prof::Registry::instance().recordEvent(kind);
     if (s.daemon)
         --daemonCount;
-    freeSlot(e.slot);
+    s.loc = LocFree;
     --pendingCount;
     ++_numFired;
     ++_numFiredTotal;
-    cb();
+    ++fireDepth;
+    s.cb();
+    --fireDepth;
+    freeSlot(e.slot); // destroys the callback
     if (postFireHook)
         postFireHook(_curTick, kind);
 }
@@ -245,32 +319,68 @@ EventQueue::fireNext(Tick limit)
         return false;
 
     fifoSkipDead();
+    wheelAdvance();
     bool haveFifo = fifoHead < fifo.size();
+    bool haveWheel = wheelNext != noWheelTick;
     bool haveHeap = !heap.empty();
-    if (!haveFifo && !haveHeap)
+    if (!haveFifo && !haveWheel && !haveHeap)
         return false;
 
-    // Global fire order is (when, seq) across both lanes.
-    bool useFifo = haveFifo &&
-                   (!haveHeap || before(fifo[fifoHead], heap[0]));
-    if (useFifo) {
-        if (fifo[fifoHead].when > limit)
-            return false;
-        Entry e = fifo[fifoHead];
-        ++fifoHead;
-        SPECRT_ASSERT(e.when == _curTick,
-                      "FIFO lane event not at current tick");
+    // Global fire order is (when, seq) across all three lanes.
+    const Entry *best = haveFifo ? &fifo[fifoHead] : nullptr;
+    CandLane lane = CandLane::Fifo;
+    if (haveWheel) {
+        const Entry &w = wpool[bucketHead[wheelNext & wheelMask]].e;
+        if (!best || before(w, *best)) {
+            best = &w;
+            lane = CandLane::Wheel;
+        }
+    }
+    if (haveHeap && (!best || before(heap[0], *best))) {
+        best = &heap[0];
+        lane = CandLane::Heap;
+    }
+    if (best->when > limit)
+        return false;
+
+    if (lane == CandLane::Fifo) {
+        // Batched same-tick drain. Once the FIFO lane wins the
+        // comparison, no wheel or heap entry exists at curTick: such
+        // an entry was scheduled on an earlier tick, so it carries a
+        // smaller seq than every FIFO entry (all created this tick)
+        // and would have won instead. Events fired here can only
+        // append to the FIFO (same tick) or push future ticks into
+        // the wheel/heap, so the whole contiguous run fires without
+        // re-evaluating the lane comparison. The daemon check runs
+        // per event: daemons can sit in the FIFO, and they must
+        // never fire alone.
+        do {
+            Entry e = fifo[fifoHead];
+            ++fifoHead;
+            SPECRT_ASSERT(e.when == _curTick,
+                          "FIFO lane event not at current tick");
+            fire(e);
+            if (stopped || pendingCount == daemonCount)
+                break;
+            fifoSkipDead();
+        } while (fifoHead < fifo.size());
+        return true;
+    }
+
+    if (lane == CandLane::Wheel) {
+        Entry e = *best;
+        popWheelHead(static_cast<uint32_t>(wheelNext & wheelMask));
+        SPECRT_ASSERT(e.when >= _curTick, "event queue went backwards");
+        _curTick = e.when;
         fire(e);
         return true;
     }
 
-    if (heap[0].when > limit)
-        return false;
     Entry e = heapRemove(0);
     SPECRT_ASSERT(e.when >= _curTick, "event queue went backwards");
-    // Time only advances here, and only with the FIFO lane empty:
-    // a non-empty lane holds (curTick, seq) keys, which win the
-    // comparison above against any later-tick heap top.
+    // Time only advances on wheel/heap fires, and only with the FIFO
+    // lane empty: a non-empty lane holds (curTick, seq) keys, which
+    // win the comparison above against any later-tick candidate.
     _curTick = e.when;
     fire(e);
     return true;
@@ -283,36 +393,52 @@ EventQueue::fireNextControlled(Tick limit)
         return false;
 
     fifoSkipDead();
+    wheelAdvance();
     bool haveFifo = fifoHead < fifo.size();
+    bool haveWheel = wheelNext != noWheelTick;
     bool haveHeap = !heap.empty();
-    if (!haveFifo && !haveHeap)
+    if (!haveFifo && !haveWheel && !haveHeap)
         return false;
 
     // The minimum pending tick. Live FIFO entries always carry
     // curTick, so with the lane non-empty the minimum is curTick and
-    // any heap entries at curTick join the candidate set.
-    Tick min_when = haveFifo ? fifo[fifoHead].when : heap[0].when;
-    if (haveFifo && haveHeap && heap[0].when < min_when)
+    // any wheel/heap entries at curTick join the candidate set.
+    Tick min_when = noWheelTick;
+    if (haveFifo)
+        min_when = fifo[fifoHead].when;
+    if (haveWheel && wheelNext < min_when)
+        min_when = wheelNext;
+    if (haveHeap && heap[0].when < min_when)
         min_when = heap[0].when;
     if (min_when > limit)
         return false;
 
-    // Gather every ready event at min_when from both lanes, then
+    // Gather every ready event at min_when from all lanes, then
     // order by seq: candidate 0 is exactly what the uncontrolled
     // path would fire.
     candScratch.clear();
     if (haveFifo) {
         for (size_t p = fifoHead; p < fifo.size(); ++p) {
             if (fifo[p].slot != badIndex)
+                candScratch.push_back({fifo[p].seq,
+                                       static_cast<uint32_t>(p),
+                                       CandLane::Fifo});
+        }
+    }
+    if (haveWheel && wheelNext == min_when) {
+        for (uint32_t n = bucketHead[wheelNext & wheelMask];
+             n != badIndex; n = wpool[n].next) {
+            if (wpool[n].e.slot != badIndex)
                 candScratch.push_back(
-                    {fifo[p].seq, static_cast<uint32_t>(p), false});
+                    {wpool[n].e.seq, n, CandLane::Wheel});
         }
     }
     if (haveHeap) {
         for (size_t i = 0; i < heap.size(); ++i) {
             if (heap[i].when == min_when)
-                candScratch.push_back(
-                    {heap[i].seq, static_cast<uint32_t>(i), true});
+                candScratch.push_back({heap[i].seq,
+                                       static_cast<uint32_t>(i),
+                                       CandLane::Heap});
         }
     }
     SPECRT_ASSERT(!candScratch.empty(), "controlled fire lost the "
@@ -324,8 +450,11 @@ EventQueue::fireNextControlled(Tick limit)
     if (candScratch.size() > 1) {
         choiceScratch.clear();
         for (const Cand &c : candScratch) {
-            const Entry &e = c.inHeap ? heap[c.idx] : fifo[c.idx];
-            const Slot &s = slots[e.slot];
+            const Entry &e = c.lane == CandLane::Heap ? heap[c.idx]
+                             : c.lane == CandLane::Wheel
+                                 ? wpool[c.idx].e
+                                 : fifo[c.idx];
+            const Slot &s = slotAt(e.slot);
             choiceScratch.push_back(
                 {e.when, s.kind, s.actor, s.daemon});
         }
@@ -337,11 +466,23 @@ EventQueue::fireNextControlled(Tick limit)
 
     const Cand &c = candScratch[choice];
     Entry e;
-    if (c.inHeap) {
+    if (c.lane == CandLane::Heap) {
         e = heapRemove(c.idx);
         SPECRT_ASSERT(e.when >= _curTick, "event queue went backwards");
         // Advancing to e.when is safe: a live FIFO entry would have
         // forced min_when == curTick, making e.when == curTick too.
+        _curTick = e.when;
+    } else if (c.lane == CandLane::Wheel) {
+        e = wpool[c.idx].e;
+        SPECRT_ASSERT(e.when >= _curTick, "event queue went backwards");
+        auto b = static_cast<uint32_t>(wheelNext & wheelMask);
+        if (c.idx == bucketHead[b]) {
+            popWheelHead(b);
+        } else {
+            // Out-of-order pick: retire the node in place, exactly
+            // like a cancellation; wheelAdvance reaps it.
+            wpool[c.idx].e.slot = badIndex;
+        }
         _curTick = e.when;
     } else {
         e = fifo[c.idx];
@@ -381,11 +522,23 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::reset()
 {
+    // Destroying the slot chunks while a callback executes out of one
+    // would pull the stack out from under it; reset() is a between-
+    // phases operation, never a callback's.
+    SPECRT_ASSERT(fireDepth == 0,
+                  "EventQueue::reset() called from inside a callback");
     heap.clear();
     fifo.clear();
     fifoHead = 0;
     fifoDead = 0;
-    slots.clear();
+    wpool.clear();
+    wheelFree = badIndex;
+    std::fill(bucketHead.begin(), bucketHead.end(), badIndex);
+    std::fill(bucketTail.begin(), bucketTail.end(), badIndex);
+    wheelCount = 0;
+    wheelNext = noWheelTick;
+    slotChunks.clear();
+    slotCount = 0;
     freeHead = badIndex;
     slotsInUse = 0;
     pendingCount = 0;

@@ -10,16 +10,27 @@
  * The engine is built for the schedule/fire/cancel cycle that every
  * protocol hop takes:
  *
- *  - an index-tracked binary heap keyed by (tick, sequence), with a
+ *  - a same-tick FIFO fast lane: events scheduled at the current
+ *    tick (the zero-delay hand-offs protocol engines chain on) skip
+ *    every ordering structure;
+ *  - a timing wheel for near-future events (delay < wheelSpan, which
+ *    covers every modeled latency): O(1) insert into a per-tick
+ *    bucket list threaded through a recycled node pool, so the hot
+ *    schedule path never pays a heap sift;
+ *  - an index-tracked binary heap keyed by (tick, sequence) for the
+ *    rare far-future events (watchdogs, campaign timeouts), with a
  *    slot table mapping EventId -> heap position, so deschedule() is
  *    a true O(log n) removal (no lazy-deletion ghosts inflating the
  *    queue and no auxiliary cancel set to leak);
- *  - a same-tick FIFO fast lane: events scheduled at the current
- *    tick (the zero-delay hand-offs protocol engines chain on) skip
- *    the heap entirely;
  *  - SmallFunction callbacks (small_function.hh), so the steady-state
  *    schedule/fire/cancel path performs zero heap allocations once
  *    the engine's arrays have grown to the working-set size.
+ *
+ * Fire order is (tick, sequence) globally across all three lanes:
+ * sequence numbers are monotonic in scheduling order, which both
+ * keeps the simulation deterministic and lets each lane stay sorted
+ * by construction (FIFO and wheel buckets receive entries in
+ * ascending sequence).
  *
  * EventIds carry a per-slot generation, so cancelling an id whose
  * event already fired is a harmless no-op even after the slot has
@@ -36,8 +47,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/profile.hh"
 #include "sim/small_function.hh"
 #include "sim/types.hh"
@@ -105,7 +119,7 @@ class ScheduleController
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
@@ -119,20 +133,33 @@ class EventQueue
      * optional @p actor tag names the model entity the event acts on
      * (e.g.\ the destination node of a message delivery); it is only
      * observed by ScheduleControllers.
+     *
+     * Templated over the callable so the callback is constructed
+     * directly inside its event slot -- the hot path performs zero
+     * SmallFunction relocations between the call site and fire().
+     *
      * @return a handle usable with deschedule().
      */
-    EventId schedule(Tick when, SmallFunction callback,
-                     EventKind kind = EventKind::Generic,
-                     uint16_t actor = unknownActor);
+    template <typename F>
+    EventId
+    schedule(Tick when, F &&callback,
+             EventKind kind = EventKind::Generic,
+             uint16_t actor = unknownActor)
+    {
+        return scheduleImpl(when, std::forward<F>(callback), kind,
+                            actor, false);
+    }
 
     /** Schedule @p callback @p delay cycles from now. */
+    template <typename F>
     EventId
-    scheduleIn(Cycles delay, SmallFunction callback,
+    scheduleIn(Cycles delay, F &&callback,
                EventKind kind = EventKind::Generic,
                uint16_t actor = unknownActor)
     {
-        return schedule(_curTick + delay, std::move(callback), kind,
-                        actor);
+        return scheduleImpl(_curTick + delay,
+                            std::forward<F>(callback), kind, actor,
+                            false);
     }
 
     /**
@@ -147,16 +174,24 @@ class EventQueue
      * would advance curTick beyond the last modeled event and
      * perturb measured phase durations.
      */
-    EventId scheduleDaemon(Tick when, SmallFunction callback,
-                           EventKind kind = EventKind::Generic);
+    template <typename F>
+    EventId
+    scheduleDaemon(Tick when, F &&callback,
+                   EventKind kind = EventKind::Generic)
+    {
+        return scheduleImpl(when, std::forward<F>(callback), kind,
+                            unknownActor, true);
+    }
 
     /** Schedule a daemon event @p delay cycles from now. */
+    template <typename F>
     EventId
-    scheduleDaemonIn(Cycles delay, SmallFunction callback,
+    scheduleDaemonIn(Cycles delay, F &&callback,
                      EventKind kind = EventKind::Generic)
     {
-        return scheduleDaemon(_curTick + delay, std::move(callback),
-                              kind);
+        return scheduleImpl(_curTick + delay,
+                            std::forward<F>(callback), kind,
+                            unknownActor, true);
     }
 
     /**
@@ -236,9 +271,21 @@ class EventQueue
         LocFree,
         LocHeap,
         LocFifo,
+        LocWheel,
     };
 
     static constexpr uint32_t badIndex = UINT32_MAX;
+
+    /**
+     * Timing-wheel geometry. Any delay below wheelSpan ticks takes
+     * the O(1) wheel path; the modeled latencies (cache, network,
+     * memory, busy ops) are all far below it. Power of two so the
+     * bucket of an absolute tick is a mask.
+     */
+    static constexpr uint32_t wheelSpan = 4096;
+    static constexpr uint32_t wheelMask = wheelSpan - 1;
+    /** "The wheel is empty / position unknown" tick sentinel. */
+    static constexpr Tick noWheelTick = ~Tick(0);
 
     /**
      * Lane entry: a POD ordering key. The callback itself lives in
@@ -253,13 +300,26 @@ class EventQueue
         uint32_t slot;
     };
 
+    /**
+     * Timing-wheel node: ordering key + singly-linked bucket chain.
+     * Nodes live in a recycled pool (wpool), so steady-state wheel
+     * traffic allocates nothing regardless of which buckets fill.
+     */
+    struct WheelNode
+    {
+        Entry e;
+        /** Next node in the bucket chain, or the free list. */
+        uint32_t next = badIndex;
+    };
+
     struct Slot
     {
         /** Stable home of the event's callback until fire/cancel. */
         SmallFunction cb;
         /** Generation checked against the id on deschedule(). */
         uint32_t gen = 1;
-        /** Index into heap[] (LocHeap) or fifo[] (LocFifo). */
+        /** Index into heap[] (LocHeap), fifo[] (LocFifo), or the
+         *  wheel node pool (LocWheel). */
         uint32_t pos = 0;
         SlotLoc loc = LocFree;
         EventKind kind = EventKind::Generic;
@@ -276,11 +336,56 @@ class EventQueue
         return a.when != b.when ? a.when < b.when : a.seq < b.seq;
     }
 
-    EventId scheduleImpl(Tick when, SmallFunction callback,
-                         EventKind kind, uint16_t actor, bool daemon);
+    /**
+     * Shared schedule body: allocate a slot, construct the callback
+     * in place (zero relocations), then link the ordering key into
+     * the right lane. The lane linkage is out of line (insertEntry);
+     * only the thin type-dependent part is instantiated per callable.
+     */
+    template <typename F>
+    EventId
+    scheduleImpl(Tick when, F &&callback, EventKind kind,
+                 uint16_t actor, bool daemon)
+    {
+        SPECRT_ASSERT(when >= _curTick,
+                      "scheduling in the past: when=%llu cur=%llu",
+                      (unsigned long long)when,
+                      (unsigned long long)_curTick);
+        uint32_t slot = allocSlot();
+        Slot &s = slotAt(slot);
+        EventId id =
+            (static_cast<uint64_t>(slot) + 1) << 32 | s.gen;
+        s.cb.emplace(std::forward<F>(callback));
+        s.kind = kind;
+        s.daemon = daemon;
+        s.actor = actor;
+        if (daemon)
+            ++daemonCount;
+        insertEntry(when, slot, s);
+        return id;
+    }
+
+    /** Link an allocated, filled slot's key into the proper lane. */
+    void insertEntry(Tick when, uint32_t slot, Slot &s);
 
     uint32_t allocSlot();
     void freeSlot(uint32_t idx);
+
+    /**
+     * Slot lookup. Slots live in fixed-size chunks, so growth never
+     * moves an existing slot -- fire() exploits this to run callbacks
+     * in place instead of moving them out first.
+     */
+    Slot &
+    slotAt(uint32_t i)
+    {
+        return slotChunks[i >> slotChunkShift][i & slotChunkMask];
+    }
+    const Slot &
+    slotAt(uint32_t i) const
+    {
+        return slotChunks[i >> slotChunkShift][i & slotChunkMask];
+    }
 
     /** Decode an id; returns badIndex unless it names a live slot. */
     uint32_t liveSlotOf(EventId id) const;
@@ -292,6 +397,21 @@ class EventQueue
 
     /** Advance fifoHead past cancelled entries; recycle when empty. */
     void fifoSkipDead();
+
+    uint32_t allocWheelNode();
+    void freeWheelNode(uint32_t n);
+    /** Unlink and free the head node of bucket @p b. */
+    void popWheelHead(uint32_t b);
+    /**
+     * Establish the wheel candidate: drop cancelled nodes at the
+     * head of the wheelNext bucket and, when a bucket exhausts,
+     * rescan forward for the next occupied one. Afterwards wheelNext
+     * is either noWheelTick (wheel empty) or the tick of a live head
+     * node.
+     */
+    void wheelAdvance();
+    /** Find the next occupied bucket after wheelNext (or go empty). */
+    void wheelRescan();
 
     /** Fire the event owned by @p e (already unlinked from its lane). */
     void fire(const Entry &e);
@@ -316,7 +436,24 @@ class EventQueue
     /** FIFO entries cancelled in place, awaiting skip. */
     size_t fifoDead = 0;
 
-    std::vector<Slot> slots;
+    /** Wheel node pool + free list (nodes recycled, never shrunk). */
+    std::vector<WheelNode> wpool;
+    uint32_t wheelFree = badIndex;
+    /** Per-bucket chain heads/tails (badIndex = empty). */
+    std::vector<uint32_t> bucketHead;
+    std::vector<uint32_t> bucketTail;
+    /** Nodes physically in buckets (live + cancelled-in-place). */
+    size_t wheelCount = 0;
+    /** Tick of the earliest occupied bucket (noWheelTick if none). */
+    Tick wheelNext = noWheelTick;
+
+    /** Chunked slot storage (stable addresses; see slotAt()). */
+    static constexpr uint32_t slotChunkShift = 9;
+    static constexpr uint32_t slotChunkLen = 1u << slotChunkShift;
+    static constexpr uint32_t slotChunkMask = slotChunkLen - 1;
+    std::vector<std::unique_ptr<Slot[]>> slotChunks;
+    /** Slots constructed so far (chunks * slotChunkLen covers it). */
+    uint32_t slotCount = 0;
     uint32_t freeHead = badIndex;
     size_t slotsInUse = 0;
 
@@ -327,16 +464,25 @@ class EventQueue
     uint64_t _numFired = 0;
     uint64_t _numFiredTotal = 0;
     bool stopped = false;
+    /** Depth of fire() frames on the stack (reset() guard). */
+    uint32_t fireDepth = 0;
 
     ScheduleController *controller = nullptr;
     std::function<void(Tick, EventKind)> postFireHook;
 
     /** Candidate-gathering scratch of the controlled path. */
+    enum class CandLane : uint8_t
+    {
+        Fifo,
+        Wheel,
+        Heap,
+    };
     struct Cand
     {
         uint64_t seq;
+        /** fifo[]/heap[] index, or wheel node id. */
         uint32_t idx;
-        bool inHeap;
+        CandLane lane;
     };
     std::vector<Cand> candScratch;
     std::vector<EventChoice> choiceScratch;

@@ -29,6 +29,10 @@ threadDefault()
 
 SimContext::~SimContext()
 {
+    // Hand the arena back to the recycle pool first: slabs and
+    // freelists stay warm for the next campaign job on any worker.
+    Arena::recycle(std::move(arena));
+
     bool wantTrace = traceExportOnDestroy && !traceOutPath.empty() &&
                      traceBuf.recorded() != 0;
     bool wantTimeline = timelineExportOnDestroy &&
@@ -80,6 +84,14 @@ SimContext::current()
     if (!tlsCurrent)
         tlsCurrent = &threadDefault();
     return *tlsCurrent;
+}
+
+Arena &
+SimContext::msgArena()
+{
+    if (!arena)
+        arena = Arena::acquire();
+    return *arena;
 }
 
 Rng &

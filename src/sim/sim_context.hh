@@ -38,8 +38,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "sim/arena.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/timeline.hh"
@@ -136,6 +138,18 @@ class SimContext
      */
     ScheduleController *scheduleController = nullptr;
 
+    // --- message arena (accessed by mem/network.cc) --------------------
+
+    /**
+     * The context's pooled-message arena, acquired lazily from the
+     * process-wide recycle pool (sim/arena.hh) and returned to it
+     * when the context dies with nothing outstanding. Every machine
+     * built under this context allocates its in-flight message
+     * copies here; its published counters are deterministic per job,
+     * so campaign telemetry stays byte-identical across --jobs N.
+     */
+    Arena &msgArena();
+
     // --- deterministic randomness -------------------------------------
 
     /** Base seed the named streams derive from. */
@@ -156,6 +170,7 @@ class SimContext
     trace::TraceBuffer traceBuf;
     timeline::Timeline timelineTl;
     std::map<std::string, Rng> rngs;
+    std::unique_ptr<Arena> arena;
 };
 
 /**

@@ -1,20 +1,25 @@
 /**
  * @file
- * A move-only `void()` callable with a small-buffer optimization.
+ * A move-only callable with a small-buffer optimization.
  *
  * The event engine schedules millions of short-lived callbacks whose
  * captures are a few pointers and integers. std::function heap-
  * allocates many of those (and libstdc++'s SBO only covers 16 bytes);
- * SmallFunction stores any nothrow-movable callable up to inlineBytes
+ * SmallCallback stores any nothrow-movable callable up to inlineBytes
  * directly inside the object, so the common schedule/fire cycle does
  * zero heap allocations. Larger callables fall back to a single heap
  * allocation, same as std::function.
+ *
+ * SmallFunction is the `void()` specialization the event queue uses;
+ * the memory system uses SmallCallback<void(uint64_t)> for load
+ * completions.
  */
 
 #ifndef SPECRT_SIM_SMALL_FUNCTION_HH
 #define SPECRT_SIM_SMALL_FUNCTION_HH
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -22,27 +27,39 @@
 namespace specrt
 {
 
-class SmallFunction
+/**
+ * Default inline capacity. Sized so the largest hot-path captures
+ * stay inline: a load-completion continuation holding a LoadDone
+ * (56 bytes) plus the loaded value is 64 bytes.
+ */
+constexpr size_t smallCallbackInlineBytes = 80;
+
+template <typename Sig, size_t N = smallCallbackInlineBytes>
+class SmallCallback;
+
+template <typename R, typename... Args, size_t N>
+class SmallCallback<R(Args...), N>
 {
   public:
-    /** Inline capacity: sized for captures of a few pointers. */
-    static constexpr size_t inlineBytes = 48;
+    /** Inline capacity of this instantiation. */
+    static constexpr size_t inlineBytes = N;
 
-    SmallFunction() = default;
+    SmallCallback() = default;
 
     template <typename F,
               typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
-                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
-    SmallFunction(F &&f) // NOLINT: implicit by design
+                  !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &,
+                                        Args...>>>
+    SmallCallback(F &&f) // NOLINT: implicit by design
     {
         assign(std::forward<F>(f));
     }
 
-    SmallFunction(SmallFunction &&other) noexcept { moveFrom(other); }
+    SmallCallback(SmallCallback &&other) noexcept { moveFrom(other); }
 
-    SmallFunction &
-    operator=(SmallFunction &&other) noexcept
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
     {
         if (this != &other) {
             clear();
@@ -51,23 +68,49 @@ class SmallFunction
         return *this;
     }
 
-    SmallFunction(const SmallFunction &) = delete;
-    SmallFunction &operator=(const SmallFunction &) = delete;
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
 
-    ~SmallFunction() { clear(); }
+    ~SmallCallback() { clear(); }
 
     explicit operator bool() const { return invoke_ != nullptr; }
 
-    void operator()() { invoke_(buf); }
+    R
+    operator()(Args... args)
+    {
+        return invoke_(buf, std::forward<Args>(args)...);
+    }
 
     /** Drop the held callable (back to the empty state). */
     void
     clear()
     {
         if (invoke_) {
-            relocate_(buf, nullptr);
+            // Trivial inline callables (relocate_ == nullptr) need no
+            // destructor call -- the schedule/fire cycle of a
+            // pointer-capturing lambda touches no function pointers
+            // beyond the invoke itself.
+            if (relocate_)
+                relocate_(buf, nullptr);
             invoke_ = nullptr;
-            relocate_ = nullptr;
+        }
+    }
+
+    /**
+     * Construct a callable directly inside this object -- no
+     * intermediate SmallCallback, so the hot schedule path performs
+     * zero relocations. Passing a SmallCallback (even an lvalue)
+     * moves from it.
+     */
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        clear();
+        if constexpr (std::is_same_v<std::decay_t<F>, SmallCallback>) {
+            moveFrom(f);
+        } else {
+            assign(std::forward<F>(f));
         }
     }
 
@@ -96,20 +139,31 @@ class SmallFunction
         using Fn = std::decay_t<F>;
         if constexpr (fitsInline<Fn>()) {
             ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
-            invoke_ = [](void *p) {
-                (*std::launder(reinterpret_cast<Fn *>(p)))();
+            invoke_ = [](void *p, Args... args) -> R {
+                return (*std::launder(reinterpret_cast<Fn *>(p)))(
+                    std::forward<Args>(args)...);
             };
-            // dst == nullptr means "just destroy the source".
-            relocate_ = [](void *src, void *dst) {
-                Fn *s = std::launder(reinterpret_cast<Fn *>(src));
-                if (dst)
-                    ::new (dst) Fn(std::move(*s));
-                s->~Fn();
-            };
+            if constexpr (std::is_trivially_destructible_v<Fn> &&
+                          std::is_trivially_copyable_v<Fn>) {
+                // Trivial case: a null relocate_ marks the callable
+                // as memcpy-movable with nothing to destroy.
+                relocate_ = nullptr;
+            } else {
+                // dst == nullptr means "just destroy the source".
+                relocate_ = [](void *src, void *dst) {
+                    Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+                    if (dst)
+                        ::new (dst) Fn(std::move(*s));
+                    s->~Fn();
+                };
+            }
         } else {
             *reinterpret_cast<Fn **>(static_cast<void *>(buf)) =
                 new Fn(std::forward<F>(f));
-            invoke_ = [](void *p) { (**reinterpret_cast<Fn **>(p))(); };
+            invoke_ = [](void *p, Args... args) -> R {
+                return (**reinterpret_cast<Fn **>(p))(
+                    std::forward<Args>(args)...);
+            };
             relocate_ = [](void *src, void *dst) {
                 Fn **s = reinterpret_cast<Fn **>(src);
                 if (dst)
@@ -121,20 +175,27 @@ class SmallFunction
     }
 
     void
-    moveFrom(SmallFunction &other) noexcept
+    moveFrom(SmallCallback &other) noexcept
     {
         invoke_ = other.invoke_;
         relocate_ = other.relocate_;
-        if (invoke_)
-            relocate_(other.buf, buf);
+        if (invoke_) {
+            if (relocate_)
+                relocate_(other.buf, buf);
+            else
+                std::memcpy(buf, other.buf, inlineBytes);
+        }
         other.invoke_ = nullptr;
         other.relocate_ = nullptr;
     }
 
     alignas(std::max_align_t) unsigned char buf[inlineBytes];
-    void (*invoke_)(void *) = nullptr;
+    R (*invoke_)(void *, Args...) = nullptr;
     void (*relocate_)(void *, void *) = nullptr;
 };
+
+/** The event queue's callback type. */
+using SmallFunction = SmallCallback<void()>;
 
 } // namespace specrt
 

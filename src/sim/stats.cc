@@ -81,6 +81,20 @@ Scalar::snapshot(StatSnapshot &out, const std::string &prefix) const
     out.emplace_back(prefix + "." + name(), _value);
 }
 
+void
+CallbackStat::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << "." << name() << " " << value()
+       << " # " << desc() << "\n";
+}
+
+void
+CallbackStat::snapshot(StatSnapshot &out,
+                       const std::string &prefix) const
+{
+    out.emplace_back(prefix + "." + name(), value());
+}
+
 double
 VectorStat::total() const
 {

@@ -14,6 +14,7 @@
 #define SPECRT_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -124,6 +125,42 @@ class Scalar : public StatBase
 
   private:
     double _value = 0;
+};
+
+/**
+ * A stat whose value is pulled from a callback at read time (live
+ * counters owned elsewhere, e.g.\ the message arena). With @p rebase
+ * set (the default), construction and reset() capture the current
+ * underlying value as a baseline, so the stat reports deltas scoped
+ * to its owner's lifetime even when the counter behind it outlives
+ * the machine (a recycled arena serving several machines in turn).
+ */
+class CallbackStat : public StatBase
+{
+  public:
+    using Getter = std::function<double()>;
+
+    CallbackStat(StatGroup *parent, std::string name, std::string desc,
+                 Getter get, bool rebase = true)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          getter(std::move(get)), rebase(rebase)
+    {
+        if (rebase)
+            base = getter();
+    }
+
+    double value() const { return getter() - base; }
+
+    void print(std::ostream &os, const std::string &prefix)
+        const override;
+    void snapshot(StatSnapshot &out,
+                  const std::string &prefix) const override;
+    void reset() override { base = rebase ? getter() : 0; }
+
+  private:
+    Getter getter;
+    bool rebase;
+    double base = 0;
 };
 
 /** A fixed-length vector of counters. */

@@ -1,13 +1,43 @@
 #include "spec/oracle.hh"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "spec/access_bits.hh"
 
 namespace specrt
 {
+
+namespace
+{
+
+/**
+ * Hash for (element, iteration-key) pairs. Oracle passes are pure
+ * folds over the trace -- no result depends on container iteration
+ * order -- so unordered tables replace the ordered maps the first
+ * implementation used (rb-tree node churn dominated oracle time on
+ * long traces).
+ */
+struct PairHash
+{
+    size_t
+    operator()(const std::pair<uint64_t, int64_t> &p) const
+    {
+        // splitmix64-style mix of the two words.
+        uint64_t h = p.first + 0x9e3779b97f4a7c15ull +
+                     (static_cast<uint64_t>(p.second) << 1);
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+        h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+        return static_cast<size_t>(h ^ (h >> 31));
+    }
+};
+
+template <typename V>
+using PairMap =
+    std::unordered_map<std::pair<uint64_t, int64_t>, V, PairHash>;
+
+} // namespace
 
 const char *
 lrpdVerdictName(LrpdVerdict v)
@@ -25,19 +55,23 @@ Oracle::nonPrivParallel(const std::vector<AccessEvent> &trace)
 {
     struct ElemInfo
     {
-        std::set<NodeId> procs;
+        NodeId firstProc;
+        bool multiProc = false;
         bool written = false;
     };
-    std::map<uint64_t, ElemInfo> elems;
+    std::unordered_map<uint64_t, ElemInfo> elems;
+    elems.reserve(trace.size());
     for (const AccessEvent &e : trace) {
-        ElemInfo &info = elems[e.elem];
-        info.procs.insert(e.proc);
+        auto [it, fresh] = elems.try_emplace(e.elem);
+        ElemInfo &info = it->second;
+        if (fresh)
+            info.firstProc = e.proc;
+        else if (e.proc != info.firstProc)
+            info.multiProc = true;
         info.written |= e.isWrite;
     }
     for (const auto &[elem, info] : elems) {
-        bool read_only = !info.written;
-        bool single_proc = info.procs.size() == 1;
-        if (!read_only && !single_proc)
+        if (info.written && info.multiProc)
             return false;
     }
     return true;
@@ -53,17 +87,18 @@ Oracle::privParallel(const std::vector<AccessEvent> &trace)
     {
         IterNum maxR1st = 0;
         IterNum minW = iterInf;
-        /** Iterations that wrote the element (for read-first calc). */
-        std::set<IterNum> writers;
     };
-    std::map<uint64_t, ElemInfo> elems;
+    std::unordered_map<uint64_t, ElemInfo> elems;
+    elems.reserve(trace.size());
 
-    // First pass: which (elem, iter) pairs see a write before the
-    // read? Track per (elem,iter) whether a write already happened.
-    std::map<std::pair<uint64_t, IterNum>, bool> written_in_iter;
+    // Track per (elem, iter) whether a write already happened, so a
+    // later read in the same iteration is not read-first.
+    PairMap<bool> written_in_iter;
+    written_in_iter.reserve(trace.size());
     for (const AccessEvent &e : trace) {
         ElemInfo &info = elems[e.elem];
-        auto key = std::make_pair(e.elem, e.iter);
+        auto key = std::make_pair(e.elem,
+                                  static_cast<int64_t>(e.iter));
         if (e.isWrite) {
             written_in_iter[key] = true;
             info.minW = std::min(info.minW, e.iter);
@@ -97,19 +132,23 @@ lrpdWithKey(const std::vector<AccessEvent> &trace,
         bool ar = false;
         bool anp = false;
     };
-    std::map<uint64_t, Shadow> shadow;
+    std::unordered_map<uint64_t, Shadow> shadow;
+    shadow.reserve(trace.size());
 
     // Per (elem, key): whether the key-iteration wrote the element
-    // at all, and whether a write precedes a given read.
-    std::map<std::pair<uint64_t, int64_t>, bool> writes_in_key;
+    // at all, and whether a write precedes a given read. The first
+    // map doubles as the Atw count: its keys are exactly the
+    // distinct (element, iteration) pairs that wrote.
+    PairMap<bool> writes_in_key;
+    writes_in_key.reserve(trace.size());
     for (size_t i = 0; i < trace.size(); ++i) {
         if (trace[i].isWrite)
             writes_in_key[{trace[i].elem, keys[i]}] = true;
     }
+    uint64_t atw = writes_in_key.size();
 
-    std::map<std::pair<uint64_t, int64_t>, bool> written_so_far;
-    std::set<std::pair<uint64_t, int64_t>> elem_writes; // for Atw
-    uint64_t atw = 0;
+    PairMap<bool> written_so_far;
+    written_so_far.reserve(trace.size());
 
     for (size_t i = 0; i < trace.size(); ++i) {
         const AccessEvent &e = trace[i];
@@ -118,8 +157,6 @@ lrpdWithKey(const std::vector<AccessEvent> &trace,
         if (e.isWrite) {
             s.aw = true;
             written_so_far[{e.elem, key}] = true;
-            if (elem_writes.insert({e.elem, key}).second)
-                ++atw; // distinct element written in this iteration
         } else {
             if (!writes_in_key[{e.elem, key}])
                 s.ar = true; // not written in this iteration at all
@@ -170,12 +207,13 @@ Oracle::lrpdProcWise(const std::vector<AccessEvent> &trace)
 int64_t
 Oracle::firstPrivViolation(const std::vector<AccessEvent> &trace)
 {
-    std::map<uint64_t, PrivSharedDirBits> state;
-    std::map<std::pair<uint64_t, IterNum>, bool> written_in_iter;
+    std::unordered_map<uint64_t, PrivSharedDirBits> state;
+    PairMap<bool> written_in_iter;
     for (size_t i = 0; i < trace.size(); ++i) {
         const AccessEvent &e = trace[i];
         PrivSharedDirBits &bits = state[e.elem];
-        auto key = std::make_pair(e.elem, e.iter);
+        auto key = std::make_pair(e.elem,
+                                  static_cast<int64_t>(e.iter));
         if (e.isWrite) {
             bool first = !written_in_iter[key];
             written_in_iter[key] = true;

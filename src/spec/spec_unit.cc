@@ -15,23 +15,50 @@ SpecCacheUnit::SpecCacheUnit(SpecSystem &sys_, NodeId node_)
 {
 }
 
-std::vector<NPTagBits> &
-SpecCacheUnit::npLine(Addr line, uint32_t elems)
+namespace
 {
-    auto it = npLines.find(line);
-    if (it == npLines.end())
-        it = npLines.emplace(line, std::vector<NPTagBits>(elems)).first;
-    return it->second;
+
+/** Grow the parallel (tags, flags) arrays to cover [0, first+elems). */
+template <typename T>
+void
+growSlots(std::vector<T> &tags, std::vector<uint8_t> &flags,
+          uint32_t first, uint32_t elems)
+{
+    size_t want = size_t(first) + elems;
+    size_t cap = tags.empty() ? 256 : tags.size();
+    while (cap < want)
+        cap *= 2;
+    tags.resize(cap);
+    flags.resize(cap, 0);
 }
 
-std::vector<PrivTagBits> &
-SpecCacheUnit::privLine(Addr line, uint32_t elems)
+} // namespace
+
+void
+SpecCacheUnit::growNp(uint32_t first, uint32_t elems)
 {
-    auto it = privLines.find(line);
-    if (it == privLines.end())
-        it = privLines.emplace(line,
-                               std::vector<PrivTagBits>(elems)).first;
-    return it->second;
+    growSlots(npTags, npLineFlag, first, elems);
+}
+
+void
+SpecCacheUnit::growPriv(uint32_t first, uint32_t elems)
+{
+    growSlots(privTags, privLineFlag, first, elems);
+}
+
+void
+SpecCacheUnit::dropLine(uint32_t first, uint32_t elems)
+{
+    if (first < npLineFlag.size() && npLineFlag[first]) {
+        npLineFlag[first] = 0;
+        std::fill(npTags.begin() + first,
+                  npTags.begin() + first + elems, NPTagBits{});
+    }
+    if (first < privLineFlag.size() && privLineFlag[first]) {
+        privLineFlag[first] = 0;
+        std::fill(privTags.begin() + first,
+                  privTags.begin() + first + elems, PrivTagBits{});
+    }
 }
 
 void
@@ -45,11 +72,12 @@ SpecCacheUnit::onLoadHit(Addr addr, LineState state, IterNum iter)
 
     Addr line = sys.lineOf(addr);
     uint32_t elems = sys.lineBytes() / range->elemBytes;
+    uint32_t first = range->elemIndex(line);
     size_t idx = (addr - line) / range->elemBytes;
     trace::ScopedCtx tctx(sys.now(), node, addr, iter);
 
     if (range->type == TestType::NonPriv) {
-        NPTagBits &bits = npLine(line, elems)[idx];
+        NPTagBits &bits = npSlice(first, elems)[idx];
         NPCacheResult res =
             npCacheRead(bits, state == LineState::Dirty);
         if (res.fail) {
@@ -77,7 +105,7 @@ SpecCacheUnit::onLoadHit(Addr addr, LineState state, IterNum iter)
                   "processor read of privatization-tested shared "
                   "array %#llx during the loop",
                   (unsigned long long)addr);
-    PrivTagBits &bits = privLine(line, elems)[idx];
+    PrivTagBits &bits = privSlice(first, elems)[idx];
     PrivCacheResult res = privCacheRead(bits, iter);
     if (res.readFirst) {
         Msg m;
@@ -103,11 +131,12 @@ SpecCacheUnit::onStoreDirtyHit(Addr addr, IterNum iter)
 
     Addr line = sys.lineOf(addr);
     uint32_t elems = sys.lineBytes() / range->elemBytes;
+    uint32_t first = range->elemIndex(line);
     size_t idx = (addr - line) / range->elemBytes;
     trace::ScopedCtx tctx(sys.now(), node, addr, iter);
 
     if (range->type == TestType::NonPriv) {
-        NPTagBits &bits = npLine(line, elems)[idx];
+        NPTagBits &bits = npSlice(first, elems)[idx];
         NPCacheResult res = npCacheWriteDirty(bits);
         if (res.fail)
             sys.fail(node, addr, res.reason);
@@ -118,7 +147,7 @@ SpecCacheUnit::onStoreDirtyHit(Addr addr, IterNum iter)
                   "processor write of privatization-tested shared "
                   "array %#llx during the loop",
                   (unsigned long long)addr);
-    PrivTagBits &bits = privLine(line, elems)[idx];
+    PrivTagBits &bits = privSlice(first, elems)[idx];
     PrivCacheResult res = privCacheWrite(bits, iter);
     if (res.firstWrite) {
         Msg m;
@@ -134,7 +163,7 @@ SpecCacheUnit::onStoreDirtyHit(Addr addr, IterNum iter)
 }
 
 void
-SpecCacheUnit::onFill(Addr line_addr, const std::vector<uint32_t> &bits,
+SpecCacheUnit::onFill(Addr line_addr, const MsgBits &bits,
                       Addr elem_addr, bool is_write, IterNum iter)
 {
     if (!sys.armed())
@@ -144,14 +173,15 @@ SpecCacheUnit::onFill(Addr line_addr, const std::vector<uint32_t> &bits,
         return;
 
     uint32_t elems = sys.lineBytes() / range->elemBytes;
+    uint32_t first = range->elemIndex(line_addr);
     size_t idx = (elem_addr - line_addr) / range->elemBytes;
     trace::ScopedCtx tctx(sys.now(), node, elem_addr, iter);
 
     if (range->type == TestType::NonPriv) {
         SPECRT_ASSERT(bits.size() == elems,
-                      "non-priv fill with %zu bits, want %u",
+                      "non-priv fill with %u bits, want %u",
                       bits.size(), elems);
-        std::vector<NPTagBits> &tags = npLine(line_addr, elems);
+        NPTagBits *tags = npSlice(first, elems);
         for (size_t i = 0; i < elems; ++i)
             tags[i] = npWireToTag(bits[i], node);
         NPCacheResult res = npCacheLocalApply(tags[idx], is_write);
@@ -163,9 +193,9 @@ SpecCacheUnit::onFill(Addr line_addr, const std::vector<uint32_t> &bits,
     SPECRT_ASSERT(range->role == PrivRole::PrivateCopy,
                   "fill of privatization-tested shared line");
     SPECRT_ASSERT(bits.size() == elems,
-                  "priv fill with %zu bits, want %u", bits.size(),
+                  "priv fill with %u bits, want %u", bits.size(),
                   elems);
-    std::vector<PrivTagBits> &tags = privLine(line_addr, elems);
+    PrivTagBits *tags = privSlice(first, elems);
     for (size_t i = 0; i < elems; ++i)
         tags[i] = privWireToTag(bits[i], iter);
     // Apply the triggering access locally; the private directory
@@ -178,7 +208,7 @@ SpecCacheUnit::onFill(Addr line_addr, const std::vector<uint32_t> &bits,
     tags[idx] = eff;
 }
 
-std::vector<uint32_t>
+MsgBits
 SpecCacheUnit::onDirtyOut(Addr line_addr)
 {
     if (!sys.armed())
@@ -188,17 +218,17 @@ SpecCacheUnit::onDirtyOut(Addr line_addr)
         return {}; // priv state is kept current via signals
 
     uint32_t elems = sys.lineBytes() / range->elemBytes;
-    std::vector<NPTagBits> &tags = npLine(line_addr, elems);
-    std::vector<uint32_t> wire(elems);
+    uint32_t first = range->elemIndex(line_addr);
+    NPTagBits *tags = npSlice(first, elems);
+    MsgBits wire(elems);
     for (size_t i = 0; i < elems; ++i)
         wire[i] = npPackTag(tags[i], node);
     return wire;
 }
 
-std::vector<uint32_t>
-SpecCacheUnit::combineBits(Addr line_addr,
-                           const std::vector<uint32_t> &owner_bits,
-                           const std::vector<uint32_t> &home_bits)
+MsgBits
+SpecCacheUnit::combineBits(Addr line_addr, const MsgBits &owner_bits,
+                           const MsgBits &home_bits)
 {
     (void)line_addr;
     if (owner_bits.empty())
@@ -206,10 +236,10 @@ SpecCacheUnit::combineBits(Addr line_addr,
     if (home_bits.empty())
         return owner_bits;
     SPECRT_ASSERT(owner_bits.size() == home_bits.size(),
-                  "combineBits size mismatch: %zu vs %zu",
+                  "combineBits size mismatch: %u vs %u",
                   owner_bits.size(), home_bits.size());
-    std::vector<uint32_t> out(owner_bits.size());
-    for (size_t i = 0; i < out.size(); ++i)
+    MsgBits out(owner_bits.size());
+    for (uint32_t i = 0; i < out.size(); ++i)
         out[i] = npCombineWire(owner_bits[i], home_bits[i]);
     return out;
 }
@@ -217,8 +247,11 @@ SpecCacheUnit::combineBits(Addr line_addr,
 void
 SpecCacheUnit::onInval(Addr line_addr)
 {
-    npLines.erase(line_addr);
-    privLines.erase(line_addr);
+    const TestRange *range = sys.table().lookup(line_addr);
+    if (!range)
+        return;
+    uint32_t elems = sys.lineBytes() / range->elemBytes;
+    dropLine(range->elemIndex(line_addr), elems);
 }
 
 void
@@ -228,14 +261,14 @@ SpecCacheUnit::onMsg(const Msg &msg)
         return;
     SPECRT_ASSERT(msg.type == MsgType::FirstUpdateFail,
                   "cache spec unit got %s", msgTypeName(msg.type));
-    auto it = npLines.find(msg.lineAddr);
-    if (it == npLines.end())
-        return; // line (and its tags) gone; home state authoritative
     const TestRange *range = sys.table().lookup(msg.elemAddr);
     SPECRT_ASSERT(range, "FirstUpdateFail outside any test range");
+    uint32_t first = range->elemIndex(msg.lineAddr);
+    if (first >= npLineFlag.size() || !npLineFlag[first])
+        return; // line (and its tags) gone; home state authoritative
     size_t idx = (msg.elemAddr - msg.lineAddr) / range->elemBytes;
     trace::ScopedCtx tctx(sys.now(), node, msg.elemAddr, msg.iter);
-    NPCacheResult res = npCacheFirstUpdateFail(it->second[idx]);
+    NPCacheResult res = npCacheFirstUpdateFail(npTags[first + idx]);
     if (res.fail)
         sys.fail(node, msg.elemAddr, res.reason);
 }
@@ -243,8 +276,10 @@ SpecCacheUnit::onMsg(const Msg &msg)
 void
 SpecCacheUnit::clearAll()
 {
-    npLines.clear();
-    privLines.clear();
+    std::fill(npTags.begin(), npTags.end(), NPTagBits{});
+    std::fill(privTags.begin(), privTags.end(), PrivTagBits{});
+    std::fill(npLineFlag.begin(), npLineFlag.end(), 0);
+    std::fill(privLineFlag.begin(), privLineFlag.end(), 0);
 }
 
 // --------------------------------------------------------------------
@@ -261,8 +296,10 @@ SpecDirUnit::lineUntouched(Addr line, const TestRange &range) const
 {
     for (Addr a = line; a < line + sys.lineBytes();
          a += range.elemBytes) {
-        auto it = pp.find(a);
-        if (it != pp.end() && !it->second.untouched())
+        if (!range.contains(a))
+            continue;
+        const PrivPrivDirBits *b = pp.find(range.elemIndex(a));
+        if (b && !b->untouched())
             return false;
     }
     return true;
@@ -305,10 +342,12 @@ SpecDirUnit::startReadIn(const Msg &req, const TestRange &range,
     Addr priv_line = req.lineAddr;
     Addr shared_elem = range.toShared(req.elemAddr);
     Addr shared_line = sys.lineOf(shared_elem);
-    SPECRT_ASSERT(!pendingReadIns.count(shared_line),
-                  "overlapping read-ins for shared line %#llx",
-                  (unsigned long long)shared_line);
-    pendingReadIns[shared_line] = {priv_line, req.elemAddr};
+    for (const PendingReadIn &p : pendingReadIns) {
+        SPECRT_ASSERT(p.sharedLine != shared_line,
+                      "overlapping read-ins for shared line %#llx",
+                      (unsigned long long)shared_line);
+    }
+    pendingReadIns.push_back({shared_line, priv_line, req.elemAddr});
 
     Msg m;
     m.type = MsgType::ReadInReq;
@@ -333,7 +372,8 @@ SpecDirUnit::onReadReq(const Msg &req)
     trace::ScopedCtx tctx(sys.now(), req.src, req.elemAddr, req.iter);
 
     if (range->type == TestType::NonPriv) {
-        NPDirResult res = npDirRead(np[req.elemAddr], req.src);
+        NPDirResult res =
+            npDirRead(np.at(range->elemIndex(req.elemAddr)), req.src);
         if (res.fail)
             sys.fail(req.src, req.elemAddr, res.reason);
         return SpecDirAction::Proceed;
@@ -343,7 +383,8 @@ SpecDirUnit::onReadReq(const Msg &req)
                   "cached read of privatization-tested shared array");
     bool untouched = lineUntouched(req.lineAddr, *range);
     PrivPDirResult res =
-        privPDirRead(pp[req.elemAddr], req.iter, untouched);
+        privPDirRead(pp.at(range->elemIndex(req.elemAddr)), req.iter,
+                     untouched);
     if (res.needReadIn) {
         startReadIn(req, *range, false);
         return SpecDirAction::Defer;
@@ -364,7 +405,8 @@ SpecDirUnit::onWriteReq(const Msg &req)
     trace::ScopedCtx tctx(sys.now(), req.src, req.elemAddr, req.iter);
 
     if (range->type == TestType::NonPriv) {
-        NPDirResult res = npDirWrite(np[req.elemAddr], req.src);
+        NPDirResult res =
+            npDirWrite(np.at(range->elemIndex(req.elemAddr)), req.src);
         if (res.fail)
             sys.fail(req.src, req.elemAddr, res.reason);
         return SpecDirAction::Proceed;
@@ -374,7 +416,8 @@ SpecDirUnit::onWriteReq(const Msg &req)
                   "cached write of privatization-tested shared array");
     bool untouched = lineUntouched(req.lineAddr, *range);
     PrivPDirResult res =
-        privPDirWrite(pp[req.elemAddr], req.iter, untouched);
+        privPDirWrite(pp.at(range->elemIndex(req.elemAddr)), req.iter,
+                      untouched);
     if (res.needReadIn) {
         startReadIn(req, *range, true);
         return SpecDirAction::Defer;
@@ -384,7 +427,7 @@ SpecDirUnit::onWriteReq(const Msg &req)
     return SpecDirAction::Proceed;
 }
 
-std::vector<uint32_t>
+MsgBits
 SpecDirUnit::collectFillBits(NodeId requester, Addr line_addr,
                              IterNum iter)
 {
@@ -395,13 +438,13 @@ SpecDirUnit::collectFillBits(NodeId requester, Addr line_addr,
         return {};
 
     uint32_t elems = sys.lineBytes() / range->elemBytes;
-    std::vector<uint32_t> wire(elems, 0);
+    uint32_t first = range->elemIndex(line_addr);
+    MsgBits wire(elems);
 
     if (range->type == TestType::NonPriv) {
         for (uint32_t i = 0; i < elems; ++i) {
-            auto it = np.find(line_addr + i * range->elemBytes);
-            wire[i] = npPackDir(it == np.end() ? NPDirBits{}
-                                               : it->second);
+            const NPDirBits *b = np.find(first + i);
+            wire[i] = npPackDir(b ? *b : NPDirBits{});
         }
         (void)requester;
         return wire;
@@ -410,18 +453,17 @@ SpecDirUnit::collectFillBits(NodeId requester, Addr line_addr,
     SPECRT_ASSERT(range->role == PrivRole::PrivateCopy,
                   "fill bits for privatization-tested shared line");
     for (uint32_t i = 0; i < elems; ++i) {
-        auto it = pp.find(line_addr + i * range->elemBytes);
-        if (it == pp.end())
+        const PrivPrivDirBits *b = pp.find(first + i);
+        if (!b)
             continue;
-        wire[i] = privPackTag(it->second.pMaxR1st == iter,
-                              it->second.pMaxW == iter);
+        wire[i] = privPackTag(b->pMaxR1st == iter, b->pMaxW == iter);
     }
     return wire;
 }
 
 void
 SpecDirUnit::onDirtyBits(NodeId from, Addr line_addr,
-                         const std::vector<uint32_t> &bits)
+                         const MsgBits &bits)
 {
     if (!sys.armed() || bits.empty())
         return;
@@ -431,11 +473,13 @@ SpecDirUnit::onDirtyBits(NodeId from, Addr line_addr,
     SPECRT_ASSERT(range->type == TestType::NonPriv,
                   "dirty bits for non-non-priv range");
     uint32_t elems = sys.lineBytes() / range->elemBytes;
+    uint32_t first = range->elemIndex(line_addr);
     SPECRT_ASSERT(bits.size() == elems, "dirty bits size mismatch");
     for (uint32_t i = 0; i < elems; ++i) {
         Addr elem = line_addr + i * range->elemBytes;
         trace::ScopedCtx tctx(sys.now(), from, elem, 0);
-        NPDirResult res = npDirMergeDirty(np[elem], from, bits[i]);
+        NPDirResult res = npDirMergeDirty(np.at(first + i), from,
+                                          bits[i]);
         if (res.fail) {
             sys.fail(from, elem, res.reason);
             return;
@@ -450,19 +494,28 @@ SpecDirUnit::onMsg(const Msg &msg)
         return;
 
     if (msg.type == MsgType::ReadInReply) {
-        auto it = pendingReadIns.find(msg.lineAddr);
-        SPECRT_ASSERT(it != pendingReadIns.end(),
-                      "stray ReadInReply for %#llx",
+        PendingReadIn pending;
+        bool found = false;
+        for (size_t i = 0; i < pendingReadIns.size(); ++i) {
+            if (pendingReadIns[i].sharedLine == msg.lineAddr) {
+                pending = pendingReadIns[i];
+                pendingReadIns[i] = pendingReadIns.back();
+                pendingReadIns.pop_back();
+                found = true;
+                break;
+            }
+        }
+        SPECRT_ASSERT(found, "stray ReadInReply for %#llx",
                       (unsigned long long)msg.lineAddr);
-        PendingReadIn pending = it->second;
-        pendingReadIns.erase(it);
 
         sys.mem().writeLine(pending.privLine, msg.data.data(),
                             static_cast<uint32_t>(msg.data.size()));
         trace::ScopedCtx tctx(sys.now(), node, pending.privElem,
                               msg.iter);
-        privPDirReadInDone(pp[pending.privElem], msg.iter,
-                           msg.forWrite);
+        const TestRange *prange = sys.table().lookup(pending.privElem);
+        SPECRT_ASSERT(prange, "read-in for unloaded private range");
+        privPDirReadInDone(pp.at(prange->elemIndex(pending.privElem)),
+                           msg.iter, msg.forWrite);
         sys.dirCtrl(node).resumeDeferred(pending.privLine);
         return;
     }
@@ -470,10 +523,11 @@ SpecDirUnit::onMsg(const Msg &msg)
     const TestRange *range = sys.table().lookup(msg.elemAddr);
     SPECRT_ASSERT(range, "spec dir message outside any test range");
     trace::ScopedCtx tctx(sys.now(), msg.src, msg.elemAddr, msg.iter);
+    uint32_t slot = range->elemIndex(msg.elemAddr);
 
     switch (msg.type) {
       case MsgType::FirstUpdate: {
-        NPDirResult res = npDirFirstUpdate(np[msg.elemAddr], msg.src);
+        NPDirResult res = npDirFirstUpdate(np.at(slot), msg.src);
         if (res.fail) {
             sys.fail(msg.src, msg.elemAddr, res.reason);
             return;
@@ -490,7 +544,7 @@ SpecDirUnit::onMsg(const Msg &msg)
         return;
       }
       case MsgType::ROnlyUpdate: {
-        NPDirResult res = npDirROnlyUpdate(np[msg.elemAddr], msg.src);
+        NPDirResult res = npDirROnlyUpdate(np.at(slot), msg.src);
         if (res.fail)
             sys.fail(msg.src, msg.elemAddr, res.reason);
         return;
@@ -498,12 +552,11 @@ SpecDirUnit::onMsg(const Msg &msg)
       case MsgType::ReadFirstSig: {
         if (range->role == PrivRole::PrivateCopy) {
             // Fig. 8(b): record and forward to the shared directory.
-            privPDirReadFirstSig(pp[msg.elemAddr], msg.iter);
+            privPDirReadFirstSig(pp.at(slot), msg.iter);
             sendReadFirstToShared(*range, msg.elemAddr, msg.iter);
             return;
         }
-        PrivSDirResult res =
-            privSDirReadFirst(ps[msg.elemAddr], msg.iter);
+        PrivSDirResult res = privSDirReadFirst(ps.at(slot), msg.iter);
         if (res.fail)
             sys.fail(msg.src, msg.elemAddr, res.reason);
         return;
@@ -512,13 +565,12 @@ SpecDirUnit::onMsg(const Msg &msg)
         if (range->role == PrivRole::PrivateCopy) {
             // Fig. 9(g).
             PrivPDirResult res =
-                privPDirFirstWriteSig(pp[msg.elemAddr], msg.iter);
+                privPDirFirstWriteSig(pp.at(slot), msg.iter);
             if (res.firstWrite)
                 sendFirstWriteToShared(*range, msg.elemAddr, msg.iter);
             return;
         }
-        PrivSDirResult res =
-            privSDirFirstWrite(ps[msg.elemAddr], msg.iter);
+        PrivSDirResult res = privSDirFirstWrite(ps.at(slot), msg.iter);
         if (res.fail)
             sys.fail(msg.src, msg.elemAddr, res.reason);
         return;
@@ -526,7 +578,7 @@ SpecDirUnit::onMsg(const Msg &msg)
       case MsgType::ReadInReq: {
         SPECRT_ASSERT(range->role == PrivRole::SharedArray,
                       "read-in request at non-shared range");
-        PrivSharedDirBits &bits = ps[msg.elemAddr];
+        PrivSharedDirBits &bits = ps.at(slot);
         PrivSDirResult res =
             msg.forWrite ? privSDirFirstWrite(bits, msg.iter)
                          : privSDirReadFirst(bits, msg.iter);
@@ -551,7 +603,7 @@ SpecDirUnit::onMsg(const Msg &msg)
         SPECRT_ASSERT(range->role == PrivRole::SharedArray,
                       "copy-out at non-shared range");
         ++sys.copyOuts;
-        if (privSDirCopyOut(ps[msg.elemAddr], msg.iter))
+        if (privSDirCopyOut(ps.at(slot), msg.iter))
             sys.mem().write(msg.elemAddr, range->elemBytes, msg.value);
         return;
       }
@@ -569,13 +621,25 @@ SpecDirUnit::clearAll()
     pendingReadIns.clear();
 }
 
+const NPDirBits *
+SpecDirUnit::findNp(Addr elem) const
+{
+    const TestRange *range = sys.table().lookup(elem);
+    return range ? np.find(range->elemIndex(elem)) : nullptr;
+}
+
 std::vector<std::pair<Addr, IterNum>>
 SpecDirUnit::writtenPrivElems(Addr base, Addr end) const
 {
     std::vector<std::pair<Addr, IterNum>> out;
-    for (const auto &[addr, bits] : pp) {
-        if (addr >= base && addr < end && bits.pMaxW > 0)
-            out.emplace_back(addr, bits.pMaxW);
+    for (const TestRange &r : sys.table().allRanges()) {
+        Addr lo = base > r.base ? base : r.base;
+        Addr hi = end < r.end ? end : r.end;
+        for (Addr a = lo; a < hi; a += r.elemBytes) {
+            const PrivPrivDirBits *b = pp.find(r.elemIndex(a));
+            if (b && b->pMaxW > 0)
+                out.emplace_back(a, b->pMaxW);
+        }
     }
     return out;
 }

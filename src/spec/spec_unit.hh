@@ -8,15 +8,24 @@
  * Test Logic of Fig. 10(c)). Arm it before a speculative loop,
  * disarm after; a detected cross-iteration dependence calls the
  * abort hook and latches the failure.
+ *
+ * Access-bit storage is dense, mirroring the flat SRAM tables of
+ * Fig. 10: the translation table assigns every element under test a
+ * dense slot id (TestRange::elemIndex), and each unit keeps parallel
+ * arrays indexed by it -- an access is an array index plus a bounds
+ * check, never a hash probe. A "present" byte per slot (per line on
+ * the cache side) preserves the touched/untouched distinction the
+ * old hash tables encoded by key existence.
  */
 
 #ifndef SPECRT_SPEC_SPEC_UNIT_HH
 #define SPECRT_SPEC_SPEC_UNIT_HH
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/dsm.hh"
@@ -32,6 +41,55 @@ namespace specrt
 
 class SpecSystem;
 
+/**
+ * Dense access-bit table indexed by translation-table element id.
+ * Grows lazily; clear() keeps capacity (arm() runs between loop
+ * attempts on the same footprint).
+ */
+template <typename B>
+class DenseBitTable
+{
+  public:
+    /** Slot @p idx, materializing it (marked present) on demand. */
+    B &
+    at(uint32_t idx)
+    {
+        if (idx >= slots.size())
+            grow(idx);
+        present[idx] = 1;
+        return slots[idx];
+    }
+
+    /** Slot @p idx if it was ever touched, else nullptr. */
+    const B *
+    find(uint32_t idx) const
+    {
+        return idx < slots.size() && present[idx] ? &slots[idx]
+                                                  : nullptr;
+    }
+
+    void
+    clear()
+    {
+        std::fill(slots.begin(), slots.end(), B{});
+        std::fill(present.begin(), present.end(), 0);
+    }
+
+  private:
+    void
+    grow(uint32_t idx)
+    {
+        size_t cap = slots.empty() ? 256 : slots.size();
+        while (cap <= idx)
+            cap *= 2;
+        slots.resize(cap);
+        present.resize(cap, 0);
+    }
+
+    std::vector<B> slots;
+    std::vector<uint8_t> present;
+};
+
 /** Cache-side speculation unit of one node. */
 class SpecCacheUnit : public SpecCacheIface
 {
@@ -40,39 +98,61 @@ class SpecCacheUnit : public SpecCacheIface
 
     void onLoadHit(Addr addr, LineState state, IterNum iter) override;
     void onStoreDirtyHit(Addr addr, IterNum iter) override;
-    void onFill(Addr line_addr, const std::vector<uint32_t> &bits,
-                Addr elem_addr, bool is_write, IterNum iter) override;
-    std::vector<uint32_t> onDirtyOut(Addr line_addr) override;
-    std::vector<uint32_t>
-    combineBits(Addr line_addr, const std::vector<uint32_t> &owner_bits,
-                const std::vector<uint32_t> &home_bits) override;
+    void onFill(Addr line_addr, const MsgBits &bits, Addr elem_addr,
+                bool is_write, IterNum iter) override;
+    MsgBits onDirtyOut(Addr line_addr) override;
+    MsgBits combineBits(Addr line_addr, const MsgBits &owner_bits,
+                        const MsgBits &home_bits) override;
     void onInval(Addr line_addr) override;
     void onMsg(const Msg &msg) override;
 
     /** Drop every tag access bit (loop boundary reset line). */
     void clearAll();
 
-    /** Tag-side access bits (invariant checker inspection). */
-    const std::unordered_map<Addr, std::vector<NPTagBits>> &
-    npTagLines() const
-    {
-        return npLines;
-    }
-    const std::unordered_map<Addr, std::vector<PrivTagBits>> &
-    privTagLines() const
-    {
-        return privLines;
-    }
+    /**
+     * Visit each resident line's non-priv tag slice (invariant
+     * checker inspection): f(Addr line, const NPTagBits *tags,
+     * uint32_t elems).
+     */
+    template <typename F>
+    void forEachNpLine(F &&f) const;
 
   private:
-    std::vector<NPTagBits> &npLine(Addr line, uint32_t elems);
-    std::vector<PrivTagBits> &privLine(Addr line, uint32_t elems);
+    /** Tag slice of a resident line, materializing it on demand.
+     *  Header-inline fast path (runs once per tagged access); the
+     *  array growth is the out-of-line slow path. */
+    NPTagBits *
+    npSlice(uint32_t first, uint32_t elems)
+    {
+        if (size_t(first) + elems > npTags.size())
+            growNp(first, elems);
+        npLineFlag[first] = 1;
+        return &npTags[first];
+    }
+    PrivTagBits *
+    privSlice(uint32_t first, uint32_t elems)
+    {
+        if (size_t(first) + elems > privTags.size())
+            growPriv(first, elems);
+        privLineFlag[first] = 1;
+        return &privTags[first];
+    }
+
+    void growNp(uint32_t first, uint32_t elems);
+    void growPriv(uint32_t first, uint32_t elems);
+
+    /** Zero one line's tags and drop its resident flag. */
+    void dropLine(uint32_t first, uint32_t elems);
 
     SpecSystem &sys;
     NodeId node;
 
-    std::unordered_map<Addr, std::vector<NPTagBits>> npLines;
-    std::unordered_map<Addr, std::vector<PrivTagBits>> privLines;
+    /** Per-element tag bits, indexed by dense element id. */
+    std::vector<NPTagBits> npTags;
+    std::vector<PrivTagBits> privTags;
+    /** Line-resident flags, stored at each line's first slot id. */
+    std::vector<uint8_t> npLineFlag;
+    std::vector<uint8_t> privLineFlag;
 };
 
 /** Directory-side speculation unit of one home node. */
@@ -83,11 +163,10 @@ class SpecDirUnit : public SpecDirIface
 
     SpecDirAction onReadReq(const Msg &req) override;
     SpecDirAction onWriteReq(const Msg &req) override;
-    std::vector<uint32_t> collectFillBits(NodeId requester,
-                                          Addr line_addr,
-                                          IterNum iter) override;
+    MsgBits collectFillBits(NodeId requester, Addr line_addr,
+                            IterNum iter) override;
     void onDirtyBits(NodeId from, Addr line_addr,
-                     const std::vector<uint32_t> &bits) override;
+                     const MsgBits &bits) override;
     void onMsg(const Msg &msg) override;
 
     /** Drop all access-bit-table state (loop boundary). */
@@ -101,20 +180,21 @@ class SpecDirUnit : public SpecDirIface
     std::vector<std::pair<Addr, IterNum>>
     writtenPrivElems(Addr base, Addr end) const;
 
-    /** Directory-side access bits (invariant checker inspection). */
-    const std::unordered_map<Addr, NPDirBits> &npBits() const
-    {
-        return np;
-    }
-    const std::unordered_map<Addr, PrivSharedDirBits> &
-    sharedBits() const
-    {
-        return ps;
-    }
-    const std::unordered_map<Addr, PrivPrivDirBits> &privBits() const
-    {
-        return pp;
-    }
+    // --- invariant checker inspection ---------------------------------
+
+    /** Non-priv home bits of one element, or nullptr (untouched). */
+    const NPDirBits *findNp(Addr elem) const;
+
+    /** f(Addr elem, const NPDirBits &) over touched elements. */
+    template <typename F>
+    void forEachNp(F &&f) const;
+    /** f(Addr elem, const PrivSharedDirBits &) likewise. */
+    template <typename F>
+    void forEachShared(F &&f) const;
+    /** f(Addr elem, const PrivPrivDirBits &) likewise. */
+    template <typename F>
+    void forEachPriv(F &&f) const;
+
     /** Read-ins still waiting for their ReadInReply (quiesce). */
     size_t numPendingReadIns() const { return pendingReadIns.size(); }
 
@@ -129,8 +209,9 @@ class SpecDirUnit : public SpecDirIface
   private:
     struct PendingReadIn
     {
-        Addr privLine;
-        Addr privElem;
+        Addr sharedLine = invalidAddr;
+        Addr privLine = invalidAddr;
+        Addr privElem = invalidAddr;
     };
 
     /** True if every element of the private line is untouched. */
@@ -146,11 +227,11 @@ class SpecDirUnit : public SpecDirIface
     SpecSystem &sys;
     NodeId node;
 
-    std::unordered_map<Addr, NPDirBits> np;
-    std::unordered_map<Addr, PrivSharedDirBits> ps;
-    std::unordered_map<Addr, PrivPrivDirBits> pp;
-    /** Keyed by the SHARED line address of the in-flight read-in. */
-    std::unordered_map<Addr, PendingReadIn> pendingReadIns;
+    DenseBitTable<NPDirBits> np;
+    DenseBitTable<PrivSharedDirBits> ps;
+    DenseBitTable<PrivPrivDirBits> pp;
+    /** In-flight read-ins, keyed by the SHARED line address. */
+    std::vector<PendingReadIn> pendingReadIns;
 };
 
 /** Description of a latched speculation failure. */
@@ -183,6 +264,7 @@ class SpecSystem : public StatGroup
 
     DsmSystem &machine() { return dsm; }
     TranslationTable &table() { return _table; }
+    const TranslationTable &table() const { return _table; }
 
     /** Clear all access bits and start checking accesses. */
     void arm();
@@ -244,6 +326,63 @@ class SpecSystem : public StatGroup
     std::vector<std::unique_ptr<SpecCacheUnit>> cacheUnits;
     std::vector<std::unique_ptr<SpecDirUnit>> dirUnits;
 };
+
+// --------------------------------------------------------------------
+// Inspection templates (need the full SpecSystem definition)
+// --------------------------------------------------------------------
+
+template <typename F>
+void
+SpecCacheUnit::forEachNpLine(F &&f) const
+{
+    const uint32_t lineBytes = sys.lineBytes();
+    for (const TestRange &r : sys.table().allRanges()) {
+        if (r.type != TestType::NonPriv)
+            continue;
+        uint32_t elems = lineBytes / r.elemBytes;
+        for (Addr line = r.base; line < r.end; line += lineBytes) {
+            uint32_t first = r.elemIndex(line);
+            if (first < npLineFlag.size() && npLineFlag[first])
+                f(line, &npTags[first], elems);
+        }
+    }
+}
+
+template <typename F>
+void
+SpecDirUnit::forEachNp(F &&f) const
+{
+    for (const TestRange &r : sys.table().allRanges()) {
+        for (Addr a = r.base; a < r.end; a += r.elemBytes) {
+            if (const NPDirBits *b = np.find(r.elemIndex(a)))
+                f(a, *b);
+        }
+    }
+}
+
+template <typename F>
+void
+SpecDirUnit::forEachShared(F &&f) const
+{
+    for (const TestRange &r : sys.table().allRanges()) {
+        for (Addr a = r.base; a < r.end; a += r.elemBytes) {
+            if (const PrivSharedDirBits *b = ps.find(r.elemIndex(a)))
+                f(a, *b);
+        }
+    }
+}
+
+template <typename F>
+void
+SpecDirUnit::forEachPriv(F &&f) const
+{
+    for (const TestRange &r : sys.table().allRanges()) {
+        for (Addr a = r.base; a < r.end; a += r.elemBytes) {
+            if (const PrivPrivDirBits *b = pp.find(r.elemIndex(a)))
+                f(a, *b);
+        }
+    }
+}
 
 } // namespace specrt
 

@@ -6,6 +6,17 @@ namespace specrt
 {
 
 void
+TranslationTable::assignSlots(TestRange &r)
+{
+    uint32_t elems =
+        static_cast<uint32_t>((r.end - r.base) / r.elemBytes);
+    uint32_t padded =
+        (elems + slotAlign - 1) / slotAlign * slotAlign;
+    r.elemOffset = totalSlots;
+    totalSlots += padded;
+}
+
+void
 TranslationTable::addNonPriv(const Region &region)
 {
     TestRange r;
@@ -13,6 +24,7 @@ TranslationTable::addNonPriv(const Region &region)
     r.end = region.base + region.bytes;
     r.elemBytes = region.elemBytes;
     r.type = TestType::NonPriv;
+    assignSlots(r);
     ranges.push_back(r);
 }
 
@@ -26,6 +38,7 @@ TranslationTable::addPriv(const Region &shared,
     s.elemBytes = shared.elemBytes;
     s.type = TestType::Priv;
     s.role = PrivRole::SharedArray;
+    assignSlots(s);
     ranges.push_back(s);
 
     for (size_t p = 0; p < copies.size(); ++p) {
@@ -42,6 +55,7 @@ TranslationTable::addPriv(const Region &shared,
         r.role = PrivRole::PrivateCopy;
         r.sharedBase = shared.base;
         r.owner = static_cast<NodeId>(p);
+        assignSlots(r);
         ranges.push_back(r);
     }
 }

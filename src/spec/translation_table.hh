@@ -58,8 +58,22 @@ struct TestRange
     Addr sharedBase = invalidAddr;
     /** Owner processor (PrivateCopy ranges). */
     NodeId owner = invalidNode;
+    /**
+     * First slot of this range in the dense element-id space the
+     * spec units index their access-bit tables with (see
+     * TranslationTable::numElemSlots). Assigned at registration.
+     */
+    uint32_t elemOffset = 0;
 
     bool contains(Addr a) const { return a >= base && a < end; }
+
+    /** Dense element id of @p a (must lie within the range). */
+    uint32_t
+    elemIndex(Addr a) const
+    {
+        return elemOffset + static_cast<uint32_t>((a - base) /
+                                                  elemBytes);
+    }
 
     /** Translate a private-copy address to its shared counterpart. */
     Addr
@@ -94,12 +108,39 @@ class TranslationTable
     const TestRange *lookup(Addr addr) const;
 
     /** Unload everything (loop finished). */
-    void clear() { ranges.clear(); }
+    void
+    clear()
+    {
+        ranges.clear();
+        totalSlots = 0;
+    }
 
     size_t numRanges() const { return ranges.size(); }
 
+    /** Every registered range (dense-table iteration). */
+    const std::vector<TestRange> &allRanges() const { return ranges; }
+
+    /**
+     * One past the highest dense element id handed out. Each range's
+     * slot count is padded to a slotAlign multiple so a whole-line
+     * slice starting at any in-range line never crosses into the
+     * next range's slots.
+     */
+    uint32_t numElemSlots() const { return totalSlots; }
+
+    /**
+     * Per-range slot alignment: at least the largest possible
+     * elements-per-line count (256-byte lines of 1-byte elements),
+     * so per-line spec-bit slices stay within their range's slots.
+     */
+    static constexpr uint32_t slotAlign = 256;
+
   private:
+    /** Assign r.elemOffset and grow the slot space. */
+    void assignSlots(TestRange &r);
+
     std::vector<TestRange> ranges;
+    uint32_t totalSlots = 0;
 };
 
 } // namespace specrt

@@ -333,7 +333,7 @@ TEST(SpecUnit, FillBitsDescribeDirectoryState)
     SpecMachine m;
     m.load(1, m.shared->elemAddr(0));
     SpecDirUnit &home = m.spec->dirUnit(0);
-    std::vector<uint32_t> bits = home.collectFillBits(
+    MsgBits bits = home.collectFillBits(
         2, m.shared->base, 1);
     ASSERT_EQ(bits.size(), 16u); // 64B line / 4B elements
     // Element 0: First = node 1 -> node 2 decodes OTHER, node 1 OWN.
