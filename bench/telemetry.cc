@@ -10,6 +10,8 @@
 
 #include "core/loop_exec.hh"
 #include "sim/config.hh"
+#include "sim/critpath.hh"
+#include "sim/profile.hh"
 #include "sim/timeline.hh"
 #include "sim/trace.hh"
 #include "sim/trace_export.hh"
@@ -154,6 +156,12 @@ runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
     bool tlOn = procTl.isOn();
     Tick tlInterval = procTl.interval();
     std::vector<timeline::Timeline> tlShards(tlOn ? n : 0);
+    // Same per-job capture for the critical-path recorder: each job
+    // fills its own context's recorder; merging in job-id order keeps
+    // the export byte-identical across --jobs values.
+    critpath::Recorder &procCp = critpath::current();
+    bool cpOn = procCp.isOn();
+    std::vector<critpath::Recorder> cpShards(cpOn ? n : 0);
     campaign::Options opts;
     opts.jobs = jobs();
     opts.baseSeed = base_seed;
@@ -163,9 +171,13 @@ runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
             ScopedTelemetry scoped(shards[id]);
             if (tlOn)
                 timeline::current().enable(tlInterval);
+            if (cpOn)
+                critpath::current().enable();
             fn(id, ctx);
             if (tlOn)
                 tlShards[id] = timeline::current();
+            if (cpOn)
+                cpShards[id] = critpath::current();
         },
         opts);
     Telemetry &t = processTelemetry();
@@ -173,6 +185,8 @@ runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
         t.merge(shard);
     for (const timeline::Timeline &shard : tlShards)
         procTl.merge(shard);
+    for (const critpath::Recorder &shard : cpShards)
+        procCp.merge(shard);
     return outcomes;
 }
 
@@ -225,6 +239,7 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
     std::string outPath = envOut ? envOut : "BENCH_results.json";
     std::string tracePath;
     std::string timelinePath;
+    std::string critpathPath;
     bool writeJson = true;
 
     for (int i = 1; i < argc; ++i) {
@@ -243,6 +258,10 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
             timelinePath = arg.substr(std::strlen("--timeline-out="));
         } else if (arg == "--timeline-out" && i + 1 < argc) {
             timelinePath = argv[++i];
+        } else if (arg.rfind("--critpath-out=", 0) == 0) {
+            critpathPath = arg.substr(std::strlen("--critpath-out="));
+        } else if (arg == "--critpath-out" && i + 1 < argc) {
+            critpathPath = argv[++i];
         } else if (arg.rfind("--jobs=", 0) == 0 ||
                    (arg == "--jobs" && i + 1 < argc)) {
             const char *val = arg == "--jobs"
@@ -259,13 +278,17 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--quick] [--no-json] "
                         "[--out <path>] [--trace-out <path>] "
-                        "[--timeline-out <path>] [--jobs <n>]\n"
+                        "[--timeline-out <path>] "
+                        "[--critpath-out <path>] [--jobs <n>]\n"
                         "  --trace-out  record the protocol trace and "
                         "write Chrome/Perfetto JSON to <path>\n"
                         "  --timeline-out  sample the metric timeline "
                         "and write its CSV to <path> (with "
                         "--trace-out, counter tracks land in the "
                         "trace JSON too)\n"
+                        "  --critpath-out  profile stall attribution "
+                        "and write the critical-path Perfetto JSON "
+                        "to <path>\n"
                         "  --jobs       campaign worker threads "
                         "(0 = all host cores; default 1)\n",
                         argv[0]);
@@ -281,6 +304,8 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
         trace::buffer().enable();
     if (!timelinePath.empty())
         timeline::current().enable();
+    if (!critpathPath.empty())
+        critpath::current().enable();
 
     auto t0 = std::chrono::steady_clock::now();
     int rc = body();
@@ -316,6 +341,28 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
             std::fprintf(stderr,
                          "%s: failed to write timeline to %s\n",
                          name, timelinePath.c_str());
+            if (rc == 0)
+                rc = 1;
+        }
+    }
+
+    const critpath::Recorder &cp = critpath::current();
+    if (!critpathPath.empty()) {
+        std::ofstream os(critpathPath, std::ios::trunc);
+        if (os)
+            os << cp.perfettoJson();
+        if (os) {
+            std::printf("[critpath] wrote %" PRIu64
+                        " txn records over %" PRIu64 " runs to %s\n",
+                        cp.numTxns(), cp.numRuns(),
+                        critpathPath.c_str());
+            std::string line = cp.summaryLine();
+            if (!line.empty())
+                std::printf("[critpath] %s\n", line.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "%s: failed to write critpath report to %s\n",
+                         name, critpathPath.c_str());
             if (rc == 0)
                 rc = 1;
         }
@@ -364,6 +411,40 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
             << "    \"timeline_series\": " << tl.numSeries() << ",\n"
             << "    \"timeline_out\": \"" << jsonEscape(timelinePath)
             << "\",\n";
+    }
+    if (!critpathPath.empty()) {
+        rec << "    \"critpath_txns\": " << cp.numTxns() << ",\n"
+            << "    \"critpath_summary\": \""
+            << jsonEscape(cp.summaryLine()) << "\",\n"
+            << "    \"critpath_out\": \"" << jsonEscape(critpathPath)
+            << "\",\n";
+    }
+    if constexpr (profileEnabled) {
+        // SPECRT_PROFILE builds: the host-side profile (per-EventKind
+        // fired-event histogram + scoped timers), previously
+        // stderr-only, rides along in the telemetry record.
+        const prof::Registry &reg = prof::Registry::instance();
+        const auto &hist = reg.eventHist();
+        rec << "    \"profile\": {\"events\": {";
+        bool firstKey = true;
+        for (size_t k = 0; k < numEventKinds; ++k) {
+            if (!hist[k])
+                continue;
+            rec << (firstKey ? "" : ", ") << "\""
+                << jsonEscape(eventKindName(
+                       static_cast<EventKind>(k)))
+                << "\": " << hist[k];
+            firstKey = false;
+        }
+        rec << "}, \"timers\": {";
+        firstKey = true;
+        for (const prof::Counter *c : reg.counters()) {
+            rec << (firstKey ? "" : ", ") << "\""
+                << jsonEscape(c->name) << "\": {\"hits\": " << c->hits
+                << ", \"ns\": " << c->ns << "}";
+            firstKey = false;
+        }
+        rec << "}},\n";
     }
     rec << "    \"metrics\": {";
     for (size_t i = 0; i < t.metrics.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/critpath.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -118,7 +119,13 @@ LoopExecutor::LoopExecutor(const MachineConfig &config,
 {
 }
 
-LoopExecutor::~LoopExecutor() = default;
+LoopExecutor::~LoopExecutor()
+{
+    // The engine was published through the current context
+    // (stall::install); retract it before it dies.
+    if (stallEng && stall::current() == stallEng.get())
+        stall::install(nullptr);
+}
 
 IterNum
 LoopExecutor::numIters() const
@@ -421,6 +428,17 @@ LoopExecutor::accumulate(BreakdownAgg &agg)
     }
 }
 
+void
+LoopExecutor::settleStall(Tick dur, stall::Cause residual)
+{
+    if (!stallEng || dur == 0)
+        return;
+    std::vector<double> busy_d(procs.size(), 0.0);
+    for (size_t p = 0; p < procs.size(); ++p)
+        busy_d[p] = procs[p]->busyCycles();
+    stallEng->settlePhase(static_cast<double>(dur), busy_d, residual);
+}
+
 std::pair<Tick, bool>
 LoopExecutor::runLoopPhase()
 {
@@ -535,10 +553,12 @@ LoopExecutor::runLoopPhase()
         if (n_procs > 1) {
             Tick end =
                 *std::max_element(done_tick.begin(), done_tick.end());
-            for (int p = 0; p < n_procs; ++p)
-                procs[p]->addSyncCycles(
-                    static_cast<double>(end - done_tick[p]) +
-                    static_cast<double>(cfg.barrierCycles));
+            for (int p = 0; p < n_procs; ++p) {
+                double sy = static_cast<double>(end - done_tick[p]) +
+                            static_cast<double>(cfg.barrierCycles);
+                procs[p]->addSyncCycles(sy);
+                stall::charge(p, stall::Cause::Barrier, sy);
+            }
             // Advance the time base past the barrier episode (the
             // queue may already have drained trailing acks beyond
             // it).
@@ -587,10 +607,12 @@ LoopExecutor::runProgramPhase(
     Tick end = *std::max_element(done_tick.begin(), done_tick.end());
     Tick dur = end - start;
     if (n_procs > 1) {
-        for (int p = 0; p < n_procs; ++p)
-            procs[p]->addSyncCycles(
-                static_cast<double>(end - done_tick[p]) +
-                static_cast<double>(cfg.barrierCycles));
+        for (int p = 0; p < n_procs; ++p) {
+            double sy = static_cast<double>(end - done_tick[p]) +
+                        static_cast<double>(cfg.barrierCycles);
+            procs[p]->addSyncCycles(sy);
+            stall::charge(p, stall::Cause::Barrier, sy);
+        }
         dur += cfg.barrierCycles;
     }
     accumulate(aggScratch);
@@ -935,6 +957,11 @@ LoopExecutor::initSampler()
     tlSampler->addGauge("net.in_flight", [net]() {
         return static_cast<double>(net->numInFlight());
     });
+    // Watchdog retransmits otherwise tick invisibly: a run stuck in
+    // retry/backoff shows empty in_flight windows with no cause.
+    tlSampler->addGauge("net.retries_pending", [net]() {
+        return static_cast<double>(net->numPendingRetransmits());
+    });
     DsmSystem *d = dsm.get();
     int n = d->numProcs();
     tlSampler->addGauge("dir.active_txns", [d, n]() {
@@ -968,6 +995,10 @@ LoopExecutor::initSampler()
     tlSampler->addStatDelta(*dsm);
     if (spec)
         tlSampler->addStatDelta(*spec);
+    // With the profiler on, the timeline gains delta.stall.* series
+    // for free (the PR-5 delta machinery).
+    if (stallEng)
+        tlSampler->addStatDelta(*stallEng);
 }
 
 RunResult
@@ -977,11 +1008,22 @@ LoopExecutor::run()
     // Protocol tracing: the config knob wins, the environment
     // (SPECRT_TRACE) can switch it on for any driver that never
     // touches cfg.trace. Neither affects modeled timing. The metric
-    // timeline follows the same contract (SPECRT_TIMELINE).
+    // timeline follows the same contract (SPECRT_TIMELINE), as does
+    // the critical-path profiler (SPECRT_CRITPATH).
     trace::applyConfig(cfg.trace);
     trace::maybeEnableFromEnv();
     timeline::applyConfig(cfg.timeline);
     timeline::maybeEnableFromEnv();
+    critpath::applyConfig(cfg.critpath);
+    critpath::maybeEnableFromEnv();
+    if (stallEng && stall::current() == stallEng.get())
+        stall::install(nullptr);
+    stallEng.reset();
+    if (critpath::enabled()) {
+        stallEng = std::make_unique<stall::Engine>(cfg.numProcs);
+        stallEng->attachRecorder(&critpath::current());
+        stall::install(stallEng.get());
+    }
     initSampler();
     beginTraceLoop(dsm->eventQueue().curTick(), execModeName(xc.mode),
                    numIters());
@@ -990,13 +1032,35 @@ LoopExecutor::run()
     res.mode = xc.mode;
     aggScratch = BreakdownAgg{};
 
+    // Fill res.cost from the engine and feed the run's totals to the
+    // critical-path recorder (once every phase has been settled).
+    auto fill_cost = [this](RunResult &r) {
+        if (!stallEng)
+            return;
+        r.cost.valid = true;
+        r.cost.numProcs = cfg.numProcs;
+        r.cost.perNodeTicks = static_cast<double>(r.totalTicks);
+        for (int n = 0; n < cfg.numProcs; ++n)
+            r.cost.busy += stallEng->busyOf(n);
+        for (size_t c = 0; c < stall::numCauses; ++c)
+            r.cost.stalls[c] =
+                stallEng->causeTotal(static_cast<stall::Cause>(c));
+        if (critpath::enabled())
+            critpath::current().addRunTotals(
+                r.cost.busy, r.cost.stalls, r.cost.perNodeTicks,
+                cfg.numProcs);
+    };
+
     bool is_sw = xc.mode == ExecMode::SW;
     bool is_hw = xc.mode == ExecMode::HW;
 
-    if (is_sw)
+    if (is_sw) {
         res.phases.zeroOut = runZeroOutPhase();
+        settleStall(res.phases.zeroOut, stall::Cause::CommitSerial);
+    }
     if (is_sw || is_hw) {
         res.phases.backup = runBackupPhase(false);
+        settleStall(res.phases.backup, stall::Cause::CommitSerial);
         traceMark(trace::TraceOp::Checkpoint,
                   dsm->eventQueue().curTick(), "backup of shared arrays");
         if (res.phases.backup > 0)
@@ -1009,6 +1073,7 @@ LoopExecutor::run()
 
     auto [loop_ticks, completed] = runLoopPhase();
     res.phases.loop = loop_ticks;
+    settleStall(res.phases.loop, stall::Cause::Other);
     for (auto &p : procs)
         res.itersExecuted += p->itersExecuted();
 
@@ -1027,6 +1092,7 @@ LoopExecutor::run()
         res.totalTicks = res.phases.total();
         res.agg = aggScratch;
         res.eventsFired = dsm->eventQueue().numFiredTotal();
+        fill_cost(res);
         traceMark(trace::TraceOp::LoopEnd, dsm->eventQueue().curTick(),
                   "infra abort");
         return res;
@@ -1048,7 +1114,9 @@ LoopExecutor::run()
 
     if (is_sw) {
         res.phases.merge = runMergePhase();
+        settleStall(res.phases.merge, stall::Cause::CommitSerial);
         res.phases.analysis = runAnalysisPhase();
+        settleStall(res.phases.analysis, stall::Cause::CommitSerial);
         for (const ArraySetup &s : setups) {
             if (s.effTest == TestType::None)
                 continue;
@@ -1083,16 +1151,24 @@ LoopExecutor::run()
                       dsm->eventQueue().curTick(),
                       "software LRPD test failed");
         res.phases.restore = runBackupPhase(true);
+        settleStall(res.phases.restore, stall::Cause::AbortRedo);
         res.phases.serial = runSerialPhase();
+        settleStall(res.phases.serial, stall::Cause::AbortRedo);
     } else {
         if (is_sw || is_hw)
             traceMark(trace::TraceOp::Commit,
                       dsm->eventQueue().curTick(),
                       "speculative state committed");
-        if (is_sw || is_hw)
+        if (is_sw || is_hw) {
             res.phases.copyOut = runCopyOutPhase();
-        if (xc.mode != ExecMode::Serial)
+            settleStall(res.phases.copyOut,
+                        stall::Cause::CommitSerial);
+        }
+        if (xc.mode != ExecMode::Serial) {
             res.phases.reduction = runReductionPhase();
+            settleStall(res.phases.reduction,
+                        stall::Cause::CommitSerial);
+        }
     }
 
     if (checker)
@@ -1109,6 +1185,7 @@ LoopExecutor::run()
     res.totalTicks = res.phases.total();
     res.agg = aggScratch;
     res.eventsFired = dsm->eventQueue().numFiredTotal();
+    fill_cost(res);
     traceMark(trace::TraceOp::LoopEnd, dsm->eventQueue().curTick(),
               res.passed ? "passed" : "failed");
     if (xc.keepTrace)

@@ -35,6 +35,7 @@
 #include "runtime/processor.hh"
 #include "runtime/scheduler.hh"
 #include "runtime/workload.hh"
+#include "sim/stall.hh"
 #include "sim/timeline.hh"
 #include "spec/spec_unit.hh"
 
@@ -163,6 +164,13 @@ struct RunResult
     std::map<int, LrpdAnalysis> swAnalyses;
     /** Access trace of the loop phase (when keepTrace). */
     std::vector<AccessEvent> trace;
+    /**
+     * Where the cycles went (cfg.critpath.enabled or SPECRT_CRITPATH;
+     * cost.valid == false otherwise). Every simulated tick of every
+     * node is attributed: busy + sum(stalls) == numProcs *
+     * totalTicks, exactly.
+     */
+    stall::CostBreakdown cost;
 };
 
 /** Executes one workload run. */
@@ -184,6 +192,13 @@ class LoopExecutor : public TraceSink
 
     /** The invariant checker (checkInvariants only; else null). */
     InvariantChecker *invariantChecker() { return checker.get(); }
+
+    /**
+     * The stall-attribution engine of the last run (critpath
+     * profiling only; else null). Valid until the next run() or
+     * destruction; tests read per-node totals off it.
+     */
+    stall::Engine *stallEngine() { return stallEng.get(); }
 
     /** Shared region of declaration @p decl_idx (after run()). */
     const Region *sharedRegion(int decl_idx) const;
@@ -242,6 +257,16 @@ class LoopExecutor : public TraceSink
     void accumulate(BreakdownAgg &agg);
     void resetProcStats();
 
+    /**
+     * Close one phase of the stall accounting: each node's busy
+     * delta (its phase-scoped busy counter) is recorded and the
+     * unattributed remainder charged to @p residual. No-op when the
+     * profiler is off or the phase had zero length (a zero-length
+     * phase never ran resetPhaseStats, so the proc counters still
+     * belong to the previous phase).
+     */
+    void settleStall(Tick dur, stall::Cause residual);
+
     /** Create the timeline sampler (no-op when the timeline is off). */
     void initSampler();
     /** Re-arm the sampler before an event-queue drain leg. */
@@ -268,6 +293,12 @@ class LoopExecutor : public TraceSink
     std::unique_ptr<SpecSystem> spec;
     std::unique_ptr<InvariantChecker> checker;
     std::vector<std::unique_ptr<Processor>> procs;
+    /**
+     * Stall-attribution engine (critpath profiling only). Declared
+     * after the machine (hooks fire while it runs) and before the
+     * sampler, whose final sample reads the engine's stats.
+     */
+    std::unique_ptr<stall::Engine> stallEng;
     /**
      * Declared after the machine members: its gauges read them, and
      * its destructor (final sample) must run before they go away.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/stall.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -98,6 +99,8 @@ CacheCtrl::load(Addr addr, uint32_t size, IterNum iter, LoadDone done)
     ++misses;
     loadTxn = LoadTxn{line, addr, size, iter, std::move(done), false,
                       seqCounter++, 0, invalidEventId};
+    stall::loadBegin(node, loadTxn->seq, line, addr, iter,
+                     homeOf(addr), eq.curTick());
     sendLoadReq(cfg.lat.l1Hit + cfg.lat.l2Access);
     loadTxn->watchdog = armWatchdog(true, loadTxn->seq, 0);
 }
@@ -225,6 +228,14 @@ CacheCtrl::onWatchdog(bool is_load, uint64_t seq)
 
     ++watchdogFires;
     int attempts = is_load ? loadTxn->attempts : storeAttempts;
+    if (is_load) {
+        // The whole expired backoff window was spent waiting on a
+        // lost or late message; credit it to the outstanding load.
+        // (loadWait() clamps the credit if a reply overlapped it.)
+        Cycles window = cfg.fault.watchdogTimeout
+                        << std::min(attempts, 16);
+        stall::retryWindow(node, seq, static_cast<double>(window));
+    }
     if (attempts >= cfg.fault.watchdogMaxRetries) {
         txnLost(is_load ? loadTxn->elem : wb.front().addr,
                 is_load ? "load transaction" : "store transaction");

@@ -1,6 +1,7 @@
 #include "mem/dir_ctrl.hh"
 
 #include "sim/logging.hh"
+#include "sim/stall.hh"
 #include "sim/timeline.hh"
 #include "sim/trace.hh"
 
@@ -128,19 +129,24 @@ DirCtrl::enqueue(const Msg &msg)
     if (findActive(msg.lineAddr)) {
         timeline::dirQueued(node, heatElem(msg));
         waiting.push_back(msg);
+        waitingSince.push_back(eq.curTick());
         return;
     }
-    beginTxn(msg);
+    beginTxn(msg, eq.curTick());
 }
 
 void
-DirCtrl::beginTxn(const Msg &msg)
+DirCtrl::beginTxn(const Msg &msg, Tick enq_tick)
 {
     Addr line = msg.lineAddr;
     active.push_back(Txn{line, msg, 0, false, false});
 
     Tick start = claimController();
     queuedCycles += static_cast<double>(start - eq.curTick());
+    // Everything between arrival at this home and processing start is
+    // home-node serialization: line-queue wait + controller occupancy.
+    stall::dirWait(msg.src, msg.txnSeq,
+                   static_cast<double>(start - enq_tick));
     // Capture only the line: the request lives in the active set, so
     // the callback stays within SmallFunction's inline buffer.
     eq.schedule(start, [this, line]() { runTxn(line); });
@@ -155,9 +161,12 @@ DirCtrl::tryStart(Addr line)
         if (waiting[i].lineAddr != line)
             continue;
         Msg req = std::move(waiting[i]);
+        Tick since = waitingSince[i];
         waiting.erase(waiting.begin() +
                       static_cast<ptrdiff_t>(i));
-        beginTxn(req);
+        waitingSince.erase(waitingSince.begin() +
+                           static_cast<ptrdiff_t>(i));
+        beginTxn(req, since);
         return;
     }
 }
@@ -490,6 +499,7 @@ DirCtrl::reset()
     SPECRT_ASSERT(active.empty() || true, "reset");
     active.clear();
     waiting.clear();
+    waitingSince.clear();
     dir.clear();
     nextFree = 0;
 }

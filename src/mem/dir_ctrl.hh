@@ -104,8 +104,12 @@ class DirCtrl : public StatGroup
     static bool startsTxn(MsgType t);
 
     void enqueue(const Msg &msg);
-    /** Open a serialized transaction for @p msg and schedule it. */
-    void beginTxn(const Msg &msg);
+    /**
+     * Open a serialized transaction for @p msg and schedule it.
+     * @p enq_tick is when the request first reached this home
+     * (queue wait is attributed from there).
+     */
+    void beginTxn(const Msg &msg, Tick enq_tick);
     /** Start the next queued request for @p line, if any. */
     void tryStart(Addr line);
     /** Scheduled entry point: run the active transaction's request. */
@@ -149,6 +153,8 @@ class DirCtrl : public StatGroup
      */
     std::vector<Txn> active;
     std::vector<Msg> waiting;
+    /** Arrival tick of each waiting[] request (parallel vector). */
+    std::vector<Tick> waitingSince;
     Tick nextFree = 0;
     /** Duplicates/strays tolerated instead of asserted. */
     bool lenient = false;

@@ -5,6 +5,7 @@
 
 #include "sim/logging.hh"
 #include "sim/sim_context.hh"
+#include "sim/stall.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -151,6 +152,19 @@ Network::transmit(Msg msg, Cycles extra_delay, int attempt)
         delay += hopLatency;
         ++hops;
         ++hopStat;
+        if (stall::enabled()) {
+            // Credit this hop to the load transaction it serves; the
+            // requester's identity depends on the protocol leg.
+            NodeId requester = msg.type == MsgType::ReadReq
+                                   ? msg.src
+                               : msg.type == MsgType::ReadFwd
+                                   ? msg.requester
+                               : msg.type == MsgType::ReadReply
+                                   ? msg.dst
+                                   : NodeId(-1);
+            stall::netLeg(requester, msg.txnSeq,
+                          static_cast<double>(hopLatency));
+        }
     }
 
     FaultDecision fd;

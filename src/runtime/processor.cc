@@ -1,6 +1,7 @@
 #include "runtime/processor.hh"
 
 #include "sim/logging.hh"
+#include "sim/stall.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -90,7 +91,9 @@ Processor::fetchWork()
         cache.requestDrainNotice([this, t0]() {
             if (!active)
                 return;
-            mem += static_cast<double>(eq.curTick() - t0);
+            double waited = static_cast<double>(eq.curTick() - t0);
+            mem += waited;
+            stall::memWait(node, waited);
             active = false;
             if (doneCb)
                 doneCb(node);
@@ -101,6 +104,7 @@ Processor::fetchWork()
     curIter = grant.lo;
     chunkHi = grant.hi;
     if (grant.delay > 0) {
+        // The work source already attributed this delay (SchedWait).
         sync += static_cast<double>(grant.delay);
         eq.scheduleIn(grant.delay, [this]() { beginIteration(); });
     } else {
@@ -151,7 +155,9 @@ Processor::finishIteration()
         cache.requestDrainNotice([this, t0, advance]() {
             if (!active)
                 return;
-            mem += static_cast<double>(eq.curTick() - t0);
+            double waited = static_cast<double>(eq.curTick() - t0);
+            mem += waited;
+            stall::memWait(node, waited);
             advance();
         });
     } else {
@@ -270,8 +276,12 @@ Processor::issueLoad(const Op &op)
                        return;
                    busy += 1;
                    Tick latency = eq.curTick() - t0;
-                   if (latency > 1)
+                   if (latency > 1) {
                        mem += static_cast<double>(latency - 1);
+                       stall::loadWait(
+                           node, static_cast<double>(latency - 1),
+                           eq.curTick());
+                   }
                    regs[dst] = static_cast<int64_t>(value);
                    step();
                });
@@ -301,8 +311,10 @@ Processor::issueStore(const Op &op, Tick stall_start)
 
     busy += 1;
     Tick waited = eq.curTick() - stall_start;
-    if (waited > 0)
+    if (waited > 0) {
         mem += static_cast<double>(waited);
+        stall::memWait(node, static_cast<double>(waited));
+    }
     eq.scheduleIn(1, [this]() { step(); });
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "sim/logging.hh"
+#include "sim/stall.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -112,6 +113,10 @@ DynamicSource::next(NodeId p, Tick now)
     Tick start = std::max(now, lockFree);
     lockFree = start + grabCycles;
     Cycles delay = (start + grabCycles) - now;
+    // The whole grant delay -- lock contention plus the grab itself --
+    // is scheduling-lock serialization. Charged here (not by the
+    // processor) because only this source knows the delay's origin.
+    stall::schedWait(p, static_cast<double>(delay));
 
     IterNum lo = nextIter;
     IterNum hi = std::min<IterNum>(lo + blockIters, numIters + 1);

@@ -65,6 +65,21 @@ TimelineConfig::fromEnv()
     return tc;
 }
 
+CritpathConfig
+CritpathConfig::fromEnv()
+{
+    CritpathConfig cc;
+    const char *v = std::getenv("SPECRT_CRITPATH");
+    if (!v || !*v || std::string(v) == "0")
+        return cc;
+    cc.enabled = true;
+    if (std::string(v) != "1")
+        cc.outPath = v;
+    if (const char *out = std::getenv("SPECRT_CRITPATH_OUT"))
+        cc.outPath = out;
+    return cc;
+}
+
 void
 MachineConfig::validate() const
 {

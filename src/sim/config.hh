@@ -166,6 +166,27 @@ struct TimelineConfig
     static TimelineConfig fromEnv();
 };
 
+/**
+ * Critical-path / stall-attribution profiler knobs (sim/stall.hh,
+ * sim/critpath.hh). Host-side observability only, like tracing:
+ * attribution never changes modeled timing, so this struct is
+ * excluded from MachineConfig::fingerprint().
+ */
+struct CritpathConfig
+{
+    /** Attribute stalls and record transaction latencies. */
+    bool enabled = false;
+    /** Where to write the Perfetto critpath JSON ("" = don't). */
+    std::string outPath;
+
+    /**
+     * Parse SPECRT_CRITPATH (unset/"0" = off; "1" = on; any other
+     * value = on, writing the report to that path) and
+     * SPECRT_CRITPATH_OUT.
+     */
+    static CritpathConfig fromEnv();
+};
+
 /** Full machine description. */
 struct MachineConfig
 {
@@ -210,6 +231,12 @@ struct MachineConfig
      * like tracing: not part of fingerprint().
      */
     TimelineConfig timeline;
+
+    /**
+     * Stall attribution + critical-path recording (off by default).
+     * Observability-only like tracing: not part of fingerprint().
+     */
+    CritpathConfig critpath;
 
     /** Checks that the configuration is self-consistent (fatal()s). */
     void validate() const;

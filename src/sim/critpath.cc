@@ -1,0 +1,402 @@
+#include "sim/critpath.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/config.hh"
+#include "sim/sim_context.hh"
+
+namespace specrt
+{
+namespace critpath
+{
+
+thread_local bool tlsCritpathOn = false;
+
+Recorder &
+current()
+{
+    return SimContext::current().critpathData();
+}
+
+void
+refreshEnabled()
+{
+    tlsCritpathOn = SimContext::current().critpathData().isOn();
+}
+
+void
+Recorder::enable()
+{
+    on = true;
+    refreshEnabled();
+}
+
+void
+Recorder::disable()
+{
+    on = false;
+    refreshEnabled();
+}
+
+// --- collection -------------------------------------------------------
+
+namespace
+{
+
+/** Slowest first; every tiebreak deterministic (campaign merges). */
+bool
+slowerThan(const TxnRecord &a, const TxnRecord &b)
+{
+    if (a.latency() != b.latency())
+        return a.latency() > b.latency();
+    if (a.start != b.start)
+        return a.start < b.start;
+    if (a.node != b.node)
+        return a.node < b.node;
+    return a.seq < b.seq;
+}
+
+} // namespace
+
+void
+Recorder::addTxn(const TxnRecord &r)
+{
+    ++txnsSeen;
+    HomeAgg &h = homeAgg[r.home];
+    h.dirWait += r.dirWait;
+    ++h.txns;
+    h.minElem = std::min(h.minElem, r.elem);
+    h.maxElem = std::max(h.maxElem, r.elem);
+
+    top.push_back(r);
+    std::sort(top.begin(), top.end(), slowerThan);
+    if (top.size() > topK)
+        top.resize(topK);
+}
+
+void
+Recorder::addRunTotals(double busy,
+                       const std::array<double, stall::numCauses>
+                           &stalls,
+                       double run_ticks, int nprocs)
+{
+    ++runsSeen;
+    busyTotal += busy;
+    for (size_t c = 0; c < stall::numCauses; ++c)
+        stallTotals[c] += stalls[c];
+    runTicksTotal += run_ticks;
+    procsMax = std::max(procsMax, nprocs);
+}
+
+void
+Recorder::merge(const Recorder &shard)
+{
+    runsSeen += shard.runsSeen;
+    txnsSeen += shard.txnsSeen;
+    busyTotal += shard.busyTotal;
+    runTicksTotal += shard.runTicksTotal;
+    procsMax = std::max(procsMax, shard.procsMax);
+    for (size_t c = 0; c < stall::numCauses; ++c)
+        stallTotals[c] += shard.stallTotals[c];
+    for (const auto &kv : shard.homeAgg) {
+        HomeAgg &h = homeAgg[kv.first];
+        h.dirWait += kv.second.dirWait;
+        h.txns += kv.second.txns;
+        h.minElem = std::min(h.minElem, kv.second.minElem);
+        h.maxElem = std::max(h.maxElem, kv.second.maxElem);
+    }
+    top.insert(top.end(), shard.top.begin(), shard.top.end());
+    std::sort(top.begin(), top.end(), slowerThan);
+    if (top.size() > topK)
+        top.resize(topK);
+}
+
+// --- reports ----------------------------------------------------------
+
+std::string
+Recorder::summaryLine() const
+{
+    double stall_sum = 0;
+    for (double v : stallTotals)
+        stall_sum += v;
+    if (stall_sum <= 0)
+        return "";
+
+    size_t dom = 0;
+    for (size_t c = 1; c < stall::numCauses; ++c)
+        if (stallTotals[c] > stallTotals[dom])
+            dom = c;
+    stall::Cause cause = static_cast<stall::Cause>(dom);
+    long pct = std::lround(100.0 * stallTotals[dom] / stall_sum);
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "run bounded %ld%% by %s", pct,
+                  stall::causePrettyName(cause));
+    std::string line = buf;
+
+    if (cause == stall::Cause::DirQueue && !homeAgg.empty()) {
+        NodeId hot = homeAgg.begin()->first;
+        double hot_wait = -1;
+        for (const auto &kv : homeAgg) {
+            if (kv.second.dirWait > hot_wait) {
+                hot_wait = kv.second.dirWait;
+                hot = kv.first;
+            }
+        }
+        const HomeAgg &h = homeAgg.at(hot);
+        if (h.txns > 0 && h.minElem <= h.maxElem) {
+            std::snprintf(buf, sizeof(buf),
+                          " at home node %d, elements 0x%llx-0x%llx",
+                          static_cast<int>(hot),
+                          static_cast<unsigned long long>(h.minElem),
+                          static_cast<unsigned long long>(h.maxElem));
+            line += buf;
+        }
+    }
+    return line;
+}
+
+namespace
+{
+
+/** Integer-exact numeric literal (matches the timeline's putValue). */
+std::string
+num(double v)
+{
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char ch : s) {
+        switch (ch) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char esc[8];
+                std::snprintf(esc, sizeof(esc), "\\u%04x", ch);
+                out += esc;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+event(std::string &out, bool &first, const std::string &body)
+{
+    if (!first)
+        out += ',';
+    first = false;
+    out += '\n';
+    out += body;
+}
+
+/** One async begin/end pair on the critpath track. */
+void
+asyncSlice(std::string &out, bool &first, const std::string &id,
+           const std::string &name, NodeId tid, double ts_b,
+           double ts_e, const std::string &args)
+{
+    std::string b = "{\"cat\":\"critpath\",\"name\":" + jsonStr(name) +
+                    ",\"ph\":\"b\",\"id\":" + jsonStr(id) +
+                    ",\"ts\":" + num(ts_b) +
+                    ",\"pid\":" + std::to_string(Recorder::perfettoPid) +
+                    ",\"tid\":" + std::to_string(tid);
+    if (!args.empty())
+        b += ",\"args\":" + args;
+    b += "}";
+    event(out, first, b);
+    event(out, first,
+          "{\"cat\":\"critpath\",\"name\":" + jsonStr(name) +
+              ",\"ph\":\"e\",\"id\":" + jsonStr(id) +
+              ",\"ts\":" + num(ts_e) +
+              ",\"pid\":" + std::to_string(Recorder::perfettoPid) +
+              ",\"tid\":" + std::to_string(tid) + "}");
+}
+
+} // namespace
+
+void
+Recorder::appendTraceEvents(std::string &out, bool &first) const
+{
+    if (top.empty() && !hasData())
+        return;
+
+    event(out, first,
+          "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+              std::to_string(perfettoPid) +
+              ",\"args\":{\"name\":\"critical path\"}}");
+
+    std::vector<NodeId> nodes;
+    for (const TxnRecord &t : top)
+        if (std::find(nodes.begin(), nodes.end(), t.node) ==
+            nodes.end())
+            nodes.push_back(t.node);
+    std::sort(nodes.begin(), nodes.end());
+    for (NodeId n : nodes)
+        event(out, first,
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+                  std::to_string(perfettoPid) +
+                  ",\"tid\":" + std::to_string(n) +
+                  ",\"args\":{\"name\":\"node " + std::to_string(n) +
+                  " slow loads\"}}");
+
+    for (const TxnRecord &t : top) {
+        std::string id =
+            std::to_string(t.node) + ":" + std::to_string(t.seq);
+        char ebuf[64];
+        std::snprintf(ebuf, sizeof(ebuf), "load 0x%llx",
+                      static_cast<unsigned long long>(t.elem));
+        std::string args =
+            "{\"home\":" + std::to_string(t.home) +
+            ",\"iter\":" + std::to_string(t.iter) +
+            ",\"seq\":" + std::to_string(t.seq) +
+            ",\"dir_wait\":" + num(t.dirWait) +
+            ",\"net\":" + num(t.net) +
+            ",\"retry\":" + num(t.retry) +
+            ",\"service\":" + num(t.service) + "}";
+        asyncSlice(out, first, id, ebuf, t.node,
+                   static_cast<double>(t.start),
+                   static_cast<double>(t.end), args);
+
+        // Child slices: canonical component order request-net,
+        // dir-queue, retry, service (+reply-net). The remainder of
+        // the measured latency folds into the service slice.
+        double ts = static_cast<double>(t.start);
+        double net_req = std::floor(t.net / 2);
+        double net_rep = t.net - net_req;
+        double service = static_cast<double>(t.end) -
+                         static_cast<double>(t.start) - t.net -
+                         t.dirWait - t.retry;
+        if (service < 0)
+            service = 0;
+        struct Seg
+        {
+            const char *name;
+            double len;
+        } segs[] = {
+            {"net request", net_req}, {"dir-queue", t.dirWait},
+            {"retry-backoff", t.retry}, {"service", service},
+            {"net reply", net_rep},
+        };
+        int si = 0;
+        for (const Seg &s : segs) {
+            ++si;
+            if (s.len <= 0)
+                continue;
+            asyncSlice(out, first,
+                       id + ":" + std::to_string(si), s.name, t.node,
+                       ts, ts + s.len, "");
+            ts += s.len;
+        }
+    }
+
+    std::string line = summaryLine();
+    if (!line.empty())
+        event(out, first,
+              "{\"name\":\"critpath summary\",\"ph\":\"i\",\"ts\":0,"
+              "\"pid\":" +
+                  std::to_string(perfettoPid) +
+                  ",\"tid\":0,\"s\":\"p\",\"args\":{\"summary\":" +
+                  jsonStr(line) + "}}");
+}
+
+std::string
+Recorder::perfettoJson() const
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    appendTraceEvents(out, first);
+    out += "\n],\n\"displayTimeUnit\":\"ms\",\n\"critpath\":{";
+    out += "\"summary\":" + jsonStr(summaryLine());
+    out += ",\"runs\":" + std::to_string(runsSeen);
+    out += ",\"txns\":" + std::to_string(txnsSeen);
+    out += ",\"procs\":" + std::to_string(procsMax);
+    out += ",\"run_ticks\":" + num(runTicksTotal);
+    out += ",\"busy\":" + num(busyTotal);
+    out += ",\"stall\":{";
+    for (size_t c = 0; c < stall::numCauses; ++c) {
+        if (c)
+            out += ',';
+        out += '"';
+        out += stall::causeName(static_cast<stall::Cause>(c));
+        out += "\":" + num(stallTotals[c]);
+    }
+    out += "}}}\n";
+    return out;
+}
+
+// --- config / env wiring ----------------------------------------------
+
+void
+applyConfig(const CritpathConfig &cc)
+{
+    if (!cc.enabled)
+        return;
+    SimContext &ctx = SimContext::current();
+    ctx.critpathData().enable();
+    if (!cc.outPath.empty())
+        ctx.critpathOutPath = cc.outPath;
+}
+
+namespace
+{
+
+/** The environment, parsed once per process (thread-safe). */
+const CritpathConfig &
+envCritpathConfig()
+{
+    static const CritpathConfig cc = CritpathConfig::fromEnv();
+    return cc;
+}
+
+} // namespace
+
+bool
+maybeEnableFromEnv()
+{
+    SimContext &ctx = SimContext::current();
+    if (!ctx.critpathEnvChecked) {
+        ctx.critpathEnvChecked = true;
+        const CritpathConfig &cc = envCritpathConfig();
+        if (cc.enabled) {
+            applyConfig(cc);
+            // Like SPECRT_TRACE: the report lands when the context
+            // dies, so env-profiled runs leave the file behind
+            // without the code under test knowing.
+            if (!ctx.critpathOutPath.empty())
+                ctx.critpathExportOnDestroy = true;
+        }
+    }
+    return enabled();
+}
+
+std::string
+summaryLine()
+{
+    if (!enabled())
+        return "";
+    return current().summaryLine();
+}
+
+} // namespace critpath
+} // namespace specrt

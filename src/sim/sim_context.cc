@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "sim/stall.hh"
 #include "sim/trace_export.hh"
 
 namespace specrt
@@ -38,7 +39,10 @@ SimContext::~SimContext()
     bool wantTimeline = timelineExportOnDestroy &&
                         !timelineOutPath.empty() &&
                         timelineTl.numSamples() != 0;
-    if (!wantTrace && !wantTimeline)
+    bool wantCritpath = critpathExportOnDestroy &&
+                        !critpathOutPath.empty() &&
+                        critpathRec.hasData();
+    if (!wantTrace && !wantTimeline && !wantCritpath)
         return;
     // One exporter at a time: several env-traced contexts may die
     // concurrently (campaign jobs), and the files must never hold an
@@ -74,6 +78,22 @@ SimContext::~SimContext()
         } else {
             std::fprintf(stderr, "[timeline] failed to write %s\n",
                          timelineOutPath.c_str());
+        }
+    }
+    if (wantCritpath) {
+        std::FILE *f = std::fopen(critpathOutPath.c_str(), "w");
+        if (f) {
+            std::string json = critpathRec.perfettoJson();
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::fprintf(stderr,
+                         "[critpath] wrote %llu txn records to %s\n",
+                         static_cast<unsigned long long>(
+                             critpathRec.numTxns()),
+                         critpathOutPath.c_str());
+        } else {
+            std::fprintf(stderr, "[critpath] failed to write %s\n",
+                         critpathOutPath.c_str());
         }
     }
 }
@@ -118,6 +138,8 @@ ScopedSimContext::ScopedSimContext(SimContext &ctx) : prev(tlsCurrent)
     tlsCurrent = &ctx;
     trace::refreshEnabled();
     timeline::refreshEnabled();
+    critpath::refreshEnabled();
+    stall::refreshEnabled();
 }
 
 ScopedSimContext::~ScopedSimContext()
@@ -125,6 +147,8 @@ ScopedSimContext::~ScopedSimContext()
     tlsCurrent = prev;
     trace::refreshEnabled();
     timeline::refreshEnabled();
+    critpath::refreshEnabled();
+    stall::refreshEnabled();
 }
 
 } // namespace specrt

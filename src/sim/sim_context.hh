@@ -42,6 +42,7 @@
 #include <string>
 
 #include "sim/arena.hh"
+#include "sim/critpath.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/timeline.hh"
@@ -51,6 +52,11 @@ namespace specrt
 {
 
 class ScheduleController;
+
+namespace stall
+{
+class Engine;
+}
 
 class SimContext
 {
@@ -126,6 +132,34 @@ class SimContext
      */
     bool timelineExportOnDestroy = false;
 
+    // --- critical path / stall attribution (sim/critpath.cc) ----------
+
+    critpath::Recorder &critpathData() { return critpathRec; }
+    const critpath::Recorder &critpathData() const
+    {
+        return critpathRec;
+    }
+
+    /** Where to write the critpath JSON ("" = nowhere). */
+    std::string critpathOutPath;
+    /** SPECRT_CRITPATH has been applied to this context already. */
+    bool critpathEnvChecked = false;
+    /**
+     * Write the Perfetto report to critpathOutPath when this context
+     * dies; set only by the SPECRT_CRITPATH env path (same contract
+     * as traceExportOnDestroy).
+     */
+    bool critpathExportOnDestroy = false;
+
+    /**
+     * Stall-attribution engine of the run in progress (sim/stall.hh).
+     * Owned by the profiled run's LoopExecutor, published here so
+     * protocol engines deep inside the machine reach it without
+     * plumbing (the scheduleController pattern). Null when no
+     * profiled run is active. Not owned.
+     */
+    stall::Engine *stallEngine = nullptr;
+
     // --- schedule exploration (read by mem/dsm.cc) --------------------
 
     /**
@@ -169,6 +203,7 @@ class SimContext
   private:
     trace::TraceBuffer traceBuf;
     timeline::Timeline timelineTl;
+    critpath::Recorder critpathRec;
     std::map<std::string, Rng> rngs;
     std::unique_ptr<Arena> arena;
 };

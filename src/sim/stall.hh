@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Stall-attribution engine: charge every processor-idle tick to
+ * exactly one cause.
+ *
+ * The Fig. 12 breakdown (runtime/processor.hh) already splits each
+ * processor's ticks into busy / sync / mem, but "mem" lumps together
+ * very different waits: the home directory queue, network transit,
+ * watchdog retry backoff, and the memory service itself. The paper's
+ * evaluation -- and the ROADMAP-4 scheme advisor -- need the split:
+ * a run bounded by directory occupancy wants a different remedy than
+ * one bounded by network hops.
+ *
+ * The Engine keeps one per-node accumulator per Cause. Hot paths feed
+ * it through the free functions below, which follow the trace.hh /
+ * timeline.hh guard discipline: a thread-local latch makes the
+ * disabled case one predictable branch, and refreshEnabled() re-syncs
+ * the latch when the current context changes or an engine is
+ * (un)installed. The engine itself is owned by the LoopExecutor of
+ * the profiled run and published through the current SimContext (the
+ * ScheduleController pattern), so protocol engines built deep inside
+ * the machine reach it without plumbing.
+ *
+ * Attribution model
+ * -----------------
+ * A node has at most one load miss outstanding (mem/cache_ctrl.hh),
+ * so the engine keeps one pending-load scratch record per node:
+ *
+ *  - cache_ctrl opens it on a load miss (loadBegin) and credits each
+ *    watchdog retry window (retryWindow);
+ *  - dir_ctrl credits the home-queue + controller-occupancy wait of
+ *    the matching request (dirWait), matched by (requester, txnSeq);
+ *  - the network credits each hop of the request/forward/reply legs
+ *    (netLeg), same matching;
+ *  - the processor closes it when the load completes (loadWait),
+ *    reporting the wait it actually charged to "mem"; the engine
+ *    reconciles: component credits are clamped so they never exceed
+ *    the measured wait (retry, then net, then dir give back first),
+ *    and the unexplained remainder is charged to Cause::LoadMiss
+ *    (the memory service itself).
+ *
+ * Credits for transactions without a matching scratch record (store
+ * transactions, stray retried messages) are dropped, never charged:
+ * over-attribution would break the accounting invariant below.
+ *
+ * The executor brackets every simulated phase with beginPhase() /
+ * settlePhase(). settlePhase() charges each node's unattributed
+ * remainder (phase ticks - busy - stalls charged this phase) to a
+ * phase-default cause -- Barrier for phase tails, CommitSerial for
+ * merge/commit phases, AbortRedo for restore + serial re-execution --
+ * and, should attribution ever exceed the phase length (fault
+ * injection can misalign a retry window), deterministically gives
+ * back the excess. The invariant
+ *
+ *     busy(n) + sum over causes of stall(n, c) == run ticks
+ *
+ * therefore holds exactly, per node, by construction; tests assert
+ * it tick-for-tick.
+ *
+ * The engine is a StatGroup ("stall") of per-node VectorStats, so
+ * handing it to timeline::RunSampler::addStatDelta() yields
+ * delta.stall.* timeline series for free.
+ */
+
+#ifndef SPECRT_SIM_STALL_HH
+#define SPECRT_SIM_STALL_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace specrt
+{
+
+namespace critpath
+{
+class Recorder;
+}
+
+namespace stall
+{
+
+/** Why a processor tick was not busy. */
+enum class Cause : uint8_t
+{
+    LoadMiss,     ///< load miss in flight (memory service itself)
+    DirQueue,     ///< queued behind a txn / controller occupancy
+    NetTransit,   ///< network hops of the miss transaction
+    RetryBackoff, ///< watchdog retry windows (lost/slow messages)
+    Barrier,      ///< barrier imbalance + barrier episodes
+    SchedWait,    ///< dynamic-scheduling lock serialization
+    CommitSerial, ///< commit/validate/merge serialization
+    AbortRedo,    ///< failed-speculation restore + serial redo
+    Other,        ///< attributed to no specific component
+    NumCauses,
+};
+
+constexpr size_t numCauses = static_cast<size_t>(Cause::NumCauses);
+
+/** Stable stat/report name of a cause, e.g.\ "dir_queue". */
+const char *causeName(Cause c);
+
+/** Hyphenated human name for reports, e.g.\ "dir-queue". */
+const char *causePrettyName(Cause c);
+
+/**
+ * Per-run cost breakdown, exposed through RunResult
+ * (core/loop_exec.hh). This is the stable interface downstream
+ * consumers -- the ROADMAP-4 online scheme advisor, the RCP backend
+ * comparison -- read; extend it, do not rearrange it.
+ *
+ * All cycle figures are summed over nodes. The accounting invariant
+ * guarantees busy + sum(stalls) == numProcs * perNodeTicks exactly.
+ */
+struct CostBreakdown
+{
+    /** The profiler was enabled for this run (else all zeros). */
+    bool valid = false;
+    int numProcs = 0;
+    /** Settled run length (equals RunResult::totalTicks). */
+    double perNodeTicks = 0;
+    double busy = 0;
+    std::array<double, numCauses> stalls{};
+
+    double stallOf(Cause c) const
+    {
+        return stalls[static_cast<size_t>(c)];
+    }
+    /** Sum of every stall cause. */
+    double stallTotal() const;
+    /** The cause holding the most stall cycles (ties: lowest). */
+    Cause dominantCause() const;
+    /** Share of total stall time held by the dominant cause [0,1]. */
+    double dominantShare() const;
+    /** One-line report naming the dominant cost component. */
+    std::string summary() const;
+};
+
+/** Per-node stall accounting for one profiled run. */
+class Engine : public StatGroup
+{
+  public:
+    explicit Engine(int num_procs);
+
+    int numProcs() const { return nProcs; }
+
+    // --- hot-path feeds (via the free functions below) ----------------
+
+    /** A load miss left node @p n (txn sequence @p seq). */
+    void loadBegin(NodeId n, uint64_t seq, Addr line, Addr elem,
+                   IterNum iter, NodeId home, Tick now);
+
+    /** The home dir held @p n's txn @p seq for @p wait cycles. */
+    void dirWait(NodeId n, uint64_t seq, double wait);
+
+    /** One network leg of @p n's txn @p seq took @p hop cycles. */
+    void netLeg(NodeId n, uint64_t seq, double hop);
+
+    /** Node @p n's txn @p seq sat out a retry window of @p w cycles. */
+    void retryWindow(NodeId n, uint64_t seq, double w);
+
+    /**
+     * Node @p n's outstanding load completed after waiting @p wait
+     * cycles (the amount the processor charged to "mem"). Reconciles
+     * component credits against the measured wait, charges the
+     * remainder to LoadMiss, and emits the transaction record to the
+     * critical-path recorder (when attached).
+     */
+    void loadWait(NodeId n, double wait, Tick now);
+
+    /** Charge @p t cycles on node @p n to @p c directly. */
+    void charge(NodeId n, Cause c, double t);
+
+    // --- phase bracketing (loop_exec) ---------------------------------
+
+    /** Mark the start of a simulated phase. */
+    void beginPhase();
+
+    /**
+     * Close the current phase of length @p phase_ticks: each node's
+     * busy delta is recorded, the unattributed remainder is charged
+     * to @p residual_cause, and any over-attribution is given back
+     * (see file comment). @p busy_delta has one entry per node.
+     */
+    void settlePhase(double phase_ticks,
+                     const std::vector<double> &busy_delta,
+                     Cause residual_cause);
+
+    // --- inspection ---------------------------------------------------
+
+    double busyOf(NodeId n) const { return busy[n]; }
+    double total(NodeId n, Cause c) const
+    {
+        return (*causes[static_cast<size_t>(c)])[n];
+    }
+    /** Sum of every cause on node @p n. */
+    double attributed(NodeId n) const;
+    /** Sum of @p c over all nodes. */
+    double causeTotal(Cause c) const
+    {
+        return causes[static_cast<size_t>(c)]->total();
+    }
+    /** Run ticks settled so far (same for every node). */
+    double settledTicks() const { return settled; }
+
+    /** Critical-path recorder fed by loadWait() (not owned). */
+    void attachRecorder(critpath::Recorder *r) { recorder = r; }
+
+  private:
+    /** The (single) outstanding load miss of one node. */
+    struct PendingLoad
+    {
+        bool open = false;
+        uint64_t seq = 0;
+        Addr line = 0;
+        Addr elem = 0;
+        IterNum iter = 0;
+        NodeId home = 0;
+        Tick start = 0;
+        double dir = 0;
+        double net = 0;
+        double retry = 0;
+    };
+
+    int nProcs;
+    VectorStat busy;
+    std::array<std::unique_ptr<VectorStat>, numCauses> causes;
+    Scalar overrun;
+    std::vector<PendingLoad> pending;
+    /** Per-node per-cause totals at beginPhase() (settle deltas). */
+    std::vector<std::array<double, numCauses>> phaseMark;
+    double settled = 0;
+    critpath::Recorder *recorder = nullptr;
+};
+
+/** Mirror of "an engine is installed" for the current context. */
+extern thread_local bool tlsStallOn;
+
+/** Cheap hot-path guard; true when an engine collects. */
+inline bool enabled() { return tlsStallOn; }
+
+/** Re-sync the thread-local latch with the current context. */
+void refreshEnabled();
+
+/**
+ * Publish @p e as the current context's engine (null uninstalls).
+ * Refreshes the latch. The caller keeps ownership.
+ */
+void install(Engine *e);
+
+/** The current context's engine (null when none installed). */
+Engine *current();
+
+// --- hot-path feeds ---------------------------------------------------
+// One branch when disabled; instrumentation sites call these
+// unconditionally.
+
+inline void
+loadBegin(NodeId n, uint64_t seq, Addr line, Addr elem, IterNum iter,
+          NodeId home, Tick now)
+{
+    if (enabled())
+        current()->loadBegin(n, seq, line, elem, iter, home, now);
+}
+
+inline void
+dirWait(NodeId n, uint64_t seq, double wait)
+{
+    if (enabled())
+        current()->dirWait(n, seq, wait);
+}
+
+inline void
+netLeg(NodeId n, uint64_t seq, double hop)
+{
+    if (enabled())
+        current()->netLeg(n, seq, hop);
+}
+
+inline void
+retryWindow(NodeId n, uint64_t seq, double w)
+{
+    if (enabled())
+        current()->retryWindow(n, seq, w);
+}
+
+inline void
+loadWait(NodeId n, double wait, Tick now)
+{
+    if (enabled())
+        current()->loadWait(n, wait, now);
+}
+
+inline void
+charge(NodeId n, Cause c, double t)
+{
+    if (enabled())
+        current()->charge(n, c, t);
+}
+
+/** Write-buffer / drain waits: memory service, like a load miss. */
+inline void
+memWait(NodeId n, double t)
+{
+    if (enabled())
+        current()->charge(n, Cause::LoadMiss, t);
+}
+
+/** Scheduling-lock grant delays. */
+inline void
+schedWait(NodeId n, double t)
+{
+    if (enabled())
+        current()->charge(n, Cause::SchedWait, t);
+}
+
+} // namespace stall
+} // namespace specrt
+
+#endif // SPECRT_SIM_STALL_HH

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "sim/critpath.hh"
 #include "sim/timeline.hh"
 #include "sim/trace.hh"
 
@@ -229,6 +230,15 @@ chromeTraceJson(const TraceBuffer &buf, const timeline::Timeline *tl)
     if (tl)
         counterTracks(os, first, *tl);
 
+    // The critical-path recorder's async track (slow load misses as
+    // nested per-component slices) shares the tick timebase.
+    const critpath::Recorder &cp = critpath::current();
+    if (cp.hasData()) {
+        std::string cpEvents;
+        cp.appendTraceEvents(cpEvents, first);
+        os << cpEvents;
+    }
+
     os << "\n],\n\"displayTimeUnit\": \"ns\",\n"
        << "\"otherData\": {\"recorded\": " << buf.recorded()
        << ", \"dropped\": " << buf.dropped() << "}}\n";
@@ -293,6 +303,12 @@ textSummary(const TraceBuffer &buf, const timeline::Timeline *tl)
         std::string hot = tl->hotSummary();
         if (!hot.empty())
             os << hot;
+    }
+    const critpath::Recorder &cp = critpath::current();
+    if (cp.hasData()) {
+        std::string line = cp.summaryLine();
+        if (!line.empty())
+            os << "critical path: " << line << "\n";
     }
     return os.str();
 }

@@ -1,5 +1,6 @@
 #include "spec/spec_unit.hh"
 
+#include "sim/critpath.hh"
 #include "sim/logging.hh"
 #include "sim/timeline.hh"
 
@@ -730,9 +731,14 @@ SpecSystem::fail(NodeId node, Addr elem, const char *reason)
         std::string hot = timeline::enabled()
                               ? timeline::current().hotSummary()
                               : std::string();
-        warn("speculation abort attributed:\n%s%s%s",
+        // With the critical-path profiler on, also say what the run
+        // was bounded by when it aborted.
+        std::string cp = critpath::enabled()
+                             ? critpath::summaryLine()
+                             : std::string();
+        warn("speculation abort attributed:\n%s%s%s%s%s",
              _failure.cause.str().c_str(), hot.empty() ? "" : "\n",
-             hot.c_str());
+             hot.c_str(), cp.empty() ? "" : "\n", cp.c_str());
     }
 
     if (abortHook)

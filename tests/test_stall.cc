@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests for the stall-attribution engine (sim/stall.hh) and the
+ * critical-path recorder (sim/critpath.hh):
+ *
+ *  - the accounting invariant busy(n) + sum(stall(n, c)) == run ticks
+ *    holds tick-for-tick, per node, across serial, HW-priv,
+ *    HW-nonpriv (downgraded), and fault-injected runs;
+ *  - RunResult::cost is exposed, consistent, and all-zero/invalid
+ *    when the profiler is off;
+ *  - a forced directory hot-spot makes dir-queue the dominant cause
+ *    and the report names the hot home node;
+ *  - campaign merges are byte-identical across --jobs values;
+ *  - Engine::settlePhase residual charging and over-attribution
+ *    give-back behave exactly as documented.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/loop_exec.hh"
+#include "sim/campaign.hh"
+#include "sim/critpath.hh"
+#include "sim/sim_context.hh"
+#include "sim/stall.hh"
+#include "workloads/microloops.hh"
+
+using namespace specrt;
+
+namespace
+{
+
+MachineConfig
+machine(int procs, bool profiled = true)
+{
+    MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.critpath.enabled = profiled;
+    return cfg;
+}
+
+/**
+ * Assert the accounting invariant on @p exec's engine after a run:
+ * every node's busy + attributed stall cycles equals the run length,
+ * exactly (all charges are integral cycle counts held in doubles).
+ */
+void
+expectExactAttribution(LoopExecutor &exec, const RunResult &res,
+                       const char *what)
+{
+    stall::Engine *eng = exec.stallEngine();
+    ASSERT_NE(eng, nullptr) << what;
+    EXPECT_EQ(eng->settledTicks(),
+              static_cast<double>(res.totalTicks))
+        << what;
+    for (NodeId n = 0; n < eng->numProcs(); ++n) {
+        EXPECT_EQ(eng->busyOf(n) + eng->attributed(n),
+                  static_cast<double>(res.totalTicks))
+            << what << ": node " << n;
+    }
+    // The CostBreakdown mirrors the engine, summed over nodes.
+    ASSERT_TRUE(res.cost.valid) << what;
+    EXPECT_EQ(res.cost.numProcs, eng->numProcs()) << what;
+    EXPECT_EQ(res.cost.perNodeTicks,
+              static_cast<double>(res.totalTicks))
+        << what;
+    EXPECT_EQ(res.cost.busy + res.cost.stallTotal(),
+              static_cast<double>(res.totalTicks) * eng->numProcs())
+        << what;
+}
+
+} // namespace
+
+// --- end-to-end accounting invariant ----------------------------------
+
+TEST(StallAccounting, SerialRunFullyAttributed)
+{
+    SimContext ctx(1);
+    ScopedSimContext scope(ctx);
+    Fig1CLoop loop(64, 256, /*disjoint=*/true, 5);
+    LoopExecutor exec(machine(1), loop, ExecConfig{ExecMode::Serial});
+    RunResult res = exec.run();
+    EXPECT_TRUE(res.passed);
+    EXPECT_GT(res.totalTicks, 0u);
+    expectExactAttribution(exec, res, "serial");
+}
+
+TEST(StallAccounting, HwPrivatizedRunFullyAttributed)
+{
+    SimContext ctx(2);
+    ScopedSimContext scope(ctx);
+    Fig1BLoop loop(64);
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    LoopExecutor exec(machine(8), loop, xc);
+    RunResult res = exec.run();
+    EXPECT_TRUE(res.passed) << res.hwFailure.reason;
+    expectExactAttribution(exec, res, "hw-priv");
+}
+
+TEST(StallAccounting, HwNonPrivAbortedRunFullyAttributed)
+{
+    // Downgraded privatization fails speculation: the run includes
+    // restore + serial re-execution phases (AbortRedo attribution).
+    SimContext ctx(3);
+    ScopedSimContext scope(ctx);
+    Fig1BLoop loop(64);
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    xc.downgradePrivToNonPriv = true;
+    LoopExecutor exec(machine(8), loop, xc);
+    RunResult res = exec.run();
+    EXPECT_FALSE(res.passed);
+    EXPECT_GT(res.phases.serial, 0u);
+    expectExactAttribution(exec, res, "hw-nonpriv-abort");
+    EXPECT_GT(exec.stallEngine()->causeTotal(stall::Cause::AbortRedo),
+              0.0);
+}
+
+TEST(StallAccounting, FaultedRunFullyAttributed)
+{
+    // Message loss + watchdog retries: the retry windows and the
+    // settle-time give-back paths all stay exact.
+    SimContext ctx(4);
+    ScopedSimContext scope(ctx);
+    Fig1CLoop loop(64, 256, /*disjoint=*/true, 7);
+    MachineConfig cfg = machine(4);
+    cfg.fault.seed = 11;
+    cfg.fault.dropProb = 0.05;
+    cfg.fault.jitterProb = 0.1;
+    cfg.fault.watchdogTimeout = 4000;
+    ExecConfig xc;
+    xc.mode = ExecMode::HW;
+    LoopExecutor exec(cfg, loop, xc);
+    RunResult res = exec.run();
+    expectExactAttribution(exec, res, "faulted");
+}
+
+TEST(StallAccounting, DisabledProfilerLeavesCostInvalid)
+{
+    SimContext ctx(5);
+    ScopedSimContext scope(ctx);
+    Fig1CLoop loop(32, 128, true, 5);
+    LoopExecutor exec(machine(4, /*profiled=*/false), loop,
+                      ExecConfig{ExecMode::Ideal});
+    RunResult res = exec.run();
+    EXPECT_TRUE(res.passed);
+    EXPECT_FALSE(res.cost.valid);
+    EXPECT_EQ(res.cost.stallTotal(), 0.0);
+    EXPECT_EQ(exec.stallEngine(), nullptr);
+    EXPECT_EQ(res.cost.summary(), "");
+}
+
+TEST(StallAccounting, MemStallsAreSplitIntoComponents)
+{
+    // A remote-heavy run must attribute real cycles to the memory
+    // system split, not just the phase residuals.
+    SimContext ctx(6);
+    ScopedSimContext scope(ctx);
+    Fig1CLoop loop(128, 512, true, 5);
+    ExecConfig xc;
+    xc.mode = ExecMode::Ideal;
+    LoopExecutor exec(machine(8), loop, xc);
+    RunResult res = exec.run();
+    EXPECT_TRUE(res.passed);
+    expectExactAttribution(exec, res, "ideal");
+    EXPECT_GT(res.cost.stallOf(stall::Cause::LoadMiss), 0.0);
+    EXPECT_GT(res.cost.stallOf(stall::Cause::NetTransit), 0.0);
+    EXPECT_GT(res.cost.stallOf(stall::Cause::Barrier), 0.0);
+    std::string s = res.cost.summary();
+    EXPECT_NE(s.find("run bounded"), std::string::npos) << s;
+}
+
+// --- pinned dominant-cause scenario -----------------------------------
+
+TEST(CritPath, DirHotspotMakesDirQueueDominant)
+{
+    // A tiny array lives on one page -> one home node; a huge
+    // directory occupancy serializes every miss there. The dominant
+    // cost component must be dir-queue, and the report must name the
+    // hot home.
+    SimContext ctx(7);
+    ScopedSimContext scope(ctx);
+    Fig1CLoop loop(64, 64, /*disjoint=*/true, 5);
+    MachineConfig cfg = machine(8);
+    cfg.lat.dirOccupancy = 2000;
+    ExecConfig xc;
+    xc.mode = ExecMode::Ideal;
+    LoopExecutor exec(cfg, loop, xc);
+    RunResult res = exec.run();
+    EXPECT_TRUE(res.passed);
+    expectExactAttribution(exec, res, "dir-hotspot");
+
+    EXPECT_EQ(res.cost.dominantCause(), stall::Cause::DirQueue)
+        << res.cost.summary();
+    EXPECT_GT(res.cost.dominantShare(), 0.5);
+    std::string s = res.cost.summary();
+    EXPECT_NE(s.find("dir-queue"), std::string::npos) << s;
+
+    // The recorder saw the transactions and names the hot home.
+    critpath::Recorder &rec = critpath::current();
+    EXPECT_TRUE(rec.hasData());
+    EXPECT_GT(rec.numTxns(), 0u);
+    std::string line = rec.summaryLine();
+    EXPECT_NE(line.find("dir-queue"), std::string::npos) << line;
+    EXPECT_NE(line.find("at home node"), std::string::npos) << line;
+    EXPECT_FALSE(rec.slowest().empty());
+    // Slowest transactions carry the component split.
+    const critpath::TxnRecord &slow = rec.slowest().front();
+    EXPECT_GT(slow.dirWait, 0.0);
+    EXPECT_GE(slow.latency(),
+              slow.dirWait + slow.net + slow.retry + slow.service -
+                  1e-9);
+
+    // The Perfetto export contains the async track and the summary.
+    std::string json = rec.perfettoJson();
+    EXPECT_NE(json.find("\"critical path\""), std::string::npos);
+    EXPECT_NE(json.find("\"dir_queue\""), std::string::npos);
+    EXPECT_NE(json.find("run bounded"), std::string::npos);
+}
+
+// --- campaign determinism ---------------------------------------------
+
+namespace
+{
+
+/** Run @p n profiled jobs under @p workers threads; return the merged
+ *  recorder's Perfetto JSON (merged in job-id order). */
+std::string
+mergedCritpathJson(size_t n, unsigned workers)
+{
+    std::vector<critpath::Recorder> shards(n);
+    campaign::Options opts;
+    opts.jobs = workers;
+    auto outcomes = campaign::run(
+        n,
+        [&](size_t id, SimContext &) {
+            critpath::current().enable();
+            Fig1CLoop loop(64, 256, true,
+                           static_cast<int>(5 + id));
+            ExecConfig xc;
+            xc.mode = ExecMode::HW;
+            LoopExecutor exec(machine(4), loop, xc);
+            exec.run();
+            shards[id] = critpath::current();
+        },
+        opts);
+    EXPECT_TRUE(campaign::allOk(outcomes));
+    critpath::Recorder merged;
+    for (const critpath::Recorder &s : shards)
+        merged.merge(s);
+    return merged.perfettoJson();
+}
+
+} // namespace
+
+TEST(CritPath, CampaignMergeIsByteIdenticalAcrossJobs)
+{
+    std::string serial = mergedCritpathJson(4, 1);
+    std::string parallel = mergedCritpathJson(4, 2);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+// --- engine unit behavior ---------------------------------------------
+
+TEST(StallEngine, SettleChargesResidualToPhaseCause)
+{
+    stall::Engine eng(2);
+    eng.beginPhase();
+    eng.charge(0, stall::Cause::DirQueue, 30);
+    std::vector<double> busy = {50, 10};
+    eng.settlePhase(100, busy, stall::Cause::Barrier);
+    // Node 0: 100 - 50 busy - 30 dir = 20 residual -> Barrier.
+    EXPECT_EQ(eng.busyOf(0), 50.0);
+    EXPECT_EQ(eng.total(0, stall::Cause::DirQueue), 30.0);
+    EXPECT_EQ(eng.total(0, stall::Cause::Barrier), 20.0);
+    // Node 1: all residual.
+    EXPECT_EQ(eng.total(1, stall::Cause::Barrier), 90.0);
+    EXPECT_EQ(eng.settledTicks(), 100.0);
+    for (NodeId n = 0; n < 2; ++n)
+        EXPECT_EQ(eng.busyOf(n) + eng.attributed(n), 100.0);
+}
+
+TEST(StallEngine, SettleGivesBackOverAttribution)
+{
+    stall::Engine eng(1);
+    eng.beginPhase();
+    // Attribute more than the phase holds: 80 net + 40 dir vs 100
+    // ticks and 10 busy -> 30 cycles must come back, net first.
+    eng.charge(0, stall::Cause::NetTransit, 80);
+    eng.charge(0, stall::Cause::DirQueue, 40);
+    std::vector<double> busy = {10};
+    eng.settlePhase(100, busy, stall::Cause::Other);
+    EXPECT_EQ(eng.busyOf(0), 10.0);
+    EXPECT_EQ(eng.total(0, stall::Cause::NetTransit), 50.0);
+    EXPECT_EQ(eng.total(0, stall::Cause::DirQueue), 40.0);
+    EXPECT_EQ(eng.busyOf(0) + eng.attributed(0), 100.0);
+}
+
+TEST(StallEngine, LoadWaitReconcilesComponentCredits)
+{
+    stall::Engine eng(1);
+    eng.beginPhase();
+    eng.loadBegin(0, 7, 0x100, 0x104, 3, 1, 1000);
+    eng.dirWait(0, 7, 20);
+    eng.netLeg(0, 7, 74);
+    eng.netLeg(0, 7, 74);
+    // A retry window larger than the whole wait: must be clamped.
+    eng.retryWindow(0, 7, 500);
+    eng.loadWait(0, 300, 1300);
+    EXPECT_EQ(eng.total(0, stall::Cause::DirQueue), 20.0);
+    EXPECT_EQ(eng.total(0, stall::Cause::NetTransit), 148.0);
+    // 300 - 20 - 148 = 132 left for the retry credit...
+    EXPECT_EQ(eng.total(0, stall::Cause::RetryBackoff), 132.0);
+    // ...and nothing for the service remainder.
+    EXPECT_EQ(eng.total(0, stall::Cause::LoadMiss), 0.0);
+    EXPECT_EQ(eng.attributed(0), 300.0);
+}
+
+TEST(StallEngine, MismatchedSeqCreditsAreDropped)
+{
+    stall::Engine eng(1);
+    eng.loadBegin(0, 7, 0x100, 0x104, 3, 1, 0);
+    eng.dirWait(0, 99, 1000); // store txn / stray: never charged
+    eng.netLeg(0, 99, 74);
+    EXPECT_EQ(eng.attributed(0), 0.0);
+    eng.loadWait(0, 50, 100);
+    EXPECT_EQ(eng.total(0, stall::Cause::LoadMiss), 50.0);
+}
+
+TEST(StallEngine, CostBreakdownSummaryNamesDominantCause)
+{
+    stall::CostBreakdown cb;
+    cb.valid = true;
+    cb.numProcs = 4;
+    cb.stalls[static_cast<size_t>(stall::Cause::NetTransit)] = 610;
+    cb.stalls[static_cast<size_t>(stall::Cause::LoadMiss)] = 390;
+    EXPECT_EQ(cb.dominantCause(), stall::Cause::NetTransit);
+    EXPECT_EQ(cb.summary(), "run bounded 61% by net-transit");
+}
