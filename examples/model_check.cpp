@@ -8,21 +8,38 @@
  * a replayable schedule file.
  *
  *   model_check                      # the full grid (CI verify job)
- *   model_check --scenario micro-2node
- *   model_check --demo-bug           # seeded bug: find, shrink, save
+ *   model_check --scenario micro-3node-2elem-dpor
+ *   model_check --demo-bug[=NAME]    # seeded bug(s): find, shrink, save
  *   model_check --replay-schedule f  # re-execute a saved schedule
  *   model_check --out DIR            # where schedule files land
  *   model_check --jobs N             # parallel subtree workers
+ *   model_check --assert-max-runs N  # fail if any scenario used > N runs
+ *   model_check --compare            # DPOR-vs-naive run-count table
  *
  * Scenarios:
- *   micro-2node   2 nodes, 1 element, conflicting stores; EXHAUSTIVE
- *                 (every reachable interleaving), per-delivery
- *                 invariant sweeps + serializability at the end.
- *   micro-3node   3 nodes, 1 element; budgeted sweep fanned across
- *                 the campaign worker pool by choice prefix.
- *   fig3-*        the real HW machine (2 procs) on the paper's
- *                 Fig. 3 archetypes; verdict must be schedule-
- *                 independent (budgeted).
+ *   micro-2node[-dpor]    2 nodes, 1 element, conflicting stores;
+ *                         EXHAUSTIVE in both modes (the DPOR variant
+ *                         must find the same violations in fewer runs).
+ *   micro-3node           3 nodes, 1 element; budgeted naive sweep
+ *                         fanned across the campaign worker pool.
+ *   micro-3node-dpor      the same state space, exhausted by DPOR.
+ *   micro-3node-2elem-dpor  3 nodes x 2 elements: tractable only
+ *                         under partial-order reduction.
+ *   micro-2node-faults    fault exploration: the DFS decides which
+ *                         tolerated message is dropped or duplicated
+ *                         (watchdog recovery enabled).
+ *   fig3-*                the real HW machine (2 procs) on the
+ *                         paper's Fig. 3 archetypes; verdict must be
+ *                         schedule-independent (budgeted).
+ *
+ * Seeded bugs (--demo-bug; the witness regression corpus in
+ * tests/schedules/ is generated from these):
+ *   seeded-bug            home directory forgets who caches the line
+ *   seeded-specbit        NoShr access bit cleared behind the checker
+ *   seeded-maxr1st        stale MaxR1st/MinW stamps, no latched failure
+ *   seeded-dropped-grant  corruption reachable only when a fault
+ *                         schedule drops a write request (fault-choice
+ *                         witness)
  */
 
 #include <cstdio>
@@ -35,12 +52,14 @@
 #include "mem/dsm.hh"
 #include "mem/invariants.hh"
 #include "sim/sim_context.hh"
+#include "spec/spec_unit.hh"
 #include "verify/explorer.hh"
 #include "workloads/microloops.hh"
 
 using namespace specrt;
 using verify::explore;
 using verify::exploreParallel;
+using verify::ExploreMode;
 using verify::ExploreOptions;
 using verify::ExploreResult;
 using verify::RunVerdict;
@@ -50,21 +69,31 @@ namespace
 {
 
 /**
- * N nodes contending on one element homed at node 0: every node but
- * the last stores a distinct value, the last node loads. Properties:
- * the drain terminates quiescent, per-delivery and final invariant
- * sweeps are clean, and the final value is one of the stores
- * (serializability).
+ * N nodes contending on E elements, element e homed at node e mod N
+ * (so distinct elements live at distinct homes and their protocol
+ * traffic is independent -- the axis partial-order reduction
+ * factors): for every element, every node stores a distinct value
+ * and then every node loads it. Properties: the drain terminates
+ * quiescent,
+ * per-delivery and final invariant sweeps are clean, and each
+ * element's final value is one of its stores (serializability).
+ * With @p watchdog nonzero the requester watchdog is armed, which
+ * enables the recovery legs fault exploration needs.
  */
 RunVerdict
-runMicro(int nodes)
+runMicroN(int nodes, int elems, Cycles watchdog = 0)
 {
     MachineConfig cfg;
     cfg.numProcs = nodes;
+    cfg.fault.watchdogTimeout = watchdog;
     DsmSystem dsm(cfg);
-    int id = dsm.memory().alloc("A", 4, 4, Placement::Fixed, 0);
-    Addr a = dsm.memory().region(id).elemAddr(0);
-    dsm.memory().write(a, 4, 7);
+    std::vector<Addr> addr(elems);
+    for (int e = 0; e < elems; ++e) {
+        int id = dsm.memory().alloc("A" + std::to_string(e), 4, 4,
+                                    Placement::Fixed, e % nodes);
+        addr[e] = dsm.memory().region(id).elemAddr(0);
+        dsm.memory().write(addr[e], 4, 7);
+    }
 
     InvariantChecker chk(dsm);
     size_t viols = 0;
@@ -78,40 +107,55 @@ runMicro(int nodes)
             chk.checkAll(InvariantChecker::Granularity::Delivery);
     });
 
-    bool loaded = false;
-    uint64_t lv = 0;
-    for (NodeId n = 0; n < nodes; ++n)
-        dsm.cacheCtrl(n).store(a, 4, 100 + static_cast<uint64_t>(n),
-                               n + 1);
-    dsm.cacheCtrl(nodes - 1).load(a, 4, 1, [&](uint64_t v) {
-        lv = v;
-        loaded = true;
-    });
+    size_t loaded = 0;
+    size_t expect_loads = static_cast<size_t>(elems) * nodes;
+    std::vector<uint64_t> lv(elems, 0);
+    for (int e = 0; e < elems; ++e)
+        for (NodeId n = 0; n < nodes; ++n)
+            dsm.cacheCtrl(n).store(addr[e], 4,
+                                   100 * (e + 1) +
+                                       static_cast<uint64_t>(n),
+                                   n + 1);
+    for (int e = 0; e < elems; ++e)
+        for (NodeId n = 0; n < nodes; ++n)
+            dsm.cacheCtrl(n).load(addr[e], 4, 1, [&, e](uint64_t v) {
+                lv[e] = v;
+                ++loaded;
+            });
     dsm.eventQueue().run();
 
     bool quiesced = dsm.quiescent();
     chk.checkAll(InvariantChecker::Granularity::Quiesce);
     dsm.resetMachine(true);
-    uint64_t fin = dsm.memory().read(a, 4);
 
     RunVerdict v;
     std::string err;
-    if (!loaded)
-        err += "load never completed; ";
+    if (loaded != expect_loads)
+        err += "load(s) never completed; ";
     if (!quiesced)
         err += "not quiescent after drain; ";
-    bool fin_ok = false;
-    for (NodeId n = 0; n < nodes; ++n)
-        fin_ok |= fin == 100 + static_cast<uint64_t>(n);
-    if (!fin_ok)
-        err += "final value " + std::to_string(fin) +
-               " is no serialization of the stores; ";
+    for (int e = 0; e < elems; ++e) {
+        uint64_t fin = dsm.memory().read(addr[e], 4);
+        bool fin_ok = false;
+        for (NodeId n = 0; n < nodes; ++n)
+            fin_ok |= fin == 100 * (e + 1) + static_cast<uint64_t>(n);
+        if (!fin_ok)
+            err += "elem " + std::to_string(e) + " final value " +
+                   std::to_string(fin) +
+                   " is no serialization of the stores; ";
+    }
     if (viols)
         err += std::to_string(viols) +
                " invariant violation(s), first: " + first;
     v.report = err;
     v.ok = err.empty();
     return v;
+}
+
+RunVerdict
+runMicro(int nodes)
+{
+    return runMicroN(nodes, 1);
 }
 
 /** One HW-machine run of a Fig. 3 archetype (2 procs, 4 iters). */
@@ -145,17 +189,24 @@ runFig3(Fig3Kind kind, bool expect_pass)
     return v;
 }
 
+/** The current run's ReplayController, or null (uncontrolled run). */
+verify::ReplayController *
+controller()
+{
+    return dynamic_cast<verify::ReplayController *>(
+        SimContext::current().scheduleController);
+}
+
 /**
- * The seeded-bug demo: a deliberate test-only corruption reachable
- * only off the default schedule, so the explorer has something to
- * find, shrink, and serialize (EXPERIMENTS.md walkthrough; CI checks
- * the artifact replays).
+ * Seeded bug #1: a deliberate test-only corruption reachable only
+ * off the default schedule, so the explorer has something to find,
+ * shrink, and serialize. The "bug": after a reordered drain the home
+ * directory forgets who caches the line.
  */
 RunVerdict
 runSeededBug()
 {
-    auto *rc = dynamic_cast<verify::ReplayController *>(
-        SimContext::current().scheduleController);
+    auto *rc = controller();
     bool reordered = false;
     if (rc) {
         rc->onDecision = [&reordered](const EventChoice *, size_t,
@@ -199,6 +250,193 @@ runSeededBug()
     return v;
 }
 
+/**
+ * Seeded bug #2: the spec-bit clear race. Two processors store to
+ * distinct elements of an armed non-priv region; each store stamps
+ * First and sets NoShr at the home speculation unit. Off the default
+ * schedule the bug clears one element's NoShr after a baseline sweep
+ * already observed it set -- the checker's monotonicity invariant
+ * (access bits only accumulate while armed) must attribute it.
+ */
+RunVerdict
+runSeededSpecBit()
+{
+    auto *rc = controller();
+    bool reordered = false;
+    if (rc) {
+        rc->onDecision = [&reordered](const EventChoice *, size_t,
+                                      size_t take) {
+            if (take != 0)
+                reordered = true;
+        };
+    }
+
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    DsmSystem dsm(cfg);
+    SpecSystem spec(dsm);
+    AddrMap &mem = dsm.memory();
+    int id = mem.alloc("A", 8, 4, Placement::Fixed, 0);
+    const Region &reg = mem.region(id);
+    Addr a0 = reg.elemAddr(0), a1 = reg.elemAddr(1);
+    mem.write(a0, 4, 7);
+    mem.write(a1, 4, 7);
+    spec.table().addNonPriv(reg);
+    spec.arm();
+
+    InvariantChecker chk(dsm);
+    chk.setSpecSystem(&spec);
+    size_t viols = 0;
+    std::string first;
+    chk.setHandler([&](const ProtocolViolation &v) {
+        if (!viols++)
+            first = v.str();
+    });
+
+    dsm.cacheCtrl(1).store(a0, 4, 41, 1);
+    dsm.cacheCtrl(0).store(a1, 4, 42, 1);
+    dsm.eventQueue().run();
+
+    // Baseline sweep: records NoShr set for both elements.
+    chk.checkAll(InvariantChecker::Granularity::Quiesce);
+    if (reordered)
+        spec.dirUnit(0).npBitsForTest(a0).noShr = false;
+    chk.checkAll(InvariantChecker::Granularity::Quiesce);
+
+    RunVerdict v;
+    if (viols) {
+        v.ok = false;
+        v.report = first;
+    }
+    return v;
+}
+
+/**
+ * Seeded bug #3: stale iteration stamps on a priv-test shared
+ * element. Two processors read their private copies (read-in +
+ * ReadFirstSig traffic to the shared home); off the default schedule
+ * the bug plants MaxR1st > MinW at the shared home with no latched
+ * speculation failure -- the checker must flag the missed
+ * cross-iteration dependence.
+ */
+RunVerdict
+runSeededMaxR1st()
+{
+    auto *rc = controller();
+    bool reordered = false;
+    if (rc) {
+        rc->onDecision = [&reordered](const EventChoice *, size_t,
+                                      size_t take) {
+            if (take != 0)
+                reordered = true;
+        };
+    }
+
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    DsmSystem dsm(cfg);
+    SpecSystem spec(dsm);
+    AddrMap &mem = dsm.memory();
+    int sid = mem.alloc("A", 4, 4, Placement::Fixed, 0);
+    const Region &shared = mem.region(sid);
+    mem.write(shared.elemAddr(0), 4, 7);
+    std::vector<const Region *> priv;
+    for (int p = 0; p < 2; ++p) {
+        int pid = mem.alloc("A_priv" + std::to_string(p), 4, 4,
+                            Placement::Fixed, p);
+        priv.push_back(&mem.region(pid));
+        mem.copyBytes(shared.base, priv.back()->base, 4);
+    }
+    spec.table().addPriv(shared, priv);
+    spec.arm();
+
+    InvariantChecker chk(dsm);
+    chk.setSpecSystem(&spec);
+    size_t viols = 0;
+    std::string first;
+    chk.setHandler([&](const ProtocolViolation &v) {
+        if (!viols++)
+            first = v.str();
+    });
+
+    for (NodeId p = 0; p < 2; ++p)
+        dsm.cacheCtrl(p).load(priv[p]->elemAddr(0), 4, p + 1,
+                              [](uint64_t) {});
+    dsm.eventQueue().run();
+
+    chk.checkAll(InvariantChecker::Granularity::Quiesce);
+    if (reordered) {
+        PrivSharedDirBits &e =
+            spec.dirUnit(0).sharedBitsForTest(shared.elemAddr(0));
+        e.maxR1st = 9; // a read-first stamped after...
+        e.minW = 3;    // ...a write the unit never flagged
+    }
+    chk.checkAll(InvariantChecker::Granularity::Quiesce);
+
+    RunVerdict v;
+    if (viols) {
+        v.ok = false;
+        v.report = first;
+    }
+    return v;
+}
+
+/**
+ * Seeded bug #4 -- reachable ONLY through a fault-choice schedule.
+ * Two processors store to one line with the requester watchdog
+ * enabled; the corruption triggers only on runs where the explorer
+ * chose to DROP a request (the write grant path), i.e.\ after a
+ * watchdog retry leg. No pure delivery-order schedule can reach it,
+ * so finding it proves fault decisions are genuine choice points.
+ */
+RunVerdict
+runSeededDroppedGrant()
+{
+    auto *rc = controller();
+    bool dropped = false;
+    if (rc) {
+        rc->onFaultDecision = [&dropped](const FaultChoicePoint &p,
+                                         size_t, size_t take) {
+            if (take == 1 && p.canDrop)
+                dropped = true;
+        };
+    }
+
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    cfg.fault.watchdogTimeout = 2000;
+    DsmSystem dsm(cfg);
+    int id = dsm.memory().alloc("A", 4, 4, Placement::Fixed, 0);
+    Addr a = dsm.memory().region(id).elemAddr(0);
+    dsm.memory().write(a, 4, 7);
+    InvariantChecker chk(dsm);
+    size_t viols = 0;
+    std::string first;
+    chk.setHandler([&](const ProtocolViolation &v) {
+        if (!viols++)
+            first = v.str();
+    });
+    dsm.cacheCtrl(0).store(a, 4, 11, 1);
+    dsm.cacheCtrl(1).store(a, 4, 22, 2);
+    dsm.eventQueue().run();
+    if (dropped) {
+        // The "bug": the retry leg leaves the home amnesiac.
+        Addr line = dsm.cacheCtrl(0).cacheArray().lineAlign(a);
+        DirEntry &e = dsm.dirCtrl(0).directory().entry(line);
+        e.state = DirState::Uncached;
+        e.sharers = 0;
+        e.owner = invalidNode;
+    }
+    chk.checkAll(InvariantChecker::Granularity::Quiesce);
+
+    RunVerdict v;
+    if (viols) {
+        v.ok = false;
+        v.report = first;
+    }
+    return v;
+}
+
 struct Scenario
 {
     const char *name;
@@ -211,10 +449,14 @@ std::vector<Scenario>
 grid()
 {
     std::vector<Scenario> s;
+    ExploreOptions backstop; // runaway backstop, not a budget
+    backstop.maxRuns = 200000;
+    s.push_back({"micro-2node", [] { return runMicro(2); }, backstop,
+                 true});
     {
-        ExploreOptions o;
-        o.maxRuns = 200000; // runaway backstop, not a budget
-        s.push_back({"micro-2node", [] { return runMicro(2); }, o,
+        ExploreOptions o = backstop;
+        o.mode = ExploreMode::Dpor;
+        s.push_back({"micro-2node-dpor", [] { return runMicro(2); }, o,
                      true});
     }
     {
@@ -224,6 +466,37 @@ grid()
         o.maxRuns = 2000;
         s.push_back({"micro-3node", [] { return runMicro(3); }, o,
                      false});
+    }
+    {
+        ExploreOptions o = backstop;
+        o.mode = ExploreMode::Dpor;
+        s.push_back({"micro-3node-dpor", [] { return runMicro(3); }, o,
+                     true});
+    }
+    {
+        // The headline pair: 3 nodes x 2 elements under ONE budget.
+        // Naive enumeration needs 5376 schedules and exhausts the
+        // budget (expected, not a failure); DPOR must finish inside
+        // it -- which also acts as a committed run-count ceiling
+        // against reduction regressions (see --assert-max-runs for
+        // the CI belt-and-braces check).
+        ExploreOptions o;
+        o.maxRuns = 2500;
+        s.push_back({"micro-3node-2elem-naive",
+                     [] { return runMicroN(3, 2); }, o, false});
+        o.mode = ExploreMode::Dpor;
+        s.push_back({"micro-3node-2elem-dpor",
+                     [] { return runMicroN(3, 2); }, o, true});
+    }
+    {
+        // Fault exploration: every tolerated message's fate is a
+        // choice point; d-bounded to one fault per schedule. No
+        // commutativity theory under faults, so naive mode.
+        ExploreOptions o = backstop;
+        o.exploreFaults = true;
+        o.maxFaults = 1;
+        s.push_back({"micro-2node-faults",
+                     [] { return runMicroN(2, 1, 2000); }, o, true});
     }
     auto fig3 = [](Fig3Kind k, bool pass) {
         return [k, pass] { return runFig3(k, pass); };
@@ -240,26 +513,74 @@ grid()
     return s;
 }
 
+struct SeededBug
+{
+    const char *name;
+    verify::RunFn run;
+    ExploreOptions opts; ///< exploration that can reach it
+    const char *about;
+};
+
+std::vector<SeededBug>
+seededBugs()
+{
+    ExploreOptions o;
+    o.maxRuns = 200000;
+    ExploreOptions fo = o;
+    fo.exploreFaults = true;
+    fo.maxFaults = 1;
+    return {
+        {"seeded-bug", runSeededBug, o,
+         "home directory forgets who caches the line"},
+        {"seeded-specbit", runSeededSpecBit, o,
+         "NoShr access bit cleared behind the checker's back"},
+        {"seeded-maxr1st", runSeededMaxR1st, o,
+         "stale MaxR1st/MinW stamps with no latched failure"},
+        {"seeded-dropped-grant", runSeededDroppedGrant, fo,
+         "corruption on the watchdog retry leg of a dropped request"},
+    };
+}
+
+/** Scenario or seeded-bug run by name; fills exploration options. */
 const verify::RunFn *
 findRun(const std::vector<Scenario> &s, const std::string &name,
-        verify::RunFn &bug_storage)
+        verify::RunFn &bug_storage, ExploreOptions &opts_out)
 {
-    if (name == "seeded-bug") {
-        bug_storage = runSeededBug;
-        return &bug_storage;
-    }
+    for (const SeededBug &b : seededBugs())
+        if (name == b.name) {
+            bug_storage = b.run;
+            opts_out = b.opts;
+            return &bug_storage;
+        }
     for (const Scenario &sc : s)
-        if (name == sc.name)
+        if (name == sc.name) {
+            opts_out = sc.opts;
             return &sc.run;
+        }
     return nullptr;
+}
+
+/** Save a found violation's shrunk witness as a schedule file. */
+void
+saveWitness(const ExploreResult &res, const std::string &scenario,
+            bool faults, const std::string &path)
+{
+    ScheduleFile f;
+    f.meta["scenario"] = scenario;
+    f.meta["report"] = res.report.substr(0, 200);
+    if (faults)
+        f.meta["faults"] = "1";
+    f.choices = res.witness;
+    f.kinds = res.witnessKinds;
+    f.save(path);
 }
 
 /** Explore one scenario; write a schedule file on violation. */
 bool
-runScenario(const Scenario &sc, const std::string &out_dir,
-            size_t jobs)
+runScenario(const Scenario &sc, const std::string &out_dir, size_t jobs,
+            size_t &runs_out)
 {
-    std::printf("%-16s ", sc.name);
+    std::printf("%-22s ", sc.name);
     std::fflush(stdout);
     ExploreResult res;
     if (jobs > 1) {
@@ -269,16 +590,13 @@ runScenario(const Scenario &sc, const std::string &out_dir,
     } else {
         res = explore(sc.run, sc.opts);
     }
+    runs_out = res.runs;
     bool ok = !res.violated && !(sc.exhaustive && res.budgetExhausted);
     std::printf("%s  %s\n", ok ? "OK  " : "FAIL",
                 res.summary().c_str());
     if (res.violated) {
-        ScheduleFile f;
-        f.meta["scenario"] = sc.name;
-        f.meta["report"] = res.report.substr(0, 200);
-        f.choices = res.witness;
         std::string path = out_dir + "/" + sc.name + ".schedule";
-        f.save(path);
+        saveWitness(res, sc.name, sc.opts.exploreFaults, path);
         std::printf("  witness (%zu choices) -> %s\n",
                     res.witness.size(), path.c_str());
     }
@@ -288,7 +606,13 @@ runScenario(const Scenario &sc, const std::string &out_dir,
 int
 replaySchedule(const std::string &path)
 {
-    ScheduleFile f = ScheduleFile::load(path);
+    ScheduleFile f;
+    verify::ParseError perr;
+    if (!ScheduleFile::tryLoad(path, f, perr)) {
+        std::fprintf(stderr, "%s: line %zu: %s\n", path.c_str(),
+                     perr.line, perr.message.c_str());
+        return 1;
+    }
     auto it = f.meta.find("scenario");
     if (it == f.meta.end()) {
         std::fprintf(stderr, "%s: no scenario in metadata\n",
@@ -297,45 +621,130 @@ replaySchedule(const std::string &path)
     }
     std::vector<Scenario> s = grid();
     verify::RunFn bug;
-    const verify::RunFn *run = findRun(s, it->second, bug);
+    ExploreOptions opts;
+    const verify::RunFn *run = findRun(s, it->second, bug, opts);
     if (!run) {
         std::fprintf(stderr, "unknown scenario '%s'\n",
                      it->second.c_str());
         return 1;
     }
-    std::printf("replaying %s (%zu choices) ...\n",
-                it->second.c_str(), f.choices.size());
-    RunVerdict v = verify::replay(*run, f.choices);
+    bool faults = opts.exploreFaults || f.hasFaults() ||
+                  f.meta.count("faults");
+    std::printf("replaying %s (%zu choices%s) ...\n",
+                it->second.c_str(), f.choices.size(),
+                faults ? ", fault decisions live" : "");
+    verify::ReplayController rc(f.choices);
+    rc.exploreFaults = faults;
+    rc.expectKinds = f.kinds;
+    RunVerdict v;
+    {
+        verify::ScopedScheduleController scope(&rc);
+        v = (*run)();
+    }
+    if (rc.kindMismatch) {
+        std::fprintf(stderr,
+                     "schedule does not describe this scenario: "
+                     "decision kinds diverged during replay\n");
+        return 1;
+    }
     std::printf("%s%s%s\n", v.ok ? "OK: schedule is clean" : "FAIL: ",
                 v.report.c_str(), v.ok ? "" : " (reproduced)");
     return v.ok ? 0 : 2;
 }
 
+/** Hunt one seeded bug; shrink, save, and confirm the replay. */
 int
-demoBug(const std::string &out_dir)
+demoOneBug(const SeededBug &b, const std::string &out_dir)
 {
-    std::printf("hunting the seeded directory-corruption bug ...\n");
-    ExploreOptions o;
-    o.maxRuns = 200000;
-    ExploreResult res = explore(runSeededBug, o);
+    std::printf("hunting %s (%s) ...\n", b.name, b.about);
+    ExploreResult res = explore(b.run, b.opts);
     if (!res.violated) {
-        std::printf("not found (%s) -- the seeded bug should always "
-                    "be reachable\n",
+        std::printf("  NOT FOUND (%s) -- seeded bugs must always be "
+                    "reachable\n",
                     res.summary().c_str());
         return 1;
     }
-    std::printf("found after %zu runs: %s\n", res.runs,
+    size_t fault_positions = 0;
+    for (verify::ChoiceKind k : res.witnessKinds)
+        fault_positions += k == verify::ChoiceKind::Fault;
+    std::printf("  found after %zu runs: %s\n", res.runs,
                 res.report.c_str());
-    std::printf("raw witness: %zu choices, shrunk: %zu\n",
-                res.rawWitness.size(), res.witness.size());
-    ScheduleFile f;
-    f.meta["scenario"] = "seeded-bug";
-    f.meta["report"] = res.report.substr(0, 200);
-    f.choices = res.witness;
-    std::string path = out_dir + "/seeded-bug.schedule";
-    f.save(path);
-    std::printf("schedule -> %s (replay with --replay-schedule)\n",
+    std::printf("  raw witness: %zu choices, shrunk: %zu "
+                "(%zu fault decision(s))\n",
+                res.rawWitness.size(), res.witness.size(),
+                fault_positions);
+    std::string path = out_dir + "/" + b.name + ".schedule";
+    saveWitness(res, b.name, b.opts.exploreFaults, path);
+    RunVerdict v =
+        verify::replay(b.run, res.witness, b.opts.exploreFaults);
+    if (v.ok) {
+        std::printf("  witness does NOT replay -- shrinking bug?\n");
+        return 1;
+    }
+    std::printf("  schedule -> %s (replay with --replay-schedule)\n",
                 path.c_str());
+    return 0;
+}
+
+int
+demoBug(const std::string &which, const std::string &out_dir)
+{
+    int rc = 0;
+    bool matched = false;
+    for (const SeededBug &b : seededBugs()) {
+        if (which != "all" && which != b.name)
+            continue;
+        matched = true;
+        rc |= demoOneBug(b, out_dir);
+    }
+    if (!matched) {
+        std::fprintf(stderr, "unknown seeded bug '%s'\n",
+                     which.c_str());
+        return 1;
+    }
+    return rc;
+}
+
+/** DPOR-vs-naive run-count table (EXPERIMENTS.md). */
+int
+compareModes()
+{
+    struct Row
+    {
+        const char *name;
+        int nodes, elems;
+    };
+    const Row rows[] = {
+        {"micro-2node", 2, 1},
+        {"micro-3node", 3, 1},
+        {"micro-3node-2elem", 3, 2},
+    };
+    std::printf("%-20s %12s %12s %8s %8s\n", "scenario", "naive runs",
+                "dpor runs", "races", "pruned");
+    for (const Row &r : rows) {
+        auto run = [&r] { return runMicroN(r.nodes, r.elems); };
+        ExploreOptions no;
+        no.maxRuns = 50000; // cap the naive side; DPOR must exhaust
+        ExploreResult nres = explore(run, no);
+        ExploreOptions dopts;
+        dopts.mode = ExploreMode::Dpor;
+        dopts.maxRuns = 200000;
+        ExploreResult dres = explore(run, dopts);
+        char naive[32];
+        std::snprintf(naive, sizeof(naive), "%zu%s", nres.runs,
+                      nres.budgetExhausted ? "+" : "");
+        std::printf("%-20s %12s %12zu %8zu %8zu\n", r.name, naive,
+                    dres.runs, dres.races, dres.pruned);
+        if (nres.violated || dres.violated) {
+            std::printf("violation during comparison: %s\n",
+                        (nres.violated ? nres : dres).report.c_str());
+            return 2;
+        }
+        if (dres.budgetExhausted) {
+            std::printf("DPOR failed to exhaust %s\n", r.name);
+            return 2;
+        }
+    }
     return 0;
 }
 
@@ -347,8 +756,11 @@ main(int argc, char **argv)
     std::string out_dir = ".";
     std::string replay_path;
     std::string only;
+    std::string demo_which;
     size_t jobs = 1;
+    size_t assert_max_runs = 0;
     bool demo = false;
+    bool compare = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -368,13 +780,22 @@ main(int argc, char **argv)
             only = value();
         else if (arg == "--jobs")
             jobs = static_cast<size_t>(std::stoul(value()));
-        else if (arg == "--demo-bug")
+        else if (arg == "--assert-max-runs")
+            assert_max_runs = static_cast<size_t>(std::stoul(value()));
+        else if (arg == "--compare")
+            compare = true;
+        else if (arg == "--demo-bug") {
             demo = true;
-        else {
+            demo_which = "all";
+        } else if (arg.rfind("--demo-bug=", 0) == 0) {
+            demo = true;
+            demo_which = arg.substr(std::strlen("--demo-bug="));
+        } else {
             std::fprintf(stderr,
                          "usage: model_check [--scenario NAME] "
-                         "[--jobs N] [--out DIR] [--demo-bug] "
-                         "[--replay-schedule FILE]\n");
+                         "[--jobs N] [--out DIR] [--demo-bug[=NAME]] "
+                         "[--replay-schedule FILE] "
+                         "[--assert-max-runs N] [--compare]\n");
             return arg == "--help" || arg == "-h" ? 0 : 1;
         }
     }
@@ -382,17 +803,33 @@ main(int argc, char **argv)
     if (!replay_path.empty())
         return replaySchedule(replay_path);
     if (demo)
-        return demoBug(out_dir);
+        return demoBug(demo_which, out_dir);
+    if (compare)
+        return compareModes();
 
     std::vector<Scenario> s = grid();
     bool all_ok = true;
+    size_t worst_runs = 0;
+    const char *worst = "";
     for (const Scenario &sc : s) {
         if (!only.empty() && only != sc.name)
             continue;
         // Only the budgeted 3-node sweep is big enough to be worth
         // fanning out.
         size_t j = std::strcmp(sc.name, "micro-3node") == 0 ? jobs : 1;
-        all_ok &= runScenario(sc, out_dir, j);
+        size_t runs = 0;
+        all_ok &= runScenario(sc, out_dir, j, runs);
+        if (runs > worst_runs) {
+            worst_runs = runs;
+            worst = sc.name;
+        }
+    }
+    if (all_ok && assert_max_runs && worst_runs > assert_max_runs) {
+        std::printf("run-count ceiling exceeded: %s used %zu runs "
+                    "(ceiling %zu) -- partial-order reduction "
+                    "regressed\n",
+                    worst, worst_runs, assert_max_runs);
+        return 3;
     }
     std::printf("%s\n", all_ok ? "model check: all scenarios clean"
                                : "model check: VIOLATIONS FOUND");

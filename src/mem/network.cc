@@ -168,8 +168,34 @@ Network::transmit(Msg msg, Cycles extra_delay, int attempt)
     }
 
     FaultDecision fd;
-    if (plan && plan->armed())
+    ScheduleController *sc = eq.scheduleController();
+    if (sc && sc->exploresFaults() && plan) {
+        // Exploration mode: fault decisions are explorer choice
+        // points, not random draws -- the DFS enumerates WHICH
+        // message is lost or duplicated. Eligibility matches the
+        // seeded plan's rules so every explored fate has a recovery
+        // leg. Ineligible messages are not decision points at all.
+        bool wd = plan->config().watchdogTimeout != 0;
+        bool can_drop = FaultPlan::dropEligible(msg.type, wd);
+        bool can_dup = FaultPlan::dupEligible(msg.type, wd);
+        size_t n = 1 + (can_drop ? 1 : 0) + (can_dup ? 1 : 0);
+        if (n > 1) {
+            FaultChoicePoint p{eq.curTick(),
+                               static_cast<uint16_t>(msg.type),
+                               static_cast<uint16_t>(msg.src),
+                               static_cast<uint16_t>(msg.dst),
+                               can_drop, can_dup};
+            size_t alt = sc->pickFault(p, n);
+            if (alt >= n)
+                alt = n - 1;
+            if (alt == 1)
+                (can_drop ? fd.drop : fd.duplicate) = true;
+            else if (alt == 2)
+                fd.duplicate = true;
+        }
+    } else if (plan && plan->armed()) {
         fd = plan->decide(msg.type);
+    }
 
     if (fd.drop) {
         if (!FaultPlan::netRetransmits(msg.type))

@@ -292,6 +292,9 @@ EventQueue::fire(const Entry &e)
     EventKind kind = s.kind;
     if constexpr (profileEnabled)
         prof::Registry::instance().recordEvent(kind);
+    if (controller)
+        controller->onFire(
+            {_curTick, kind, s.actor, s.daemon, e.seq, s.parent});
     if (s.daemon)
         --daemonCount;
     s.loc = LocFree;
@@ -299,7 +302,10 @@ EventQueue::fire(const Entry &e)
     ++_numFired;
     ++_numFiredTotal;
     ++fireDepth;
+    uint64_t saved_parent = curParentSeq;
+    curParentSeq = e.seq;
     s.cb();
+    curParentSeq = saved_parent;
     --fireDepth;
     freeSlot(e.slot); // destroys the callback
     if (postFireHook)
@@ -456,7 +462,7 @@ EventQueue::fireNextControlled(Tick limit)
                                  : fifo[c.idx];
             const Slot &s = slotAt(e.slot);
             choiceScratch.push_back(
-                {e.when, s.kind, s.actor, s.daemon});
+                {e.when, s.kind, s.actor, s.daemon, e.seq, s.parent});
         }
         choice = controller->pick(choiceScratch.data(),
                                   choiceScratch.size());
@@ -544,9 +550,13 @@ EventQueue::reset()
     pendingCount = 0;
     daemonCount = 0;
     _curTick = 0;
-    nextSeq = 0;
+    // nextSeq deliberately survives: like the schedule controller, a
+    // controlled run may span several reset legs, and EventChoice::seq
+    // must stay unique per run for step identity (verify/explorer).
+    // Ordering invariants only need monotonicity, which holds.
     _numFired = 0;
     stopped = false;
+    curParentSeq = noEventSeq;
 }
 
 } // namespace specrt

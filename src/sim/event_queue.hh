@@ -68,6 +68,9 @@ constexpr EventId invalidEventId = 0;
 /** Scheduling-site actor tag value meaning "site did not say". */
 constexpr uint16_t unknownActor = 0xFFFF;
 
+/** Sentinel event sequence number: "no such event". */
+constexpr uint64_t noEventSeq = ~uint64_t(0);
+
 /**
  * One ready event offered to a ScheduleController: everything the
  * engine knows about it without touching the callback.
@@ -83,6 +86,37 @@ struct EventChoice
      */
     uint16_t actor;
     bool daemon;
+    /**
+     * Global scheduling sequence number: monotonic in scheduling
+     * order, unique within a run, and stable across replays of the
+     * same choice prefix. Identifies "the same event" across runs.
+     */
+    uint64_t seq = 0;
+    /**
+     * Sequence number of the event whose callback scheduled this one
+     * (the creation edge of the happens-before relation), or
+     * noEventSeq when scheduled from outside any callback.
+     */
+    uint64_t parent = noEventSeq;
+};
+
+/**
+ * One network fault decision point offered to a ScheduleController:
+ * a message about to be transmitted whose loss or duplication the
+ * protocol is expected to tolerate. Field values mirror the Msg
+ * being sent; msgType is the mem-layer MsgType widened to an int so
+ * sim/ stays independent of mem/.
+ */
+struct FaultChoicePoint
+{
+    Tick when;
+    uint16_t msgType;
+    uint16_t src;
+    uint16_t dst;
+    /** Alternative 1 drops the message (a recovery path exists). */
+    bool canDrop;
+    /** The last alternative delivers the message twice. */
+    bool canDup;
 };
 
 /**
@@ -107,6 +141,36 @@ class ScheduleController
      * @return index of the event to fire; clamped to [0, n).
      */
     virtual size_t pick(const EventChoice *choices, size_t n) = 0;
+
+    /**
+     * Fault decision point: the network is about to transmit a
+     * message whose loss/duplication the protocol tolerates. Called
+     * only when exploresFaults() is true. Alternative 0 always means
+     * "deliver normally"; alternative 1 drops if p.canDrop (else
+     * duplicates); alternative 2 (present when both are eligible)
+     * duplicates. @p n counts the alternatives (>= 2).
+     */
+    virtual size_t pickFault(const FaultChoicePoint &p, size_t n)
+    {
+        (void)p;
+        (void)n;
+        return 0;
+    }
+
+    /**
+     * Opt-in for fault decision points. When false (the default) the
+     * network never consults pickFault and faults follow the seeded
+     * FaultPlan as usual.
+     */
+    virtual bool exploresFaults() const { return false; }
+
+    /**
+     * Observation hook: called once per fired event, in fire order,
+     * with the event's full identity (including seq and creation
+     * parent). Fires for forced moves too, not just decision points
+     * -- this is the per-run step trace DPOR computes races over.
+     */
+    virtual void onFire(const EventChoice &fired) { (void)fired; }
 };
 
 /**
@@ -327,6 +391,8 @@ class EventQueue
         bool daemon = false;
         /** Scheduling-site actor tag (ScheduleController only). */
         uint16_t actor = unknownActor;
+        /** Seq of the event whose callback scheduled this one. */
+        uint64_t parent = noEventSeq;
         uint32_t nextFree = badIndex;
     };
 
@@ -359,6 +425,7 @@ class EventQueue
         s.kind = kind;
         s.daemon = daemon;
         s.actor = actor;
+        s.parent = curParentSeq;
         if (daemon)
             ++daemonCount;
         insertEntry(when, slot, s);
@@ -466,6 +533,9 @@ class EventQueue
     bool stopped = false;
     /** Depth of fire() frames on the stack (reset() guard). */
     uint32_t fireDepth = 0;
+    /** Seq of the event whose callback is on the stack (creation
+     *  edges for EventChoice::parent); noEventSeq outside fire(). */
+    uint64_t curParentSeq = noEventSeq;
 
     ScheduleController *controller = nullptr;
     std::function<void(Tick, EventKind)> postFireHook;

@@ -629,6 +629,24 @@ SpecDirUnit::findNp(Addr elem) const
     return range ? np.find(range->elemIndex(elem)) : nullptr;
 }
 
+NPDirBits &
+SpecDirUnit::npBitsForTest(Addr elem)
+{
+    const TestRange *range = sys.table().lookup(elem);
+    SPECRT_ASSERT(range, "elem %#llx not under test",
+                  (unsigned long long)elem);
+    return np.at(range->elemIndex(elem));
+}
+
+PrivSharedDirBits &
+SpecDirUnit::sharedBitsForTest(Addr elem)
+{
+    const TestRange *range = sys.table().lookup(elem);
+    SPECRT_ASSERT(range, "elem %#llx not under test",
+                  (unsigned long long)elem);
+    return ps.at(range->elemIndex(elem));
+}
+
 std::vector<std::pair<Addr, IterNum>>
 SpecDirUnit::writtenPrivElems(Addr base, Addr end) const
 {

@@ -195,6 +195,16 @@ class SpecDirUnit : public SpecDirIface
     template <typename F>
     void forEachPriv(F &&f) const;
 
+    /**
+     * Mutable home bits of one element, materializing the entry if
+     * absent. Verification seeding access only: the model checker's
+     * seeded-bug scenarios use these to plant a corrupted directory
+     * state that the invariant sweep must then attribute. Protocol
+     * code never calls them.
+     */
+    NPDirBits &npBitsForTest(Addr elem);
+    PrivSharedDirBits &sharedBitsForTest(Addr elem);
+
     /** Read-ins still waiting for their ReadInReply (quiesce). */
     size_t numPendingReadIns() const { return pendingReadIns.size(); }
 

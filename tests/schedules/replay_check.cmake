@@ -1,0 +1,32 @@
+# Replay one witness schedule and assert the violation reproduces.
+#
+#   cmake -DMODEL_CHECK=<binary> -DSCHEDULE=<file> -DEXPECT=<regex>
+#         -P replay_check.cmake
+#
+# Passes iff the replay exits 2 (violation reproduced) and its output
+# matches EXPECT (the invariant attribution the witness was shrunk
+# for). Any other exit code -- including 0, a clean replay -- means
+# the witness corpus and the replay path have drifted apart.
+
+if(NOT MODEL_CHECK OR NOT SCHEDULE OR NOT EXPECT)
+    message(FATAL_ERROR "need -DMODEL_CHECK= -DSCHEDULE= -DEXPECT=")
+endif()
+
+execute_process(
+    COMMAND "${MODEL_CHECK}" --replay-schedule "${SCHEDULE}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+)
+message(STATUS "replay output:\n${out}${err}")
+
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+            "expected exit 2 (violation reproduced), got '${rc}': the "
+            "witness no longer replays -- schedule surface drifted")
+endif()
+if(NOT out MATCHES "${EXPECT}")
+    message(FATAL_ERROR
+            "violation reproduced but attribution changed: expected "
+            "output to match '${EXPECT}'")
+endif()

@@ -161,3 +161,79 @@ TEST(DenseSnapshot, RestoreAfterPartialCommitUndoesTheCommit)
         EXPECT_EQ(mem.read(shared.elemAddr(e), 4), e + 1)
             << "element " << e;
 }
+
+#include "sim/sim_context.hh"
+#include "verify/explorer.hh"
+
+namespace
+{
+
+/**
+ * One run for the explorer: two nodes store into a checkpointed
+ * region with the requester watchdog enabled, then the checkpoint is
+ * restored TWICE. The verdict asserts quiescence and that both
+ * restores land the same pre-store values -- i.e.\ restore is
+ * idempotent and not consuming on every explored schedule, including
+ * the ones where the explorer chose to drop (watchdog retry) or
+ * duplicate a message.
+ */
+verify::RunVerdict
+checkpointedFaultRun()
+{
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    cfg.fault.watchdogTimeout = 2000;
+    DsmSystem dsm(cfg);
+    AddrMap &mem = dsm.memory();
+    const Region &r =
+        mem.region(mem.alloc("A", 8, 4, Placement::Fixed, 0));
+    mem.write(r.elemAddr(0), 4, 7);
+    mem.write(r.elemAddr(1), 4, 9);
+
+    SparseCheckpoint cp(4);
+    cp.saveIfFirst(r.elemAddr(0), mem.read(r.elemAddr(0), 4));
+    cp.saveIfFirst(r.elemAddr(1), mem.read(r.elemAddr(1), 4));
+
+    dsm.cacheCtrl(0).store(r.elemAddr(0), 4, 100, 1);
+    dsm.cacheCtrl(1).store(r.elemAddr(1), 4, 200, 1);
+    dsm.eventQueue().run();
+    bool quiesced = dsm.quiescent();
+    dsm.resetMachine(true); // flush dirty lines into memory
+
+    verify::RunVerdict v;
+    std::string err;
+    if (!quiesced)
+        err += "not quiescent after drain; ";
+    uint64_t s0 = mem.read(r.elemAddr(0), 4);
+    uint64_t s1 = mem.read(r.elemAddr(1), 4);
+    if (s0 != 100 || s1 != 200)
+        err += "stores lost (" + std::to_string(s0) + ", " +
+               std::to_string(s1) + "); ";
+    for (int pass = 1; pass <= 2; ++pass) {
+        cp.restore(mem);
+        if (mem.read(r.elemAddr(0), 4) != 7 ||
+            mem.read(r.elemAddr(1), 4) != 9)
+            err += "restore pass " + std::to_string(pass) +
+                   " did not reproduce the checkpoint; ";
+    }
+    v.report = err;
+    v.ok = err.empty();
+    return v;
+}
+
+} // namespace
+
+TEST(SparseCheckpoint, RestoreIdempotentUnderExploredFaultSchedules)
+{
+    // Every single-fault placement (drop-then-retry or duplicate
+    // delivery) interleaved with delivery-order choices: the
+    // checkpoint contract must hold on all of them.
+    verify::ExploreOptions o;
+    o.exploreFaults = true;
+    o.maxFaults = 1;
+    o.maxRuns = 20000;
+    verify::ExploreResult res = verify::explore(checkpointedFaultRun, o);
+    EXPECT_FALSE(res.violated) << res.report;
+    EXPECT_FALSE(res.budgetExhausted) << res.summary();
+    EXPECT_GT(res.runs, 1u);
+}

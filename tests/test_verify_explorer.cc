@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -578,6 +579,115 @@ TEST(ScheduleFileTest, RejectsMalformedInput)
         ScheduleFile::parse("specrt-schedule v1\nchoice -2\n"),
         FatalError);
     ctx.logThrowOnFatal = prev;
+}
+
+TEST(ScheduleFileTest, RoundTripsFaultKindsInV2)
+{
+    ScheduleFile f;
+    f.meta["scenario"] = "faulty";
+    f.choices = {0, 1, 2, 3};
+    f.kinds = {verify::ChoiceKind::Sched, verify::ChoiceKind::Fault,
+               verify::ChoiceKind::Fault, verify::ChoiceKind::Sched};
+    ASSERT_TRUE(f.hasFaults());
+
+    std::string text = f.serialize();
+    EXPECT_NE(text.find("specrt-schedule v2"), std::string::npos);
+    EXPECT_NE(text.find("fault 1"), std::string::npos);
+    EXPECT_NE(text.find("end 4"), std::string::npos);
+
+    ScheduleFile g = ScheduleFile::parse(text);
+    EXPECT_EQ(g.choices, f.choices);
+    EXPECT_EQ(g.kinds, f.kinds);
+    EXPECT_EQ(g.meta, f.meta);
+}
+
+TEST(ScheduleFileTest, V1FilesStillParseAsAllSched)
+{
+    ScheduleFile f = ScheduleFile::parse(
+        "specrt-schedule v1\nmeta scenario legacy\nchoice 2\n"
+        "choice 0\n");
+    EXPECT_EQ(f.choices, (std::vector<size_t>{2, 0}));
+    EXPECT_TRUE(f.kinds.empty());
+    EXPECT_FALSE(f.hasFaults());
+}
+
+TEST(ScheduleFileTest, StructuredErrorsNameLineAndCause)
+{
+    using verify::ParseError;
+    ScheduleFile out;
+    ParseError err;
+
+    // Empty input.
+    EXPECT_FALSE(ScheduleFile::tryParse("", out, err));
+    EXPECT_EQ(err.line, 0u);
+
+    // Version skew.
+    EXPECT_FALSE(
+        ScheduleFile::tryParse("specrt-schedule v9\n", out, err));
+    EXPECT_EQ(err.line, 1u);
+    EXPECT_NE(err.message.find("v9"), std::string::npos);
+
+    // Unknown choice kind / keyword.
+    EXPECT_FALSE(ScheduleFile::tryParse(
+        "specrt-schedule v2\nwibble 3\nend 1\n", out, err));
+    EXPECT_EQ(err.line, 2u);
+
+    // fault lines are a v2 feature.
+    EXPECT_FALSE(ScheduleFile::tryParse(
+        "specrt-schedule v1\nfault 1\n", out, err));
+    EXPECT_EQ(err.line, 2u);
+
+    // Malformed numbers: sign, garbage, overflow.
+    EXPECT_FALSE(ScheduleFile::tryParse(
+        "specrt-schedule v2\nchoice -1\nend 1\n", out, err));
+    EXPECT_EQ(err.line, 2u);
+    EXPECT_FALSE(ScheduleFile::tryParse(
+        "specrt-schedule v2\nchoice 1x\nend 1\n", out, err));
+    EXPECT_EQ(err.line, 2u);
+    EXPECT_FALSE(ScheduleFile::tryParse(
+        "specrt-schedule v2\nchoice 99999999999999999999999\nend 1\n",
+        out, err));
+    EXPECT_EQ(err.line, 2u);
+
+    // Fault alternative out of range.
+    EXPECT_FALSE(ScheduleFile::tryParse(
+        "specrt-schedule v2\nfault 3\nend 1\n", out, err));
+    EXPECT_EQ(err.line, 2u);
+
+    // Truncation: a v2 file without its end trailer, and a trailer
+    // whose count disagrees with the positions actually present.
+    EXPECT_FALSE(ScheduleFile::tryParse(
+        "specrt-schedule v2\nchoice 1\n", out, err));
+    EXPECT_NE(err.message.find("trailer"), std::string::npos);
+    EXPECT_FALSE(ScheduleFile::tryParse(
+        "specrt-schedule v2\nchoice 1\nend 2\n", out, err));
+    EXPECT_EQ(err.line, 3u);
+
+    // Content after the trailer.
+    EXPECT_FALSE(ScheduleFile::tryParse(
+        "specrt-schedule v2\nchoice 1\nend 1\nchoice 0\n", out, err));
+    EXPECT_EQ(err.line, 4u);
+}
+
+TEST(ScheduleFileTest, TryLoadReportsCorruptionWithoutPanicking)
+{
+    std::string path = testing::TempDir() + "/truncated.schedule";
+    ScheduleFile f;
+    f.choices = {0, 1, 2};
+    f.save(path);
+
+    // Simulate a torn write: drop the trailer and the last position.
+    ScheduleFile whole = ScheduleFile::load(path);
+    std::string text = whole.serialize();
+    std::string cut = text.substr(0, text.find("choice 2"));
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << cut;
+    }
+    ScheduleFile out;
+    verify::ParseError err;
+    EXPECT_FALSE(ScheduleFile::tryLoad(path, out, err));
+    EXPECT_NE(err.message.find("trailer"), std::string::npos);
 }
 
 TEST(ScheduleFileTest, WitnessSavedFromAnExplorationReplays)
