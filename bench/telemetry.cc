@@ -1,17 +1,25 @@
 #include "telemetry.hh"
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "core/loop_exec.hh"
+#include "obs/event_log.hh"
+#include "obs/report.hh"
+#include "sim/arena.hh"
 #include "sim/config.hh"
 #include "sim/critpath.hh"
 #include "sim/profile.hh"
+#include "sim/sim_context.hh"
 #include "sim/timeline.hh"
 #include "sim/trace.hh"
 #include "sim/trace_export.hh"
@@ -30,6 +38,19 @@ bool quickMode = false;
 
 /** Resolved --jobs value (0 until benchMain parses flags). */
 unsigned jobsCount = 1;
+
+/** Resolved --status-out path; runJobs streams progress there. */
+std::string statusPath;
+
+/** Peak resident set size of this process, in KiB (0 if unknown). */
+uint64_t
+peakRssKb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return static_cast<uint64_t>(ru.ru_maxrss);
+}
 
 /** This thread's shard inside a ScopedTelemetry scope. */
 thread_local Telemetry *tlsTelemetry = nullptr;
@@ -144,6 +165,12 @@ jobs()
     return jobsCount ? jobsCount : campaign::defaultJobs();
 }
 
+void
+setJobs(unsigned n)
+{
+    jobsCount = n;
+}
+
 std::vector<campaign::JobOutcome>
 runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
 {
@@ -162,9 +189,30 @@ runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
     critpath::Recorder &procCp = critpath::current();
     bool cpOn = procCp.isOn();
     std::vector<critpath::Recorder> cpShards(cpOn ? n : 0);
+    // And for the event log: each job records into its own context's
+    // log (bracketed by job_begin) and the shards merge in job-id
+    // order, with job_end lines appended from the outcomes, so the
+    // merged JSONL is byte-identical across --jobs values.
+    obs::EventLog &procEv = obs::log();
+    bool evOn = procEv.isOn();
+    size_t evCap = procEv.capacity();
+    std::vector<obs::EventLog> evShards(evOn ? n : 0);
+
+    // Live figures for the --status-out snapshot (publisher thread).
+    std::mutex liveMtx;
+    uint64_t liveTicks = 0;
+    std::string liveHot;
+
     campaign::Options opts;
     opts.jobs = jobs();
     opts.baseSeed = base_seed;
+    if (!statusPath.empty()) {
+        opts.progressPath = statusPath;
+        opts.progressLive = [&] {
+            std::lock_guard<std::mutex> lock(liveMtx);
+            return campaign::ProgressLive{liveTicks, liveHot};
+        };
+    }
     std::vector<campaign::JobOutcome> outcomes = campaign::run(
         n,
         [&](size_t id, SimContext &ctx) {
@@ -173,11 +221,34 @@ runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
                 timeline::current().enable(tlInterval);
             if (cpOn)
                 critpath::current().enable();
+            // Capture the job's event log even when fn throws (a
+            // failed job's events are the forensic record).
+            struct EvGuard
+            {
+                obs::EventLog *dst = nullptr;
+                ~EvGuard()
+                {
+                    if (dst)
+                        *dst = obs::log();
+                }
+            } evg;
+            if (evOn) {
+                obs::log().enable(evCap);
+                obs::refreshEnabled();
+                evg.dst = &evShards[id];
+                obs::jobBegin(id, ctx.baseSeed);
+            }
             fn(id, ctx);
             if (tlOn)
                 tlShards[id] = timeline::current();
             if (cpOn)
                 cpShards[id] = critpath::current();
+            {
+                std::lock_guard<std::mutex> lock(liveMtx);
+                liveTicks += shards[id].simTicks;
+                if (tlOn)
+                    liveHot = timeline::current().hotSummary(1);
+            }
         },
         opts);
     Telemetry &t = processTelemetry();
@@ -187,6 +258,11 @@ runJobs(size_t n, const campaign::JobFn &fn, uint64_t base_seed)
         procTl.merge(shard);
     for (const critpath::Recorder &shard : cpShards)
         procCp.merge(shard);
+    for (size_t id = 0; id < evShards.size(); ++id) {
+        procEv.merge(evShards[id]);
+        obs::jobEnd(outcomes[id].id, outcomes[id].ok,
+                    outcomes[id].error);
+    }
     return outcomes;
 }
 
@@ -198,6 +274,14 @@ Telemetry::recordRun(const RunResult &r)
     ++runs;
     if (r.infraFailed)
         ++infraFailedRuns;
+    if (r.cost.valid) {
+        cost.valid = true;
+        cost.numProcs = std::max(cost.numProcs, r.cost.numProcs);
+        cost.perNodeTicks += r.cost.perNodeTicks;
+        cost.busy += r.cost.busy;
+        for (size_t i = 0; i < stall::numCauses; ++i)
+            cost.stalls[i] += r.cost.stalls[i];
+    }
 }
 
 void
@@ -230,6 +314,14 @@ Telemetry::merge(const Telemetry &shard)
         metric(kv.first, kv.second);
     if (!shard.stats.empty())
         stats = shard.stats;
+    if (shard.cost.valid) {
+        cost.valid = true;
+        cost.numProcs = std::max(cost.numProcs, shard.cost.numProcs);
+        cost.perNodeTicks += shard.cost.perNodeTicks;
+        cost.busy += shard.cost.busy;
+        for (size_t i = 0; i < stall::numCauses; ++i)
+            cost.stalls[i] += shard.cost.stalls[i];
+    }
 }
 
 int
@@ -240,6 +332,8 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
     std::string tracePath;
     std::string timelinePath;
     std::string critpathPath;
+    std::string eventsPath;
+    std::string reportPath;
     bool writeJson = true;
 
     for (int i = 1; i < argc; ++i) {
@@ -262,6 +356,18 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
             critpathPath = arg.substr(std::strlen("--critpath-out="));
         } else if (arg == "--critpath-out" && i + 1 < argc) {
             critpathPath = argv[++i];
+        } else if (arg.rfind("--events-out=", 0) == 0) {
+            eventsPath = arg.substr(std::strlen("--events-out="));
+        } else if (arg == "--events-out" && i + 1 < argc) {
+            eventsPath = argv[++i];
+        } else if (arg.rfind("--report-out=", 0) == 0) {
+            reportPath = arg.substr(std::strlen("--report-out="));
+        } else if (arg == "--report-out" && i + 1 < argc) {
+            reportPath = argv[++i];
+        } else if (arg.rfind("--status-out=", 0) == 0) {
+            statusPath = arg.substr(std::strlen("--status-out="));
+        } else if (arg == "--status-out" && i + 1 < argc) {
+            statusPath = argv[++i];
         } else if (arg.rfind("--jobs=", 0) == 0 ||
                    (arg == "--jobs" && i + 1 < argc)) {
             const char *val = arg == "--jobs"
@@ -279,7 +385,10 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
             std::printf("usage: %s [--quick] [--no-json] "
                         "[--out <path>] [--trace-out <path>] "
                         "[--timeline-out <path>] "
-                        "[--critpath-out <path>] [--jobs <n>]\n"
+                        "[--critpath-out <path>] "
+                        "[--events-out <path>] "
+                        "[--report-out <path>] "
+                        "[--status-out <path>] [--jobs <n>]\n"
                         "  --trace-out  record the protocol trace and "
                         "write Chrome/Perfetto JSON to <path>\n"
                         "  --timeline-out  sample the metric timeline "
@@ -289,6 +398,13 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
                         "  --critpath-out  profile stall attribution "
                         "and write the critical-path Perfetto JSON "
                         "to <path>\n"
+                        "  --events-out  record the structured event "
+                        "log and write the merged JSONL to <path>\n"
+                        "  --report-out  write the unified run report "
+                        "JSON to <path> (implies the event log)\n"
+                        "  --status-out  stream live campaign "
+                        "progress snapshots to <path> "
+                        "(scripts/specrt_top.py tails it)\n"
                         "  --jobs       campaign worker threads "
                         "(0 = all host cores; default 1)\n",
                         argv[0]);
@@ -306,6 +422,10 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
         timeline::current().enable();
     if (!critpathPath.empty())
         critpath::current().enable();
+    if (!eventsPath.empty() || !reportPath.empty()) {
+        obs::log().enable();
+        obs::refreshEnabled();
+    }
 
     auto t0 = std::chrono::steady_clock::now();
     int rc = body();
@@ -368,6 +488,23 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
         }
     }
 
+    const obs::EventLog &ev = obs::log();
+    if (!eventsPath.empty()) {
+        std::ofstream os(eventsPath, std::ios::trunc);
+        if (os)
+            os << ev.jsonl();
+        if (os) {
+            std::printf("[events] wrote %zu event lines to %s\n",
+                        ev.size(), eventsPath.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "%s: failed to write event log to %s\n",
+                         name, eventsPath.c_str());
+            if (rc == 0)
+                rc = 1;
+        }
+    }
+
     double wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     double wallS = wallMs / 1e3;
@@ -379,12 +516,43 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
                      ? static_cast<double>(t.eventsFired) / wallS
                      : 0.0;
 
-    if (!writeJson)
-        return rc;
-
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016" PRIx64,
                   MachineConfig{}.fingerprint());
+    // The fingerprint of the machine the bench actually ran, when a
+    // LoopExecutor published one (benches with custom configs).
+    const std::string &ranFp = SimContext::current().configFingerprint;
+
+    if (!reportPath.empty()) {
+        obs::ReportInputs ri;
+        ri.name = name;
+        ri.gitSha = SPECRT_GIT_SHA;
+        ri.configFingerprint = ranFp.empty() ? fp : ranFp;
+        ri.baseSeed = SimContext::current().baseSeed;
+        ri.simTicks = t.simTicks;
+        ri.eventsFired = t.eventsFired;
+        ri.runs = t.runs;
+        ri.infraFailedRuns = t.infraFailedRuns;
+        ri.metrics = t.metrics;
+        ri.stats = t.stats;
+        ri.cost = t.cost;
+        ri.critpath = &cp;
+        ri.timeline = &tl;
+        ri.events = &ev;
+        if (obs::writeReport(ri, reportPath)) {
+            std::printf("[report] wrote unified run report to %s\n",
+                        reportPath.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "%s: failed to write report to %s\n",
+                         name, reportPath.c_str());
+            if (rc == 0)
+                rc = 1;
+        }
+    }
+
+    if (!writeJson)
+        return rc;
 
     std::ostringstream rec;
     rec << "  {\n"
@@ -419,6 +587,25 @@ benchMain(int argc, char **argv, const char *name, int (*body)())
             << "    \"critpath_out\": \"" << jsonEscape(critpathPath)
             << "\",\n";
     }
+    if (!eventsPath.empty() || !reportPath.empty()) {
+        rec << "    \"events_recorded\": " << ev.recorded() << ",\n"
+            << "    \"events_dropped\": " << ev.dropped() << ",\n";
+        if (!eventsPath.empty()) {
+            rec << "    \"events_out\": \"" << jsonEscape(eventsPath)
+                << "\",\n";
+        }
+        if (!reportPath.empty()) {
+            rec << "    \"report_out\": \"" << jsonEscape(reportPath)
+                << "\",\n";
+        }
+    }
+    // Host memory figures; the perf gate reads unknown mem_* keys as
+    // informational rows, never as pass/fail.
+    rec << "    \"mem_peak_rss_kb\": " << peakRssKb() << ",\n"
+        << "    \"mem_arena_hwm_blocks\": "
+        << std::max(Arena::maxHighWater(),
+                    SimContext::current().arenaHighWater())
+        << ",\n";
     if constexpr (profileEnabled) {
         // SPECRT_PROFILE builds: the host-side profile (per-EventKind
         // fired-event histogram + scoped timers), previously

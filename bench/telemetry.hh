@@ -29,6 +29,23 @@
  *                 identical whatever --jobs was. Adds
  *                 timeline_samples / timeline_series keys to the
  *                 JSON record.
+ *   --events-out <path>  enable the structured event log
+ *                 (obs/event_log.hh) and write the merged JSONL to
+ *                 <path>. Jobs fanned out via runJobs() record into
+ *                 per-job logs merged in job-id order, so the file
+ *                 is byte-identical whatever --jobs was.
+ *   --report-out <path>  write the unified run report
+ *                 (obs/report.hh) to <path>; implies the event log
+ *                 so the report's events section is populated.
+ *   --status-out <path>  stream live campaign progress snapshots
+ *                 (sim/campaign.hh progressPath) to <path> while
+ *                 runJobs() is in flight; tail with
+ *                 scripts/specrt_top.py.
+ *
+ * The JSON record also always carries host memory figures --
+ * mem_peak_rss_kb (getrusage) and mem_arena_hwm_blocks (the largest
+ * message-arena high-water mark) -- which the perf gate reads as
+ * informational keys.
  *
  * Concurrency: telemetry() is the PROCESS accumulator on the main
  * thread, but campaign jobs run on worker threads -- there it
@@ -46,6 +63,7 @@
 #include <vector>
 
 #include "sim/campaign.hh"
+#include "sim/stall.hh"
 #include "sim/stats.hh"
 
 namespace specrt
@@ -95,6 +113,12 @@ class Telemetry
     uint64_t infraFailedRuns = 0;
     std::vector<std::pair<std::string, double>> metrics;
     StatSnapshot stats;
+    /**
+     * Summed stall/cost breakdown of every profiled run recorded
+     * (cost.valid stays false until one run carried a valid
+     * breakdown). Feeds the unified report's "cost" section.
+     */
+    stall::CostBreakdown cost;
 };
 
 /**
@@ -121,6 +145,13 @@ class ScopedTelemetry
 
 /** Campaign worker threads resolved from --jobs / SPECRT_JOBS (>= 1). */
 unsigned jobs();
+
+/**
+ * Override the worker count benchMain() parsed from --jobs. For
+ * tests that re-run the same bench body at different fan-outs and
+ * assert byte-identical aggregation; bench bodies never call this.
+ */
+void setJobs(unsigned n);
 
 /**
  * Fan jobs 0..n-1 across jobs() workers via campaign::run. Each job

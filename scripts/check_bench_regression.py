@@ -43,7 +43,9 @@ REPO = Path(__file__).resolve().parent.parent
 # Record keys the gate interprets. Anything else (e.g. the
 # timeline_samples / timeline_series / timeline_out keys written by
 # --timeline-out runs) is informational: noted, never a failure, and
-# never carried into the baseline by --rebase.
+# never carried into the baseline by --rebase. mem_* keys (host
+# memory figures every record now carries) are informational too,
+# but printed with their values instead of the unknown-key note.
 KNOWN_RECORD_KEYS = {
     "schema", "bench", "quick", "git_sha", "config_fingerprint",
     "exit_code", "wall_ms", "sim_ticks", "events_fired",
@@ -53,7 +55,14 @@ KNOWN_RECORD_KEYS = {
 
 
 def unknown_keys(rec):
-    return sorted(k for k in rec if k not in KNOWN_RECORD_KEYS)
+    return sorted(k for k in rec
+                  if k not in KNOWN_RECORD_KEYS
+                  and not k.startswith("mem_"))
+
+
+def mem_keys(rec):
+    """Informational host-memory figures (never gated)."""
+    return {k: rec[k] for k in sorted(rec) if k.startswith("mem_")}
 
 
 def load(path):
@@ -117,6 +126,10 @@ def compare(results, baseline, tolerance, rows=None):
         if extra:
             print(f"note {name}: ignoring unknown record keys: "
                   + ", ".join(extra))
+        mem = mem_keys(rec)
+        if mem:
+            print(f"info {name}: "
+                  + ", ".join(f"{k}={v}" for k, v in mem.items()))
         if rec.get("exit_code", 0) != 0:
             print(f"FAIL {name}: bench exited nonzero "
                   f"({rec.get('exit_code')})")
@@ -230,9 +243,14 @@ def selftest():
         "timeline_samples": 5,
         "timeline_series": 3,
         "timeline_out": "timeline.csv",
+        "mem_peak_rss_kb": 51200,
+        "mem_arena_hwm_blocks": 77,
     }
     assert unknown_keys(timeline_rec) == \
-        ["timeline_out", "timeline_samples", "timeline_series"]
+        ["timeline_out", "timeline_samples", "timeline_series"], \
+        "mem_* keys are informational, not unknown"
+    assert mem_keys(timeline_rec) == \
+        {"mem_arena_hwm_blocks": 77, "mem_peak_rss_kb": 51200}
 
     baseline = {"smoke": {"bench": "smoke", "ticks_per_sec": 100.0,
                           "min_foo_speedup": 0.8}}

@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Compare two unified run reports (bench --report-out) and render a
+regression-highlighting Markdown table.
+
+    scripts/compare_runs.py base/report.json new/report.json
+    scripts/compare_runs.py A.json B.json --fail-on-regression
+    scripts/compare_runs.py A.json B.json \\
+        --bench-a base/BENCH_results.json \\
+        --bench-b new/BENCH_results.json
+
+This is the Python twin of obs::diff / examples/report_diff: the same
+flattening (dotted keys, "[i]" array suffixes, bools as 0/1), the
+same per-key direction rules (stall cycles up = regression, speedup
+up = improvement), the same tolerance band, and the same Markdown
+shape, so a table produced here matches one produced by the C++ tool
+byte for byte. On top, --bench-a/--bench-b fold in the host-side
+figures the deterministic report deliberately excludes (wall time,
+peak RSS, arena high-water) as an informational section -- shown,
+never classified.
+
+Exit status: 0 on success (no regressions, or --fail-on-regression
+not set), 1 when --fail-on-regression is set and regressions exist,
+2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(value, path="", out=None):
+    """Mirror of obs::parseReport: numbers+bools into floats, strings
+    kept, arrays as path[i], nulls skipped."""
+    if out is None:
+        out = {"numbers": {}, "strings": {}}
+    if isinstance(value, dict):
+        for key in value:
+            sub = key if not path else f"{path}.{key}"
+            flatten(value[key], sub, out)
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            flatten(item, f"{path}[{i}]", out)
+    elif isinstance(value, bool):
+        out["numbers"][path] = 1.0 if value else 0.0
+    elif isinstance(value, (int, float)):
+        out["numbers"][path] = float(value)
+    elif isinstance(value, str):
+        out["strings"][path] = value
+    # None: skipped
+    return out
+
+
+def key_direction(key):
+    """Mirror of obs::keyDirection: -1 lower-better, +1 higher-better,
+    0 neutral."""
+    # "speedup" anywhere, not just as a suffix: the benches name
+    # their headline metrics hw_speedup_mean_16p and the like.
+    if "speedup" in key or key.endswith("ticks_per_sec") or \
+            key.endswith("events_per_sec"):
+        return +1
+    if key.startswith("cost.stalls."):
+        return -1
+    if key.startswith("events.counts."):
+        kind = key[len("events.counts."):]
+        if kind in ("abort", "sw_abort", "fault", "degrade"):
+            return -1
+        return 0
+    for marker in ("violation", "abort", "lost", "retr",
+                   "infra_failed", "failures", "mem_"):
+        if marker in key:
+            return -1
+    return 0
+
+
+def diff(a, b, tolerance=0.02):
+    """Mirror of obs::diff. Returns (rows, compared, regressions,
+    improvements); rows are (key, kind, numeric, va, vb, sa, sb)."""
+    rows = []
+    compared = regressions = improvements = 0
+    keys = sorted(set(a["numbers"]) | set(b["numbers"])
+                  | set(a["strings"]) | set(b["strings"]))
+    for key in keys:
+        if key == "schema":
+            continue
+        na, nb = a["numbers"].get(key), b["numbers"].get(key)
+        sa, sb = a["strings"].get(key), b["strings"].get(key)
+        in_a = na is not None or sa is not None
+        in_b = nb is not None or sb is not None
+
+        if not in_a or not in_b:
+            kind = "added" if in_b else "removed"
+            numeric = (nb is not None) if in_b else (na is not None)
+            rows.append((key, kind, numeric, na or 0.0, nb or 0.0,
+                         sa or "", sb or ""))
+            continue
+
+        compared += 1
+        if na is not None and nb is not None:
+            if na == nb:
+                continue
+            denom = max(abs(na), abs(nb))
+            if denom > 0 and abs(nb - na) / denom <= tolerance:
+                continue
+            direction = key_direction(key)
+            if direction == 0:
+                kind = "changed"
+            elif (nb > na) == (direction > 0):
+                kind = "improved"
+            else:
+                kind = "regressed"
+            rows.append((key, kind, True, na, nb, "", ""))
+        elif sa is not None and sb is not None:
+            if sa == sb:
+                continue
+            kind = "changed"
+            rows.append((key, kind, False, 0.0, 0.0, sa, sb))
+        else:
+            # Type changed between reports: neutral string row.
+            kind = "changed"
+            rows.append((key, kind, False, 0.0, 0.0,
+                         sa if sa is not None else f"{na:.17g}",
+                         sb if sb is not None else f"{nb:.17g}"))
+        if kind == "regressed":
+            regressions += 1
+        elif kind == "improved":
+            improvements += 1
+    return rows, compared, regressions, improvements
+
+
+def table_number(v):
+    return "%g" % v
+
+
+def cell(s):
+    out = "".join(" " if c in "\n|" else c for c in s)
+    if len(out) > 48:
+        out = out[:45] + "..."
+    return out
+
+
+STATUS = {
+    "regressed": ":x: regressed",
+    "improved": ":white_check_mark: improved",
+    "changed": "changed",
+    "added": "added",
+    "removed": "removed",
+}
+
+
+def markdown(rows, compared, regressions, improvements, name_a,
+             name_b):
+    """Mirror of obs::diffMarkdown."""
+    lines = [f"### Run comparison: {name_a} vs {name_b}", ""]
+    if not rows:
+        lines.append(f"No differences: {compared} keys compared, "
+                     "all equal.")
+        return "\n".join(lines) + "\n"
+    lines.append(f"| key | {name_a} | {name_b} | delta | status |")
+    lines.append("|---|---:|---:|---:|---|")
+    for key, kind, numeric, va, vb, sa, sb in rows:
+        only_a = kind == "removed"
+        only_b = kind == "added"
+        delta = "n/a"
+        if numeric:
+            ca = "-" if only_b else table_number(va)
+            cb = "-" if only_a else table_number(vb)
+            if not only_a and not only_b and va != 0:
+                delta = "%+.1f%%" % (100.0 * (vb - va) / va)
+        else:
+            ca = "-" if only_b else f"`{cell(sa)}`"
+            cb = "-" if only_a else f"`{cell(sb)}`"
+        lines.append(f"| `{key}` | {ca} | {cb} | {delta} "
+                     f"| {STATUS[kind]} |")
+    lines.append("")
+    lines.append(f"**{compared} keys compared, {len(rows)} "
+                 f"difference(s), {regressions} regression(s), "
+                 f"{improvements} improvement(s).**")
+    return "\n".join(lines) + "\n"
+
+
+# Host-side keys worth showing from a BENCH_results.json record.
+HOST_KEYS = ("wall_ms", "ticks_per_sec", "mem_peak_rss_kb",
+             "mem_arena_hwm_blocks")
+
+
+def host_rows(rec_a, rec_b):
+    rows = []
+    for key in HOST_KEYS:
+        va, vb = rec_a.get(key), rec_b.get(key)
+        if va is None and vb is None:
+            continue
+        rows.append((key, va, vb))
+    return rows
+
+
+def host_markdown(rows, name_a, name_b):
+    lines = ["", f"### Host-side figures (informational)", "",
+             f"| key | {name_a} | {name_b} | delta |",
+             "|---|---:|---:|---:|"]
+    for key, va, vb in rows:
+        ca = "-" if va is None else table_number(va)
+        cb = "-" if vb is None else table_number(vb)
+        delta = "n/a"
+        if isinstance(va, (int, float)) and \
+                isinstance(vb, (int, float)) and va:
+            delta = "%+.1f%%" % (100.0 * (vb - va) / va)
+        lines.append(f"| `{key}` | {ca} | {cb} | {delta} |")
+    lines.append("")
+    lines.append("Host figures depend on the machine and are never "
+                 "classified as regressions.")
+    return "\n".join(lines) + "\n"
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def bench_record(path, bench):
+    """The last record in a BENCH_results.json (optionally of one
+    bench name)."""
+    data = load_json(path)
+    if not isinstance(data, list):
+        print(f"error: {path} is not a JSON array", file=sys.stderr)
+        sys.exit(2)
+    picked = None
+    for rec in data:
+        if isinstance(rec, dict) and \
+                (bench is None or rec.get("bench") == bench):
+            picked = rec
+    if picked is None:
+        print(f"error: no matching bench record in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+    return picked
+
+
+def label_of(path):
+    base = path.rsplit("/", 1)[-1]
+    if base.endswith(".json"):
+        base = base[:-5]
+    return base or path
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report_a", help="baseline report.json")
+    ap.add_argument("report_b", help="candidate report.json")
+    ap.add_argument("--tolerance", type=float, default=0.02,
+                    help="relative change treated as equal "
+                         "(default 0.02)")
+    ap.add_argument("--name-a", help="label for report A "
+                                     "(default: basename)")
+    ap.add_argument("--name-b", help="label for report B")
+    ap.add_argument("--bench-a", metavar="PATH",
+                    help="BENCH_results.json for run A: adds "
+                         "informational host-side rows")
+    ap.add_argument("--bench-b", metavar="PATH",
+                    help="BENCH_results.json for run B")
+    ap.add_argument("--bench", help="bench name to pick from the "
+                                    "--bench-a/--bench-b files")
+    ap.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 when any key regressed")
+    args = ap.parse_args()
+
+    a = flatten(load_json(args.report_a))
+    b = flatten(load_json(args.report_b))
+    name_a = args.name_a or label_of(args.report_a)
+    name_b = args.name_b or label_of(args.report_b)
+
+    rows, compared, regressions, improvements = diff(
+        a, b, args.tolerance)
+    out = markdown(rows, compared, regressions, improvements,
+                   name_a, name_b)
+
+    if args.bench_a and args.bench_b:
+        rec_a = bench_record(args.bench_a, args.bench)
+        rec_b = bench_record(args.bench_b, args.bench)
+        hrows = host_rows(rec_a, rec_b)
+        if hrows:
+            out += host_markdown(hrows, name_a, name_b)
+
+    sys.stdout.write(out)
+    return 1 if (args.fail_on_regression and regressions) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,13 +5,17 @@
 # appended to one JSON file, shard merge order fixed by job id, so
 # the output is byte-stable for a given (build, seed set, -j).
 #
-# usage: scripts/run_campaign.sh [-j N] [-o out.json] [-q] [-B dir] [bench...]
+# usage: scripts/run_campaign.sh [-j N] [-o out.json] [-q] [-B dir]
+#        [-p status.json | --progress] [bench...]
 #
 #   -j N      worker threads per bench (0 = all host cores;
 #             default: $SPECRT_JOBS if set, else all host cores)
 #   -o PATH   telemetry output (default: campaign_results.json)
 #   -q        pass --quick to every bench (CI-smoke sizes)
 #   -B DIR    build directory (default: build)
+#   -p PATH   stream live progress snapshots to PATH; watch them with
+#             scripts/specrt_top.py PATH
+#   --progress  shorthand for -p campaign_status.json
 #   bench...  bench names without the bench_ prefix (default: all
 #             except micro_host, which is a google-benchmark CLI)
 #
@@ -24,14 +28,27 @@ jobs="${SPECRT_JOBS:-0}"
 out="campaign_results.json"
 quick=""
 builddir="build"
+progress=""
 
-while getopts "j:o:qB:h" opt; do
+# getopts knows no long options: map --progress to -p <default path>.
+mapped=()
+for arg in "$@"; do
+    if [ "$arg" = "--progress" ]; then
+        mapped+=("-p" "campaign_status.json")
+    else
+        mapped+=("$arg")
+    fi
+done
+set -- ${mapped[@]+"${mapped[@]}"}
+
+while getopts "j:o:qB:p:h" opt; do
     case "$opt" in
         j) jobs="$OPTARG" ;;
         o) out="$OPTARG" ;;
         q) quick="--quick" ;;
         B) builddir="$OPTARG" ;;
-        h|*) sed -n '2,20p' "$0"; exit 0 ;;
+        p) progress="$OPTARG" ;;
+        h|*) sed -n '2,25p' "$0"; exit 0 ;;
     esac
 done
 shift $((OPTIND - 1))
@@ -57,6 +74,10 @@ else
 fi
 
 rm -f "$out"
+if [ -n "$progress" ]; then
+    rm -f "$progress"
+    echo "live progress: $progress (scripts/specrt_top.py $progress)"
+fi
 rc=0
 for b in "${benches[@]}"; do
     if [ ! -x "$b" ]; then
@@ -65,7 +86,12 @@ for b in "${benches[@]}"; do
         continue
     fi
     echo "=== $(basename "$b") (--jobs $jobs) ==="
-    "$b" $quick --jobs "$jobs" --out "$out" || rc=1
+    if [ -n "$progress" ]; then
+        "$b" $quick --jobs "$jobs" --out "$out" \
+            --status-out "$progress" || rc=1
+    else
+        "$b" $quick --jobs "$jobs" --out "$out" || rc=1
+    fi
 done
 
 echo

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Live campaign dashboard: tail the JSON status file a campaign
+streams (bench --status-out PATH / run_campaign.sh --progress) and
+render a one-screen progress view in the terminal.
+
+    scripts/specrt_top.py campaign_status.json
+    scripts/specrt_top.py --once campaign_status.json   # one frame (CI)
+
+The writer (sim/campaign.cc ProgressPublisher) renames each snapshot
+into place atomically, so a read never sees a torn file; a transient
+missing file just means the campaign has not started (or has already
+moved on), and the watcher keeps polling until a snapshot with
+"done": true appears.
+
+Exit status: 0 once the campaign reports done (or immediately with
+--once), 2 on bad arguments or an unreadable file that never appears.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+
+def fmt_eta(seconds):
+    if seconds is None or seconds < 0:
+        return "--:--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+def bar(done, total, width=40):
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = int(width * done / total)
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def render(snap):
+    total = snap.get("total", 0)
+    ok = snap.get("ok", 0)
+    failed = snap.get("failed", 0)
+    running = snap.get("running", 0)
+    finished = ok + failed
+    lines = [
+        f"specrt campaign  {bar(finished, total)} {finished}/{total}"
+        f"  eta {fmt_eta(snap.get('eta_s'))}",
+        f"  running {running:4d}   ok {ok:4d}   failed {failed:4d}"
+        f"   {snap.get('jobs_per_sec', 0):.2f} jobs/s"
+        f"   {snap.get('ticks_per_sec', 0):.3g} sim ticks/s",
+    ]
+    if snap.get("running_jobs"):
+        ids = ", ".join(str(j) for j in snap["running_jobs"][:16])
+        lines.append(f"  running jobs: {ids}")
+    if snap.get("failed_jobs"):
+        ids = ", ".join(str(j) for j in snap["failed_jobs"][:16])
+        lines.append(f"  FAILED jobs:  {ids}")
+    hot = snap.get("hot", "")
+    if hot:
+        for hl in hot.strip().splitlines():
+            lines.append(f"  hot: {hl}")
+    if snap.get("done"):
+        lines.append("  done.")
+    return "\n".join(lines)
+
+
+def read_snapshot(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        # Not written yet, or mid-rename on a filesystem without
+        # atomic rename semantics: treat as "no snapshot yet".
+        return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("status", help="status JSON the campaign streams")
+    ap.add_argument("--interval", type=float, default=0.5,
+                    help="poll period in seconds (default 0.5)")
+    ap.add_argument("--once", action="store_true",
+                    help="render one frame and exit (CI smoke)")
+    ap.add_argument("--timeout", type=float, default=0,
+                    help="give up after this many seconds without a "
+                         "readable snapshot (0 = wait forever)")
+    args = ap.parse_args()
+
+    waited = 0.0
+    while True:
+        snap = read_snapshot(args.status)
+        if snap is None:
+            if args.once:
+                print(f"error: no readable snapshot at {args.status}",
+                      file=sys.stderr)
+                return 2
+            if args.timeout and waited >= args.timeout:
+                print(f"error: no snapshot at {args.status} after "
+                      f"{args.timeout}s", file=sys.stderr)
+                return 2
+            time.sleep(args.interval)
+            waited += args.interval
+            continue
+
+        frame = render(snap)
+        if args.once:
+            print(frame)
+            return 0
+        # Clear screen + home, then the frame: a cheap full redraw.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        if snap.get("done"):
+            return 0
+        time.sleep(args.interval)
+        waited = 0.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

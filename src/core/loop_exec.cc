@@ -1,9 +1,12 @@
 #include "core/loop_exec.hh"
 
 #include <algorithm>
+#include <cinttypes>
 
+#include "obs/event_log.hh"
 #include "sim/critpath.hh"
 #include "sim/logging.hh"
+#include "sim/sim_context.hh"
 #include "sim/trace.hh"
 
 namespace specrt
@@ -1016,6 +1019,15 @@ LoopExecutor::run()
     timeline::maybeEnableFromEnv();
     critpath::applyConfig(cfg.critpath);
     critpath::maybeEnableFromEnv();
+    obs::maybeEnableFromEnv();
+    {
+        // Publish the machine fingerprint so campaign outcomes can
+        // name the exact config a failed job ran (replayability).
+        char fp[32];
+        std::snprintf(fp, sizeof(fp), "%016" PRIx64,
+                      cfg.fingerprint());
+        SimContext::current().configFingerprint = fp;
+    }
     if (stallEng && stall::current() == stallEng.get())
         stall::install(nullptr);
     stallEng.reset();
@@ -1027,6 +1039,8 @@ LoopExecutor::run()
     initSampler();
     beginTraceLoop(dsm->eventQueue().curTick(), execModeName(xc.mode),
                    numIters());
+    obs::runBegin(dsm->eventQueue().curTick(), execModeName(xc.mode),
+                  numIters(), cfg.numProcs);
 
     RunResult res;
     res.mode = xc.mode;
@@ -1063,6 +1077,8 @@ LoopExecutor::run()
         settleStall(res.phases.backup, stall::Cause::CommitSerial);
         traceMark(trace::TraceOp::Checkpoint,
                   dsm->eventQueue().curTick(), "backup of shared arrays");
+        obs::checkpointMark(dsm->eventQueue().curTick(),
+                            "backup of shared arrays");
         if (res.phases.backup > 0)
             dsm->resetMachine(true); // commit backup; cold caches for
                                      // the loop, as the paper does
@@ -1095,6 +1111,8 @@ LoopExecutor::run()
         fill_cost(res);
         traceMark(trace::TraceOp::LoopEnd, dsm->eventQueue().curTick(),
                   "infra abort");
+        obs::runEnd(dsm->eventQueue().curTick(), execModeName(xc.mode),
+                    false, true, res.totalTicks, res.itersExecuted);
         return res;
     }
 
@@ -1146,19 +1164,24 @@ LoopExecutor::run()
 
     res.passed = !failed;
     if (failed) {
-        if (is_sw)
+        if (is_sw) {
             traceMark(trace::TraceOp::Abort,
                       dsm->eventQueue().curTick(),
                       "software LRPD test failed");
+            obs::swAbort(dsm->eventQueue().curTick(),
+                         "software LRPD test failed");
+        }
         res.phases.restore = runBackupPhase(true);
         settleStall(res.phases.restore, stall::Cause::AbortRedo);
         res.phases.serial = runSerialPhase();
         settleStall(res.phases.serial, stall::Cause::AbortRedo);
     } else {
-        if (is_sw || is_hw)
+        if (is_sw || is_hw) {
             traceMark(trace::TraceOp::Commit,
                       dsm->eventQueue().curTick(),
                       "speculative state committed");
+            obs::commitMark(dsm->eventQueue().curTick());
+        }
         if (is_sw || is_hw) {
             res.phases.copyOut = runCopyOutPhase();
             settleStall(res.phases.copyOut,
@@ -1188,6 +1211,8 @@ LoopExecutor::run()
     fill_cost(res);
     traceMark(trace::TraceOp::LoopEnd, dsm->eventQueue().curTick(),
               res.passed ? "passed" : "failed");
+    obs::runEnd(dsm->eventQueue().curTick(), execModeName(xc.mode),
+                res.passed, false, res.totalTicks, res.itersExecuted);
     if (xc.keepTrace)
         res.trace = std::move(trace);
     return res;
@@ -1235,6 +1260,8 @@ runWithDegradation(const MachineConfig &config, Workload &w,
         ++out.degradations;
         if (log)
             log->record(mode, to, out.result.infraReason);
+        obs::degrade(execModeName(mode), execModeName(to),
+                     out.result.infraReason);
         mode = to;
     }
 }

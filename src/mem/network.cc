@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <new>
 
+#include "obs/event_log.hh"
 #include "sim/logging.hh"
 #include "sim/sim_context.hh"
 #include "sim/stall.hh"
@@ -197,11 +198,20 @@ Network::transmit(Msg msg, Cycles extra_delay, int attempt)
         fd = plan->decide(msg.type);
     }
 
+    if (obs::enabled() && (fd.drop || fd.duplicate || fd.jitter)) {
+        obs::faultInject(eq.curTick(),
+                         fd.drop ? "drop"
+                                 : fd.duplicate ? "dup" : "jitter",
+                         msgTypeName(msg.type), msg.src, msg.dst);
+    }
+
     if (fd.drop) {
         if (!FaultPlan::netRetransmits(msg.type))
             return; // request: the requester's watchdog retries it
         if (attempt >= plan->config().watchdogMaxRetries) {
             ++msgsLost;
+            obs::faultInject(eq.curTick(), "lost",
+                             msgTypeName(msg.type), msg.src, msg.dst);
             if (lostHook) {
                 lostHook(msg, "speculation signal");
                 return;

@@ -1,5 +1,6 @@
 #include "sim/arena.hh"
 
+#include <atomic>
 #include <mutex>
 
 #include "sim/logging.hh"
@@ -18,10 +19,24 @@ constexpr size_t maxPooled = 64;
 std::mutex poolMutex;
 std::vector<std::unique_ptr<Arena>> pool;
 
+/** Process-wide maximum of every sampled per-arena high-water mark. */
+std::atomic<uint64_t> procHighWater{0};
+
+void
+noteHighWater(uint64_t hwm)
+{
+    uint64_t cur = procHighWater.load(std::memory_order_relaxed);
+    while (hwm > cur &&
+           !procHighWater.compare_exchange_weak(
+               cur, hwm, std::memory_order_relaxed))
+        ;
+}
+
 } // namespace
 
 Arena::~Arena()
 {
+    noteHighWater(_highWater);
     for (char *slab : slabs)
         ::operator delete(slab);
 }
@@ -106,12 +121,19 @@ Arena::reset()
     SPECRT_ASSERT(live() == 0,
                   "arena reset with %llu blocks outstanding",
                   (unsigned long long)live());
+    noteHighWater(_highWater);
     _allocs = 0;
     _frees = 0;
     _highWater = 0;
     _bytesServed = 0;
     _oversizeAllocs = 0;
     // Warmth diagnostics survive: they describe the arena, not a job.
+}
+
+uint64_t
+Arena::maxHighWater()
+{
+    return procHighWater.load(std::memory_order_relaxed);
 }
 
 std::unique_ptr<Arena>

@@ -100,6 +100,14 @@ class Arena
     static std::unique_ptr<Arena> acquire();
 
     /**
+     * The largest highWater() any arena in this process has reached,
+     * sampled when an arena resets or dies (bench telemetry's
+     * mem_arena_hwm_blocks; live arenas are sampled by their owner,
+     * see SimContext::arenaHighWater).
+     */
+    static uint64_t maxHighWater();
+
+    /**
      * Return an arena to the pool. Only arenas with no outstanding
      * blocks are recycled; anything else is destroyed.
      */

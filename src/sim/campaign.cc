@@ -1,11 +1,17 @@
 #include "sim/campaign.hh"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "obs/event_log.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/sim_context.hh"
@@ -52,43 +58,206 @@ struct WorkDeque
     }
 };
 
+/** Per-job state byte the progress publisher samples. */
+enum JobState : uint8_t
+{
+    JobPending = 0,
+    JobRunning = 1,
+    JobOk = 2,
+    JobFailed = 3,
+};
+
 void
 runOneJob(size_t id, unsigned worker, const JobFn &fn,
-          const Options &opts, JobOutcome &out)
+          const Options &opts, JobOutcome &out,
+          std::atomic<uint8_t> *state)
 {
     out.id = id;
     out.worker = worker;
-    SimContext ctx(jobSeed(opts.baseSeed, id));
-    ScopedSimContext active(ctx);
-    if (opts.trapFatal)
-        ctx.logThrowOnFatal = true;
-    if (!opts.trapFatal) {
-        fn(id, ctx);
-        out.ok = true;
-        return;
+    out.seed = jobSeed(opts.baseSeed, id);
+    if (state)
+        state->store(JobRunning, std::memory_order_relaxed);
+    SimContext ctx(out.seed);
+    {
+        ScopedSimContext active(ctx);
+        if (opts.trapFatal)
+            ctx.logThrowOnFatal = true;
+        if (!opts.trapFatal) {
+            fn(id, ctx);
+            out.ok = true;
+        } else {
+            try {
+                fn(id, ctx);
+                out.ok = true;
+            } catch (const FatalError &e) {
+                out.error = e.message.empty()
+                                ? std::string("fatal error")
+                                : e.message;
+            } catch (const std::exception &e) {
+                out.error = e.what();
+            } catch (...) {
+                out.error = "unknown exception";
+            }
+        }
+        // Even a failed job reports the config it ran (set by
+        // LoopExecutor::run): the describeFailures line must be
+        // replayable.
+        out.configFingerprint = ctx.configFingerprint;
     }
-    try {
-        fn(id, ctx);
-        out.ok = true;
-    } catch (const FatalError &e) {
-        out.error = e.message.empty() ? std::string("fatal error")
-                                      : e.message;
-    } catch (const std::exception &e) {
-        out.error = e.what();
-    } catch (...) {
-        out.error = "unknown exception";
+    if (state) {
+        state->store(out.ok ? JobOk : JobFailed,
+                     std::memory_order_relaxed);
     }
 }
 
+/**
+ * Publishes the campaign's status snapshot to Options::progressPath
+ * every progressIntervalMs until stopped, then once more with
+ * "done": true. Snapshots are written to "<path>.tmp" and renamed
+ * into place so tailers never observe a torn file.
+ */
+class ProgressPublisher
+{
+  public:
+    ProgressPublisher(const Options &opts, size_t n,
+                      const std::atomic<uint8_t> *states)
+        : opts(opts), n(n), states(states),
+          start(std::chrono::steady_clock::now())
+    {
+        if (opts.progressPath.empty())
+            return;
+        publisher = std::thread([this] { loop(); });
+    }
+
+    ~ProgressPublisher()
+    {
+        if (!publisher.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> guard(mtx);
+            stopping = true;
+        }
+        cv.notify_all();
+        publisher.join();
+        publish(true);
+    }
+
+    ProgressPublisher(const ProgressPublisher &) = delete;
+    ProgressPublisher &operator=(const ProgressPublisher &) = delete;
+
+  private:
+    void
+    loop()
+    {
+        auto period = std::chrono::milliseconds(
+            opts.progressIntervalMs < 10 ? 10
+                                         : opts.progressIntervalMs);
+        std::unique_lock<std::mutex> lock(mtx);
+        while (!stopping) {
+            cv.wait_for(lock, period);
+            if (stopping)
+                return;
+            lock.unlock();
+            publish(false);
+            lock.lock();
+        }
+    }
+
+    void
+    publish(bool done)
+    {
+        size_t running = 0, ok = 0, failed = 0;
+        std::string runningIds, failedIds;
+        size_t runningListed = 0, failedListed = 0;
+        constexpr size_t maxListed = 32;
+        for (size_t i = 0; i < n; ++i) {
+            uint8_t s = states[i].load(std::memory_order_relaxed);
+            if (s == JobRunning) {
+                ++running;
+                if (runningListed++ < maxListed) {
+                    if (!runningIds.empty())
+                        runningIds += ",";
+                    runningIds += std::to_string(i);
+                }
+            } else if (s == JobOk) {
+                ++ok;
+            } else if (s == JobFailed) {
+                ++failed;
+                if (failedListed++ < maxListed) {
+                    if (!failedIds.empty())
+                        failedIds += ",";
+                    failedIds += std::to_string(i);
+                }
+            }
+        }
+        size_t finished = ok + failed;
+        double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        double rate = elapsed > 0
+                          ? static_cast<double>(finished) / elapsed
+                          : 0.0;
+        double eta = rate > 0
+                         ? static_cast<double>(n - finished) / rate
+                         : -1.0;
+
+        ProgressLive live;
+        if (opts.progressLive)
+            live = opts.progressLive();
+        double tps = elapsed > 0
+                         ? static_cast<double>(live.simTicks) / elapsed
+                         : 0.0;
+
+        std::ostringstream os;
+        os << "{\n"
+           << "  \"schema\": 1,\n"
+           << "  \"done\": " << (done ? "true" : "false") << ",\n"
+           << "  \"total\": " << n << ",\n"
+           << "  \"pending\": " << (n - running - finished) << ",\n"
+           << "  \"running\": " << running << ",\n"
+           << "  \"ok\": " << ok << ",\n"
+           << "  \"failed\": " << failed << ",\n"
+           << "  \"elapsed_s\": " << obs::jsonNumber(elapsed) << ",\n"
+           << "  \"jobs_per_sec\": " << obs::jsonNumber(rate) << ",\n"
+           << "  \"eta_s\": " << obs::jsonNumber(eta) << ",\n"
+           << "  \"sim_ticks\": " << live.simTicks << ",\n"
+           << "  \"ticks_per_sec\": " << obs::jsonNumber(tps) << ",\n"
+           << "  \"hot\": \"" << obs::jsonEscape(live.hot) << "\",\n"
+           << "  \"running_jobs\": [" << runningIds << "],\n"
+           << "  \"failed_jobs\": [" << failedIds << "]\n"
+           << "}\n";
+
+        std::string tmp = opts.progressPath + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
+        if (!f)
+            return;
+        std::string body = os.str();
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::rename(tmp.c_str(), opts.progressPath.c_str());
+    }
+
+    const Options &opts;
+    size_t n;
+    const std::atomic<uint8_t> *states;
+    std::chrono::steady_clock::time_point start;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool stopping = false;
+    std::thread publisher;
+};
+
 void
 workerLoop(unsigned me, std::vector<WorkDeque> &deques, const JobFn &fn,
-           const Options &opts, std::vector<JobOutcome> &outcomes)
+           const Options &opts, std::vector<JobOutcome> &outcomes,
+           std::atomic<uint8_t> *states)
 {
     const unsigned nw = static_cast<unsigned>(deques.size());
     size_t id;
     for (;;) {
         if (deques[me].popFront(id)) {
-            runOneJob(id, me, fn, opts, outcomes[id]);
+            runOneJob(id, me, fn, opts, outcomes[id], &states[id]);
             continue;
         }
         // Own deque dry: steal. Jobs never spawn jobs, so once every
@@ -98,7 +267,7 @@ workerLoop(unsigned me, std::vector<WorkDeque> &deques, const JobFn &fn,
             stole = deques[(me + k) % nw].stealBack(id);
         if (!stole)
             return;
-        runOneJob(id, me, fn, opts, outcomes[id]);
+        runOneJob(id, me, fn, opts, outcomes[id], &states[id]);
     }
 }
 
@@ -125,7 +294,11 @@ describeFailures(const std::vector<JobOutcome> &outcomes)
         if (!first)
             os << "; ";
         first = false;
-        os << "job " << o.id << ": " << o.error;
+        os << "job " << o.id << " (seed 0x" << std::hex << o.seed
+           << std::dec;
+        if (!o.configFingerprint.empty())
+            os << ", config " << o.configFingerprint;
+        os << "): " << o.error;
     }
     return os.str();
 }
@@ -161,11 +334,17 @@ run(size_t n, const JobFn &fn, const Options &opts)
     if (jobs > n)
         jobs = static_cast<unsigned>(n);
 
+    // Value-initialized (JobPending) per-job state bytes, shared by
+    // the workers and the progress publisher.
+    std::unique_ptr<std::atomic<uint8_t>[]> states(
+        new std::atomic<uint8_t>[n]());
+    ProgressPublisher progress(opts, n, states.get());
+
     if (jobs == 1) {
         // Inline, but through the same per-job context machinery as
         // the parallel path so results are identical.
         for (size_t id = 0; id < n; ++id)
-            runOneJob(id, 0, fn, opts, outcomes[id]);
+            runOneJob(id, 0, fn, opts, outcomes[id], &states[id]);
         return outcomes;
     }
 
@@ -177,7 +356,7 @@ run(size_t n, const JobFn &fn, const Options &opts)
     workers.reserve(jobs);
     for (unsigned w = 0; w < jobs; ++w) {
         workers.emplace_back([&, w] {
-            workerLoop(w, deques, fn, opts, outcomes);
+            workerLoop(w, deques, fn, opts, outcomes, states.get());
         });
     }
     for (std::thread &t : workers)

@@ -47,6 +47,19 @@ class SimContext;
 namespace campaign
 {
 
+/**
+ * Live aggregate figures a caller can contribute to the progress
+ * snapshot (see Options::progressLive): simulated ticks completed so
+ * far and the current hot-directory line from the PR-5 heatmap. The
+ * callback runs on the publisher thread, so it must synchronize with
+ * the jobs itself (bench::runJobs keeps both behind a mutex).
+ */
+struct ProgressLive
+{
+    uint64_t simTicks = 0;
+    std::string hot;
+};
+
 /** How to run a campaign. */
 struct Options
 {
@@ -65,6 +78,28 @@ struct Options
      * FatalError / std::exception into the job's outcome.
      */
     bool trapFatal = true;
+
+    // --- live progress streaming --------------------------------------
+
+    /**
+     * When non-empty, a publisher thread periodically writes a JSON
+     * status snapshot (per-job state tallies, throughput, ETA,
+     * failures so far) to this path. Writes are atomic: the snapshot
+     * lands in "<path>.tmp" and is renamed over the target, so a
+     * tailer (scripts/specrt_top.py) never reads a torn file. The
+     * final snapshot ("done": true) is written when the campaign
+     * returns. Observability only: never affects job results.
+     */
+    std::string progressPath;
+
+    /** Snapshot period for progressPath (clamped to >= 10). */
+    unsigned progressIntervalMs = 500;
+
+    /**
+     * Optional aggregate sampler folded into each snapshot (runs on
+     * the publisher thread; must be thread-safe).
+     */
+    std::function<ProgressLive()> progressLive;
 };
 
 /** What happened to one job. */
@@ -76,12 +111,25 @@ struct JobOutcome
     std::string error;
     /** Worker that ran the job (diagnostic only; never affects results). */
     unsigned worker = 0;
+    /** The job context's seed (jobSeed(baseSeed, id)). */
+    uint64_t seed = 0;
+    /**
+     * Hex fingerprint of the last MachineConfig the job ran ("" if
+     * the job never reached a LoopExecutor). With the seed, a
+     * failure line is directly replayable.
+     */
+    std::string configFingerprint;
 };
 
 /** True when every outcome is ok. */
 bool allOk(const std::vector<JobOutcome> &outcomes);
 
-/** "job 3: <error>; job 7: <error>" for the failed outcomes ("" if none). */
+/**
+ * One line per failed outcome, each naming the job's seed and (when
+ * known) config fingerprint so it is directly replayable:
+ * "job 3 (seed 0x1a2b, config 00ffee...): <error>; job 7 ...".
+ * "" when every job passed.
+ */
 std::string describeFailures(const std::vector<JobOutcome> &outcomes);
 
 /**

@@ -42,7 +42,10 @@ SimContext::~SimContext()
     bool wantCritpath = critpathExportOnDestroy &&
                         !critpathOutPath.empty() &&
                         critpathRec.hasData();
-    if (!wantTrace && !wantTimeline && !wantCritpath)
+    bool wantEvents = eventsExportOnDestroy &&
+                      !eventsOutPath.empty() &&
+                      eventsLog.recorded() != 0;
+    if (!wantTrace && !wantTimeline && !wantCritpath && !wantEvents)
         return;
     // One exporter at a time: several env-traced contexts may die
     // concurrently (campaign jobs), and the files must never hold an
@@ -96,6 +99,20 @@ SimContext::~SimContext()
                          critpathOutPath.c_str());
         }
     }
+    if (wantEvents) {
+        std::FILE *f = std::fopen(eventsOutPath.c_str(), "w");
+        if (f) {
+            std::string lines = eventsLog.jsonl();
+            std::fwrite(lines.data(), 1, lines.size(), f);
+            std::fclose(f);
+            std::fprintf(stderr,
+                         "[events] wrote %zu event lines to %s\n",
+                         eventsLog.size(), eventsOutPath.c_str());
+        } else {
+            std::fprintf(stderr, "[events] failed to write %s\n",
+                         eventsOutPath.c_str());
+        }
+    }
 }
 
 SimContext &
@@ -140,6 +157,7 @@ ScopedSimContext::ScopedSimContext(SimContext &ctx) : prev(tlsCurrent)
     timeline::refreshEnabled();
     critpath::refreshEnabled();
     stall::refreshEnabled();
+    obs::refreshEnabled();
 }
 
 ScopedSimContext::~ScopedSimContext()
@@ -149,6 +167,7 @@ ScopedSimContext::~ScopedSimContext()
     timeline::refreshEnabled();
     critpath::refreshEnabled();
     stall::refreshEnabled();
+    obs::refreshEnabled();
 }
 
 } // namespace specrt

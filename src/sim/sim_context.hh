@@ -41,6 +41,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/event_log.hh"
 #include "sim/arena.hh"
 #include "sim/critpath.hh"
 #include "sim/logging.hh"
@@ -151,6 +152,30 @@ class SimContext
      */
     bool critpathExportOnDestroy = false;
 
+    // --- structured event log (accessed by obs/event_log.cc) ----------
+
+    obs::EventLog &eventsData() { return eventsLog; }
+    const obs::EventLog &eventsData() const { return eventsLog; }
+
+    /** Where to write the event JSONL ("" = nowhere). */
+    std::string eventsOutPath;
+    /** SPECRT_EVENTS has been applied to this context already. */
+    bool eventsEnvChecked = false;
+    /**
+     * Write the JSONL to eventsOutPath when this context dies; set
+     * only by the SPECRT_EVENTS env path (same contract as
+     * traceExportOnDestroy).
+     */
+    bool eventsExportOnDestroy = false;
+
+    /**
+     * Fingerprint (hex MachineConfig::fingerprint()) of the last
+     * machine a LoopExecutor ran under this context; "" until a run
+     * happens. Campaign outcomes carry it so a failure line names
+     * the exact config to replay (campaign::describeFailures).
+     */
+    std::string configFingerprint;
+
     /**
      * Stall-attribution engine of the run in progress (sim/stall.hh).
      * Owned by the profiled run's LoopExecutor, published here so
@@ -184,6 +209,15 @@ class SimContext
      */
     Arena &msgArena();
 
+    /**
+     * High-water mark of this context's arena, without creating one
+     * (0 when the context never allocated a message).
+     */
+    uint64_t arenaHighWater() const
+    {
+        return arena ? arena->highWater() : 0;
+    }
+
     // --- deterministic randomness -------------------------------------
 
     /** Base seed the named streams derive from. */
@@ -204,6 +238,7 @@ class SimContext
     trace::TraceBuffer traceBuf;
     timeline::Timeline timelineTl;
     critpath::Recorder critpathRec;
+    obs::EventLog eventsLog;
     std::map<std::string, Rng> rngs;
     std::unique_ptr<Arena> arena;
 };

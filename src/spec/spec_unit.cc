@@ -1,5 +1,6 @@
 #include "spec/spec_unit.hh"
 
+#include "obs/event_log.hh"
 #include "sim/critpath.hh"
 #include "sim/logging.hh"
 #include "sim/timeline.hh"
@@ -728,6 +729,15 @@ SpecSystem::fail(NodeId node, Addr elem, const char *reason)
     // The failing element's home directory is where its transactions
     // serialized; mark the conflict on the contention heatmap.
     timeline::dirConflict(dsm.memory().homeOf(elem), elem);
+
+    // Flight-recorder abort event: the iteration is only known when
+    // the trace's ambient ctx is published (ScopedCtx is gated on
+    // trace::enabled()); -1 says "unattributed".
+    obs::abortEvent(_failure.tick, elem, node,
+                    trace::enabled() ? trace::ctx().iter
+                                     : static_cast<IterNum>(-1),
+                    _failure.reason.c_str(),
+                    trace::violatedRule(reason));
 
     if (trace::enabled()) {
         // The handler that tripped the detector published the access
